@@ -1,0 +1,116 @@
+//===- BenchCommon.h - Shared benchmark harness utilities ----------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared setup for the benchmark binaries that regenerate the paper's
+/// tables and figures. Default problem sizes are scaled down so the whole
+/// `bench/` directory runs in minutes on a laptop; set SPNC_BENCH_FULL=1
+/// to use paper-scale sizes (hundreds of thousands of samples /
+/// paper-scale RAT-SPNs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_BENCH_BENCHCOMMON_H
+#define SPNC_BENCH_BENCHCOMMON_H
+
+#include "baselines/Baselines.h"
+#include "runtime/Compiler.h"
+#include "support/Timer.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace spnc {
+namespace bench {
+
+/// True when paper-scale sizes were requested via SPNC_BENCH_FULL=1.
+inline bool fullScale() {
+  const char *Env = std::getenv("SPNC_BENCH_FULL");
+  return Env && Env[0] == '1';
+}
+
+/// Number of speech samples for the speaker-identification benchmarks
+/// (paper: 245567 clean / 1227835 noisy).
+inline size_t speakerSampleCount(bool Noisy) {
+  if (fullScale())
+    return Noisy ? 1227835 : 245567;
+  return Noisy ? 20000 : 8000;
+}
+
+/// Number of per-speaker models to average over (paper: one SPN per
+/// speaker of the test set).
+inline unsigned speakerModelCount() { return fullScale() ? 10 : 3; }
+
+/// RAT-SPN configuration for the stress-test benchmarks.
+inline workloads::RatSpnOptions ratSpnBenchScale() {
+  return fullScale() ? workloads::ratSpnPaperScale()
+                     : workloads::ratSpnSmallScale();
+}
+
+/// Number of test images for the RAT-SPN classification benchmark
+/// (paper: 10000).
+inline size_t imageCount() { return fullScale() ? 10000 : 500; }
+
+/// One per-speaker benchmark instance: model + clean/noisy data.
+struct SpeakerInstance {
+  spn::Model Model;
+  std::vector<double> Data;
+  size_t NumSamples;
+};
+
+inline std::vector<SpeakerInstance> makeSpeakerSet(bool Noisy) {
+  std::vector<SpeakerInstance> Instances;
+  size_t NumSamples = speakerSampleCount(Noisy);
+  for (unsigned Speaker = 0; Speaker < speakerModelCount(); ++Speaker) {
+    workloads::SpeakerModelOptions Options;
+    Options.Seed = Speaker + 1;
+    std::vector<double> Data =
+        Noisy ? workloads::generateNoisySpeechData(Options, NumSamples,
+                                                   Speaker + 100)
+              : workloads::generateSpeechData(Options, NumSamples,
+                                              Speaker + 100);
+    Instances.push_back(SpeakerInstance{
+        workloads::generateSpeakerModel(Options), std::move(Data),
+        NumSamples});
+  }
+  return Instances;
+}
+
+/// Geometric mean.
+inline double geoMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Wall-clock of one executor invocation (seconds).
+template <typename Fn>
+double timeSeconds(Fn &&Run) {
+  Timer T;
+  Run();
+  return T.elapsedSeconds();
+}
+
+/// Prints a paper-style figure header.
+inline void printHeader(const char *Figure, const char *Description) {
+  std::printf("\n=== %s: %s ===\n", Figure, Description);
+  std::printf("(scaled-down run; set SPNC_BENCH_FULL=1 for paper-scale "
+              "sizes; shapes, not absolute numbers, are the target — see "
+              "EXPERIMENTS.md)\n");
+}
+
+} // namespace bench
+} // namespace spnc
+
+#endif // SPNC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,123 @@
+//===- bench_fig10_partition_cpu.cpp - Paper Fig. 10 reproduction ----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces paper Fig. 10: impact of the maximum partition size on
+/// CPU compilation time and execution time for a RAT-SPN class. Paper
+/// findings: compile time first falls with growing partitions (fewer
+/// task boundaries) and rises again for very large partitions; execution
+/// time improves with partition size (fewer intermediate buffers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spnc;
+using namespace spnc::bench;
+using namespace spnc::runtime;
+
+namespace {
+
+const spn::Model &ratModel() {
+  static spn::Model Model =
+      workloads::generateRatSpn(ratSpnBenchScale(), 0);
+  return Model;
+}
+
+const std::vector<double> &imageData() {
+  static std::vector<double> Data = workloads::generateImageData(
+      ratSpnBenchScale().NumFeatures, 10, 256, 42, nullptr);
+  return Data;
+}
+
+std::vector<uint32_t> partitionSizes() {
+  if (fullScale())
+    return {1000, 2500, 5000, 10000, 25000, 50000, 100000};
+  return {500, 1000, 2500, 5000, 10000, 25000};
+}
+
+struct SweepPoint {
+  double CompileSeconds = 0;
+  double ExecSeconds = 0;
+  size_t NumTasks = 0;
+};
+
+SweepPoint measure(uint32_t MaxPartitionSize, Target TheTarget) {
+  CompilerOptions Options;
+  Options.OptLevel = 1;
+  Options.TheTarget = TheTarget;
+  Options.MaxPartitionSize = MaxPartitionSize;
+  if (TheTarget == Target::GPU)
+    Options.GpuBlockSize = 64;
+  CompileStats Stats;
+  SweepPoint Point;
+  Expected<CompiledKernel> Kernel = compileModel(
+      ratModel(), spn::QueryConfig(), Options, &Stats);
+  if (!Kernel)
+    return Point;
+  Point.CompileSeconds = static_cast<double>(Stats.TotalNs) * 1e-9;
+  Point.NumTasks = Stats.NumTasks;
+  size_t NumSamples =
+      imageData().size() / ratSpnBenchScale().NumFeatures;
+  std::vector<double> Output(NumSamples);
+  double Wall = timeSeconds([&] {
+    Kernel->execute(imageData().data(), Output.data(), NumSamples);
+  });
+  Point.ExecSeconds =
+      TheTarget == Target::GPU
+          ? static_cast<double>(Kernel->getLastGpuStats().totalNs()) *
+                1e-9
+          : Wall;
+  return Point;
+}
+
+void registerSweep(const char *Prefix, Target TheTarget) {
+  for (uint32_t Size : partitionSizes())
+    benchmark::RegisterBenchmark(
+        (std::string(Prefix) + "/maxsize:" + std::to_string(Size))
+            .c_str(),
+        [Size, TheTarget](benchmark::State &State) {
+          SweepPoint Point;
+          for (auto _ : State)
+            Point = measure(Size, TheTarget);
+          State.counters["compile_s"] = Point.CompileSeconds;
+          State.counters["exec_s"] = Point.ExecSeconds;
+          State.counters["tasks"] =
+              static_cast<double>(Point.NumTasks);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  registerSweep("fig10/cpu", Target::CPU);
+  benchmark::RunSpecifiedBenchmarks();
+
+  printHeader("Fig. 10", "RAT-SPN CPU: max partition size vs compile "
+                         "and execution time");
+  spn::ModelStats Stats = ratModel().computeStats();
+  std::printf("model: %zu operations (%zu sums, %zu products, %zu "
+              "leaves)\n",
+              Stats.NumNodes, Stats.NumSums, Stats.NumProducts,
+              Stats.NumLeaves);
+  for (uint32_t Size : partitionSizes()) {
+    SweepPoint Point = measure(Size, Target::CPU);
+    std::printf("max partition %6u : compile %7.3f s   exec %8.3f ms   "
+                "(%zu tasks)\n",
+                Size, Point.CompileSeconds, Point.ExecSeconds * 1e3,
+                Point.NumTasks);
+  }
+  std::printf("paper shape: execution time improves with partition size "
+              "(fewer intermediate buffers)\n");
+  benchmark::Shutdown();
+  return 0;
+}

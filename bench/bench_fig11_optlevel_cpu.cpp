@@ -1,0 +1,102 @@
+//===- bench_fig11_optlevel_cpu.cpp - Paper Fig. 11 reproduction -----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces paper Fig. 11: impact of the optimization level (-O0..-O3)
+/// on CPU compilation time and execution time for a RAT-SPN class.
+/// Paper findings: -O0 compiles fastest but executes slowest; -O1..-O3
+/// compile slower and execute similarly faster, so -O1 is the chosen
+/// trade-off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spnc;
+using namespace spnc::bench;
+using namespace spnc::runtime;
+
+namespace {
+
+const spn::Model &ratModel() {
+  static spn::Model Model =
+      workloads::generateRatSpn(ratSpnBenchScale(), 0);
+  return Model;
+}
+
+struct SweepPoint {
+  double CompileSeconds = 0;
+  double ExecSeconds = 0;
+  size_t NumInstructions = 0;
+};
+
+SweepPoint measure(unsigned OptLevel, Target TheTarget) {
+  static std::vector<double> Data = workloads::generateImageData(
+      ratSpnBenchScale().NumFeatures, 10, 256, 42, nullptr);
+  CompilerOptions Options;
+  Options.OptLevel = OptLevel;
+  Options.TheTarget = TheTarget;
+  Options.MaxPartitionSize = fullScale() ? 25000 : 5000;
+  if (TheTarget == Target::GPU)
+    Options.GpuBlockSize = 64;
+  CompileStats Stats;
+  SweepPoint Point;
+  Expected<CompiledKernel> Kernel =
+      compileModel(ratModel(), spn::QueryConfig(), Options, &Stats);
+  if (!Kernel)
+    return Point;
+  Point.CompileSeconds = static_cast<double>(Stats.TotalNs) * 1e-9;
+  Point.NumInstructions = Stats.NumInstructions;
+  size_t NumSamples = Data.size() / ratSpnBenchScale().NumFeatures;
+  std::vector<double> Output(NumSamples);
+  double Wall = timeSeconds([&] {
+    Kernel->execute(Data.data(), Output.data(), NumSamples);
+  });
+  Point.ExecSeconds =
+      TheTarget == Target::GPU
+          ? static_cast<double>(Kernel->getLastGpuStats().totalNs()) *
+                1e-9
+          : Wall;
+  return Point;
+}
+
+void BM_OptLevelCpu(benchmark::State &State) {
+  SweepPoint Point;
+  for (auto _ : State)
+    Point = measure(static_cast<unsigned>(State.range(0)), Target::CPU);
+  State.counters["compile_s"] = Point.CompileSeconds;
+  State.counters["exec_s"] = Point.ExecSeconds;
+  State.counters["instructions"] =
+      static_cast<double>(Point.NumInstructions);
+}
+BENCHMARK(BM_OptLevelCpu)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  printHeader("Fig. 11", "RAT-SPN CPU: optimization level vs compile "
+                         "and execution time");
+  for (unsigned Level = 0; Level <= 3; ++Level) {
+    SweepPoint Point = measure(Level, Target::CPU);
+    std::printf("-O%u : compile %7.3f s   exec %8.3f ms   (%zu "
+                "instructions)\n",
+                Level, Point.CompileSeconds, Point.ExecSeconds * 1e3,
+                Point.NumInstructions);
+  }
+  std::printf("paper shape: -O0 compiles fastest / runs slowest; "
+              "-O1..-O3 run similarly faster\n");
+  benchmark::Shutdown();
+  return 0;
+}

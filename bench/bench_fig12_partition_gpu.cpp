@@ -1,0 +1,104 @@
+//===- bench_fig12_partition_gpu.cpp - Paper Fig. 12 reproduction ----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces paper Fig. 12: impact of the maximum partition size on GPU
+/// compilation and execution time for a RAT-SPN class. The paper probes
+/// fewer, smaller sizes than on the CPU because small GPU kernels incur
+/// launch/communication overhead, and picks 10k as the trade-off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spnc;
+using namespace spnc::bench;
+using namespace spnc::runtime;
+
+namespace {
+
+const spn::Model &ratModel() {
+  static spn::Model Model =
+      workloads::generateRatSpn(ratSpnBenchScale(), 0);
+  return Model;
+}
+
+std::vector<uint32_t> partitionSizes() {
+  if (fullScale())
+    return {2500, 5000, 10000, 25000};
+  return {1000, 2500, 5000, 10000};
+}
+
+struct SweepPoint {
+  double CompileSeconds = 0;
+  double ExecSeconds = 0;
+  size_t NumTasks = 0;
+};
+
+SweepPoint measure(uint32_t MaxPartitionSize) {
+  static std::vector<double> Data = workloads::generateImageData(
+      ratSpnBenchScale().NumFeatures, 10, 1024, 42, nullptr);
+  CompilerOptions Options;
+  Options.OptLevel = 1;
+  Options.TheTarget = Target::GPU;
+  Options.GpuBlockSize = 64;
+  Options.MaxPartitionSize = MaxPartitionSize;
+  CompileStats Stats;
+  SweepPoint Point;
+  Expected<CompiledKernel> Kernel =
+      compileModel(ratModel(), spn::QueryConfig(), Options, &Stats);
+  if (!Kernel)
+    return Point;
+  Point.CompileSeconds = static_cast<double>(Stats.TotalNs) * 1e-9;
+  Point.NumTasks = Stats.NumTasks;
+  size_t NumSamples = Data.size() / ratSpnBenchScale().NumFeatures;
+  std::vector<double> Output(NumSamples);
+  Kernel->execute(Data.data(), Output.data(), NumSamples);
+  Point.ExecSeconds =
+      static_cast<double>(Kernel->getLastGpuStats().totalNs()) * 1e-9;
+  return Point;
+}
+
+void BM_PartitionGpu(benchmark::State &State) {
+  SweepPoint Point;
+  for (auto _ : State)
+    Point = measure(static_cast<uint32_t>(State.range(0)));
+  State.counters["compile_s"] = Point.CompileSeconds;
+  State.counters["sim_exec_s"] = Point.ExecSeconds;
+  State.counters["tasks"] = static_cast<double>(Point.NumTasks);
+}
+BENCHMARK(BM_PartitionGpu)
+    ->Arg(1000)
+    ->Arg(2500)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  printHeader("Fig. 12", "RAT-SPN GPU: max partition size vs compile "
+                         "and (simulated) execution time");
+  for (uint32_t Size : partitionSizes()) {
+    SweepPoint Point = measure(Size);
+    std::printf("max partition %6u : compile %7.3f s   sim exec "
+                "%8.3f ms   (%zu tasks/launches)\n",
+                Size, Point.CompileSeconds, Point.ExecSeconds * 1e3,
+                Point.NumTasks);
+  }
+  std::printf("paper shape: execution improves with partition size "
+              "(fewer launches and inter-task buffers) while compile "
+              "time grows\n");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- bench_gpu_blocksize.cpp - Paper §V-A1 GPU block-size sweep ----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the GPU batch/block-size exploration of paper §V-A1: the
+/// user-provided batch size is the constant block size of the kernel
+/// launches, and "a small block size of 64 is preferable". In the model
+/// (as on real hardware) this falls out of occupancy: SPN kernels are
+/// register-heavy, large blocks quantize the register-limited resident
+/// thread count (or spill), and tiny blocks hit the blocks-per-SM limit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spnc;
+using namespace spnc::bench;
+using namespace spnc::runtime;
+
+namespace {
+
+const SpeakerInstance &speaker() {
+  static std::vector<SpeakerInstance> Instances =
+      makeSpeakerSet(/*Noisy=*/false);
+  return Instances[0];
+}
+
+double simulatedMs(unsigned BlockSize) {
+  CompilerOptions Options;
+  Options.OptLevel = 2;
+  Options.TheTarget = Target::GPU;
+  Options.GpuBlockSize = BlockSize;
+  Expected<CompiledKernel> Kernel =
+      compileModel(speaker().Model, spn::QueryConfig(), Options);
+  if (!Kernel)
+    return -1.0;
+  std::vector<double> Output(speaker().NumSamples);
+  Kernel->execute(speaker().Data.data(), Output.data(),
+                  speaker().NumSamples);
+  return static_cast<double>(Kernel->getLastGpuStats().totalNs()) * 1e-6;
+}
+
+void BM_BlockSize(benchmark::State &State) {
+  auto BlockSize = static_cast<unsigned>(State.range(0));
+  double Ms = 0;
+  for (auto _ : State)
+    Ms = simulatedMs(BlockSize);
+  State.counters["sim_total_ms"] = Ms;
+}
+BENCHMARK(BM_BlockSize)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  printHeader("§V-A1", "GPU block-size sweep (simulated)");
+  double Best = 1e300;
+  unsigned BestSize = 0;
+  for (unsigned BlockSize : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    double Ms = simulatedMs(BlockSize);
+    std::printf("block size %4u : %9.3f ms (simulated)\n", BlockSize, Ms);
+    if (Ms >= 0 && Ms < Best) {
+      Best = Ms;
+      BestSize = BlockSize;
+    }
+  }
+  std::printf("best block size: %u (paper: a small block size of 64 is "
+              "preferable)\n",
+              BestSize);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- Baselines.h - SPFlow and Tensorflow-style baseline executors ----------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two baselines the paper compares against (§V-A2):
+///
+///  * `SPFlowInterpreter` — the equivalent of SPFlow's Python inference:
+///    a per-sample, node-by-node graph walk with dynamic dispatch at
+///    every node. (Being C++, it is far faster than Python; absolute
+///    speedups versus it are therefore smaller than the paper's 500-900x,
+///    while the ordering of all execution modes is preserved — see
+///    EXPERIMENTS.md.)
+///  * `TfGraphExecutor` — the equivalent of SPFlow's translation to a
+///    Tensorflow graph: op-at-a-time execution where every node processes
+///    the entire batch into a freshly allocated buffer. Like the paper's
+///    TF translation it does not support marginalized (NaN) evidence.
+///
+/// Both compute log-likelihoods in double precision, matching SPFlow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_BASELINES_BASELINES_H
+#define SPNC_BASELINES_BASELINES_H
+
+#include "frontend/Model.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace spnc {
+namespace baselines {
+
+/// Per-sample interpreted inference (SPFlow-equivalent baseline).
+class SPFlowInterpreter {
+public:
+  explicit SPFlowInterpreter(const spn::Model &TheModel);
+
+  /// Computes log-likelihoods for \p NumSamples samples (row-major
+  /// [sample][feature]). NaN evidence marginalizes a feature.
+  void execute(const double *Input, double *Output,
+               size_t NumSamples) const;
+
+private:
+  const spn::Model &TheModel;
+  std::vector<spn::Node *> Order;
+  /// Dense node-id -> position map for the value scratchpad.
+  std::vector<uint32_t> PositionOf;
+};
+
+/// Op-at-a-time batched inference (Tensorflow-translation baseline).
+class TfGraphExecutor {
+public:
+  explicit TfGraphExecutor(const spn::Model &TheModel);
+
+  /// Computes log-likelihoods for a batch. Marginalized (NaN) evidence is
+  /// unsupported, as in the paper's TF translation.
+  void execute(const double *Input, double *Output,
+               size_t NumSamples) const;
+
+private:
+  const spn::Model &TheModel;
+  std::vector<spn::Node *> Order;
+  std::vector<uint32_t> PositionOf;
+};
+
+} // namespace baselines
+} // namespace spnc
+
+#endif // SPNC_BASELINES_BASELINES_H

@@ -1,0 +1,907 @@
+//===- Codegen.cpp - LoSPN to bytecode code generation -------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <unordered_map>
+
+using namespace spnc;
+using namespace spnc::ir;
+using namespace spnc::lospn;
+using namespace spnc::codegen;
+using namespace spnc::vm;
+
+namespace {
+
+constexpr double kLogSqrt2Pi = 0.91893853320467274178;
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+
+/// True if all histogram bucket bounds are integral (dense-table
+/// eligible).
+static bool bucketsAreIntegral(const std::vector<double> &Flat) {
+  for (size_t I = 0; I < Flat.size(); I += 3)
+    if (Flat[I] != std::floor(Flat[I]) ||
+        Flat[I + 1] != std::floor(Flat[I + 1]))
+      return false;
+  return true;
+}
+
+/// Emits instructions for one task.
+class TaskEmitter {
+public:
+  TaskEmitter(const CodegenOptions &Options, bool LogSpace,
+              const std::unordered_map<ValueImpl *, uint32_t> &BufferIds)
+      : Options(Options), Log(LogSpace), BufferIds(BufferIds) {}
+
+  Expected<TaskProgram> emit(TaskOp Task) {
+    // Kernel-level buffer for each task operand.
+    std::vector<uint32_t> OperandBuffers;
+    for (unsigned I = 0; I < Task->getNumOperands(); ++I)
+      OperandBuffers.push_back(
+          BufferIds.at(Task->getOperand(I).getImpl()));
+
+    Block &TaskBlock = Task.getBody();
+    for (Operation *Op : TaskBlock) {
+      if (BatchReadOp Read = dyn_cast_op<BatchReadOp>(Op)) {
+        uint32_t Reg = newReg();
+        Program.Loads.push_back(BufferAccess{
+            OperandBuffers[Op->getOperand(0).getIndex() - 1],
+            Read.getStaticIndex()});
+        push(OpCode::Load, Reg,
+             static_cast<uint32_t>(Program.Loads.size() - 1));
+        RegOf[Op->getResult(0).getImpl()] = Reg;
+        continue;
+      }
+      if (BodyOp Body = dyn_cast_op<BodyOp>(Op)) {
+        if (failed(emitBody(Body)))
+          return makeError("unsupported operation in task body");
+        continue;
+      }
+      if (BatchWriteOp Write = dyn_cast_op<BatchWriteOp>(Op)) {
+        uint32_t Buffer =
+            OperandBuffers[Op->getOperand(0).getIndex() - 1];
+        for (unsigned I = 2; I < Op->getNumOperands(); ++I) {
+          Program.Stores.push_back(BufferAccess{Buffer, I - 2});
+          Instruction Inst;
+          Inst.Op = OpCode::Store;
+          Inst.Dst = RegOf.at(Op->getOperand(I).getImpl());
+          Inst.A = static_cast<uint32_t>(Program.Stores.size() - 1);
+          Program.Code.push_back(Inst);
+        }
+        continue;
+      }
+      return makeError(
+          formatString("unsupported op '%s' in task during codegen",
+                       Op->getName().c_str()));
+    }
+    Program.NumRegisters = NextReg;
+    return std::move(Program);
+  }
+
+private:
+  LogicalResult emitBody(BodyOp Body) {
+    Block &Inner = Body.getBody();
+    for (unsigned I = 0; I < Body->getNumOperands(); ++I)
+      RegOf[Inner.getArgument(I).getImpl()] =
+          RegOf.at(Body->getOperand(I).getImpl());
+
+    for (Operation *Op : Inner) {
+      if (isa_op<YieldOp>(Op)) {
+        for (unsigned I = 0; I < Op->getNumOperands(); ++I)
+          RegOf[Body->getResult(I).getImpl()] =
+              RegOf.at(Op->getOperand(I).getImpl());
+        continue;
+      }
+      if (ConstantOp Const = dyn_cast_op<ConstantOp>(Op)) {
+        uint32_t Reg = newReg();
+        push(OpCode::Const, Reg, poolConstant(Const.getValue()));
+        RegOf[Op->getResult(0).getImpl()] = Reg;
+        continue;
+      }
+      if (isa_op<MulOp>(Op)) {
+        uint32_t Reg = newReg();
+        push(Log ? OpCode::Add : OpCode::Mul, Reg, regOfOperand(Op, 0),
+             regOfOperand(Op, 1));
+        RegOf[Op->getResult(0).getImpl()] = Reg;
+        continue;
+      }
+      if (isa_op<AddOp>(Op)) {
+        uint32_t Reg = newReg();
+        push(Log ? OpCode::LogSumExp : OpCode::Add, Reg,
+             regOfOperand(Op, 0), regOfOperand(Op, 1));
+        RegOf[Op->getResult(0).getImpl()] = Reg;
+        continue;
+      }
+      if (GaussianOp Gauss = dyn_cast_op<GaussianOp>(Op)) {
+        GaussianParams Params;
+        Params.Mean = Gauss.getMean();
+        Params.InvStdDev = 1.0 / Gauss.getStdDev();
+        Params.Coefficient =
+            Log ? -std::log(Gauss.getStdDev()) - kLogSqrt2Pi
+                : kInvSqrt2Pi / Gauss.getStdDev();
+        Params.SupportMarginal = Gauss.getSupportMarginal();
+        Params.MarginalValue = Log ? 0.0 : 1.0;
+        Program.Gaussians.push_back(Params);
+        uint32_t Reg = newReg();
+        push(Log ? OpCode::GaussianLog : OpCode::Gaussian, Reg,
+             regOfOperand(Op, 0),
+             static_cast<uint32_t>(Program.Gaussians.size() - 1));
+        RegOf[Op->getResult(0).getImpl()] = Reg;
+        continue;
+      }
+      if (HistogramOp Hist = dyn_cast_op<HistogramOp>(Op)) {
+        emitDiscreteLeaf(Op, Hist.getFlatBuckets(),
+                         Hist.getSupportMarginal());
+        continue;
+      }
+      if (CategoricalOp Cat = dyn_cast_op<CategoricalOp>(Op)) {
+        // A categorical is a histogram with unit buckets at 0..N-1.
+        std::vector<double> Flat;
+        const std::vector<double> &Probs = Cat.getProbabilities();
+        Flat.reserve(Probs.size() * 3);
+        for (size_t I = 0; I < Probs.size(); ++I) {
+          Flat.push_back(static_cast<double>(I));
+          Flat.push_back(static_cast<double>(I + 1));
+          Flat.push_back(Probs[I]);
+        }
+        emitDiscreteLeaf(Op, Flat, Cat.getSupportMarginal());
+        continue;
+      }
+      return failure();
+    }
+    return success();
+  }
+
+  /// Emits a discrete leaf either as a dense table lookup (CPU strategy)
+  /// or as a cascade of selects (GPU strategy, paper §IV-C).
+  void emitDiscreteLeaf(Operation *Op, const std::vector<double> &Flat,
+                        bool Marginal) {
+    double Default =
+        Log ? -std::numeric_limits<double>::infinity() : 0.0;
+    double MarginalValue = Log ? 0.0 : 1.0;
+    uint32_t Evidence = regOfOperand(Op, 0);
+    uint32_t Reg = newReg();
+
+    bool Dense = !Options.EmitSelectCascades && !Flat.empty() &&
+                 bucketsAreIntegral(Flat);
+    if (Dense) {
+      double Lo = Flat[0], Hi = Flat[1];
+      for (size_t I = 0; I < Flat.size(); I += 3) {
+        Lo = std::min(Lo, Flat[I]);
+        Hi = std::max(Hi, Flat[I + 1]);
+      }
+      Dense = (Hi - Lo) <= static_cast<double>(Options.MaxDenseTableSize);
+      if (Dense) {
+        LookupTable Table;
+        Table.Lo = Lo;
+        Table.DefaultValue = Default;
+        Table.SupportMarginal = Marginal;
+        Table.MarginalValue = MarginalValue;
+        Table.Values.assign(static_cast<size_t>(Hi - Lo), Default);
+        for (size_t I = 0; I < Flat.size(); I += 3) {
+          double P = Log ? std::log(Flat[I + 2]) : Flat[I + 2];
+          for (double X = Flat[I]; X < Flat[I + 1]; X += 1.0)
+            Table.Values[static_cast<size_t>(X - Lo)] = P;
+        }
+        Program.Tables.push_back(std::move(Table));
+        push(OpCode::TableLookup, Reg, Evidence,
+             static_cast<uint32_t>(Program.Tables.size() - 1));
+        RegOf[Op->getResult(0).getImpl()] = Reg;
+        return;
+      }
+    }
+
+    // Select cascade: initialize with the default, one range select per
+    // bucket, NaN blend for marginalization.
+    push(OpCode::Const, Reg, poolConstant(Default));
+    for (size_t I = 0; I < Flat.size(); I += 3) {
+      Program.Selects.push_back(SelectRange{
+          Flat[I], Flat[I + 1],
+          Log ? std::log(Flat[I + 2]) : Flat[I + 2]});
+      push(OpCode::SelectInRange, Reg, Evidence,
+           static_cast<uint32_t>(Program.Selects.size() - 1));
+    }
+    if (Marginal) {
+      Instruction Inst;
+      Inst.Op = OpCode::NanBlend;
+      Inst.Dst = Reg;
+      Inst.A = Evidence;
+      Inst.B = poolConstant(MarginalValue);
+      Program.Code.push_back(Inst);
+    }
+    RegOf[Op->getResult(0).getImpl()] = Reg;
+  }
+
+  uint32_t regOfOperand(Operation *Op, unsigned Index) {
+    return RegOf.at(Op->getOperand(Index).getImpl());
+  }
+
+  uint32_t newReg() { return NextReg++; }
+
+  uint32_t poolConstant(double Value) {
+    for (size_t I = 0; I < Program.ConstPool.size(); ++I) {
+      double Existing = Program.ConstPool[I];
+      if (Existing == Value ||
+          (std::isnan(Existing) && std::isnan(Value)))
+        return static_cast<uint32_t>(I);
+    }
+    Program.ConstPool.push_back(Value);
+    return static_cast<uint32_t>(Program.ConstPool.size() - 1);
+  }
+
+  void push(OpCode Op, uint32_t Dst, uint32_t A = 0, uint32_t B = 0,
+            uint32_t C = 0) {
+    Instruction Inst;
+    Inst.Op = Op;
+    Inst.Dst = Dst;
+    Inst.A = A;
+    Inst.B = B;
+    Inst.C = C;
+    Program.Code.push_back(Inst);
+  }
+
+  const CodegenOptions &Options;
+  bool Log;
+  const std::unordered_map<ValueImpl *, uint32_t> &BufferIds;
+  TaskProgram Program;
+  std::unordered_map<ValueImpl *, uint32_t> RegOf;
+  uint32_t NextReg = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Instruction-level helpers (operand/def classification)
+//===----------------------------------------------------------------------===//
+
+/// True if the instruction reads its Dst field (store sources and
+/// read-modify-write accumulators).
+static bool readsDst(const Instruction &Inst) {
+  return Inst.Op == OpCode::Store || Inst.Op == OpCode::SelectInRange ||
+         Inst.Op == OpCode::NanBlend;
+}
+
+/// True if the instruction writes its Dst field.
+static bool writesDst(const Instruction &Inst) {
+  return Inst.Op != OpCode::Store;
+}
+
+/// True for n-ary instructions whose operands live in the Args pool. The
+/// vector engine accumulates into Dst while operands are still read, so
+/// Dst must not alias any operand register.
+static bool isNary(const Instruction &Inst) {
+  return Inst.Op == OpCode::AddN || Inst.Op == OpCode::MulN ||
+         Inst.Op == OpCode::LogSumExpN;
+}
+
+/// Collects the registers read by \p Inst into \p Uses.
+static void collectUses(const TaskProgram &Program,
+                        const Instruction &Inst,
+                        std::vector<uint32_t> &Uses) {
+  Uses.clear();
+  switch (Inst.Op) {
+  case OpCode::Const:
+  case OpCode::Load:
+    break;
+  case OpCode::Store:
+    Uses.push_back(Inst.Dst);
+    break;
+  case OpCode::Add:
+  case OpCode::Mul:
+  case OpCode::LogSumExp:
+    Uses.push_back(Inst.A);
+    Uses.push_back(Inst.B);
+    break;
+  case OpCode::FusedMulAdd:
+    Uses.push_back(Inst.A);
+    Uses.push_back(Inst.B);
+    Uses.push_back(Inst.C);
+    break;
+  case OpCode::Gaussian:
+  case OpCode::GaussianLog:
+  case OpCode::TableLookup:
+    Uses.push_back(Inst.A);
+    break;
+  case OpCode::SelectInRange:
+  case OpCode::NanBlend:
+    Uses.push_back(Inst.A);
+    Uses.push_back(Inst.Dst);
+    break;
+  case OpCode::AddN:
+  case OpCode::MulN:
+  case OpCode::LogSumExpN:
+    for (uint32_t N = 0; N < Inst.B; ++N)
+      Uses.push_back(Program.Args[Inst.A + N]);
+    break;
+  }
+}
+
+/// Rewrites the registers read by \p Inst through \p Map.
+template <typename MapFn>
+static void rewriteRegs(TaskProgram &Program, Instruction &Inst,
+                        MapFn Map) {
+  switch (Inst.Op) {
+  case OpCode::Const:
+  case OpCode::Load:
+    break;
+  case OpCode::Store:
+    Inst.Dst = Map(Inst.Dst);
+    return; // Store has no def.
+  case OpCode::Add:
+  case OpCode::Mul:
+  case OpCode::LogSumExp:
+    Inst.A = Map(Inst.A);
+    Inst.B = Map(Inst.B);
+    break;
+  case OpCode::FusedMulAdd:
+    Inst.A = Map(Inst.A);
+    Inst.B = Map(Inst.B);
+    Inst.C = Map(Inst.C);
+    break;
+  case OpCode::Gaussian:
+  case OpCode::GaussianLog:
+  case OpCode::TableLookup:
+    Inst.A = Map(Inst.A);
+    break;
+  case OpCode::SelectInRange:
+  case OpCode::NanBlend:
+    Inst.A = Map(Inst.A);
+    break;
+  case OpCode::AddN:
+  case OpCode::MulN:
+  case OpCode::LogSumExpN:
+    for (uint32_t N = 0; N < Inst.B; ++N)
+      Program.Args[Inst.A + N] = Map(Program.Args[Inst.A + N]);
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Chain collapse (O2+): binary reduction chains become n-ary ops
+//===----------------------------------------------------------------------===//
+
+/// Maximum operand count of one n-ary instruction. Larger fan-in is
+/// split into a tree of chunked n-ary ops: unbounded n-ary ops would keep
+/// every operand register live simultaneously, destroying GPU occupancy
+/// (and CPU register-file locality).
+static constexpr size_t kMaxNaryArgs = 8;
+
+/// Collapses left-leaning chains of the same binary reduction (the form
+/// the weighted-sum and product lowering emits) into (trees of) n-ary
+/// instructions: one max/log pair per ~8 elements instead of one
+/// exp/log1p per element for log-space additions, and tight accumulation
+/// loops for sums and products. The dominant win on RAT-SPN-style graphs
+/// with large fan-in.
+static void runChainCollapse(TaskProgram &Program) {
+  std::vector<Instruction> &Code = Program.Code;
+  std::vector<uint32_t> UseCounts(Program.NumRegisters, 0);
+  std::vector<int32_t> DefOf(Program.NumRegisters, -1);
+  std::vector<uint32_t> Uses;
+  for (size_t I = 0; I < Code.size(); ++I) {
+    collectUses(Program, Code[I], Uses);
+    for (uint32_t Reg : Uses)
+      ++UseCounts[Reg];
+    if (writesDst(Code[I]) && DefOf[Code[I].Dst] < 0)
+      DefOf[Code[I].Dst] = static_cast<int32_t>(I);
+  }
+
+  std::vector<uint8_t> Dead(Code.size(), 0);
+  // Instructions to emit directly before position I (chunked subtrees).
+  std::vector<std::vector<Instruction>> Prefix(Code.size());
+
+  // Last write per register: select cascades and NaN blends write their
+  // register several times, and a chunk op reading such a register must
+  // be placed after the *final* write (DefOf above records the first
+  // write, which identifies the defining op for chain expansion).
+  std::vector<int32_t> LastWriteOf(Program.NumRegisters, -1);
+  for (size_t I = 0; I < Code.size(); ++I)
+    if (writesDst(Code[I]))
+      LastWriteOf[Code[I].Dst] = static_cast<int32_t>(I);
+
+  auto MakeNary = [&](OpCode Kind, uint32_t Dst,
+                      std::span<const uint32_t> Operands) {
+    Instruction Result;
+    Result.Op = Kind == OpCode::Add
+                    ? OpCode::AddN
+                    : (Kind == OpCode::Mul ? OpCode::MulN
+                                           : OpCode::LogSumExpN);
+    Result.Dst = Dst;
+    Result.A = static_cast<uint32_t>(Program.Args.size());
+    Result.B = static_cast<uint32_t>(Operands.size());
+    Program.Args.insert(Program.Args.end(), Operands.begin(),
+                        Operands.end());
+    return Result;
+  };
+
+  // Process back-to-front so outermost chain heads absorb whole chains.
+  for (size_t I = Code.size(); I-- > 0;) {
+    Instruction &Inst = Code[I];
+    if (Dead[I])
+      continue;
+    OpCode Kind = Inst.Op;
+    if (Kind != OpCode::Add && Kind != OpCode::Mul &&
+        Kind != OpCode::LogSumExp)
+      continue;
+
+    // Expand operands that are single-use results of the same kind.
+    std::vector<uint32_t> Leaves;
+    std::vector<uint32_t> Pending{Inst.A, Inst.B};
+    while (!Pending.empty()) {
+      uint32_t Reg = Pending.back();
+      Pending.pop_back();
+      int32_t Def = DefOf[Reg];
+      if (Def >= 0 && !Dead[Def] && Code[Def].Op == Kind &&
+          UseCounts[Reg] == 1) {
+        Dead[Def] = 1;
+        Pending.push_back(Code[Def].A);
+        Pending.push_back(Code[Def].B);
+        continue;
+      }
+      Leaves.push_back(Reg);
+    }
+    // Fewer than three leaves means nothing was absorbed (expanding even
+    // one operand yields at least three), so no kills need undoing.
+    if (Leaves.size() < 3)
+      continue;
+
+    // Reduce the leaves in chunks of kMaxNaryArgs until one value
+    // remains. Each chunk op is placed directly after the definition of
+    // its last-defined operand (not at the chain head), so at most one
+    // chunk's worth of operands plus the partial results are live at any
+    // point — unbounded placement at the head would keep every leaf live
+    // simultaneously and wreck register allocation and GPU occupancy.
+    std::unordered_map<uint32_t, size_t> ChunkRegPos;
+    auto DefPos = [&](uint32_t Reg) -> size_t {
+      auto It = ChunkRegPos.find(Reg);
+      if (It != ChunkRegPos.end())
+        return It->second;
+      int32_t Def = LastWriteOf[Reg];
+      return Def < 0 ? 0 : static_cast<size_t>(Def);
+    };
+
+    std::vector<uint32_t> Level = std::move(Leaves);
+    std::sort(Level.begin(), Level.end(), [&](uint32_t A, uint32_t B) {
+      return DefPos(A) < DefPos(B);
+    });
+    while (Level.size() > kMaxNaryArgs) {
+      std::vector<uint32_t> Next;
+      for (size_t Begin = 0; Begin < Level.size();
+           Begin += kMaxNaryArgs) {
+        size_t End = std::min(Level.size(), Begin + kMaxNaryArgs);
+        if (End - Begin == 1) {
+          Next.push_back(Level[Begin]);
+          continue;
+        }
+        uint32_t ChunkReg = Program.NumRegisters++;
+        size_t LastDef = 0;
+        for (size_t Idx = Begin; Idx < End; ++Idx)
+          LastDef = std::max(LastDef, DefPos(Level[Idx]));
+        // Emit directly after the last operand definition (before the
+        // instruction that follows it), never past the chain head.
+        size_t Attach = std::min(LastDef + 1, I);
+        Prefix[Attach].push_back(MakeNary(
+            Kind, ChunkReg,
+            std::span<const uint32_t>(&Level[Begin], End - Begin)));
+        ChunkRegPos[ChunkReg] = Attach;
+        Next.push_back(ChunkReg);
+      }
+      Level = std::move(Next);
+    }
+    Inst = MakeNary(Kind, Inst.Dst, Level);
+  }
+
+  std::vector<Instruction> Compacted;
+  Compacted.reserve(Code.size());
+  for (size_t I = 0; I < Code.size(); ++I) {
+    // Prefix chunks attach to positions regardless of whether the
+    // original instruction there was absorbed.
+    for (const Instruction &Extra : Prefix[I])
+      Compacted.push_back(Extra);
+    if (!Dead[I])
+      Compacted.push_back(Code[I]);
+  }
+  Code = std::move(Compacted);
+}
+
+//===----------------------------------------------------------------------===//
+// Peephole (O2+): leaf-coefficient folding, FMA fusion, dead code
+//===----------------------------------------------------------------------===//
+
+static void runPeephole(TaskProgram &Program, bool LogSpace) {
+  std::vector<Instruction> &Code = Program.Code;
+
+  // Use counts per register (cascade Dst reads included).
+  auto CountUses = [&] {
+    std::vector<uint32_t> Counts(Program.NumRegisters, 0);
+    std::vector<uint32_t> Uses;
+    for (const Instruction &Inst : Code) {
+      collectUses(Program, Inst, Uses);
+      for (uint32_t Reg : Uses)
+        ++Counts[Reg];
+    }
+    return Counts;
+  };
+  std::vector<uint32_t> UseCounts = CountUses();
+
+  // Defining instruction per register (cascades define via their first
+  // write, the Const).
+  std::vector<int32_t> DefOf(Program.NumRegisters, -1);
+  for (size_t I = 0; I < Code.size(); ++I)
+    if (writesDst(Code[I]) && DefOf[Code[I].Dst] < 0)
+      DefOf[Code[I].Dst] = static_cast<int32_t>(I);
+
+  auto IsLeafFoldTarget = [&](int32_t Def) {
+    if (Def < 0)
+      return false;
+    OpCode Op = Code[Def].Op;
+    return Op == (LogSpace ? OpCode::GaussianLog : OpCode::Gaussian) ||
+           Op == OpCode::TableLookup;
+  };
+
+  const OpCode WeightApply = LogSpace ? OpCode::Add : OpCode::Mul;
+  std::vector<uint8_t> Dead(Code.size(), 0);
+
+  for (size_t I = 0; I < Code.size(); ++I) {
+    Instruction &Inst = Code[I];
+    if (Inst.Op != WeightApply)
+      continue;
+    // Match leaf (single use) combined with a constant: fold the weight
+    // into the leaf parameters and forward the leaf register.
+    for (unsigned Side = 0; Side < 2; ++Side) {
+      uint32_t LeafReg = Side == 0 ? Inst.A : Inst.B;
+      uint32_t ConstReg = Side == 0 ? Inst.B : Inst.A;
+      int32_t LeafDef = DefOf[LeafReg];
+      int32_t ConstDef = DefOf[ConstReg];
+      if (!IsLeafFoldTarget(LeafDef) || ConstDef < 0 ||
+          Code[ConstDef].Op != OpCode::Const ||
+          UseCounts[LeafReg] != 1)
+        continue;
+      double Weight = Program.ConstPool[Code[ConstDef].A];
+      Instruction &Leaf = Code[LeafDef];
+      if (Leaf.Op == OpCode::TableLookup) {
+        LookupTable &Table = Program.Tables[Leaf.B];
+        for (double &Value : Table.Values)
+          Value = LogSpace ? Value + Weight : Value * Weight;
+        Table.DefaultValue = LogSpace ? Table.DefaultValue + Weight
+                                      : Table.DefaultValue * Weight;
+        Table.MarginalValue = LogSpace ? Table.MarginalValue + Weight
+                                       : Table.MarginalValue * Weight;
+      } else {
+        GaussianParams &Params = Program.Gaussians[Leaf.B];
+        Params.Coefficient = LogSpace ? Params.Coefficient + Weight
+                                      : Params.Coefficient * Weight;
+        Params.MarginalValue = LogSpace
+                                   ? Params.MarginalValue + Weight
+                                   : Params.MarginalValue * Weight;
+      }
+      // The weighted result now comes straight out of the leaf.
+      Leaf.Dst = Inst.Dst;
+      DefOf[Inst.Dst] = LeafDef;
+      Dead[I] = 1;
+      --UseCounts[LeafReg];
+      --UseCounts[ConstReg];
+      break;
+    }
+  }
+
+  // FMA fusion (linear space): Add(d, Mul(a,b), c) with a single-use mul.
+  if (!LogSpace) {
+    for (size_t I = 0; I < Code.size(); ++I) {
+      Instruction &Inst = Code[I];
+      if (Inst.Op != OpCode::Add || Dead[I])
+        continue;
+      for (unsigned Side = 0; Side < 2; ++Side) {
+        uint32_t MulReg = Side == 0 ? Inst.A : Inst.B;
+        uint32_t AddReg = Side == 0 ? Inst.B : Inst.A;
+        int32_t MulDef = DefOf[MulReg];
+        if (MulDef < 0 || Code[MulDef].Op != OpCode::Mul ||
+            Dead[MulDef] || UseCounts[MulReg] != 1)
+          continue;
+        Instruction Fused;
+        Fused.Op = OpCode::FusedMulAdd;
+        Fused.Dst = Inst.Dst;
+        Fused.A = Code[MulDef].A;
+        Fused.B = Code[MulDef].B;
+        Fused.C = AddReg;
+        Dead[MulDef] = 1;
+        Inst = Fused;
+        break;
+      }
+    }
+  }
+
+  // Dead code elimination: drop unused pure defs (including consts left
+  // over from the folds above).
+  UseCounts = CountUses();
+  // Recompute after rewrites; then sweep backwards so chains die.
+  for (size_t I = Code.size(); I-- > 0;) {
+    Instruction &Inst = Code[I];
+    if (Dead[I] || !writesDst(Inst) || readsDst(Inst))
+      continue;
+    if (UseCounts[Inst.Dst] == 0) {
+      Dead[I] = 1;
+      std::vector<uint32_t> Uses;
+      collectUses(Program, Inst, Uses);
+      for (uint32_t Reg : Uses)
+        --UseCounts[Reg];
+    }
+  }
+
+  std::vector<Instruction> Compacted;
+  Compacted.reserve(Code.size());
+  for (size_t I = 0; I < Code.size(); ++I)
+    if (!Dead[I])
+      Compacted.push_back(Code[I]);
+  Code = std::move(Compacted);
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduling (O3): consumer-first reordering to shorten live ranges
+//===----------------------------------------------------------------------===//
+
+static void runScheduling(TaskProgram &Program) {
+  // Read-modify-write cascades impose write-after-write ordering the
+  // simple dependence model below does not capture; skip such programs.
+  for (const Instruction &Inst : Program.Code)
+    if (Inst.Op == OpCode::SelectInRange || Inst.Op == OpCode::NanBlend)
+      return;
+
+  std::vector<Instruction> &Code = Program.Code;
+  std::vector<int32_t> DefOf(Program.NumRegisters, -1);
+  for (size_t I = 0; I < Code.size(); ++I)
+    if (writesDst(Code[I]))
+      DefOf[Code[I].Dst] = static_cast<int32_t>(I);
+
+  std::vector<Instruction> Scheduled;
+  Scheduled.reserve(Code.size());
+  std::vector<uint8_t> Emitted(Code.size(), 0);
+
+  // Depth-first from each store: operands immediately before their
+  // (first) consumer keeps live ranges short, which lets the register
+  // allocator reuse registers aggressively.
+  std::vector<uint32_t> Uses;
+  std::vector<std::pair<int32_t, size_t>> Stack;
+  auto Emit = [&](int32_t RootIdx) {
+    if (Emitted[RootIdx])
+      return;
+    Emitted[RootIdx] = 1; // Marked when stacked; appended when popped.
+    Stack.emplace_back(RootIdx, 0);
+    while (!Stack.empty()) {
+      auto &[Idx, NextUse] = Stack.back();
+      collectUses(Program, Code[Idx], Uses);
+      if (NextUse < Uses.size()) {
+        int32_t Def = DefOf[Uses[NextUse++]];
+        if (Def >= 0 && !Emitted[Def]) {
+          Emitted[Def] = 1; // Reserve to avoid duplicate stacking.
+          Stack.emplace_back(Def, 0);
+        }
+        continue;
+      }
+      Scheduled.push_back(Code[Idx]);
+      Stack.pop_back();
+    }
+  };
+  for (size_t I = 0; I < Code.size(); ++I)
+    if (Code[I].Op == OpCode::Store)
+      Emit(static_cast<int32_t>(I));
+  // Anything not reachable from a store is dead; keep it anyway to stay
+  // semantics-preserving in case of unusual programs.
+  for (size_t I = 0; I < Code.size(); ++I)
+    if (!Emitted[I])
+      Scheduled.push_back(Code[I]);
+  Code = std::move(Scheduled);
+}
+
+//===----------------------------------------------------------------------===//
+// Register allocation (O1+): linear scan with a free list
+//===----------------------------------------------------------------------===//
+
+static void runRegisterAllocation(TaskProgram &Program) {
+  std::vector<Instruction> &Code = Program.Code;
+
+  // Last read of each virtual register over the final order.
+  std::vector<int32_t> LastUse(Program.NumRegisters, -1);
+  std::vector<uint32_t> Uses;
+  for (size_t I = 0; I < Code.size(); ++I) {
+    collectUses(Program, Code[I], Uses);
+    for (uint32_t Reg : Uses)
+      LastUse[Reg] = static_cast<int32_t>(I);
+  }
+
+  constexpr uint32_t kUnassigned = 0xffffffffu;
+  std::vector<uint32_t> Assignment(Program.NumRegisters, kUnassigned);
+  std::vector<uint32_t> FreeList;
+  uint32_t NumPhys = 0;
+
+  auto Allocate = [&](uint32_t VReg) {
+    if (Assignment[VReg] != kUnassigned)
+      return;
+    if (!FreeList.empty()) {
+      Assignment[VReg] = FreeList.back();
+      FreeList.pop_back();
+    } else {
+      Assignment[VReg] = NumPhys++;
+    }
+  };
+
+  std::vector<uint32_t> Dying;
+  for (size_t I = 0; I < Code.size(); ++I) {
+    const Instruction Original = Code[I];
+    Instruction &Inst = Code[I];
+
+    // Virtual registers whose live range ends at this instruction.
+    Dying.clear();
+    collectUses(Program, Original, Uses);
+    for (uint32_t VReg : Uses)
+      if (LastUse[VReg] == static_cast<int32_t>(I) &&
+          std::find(Dying.begin(), Dying.end(), VReg) == Dying.end())
+        Dying.push_back(VReg);
+
+    // Rewrite reads (including the Dst read of stores and accumulators).
+    rewriteRegs(Program, Inst, [&](uint32_t VReg) {
+      assert(Assignment[VReg] != kUnassigned && "use before def");
+      return Assignment[VReg];
+    });
+    if (readsDst(Original) && Original.Op != OpCode::Store)
+      Inst.Dst = Assignment[Original.Dst];
+
+    // Assign the def. Accumulators keep their existing assignment; a
+    // fresh def may reuse a register dying at this very instruction —
+    // except for n-ary ops, whose engines accumulate into Dst while the
+    // operands are still being read (no aliasing allowed).
+    if (writesDst(Original)) {
+      uint32_t VDst = Original.Dst;
+      if (isNary(Original)) {
+        Allocate(VDst);
+        for (uint32_t VReg : Dying)
+          if (VReg != VDst)
+            FreeList.push_back(Assignment[VReg]);
+        Inst.Dst = Assignment[VDst];
+        if (LastUse[VDst] < static_cast<int32_t>(I))
+          FreeList.push_back(Assignment[VDst]);
+        continue;
+      }
+      // Do not free-and-reuse a register this instruction still writes.
+      for (uint32_t VReg : Dying)
+        if (VReg != VDst)
+          FreeList.push_back(Assignment[VReg]);
+      Allocate(VDst);
+      Inst.Dst = Assignment[VDst];
+      // A def that is never read dies immediately.
+      if (LastUse[VDst] < static_cast<int32_t>(I))
+        FreeList.push_back(Assignment[VDst]);
+    } else {
+      for (uint32_t VReg : Dying)
+        FreeList.push_back(Assignment[VReg]);
+    }
+  }
+
+  Program.NumRegisters = std::max(NumPhys, 1u);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+Expected<vm::KernelProgram>
+spnc::codegen::emitKernelProgram(KernelOp Kernel,
+                                 const CodegenOptions &Options,
+                                 CodegenTimings *Timings) {
+  if (!Kernel.isBufferized())
+    return makeError("codegen requires a bufferized kernel");
+
+  KernelProgram Program;
+  Program.Name = Kernel.getKernelName();
+
+  // Buffer plan from the kernel signature and allocs.
+  std::unordered_map<ValueImpl *, uint32_t> BufferIds;
+  Block &Body = Kernel.getBody();
+  unsigned NumInputs = Kernel.getNumInputs();
+  for (unsigned I = 0; I < Body.getNumArguments(); ++I) {
+    Value Arg = Body.getArgument(I);
+    MemRefType MemRef = Arg.getType().cast<MemRefType>();
+    BufferInfo Info;
+    Info.Role = I < NumInputs ? BufferInfo::Kind::Input
+                              : BufferInfo::Kind::Output;
+    const std::vector<int64_t> &Shape = MemRef.getShape();
+    if (Shape.size() == 2 && Shape[0] == TypeStorage::kDynamic) {
+      Info.Transposed = false;
+      Info.Columns = static_cast<uint32_t>(Shape[1]);
+    } else {
+      Info.Transposed = true;
+      Info.Columns =
+          Shape.empty() ? 1 : static_cast<uint32_t>(Shape[0]);
+    }
+    BufferIds[Arg.getImpl()] =
+        static_cast<uint32_t>(Program.Buffers.size());
+    Program.Buffers.push_back(Info);
+  }
+  Program.NumInputs = NumInputs;
+  Program.NumOutputs = Body.getNumArguments() - NumInputs;
+
+  // Determine the compute type from the first output buffer element.
+  {
+    Value FirstOut = Body.getArgument(NumInputs);
+    Type Element =
+        FirstOut.getType().cast<MemRefType>().getElementType();
+    Program.LogSpace = isLogSpace(Element);
+    Type Storage = getStorageType(Element);
+    Program.UseF32 = Storage.cast<FloatType>().getWidth() == 32;
+  }
+
+  CodegenTimings LocalTimings;
+  CodegenTimings &T = Timings ? *Timings : LocalTimings;
+
+  for (Operation *Op : Body) {
+    if (AllocOp Alloc = dyn_cast_op<AllocOp>(Op)) {
+      MemRefType MemRef =
+          Alloc->getResult(0).getType().cast<MemRefType>();
+      BufferInfo Info;
+      Info.Role = BufferInfo::Kind::Intermediate;
+      Info.Transposed = true;
+      Info.Columns = static_cast<uint32_t>(MemRef.getShape()[0]);
+      Info.DeviceResident = Alloc.isDeviceResident();
+      BufferIds[Alloc->getResult(0).getImpl()] =
+          static_cast<uint32_t>(Program.Buffers.size());
+      Program.Buffers.push_back(Info);
+      continue;
+    }
+    if (isa_op<DeallocOp>(Op) || isa_op<ReturnOp>(Op))
+      continue;
+    if (CopyOp Copy = dyn_cast_op<CopyOp>(Op)) {
+      KernelStep Step;
+      Step.CopySrc = static_cast<int32_t>(
+          BufferIds.at(Op->getOperand(0).getImpl()));
+      Step.CopyDst = static_cast<int32_t>(
+          BufferIds.at(Op->getOperand(1).getImpl()));
+      Program.Steps.push_back(Step);
+      continue;
+    }
+    TaskOp Task = dyn_cast_op<TaskOp>(Op);
+    if (!Task)
+      return makeError(formatString(
+          "unsupported op '%s' in kernel body", Op->getName().c_str()));
+    Program.BatchSize = Task.getBatchSize();
+
+    Timer IselTimer;
+    TaskEmitter Emitter(Options, Program.LogSpace, BufferIds);
+    Expected<TaskProgram> TaskProg = Emitter.emit(Task);
+    T.IselNs += IselTimer.elapsedNs();
+    if (!TaskProg)
+      return TaskProg.getError();
+
+    if (Options.OptLevel >= 2) {
+      Timer PeepholeTimer;
+      runPeephole(*TaskProg, Program.LogSpace);
+      runChainCollapse(*TaskProg);
+      T.PeepholeNs += PeepholeTimer.elapsedNs();
+    }
+    if (Options.OptLevel >= 3) {
+      Timer SchedulingTimer;
+      runScheduling(*TaskProg);
+      T.SchedulingNs += SchedulingTimer.elapsedNs();
+    }
+    if (Options.OptLevel >= 1) {
+      Timer RegAllocTimer;
+      runRegisterAllocation(*TaskProg);
+      T.RegAllocNs += RegAllocTimer.elapsedNs();
+    }
+
+    KernelStep Step;
+    Step.Task = static_cast<int32_t>(Program.Tasks.size());
+    Program.Steps.push_back(Step);
+    Program.Tasks.push_back(TaskProg.takeValue());
+  }
+  return Program;
+}

@@ -1,0 +1,111 @@
+//===- HiSPNTranslation.cpp - SPN model to HiSPN dialect translation ----------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/HiSPNTranslation.h"
+
+#include "dialects/hispn/HiSPNOps.h"
+#include "support/Compiler.h"
+
+#include <unordered_map>
+
+using namespace spnc;
+using namespace spnc::ir;
+using namespace spnc::spn;
+
+OwningOpRef<ModuleOp>
+spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
+                            const QueryConfig &Config) {
+  hispn::registerHiSPNDialect(Ctx);
+
+  std::string Message;
+  if (!TheModel.validate(&Message)) {
+    Ctx.emitError("invalid SPN model: " + Message);
+    return {};
+  }
+
+  ModuleOp Module = ModuleOp::create(Ctx);
+  OpBuilder Builder = OpBuilder::atBlockEnd(Ctx, &Module.getBody());
+
+  // Features arrive as f64 evidence values (SPFlow uses float64 numpy
+  // arrays); the abstract probability type defers the compute type.
+  Type InputType = FloatType::getF64(Ctx);
+  auto Query = Builder.create<hispn::JointQueryOp>(
+      TheModel.getNumFeatures(), InputType, Config.BatchSize,
+      Config.SupportMarginal, Config.LogSpace);
+  Block &QueryBlock = Query->getRegion(0).emplaceBlock();
+  Builder.setInsertionPointToEnd(&QueryBlock);
+
+  auto Graph =
+      Builder.create<hispn::GraphOp>(TheModel.getNumFeatures());
+  Block &GraphBlock = Graph->getRegion(0).emplaceBlock();
+  for (unsigned I = 0; I < TheModel.getNumFeatures(); ++I)
+    GraphBlock.addArgument(InputType);
+  Builder.setInsertionPointToEnd(&GraphBlock);
+
+  // Children-first translation; shared nodes map to one op result.
+  std::unordered_map<const Node *, Value> Translated;
+  for (Node *Current : TheModel.topologicalOrder()) {
+    Value Result;
+    switch (Current->getKind()) {
+    case NodeKind::Sum: {
+      const auto *Sum = cast<SumNode>(Current);
+      std::vector<Value> Operands;
+      Operands.reserve(Sum->getNumChildren());
+      for (Node *Child : Sum->getChildren())
+        Operands.push_back(Translated.at(Child));
+      Result = Builder
+                   .create<hispn::SumOp>(
+                       std::span<const Value>(Operands), Sum->getWeights())
+                   ->getResult(0);
+      break;
+    }
+    case NodeKind::Product: {
+      const auto *Product = cast<ProductNode>(Current);
+      std::vector<Value> Operands;
+      Operands.reserve(Product->getNumChildren());
+      for (Node *Child : Product->getChildren())
+        Operands.push_back(Translated.at(Child));
+      Result = Builder
+                   .create<hispn::ProductOp>(
+                       std::span<const Value>(Operands))
+                   ->getResult(0);
+      break;
+    }
+    case NodeKind::Histogram: {
+      const auto *Leaf = cast<HistogramLeaf>(Current);
+      Result = Builder
+                   .create<hispn::HistogramOp>(
+                       GraphBlock.getArgument(Leaf->getFeatureIndex()),
+                       Leaf->getFlatBuckets())
+                   ->getResult(0);
+      break;
+    }
+    case NodeKind::Categorical: {
+      const auto *Leaf = cast<CategoricalLeaf>(Current);
+      Result = Builder
+                   .create<hispn::CategoricalOp>(
+                       GraphBlock.getArgument(Leaf->getFeatureIndex()),
+                       Leaf->getProbabilities())
+                   ->getResult(0);
+      break;
+    }
+    case NodeKind::Gaussian: {
+      const auto *Leaf = cast<GaussianLeaf>(Current);
+      Result = Builder
+                   .create<hispn::GaussianOp>(
+                       GraphBlock.getArgument(Leaf->getFeatureIndex()),
+                       Leaf->getMean(), Leaf->getStdDev())
+                   ->getResult(0);
+      break;
+    }
+    }
+    Translated.emplace(Current, Result);
+  }
+
+  Builder.create<hispn::RootOp>(Translated.at(TheModel.getRoot()));
+  return OwningOpRef<ModuleOp>(Module);
+}

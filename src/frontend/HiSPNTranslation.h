@@ -1,0 +1,38 @@
+//===- HiSPNTranslation.h - SPN model to HiSPN dialect translation ------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry point into the MLIR-style compilation flow (paper §IV-A2):
+/// translates an SPFlow-equivalent model plus a query description into a
+/// module holding a `hi_spn.joint_query`. The translation is
+/// straightforward because HiSPN deliberately mirrors SPFlow's internal
+/// representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_FRONTEND_HISPNTRANSLATION_H
+#define SPNC_FRONTEND_HISPNTRANSLATION_H
+
+#include "frontend/Model.h"
+#include "frontend/Query.h"
+#include "ir/BuiltinOps.h"
+
+namespace spnc {
+namespace spn {
+
+/// Translates \p TheModel with query \p Config into a fresh module in
+/// \p Ctx. Shared DAG nodes translate to a single operation whose result
+/// is reused by every parent. Returns a null ref if the model fails
+/// validation.
+ir::OwningOpRef<ir::ModuleOp> translateToHiSPN(ir::Context &Ctx,
+                                               const Model &TheModel,
+                                               const QueryConfig &Config);
+
+} // namespace spn
+} // namespace spnc
+
+#endif // SPNC_FRONTEND_HISPNTRANSLATION_H

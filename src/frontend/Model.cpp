@@ -1,0 +1,331 @@
+//===- Model.cpp - SPFlow-equivalent SPN model --------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Model.h"
+
+#include "dialects/lospn/LoSPNOps.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spnc;
+using namespace spnc::spn;
+
+Node::~Node() = default;
+
+std::vector<double> HistogramLeaf::getFlatBuckets() const {
+  std::vector<double> Flat;
+  Flat.reserve(Buckets.size() * 3);
+  for (const HistogramBucket &Bucket : Buckets) {
+    Flat.push_back(Bucket.Lb);
+    Flat.push_back(Bucket.Ub);
+    Flat.push_back(Bucket.P);
+  }
+  return Flat;
+}
+
+//===----------------------------------------------------------------------===//
+// Factory methods
+//===----------------------------------------------------------------------===//
+
+SumNode *Model::makeSum(std::vector<Node *> Children,
+                        std::vector<double> Weights) {
+  assert(Children.size() == Weights.size() &&
+         "one weight per sum child required");
+  return addNode<SumNode>(std::move(Children), std::move(Weights));
+}
+
+ProductNode *Model::makeProduct(std::vector<Node *> Children) {
+  return addNode<ProductNode>(std::move(Children));
+}
+
+HistogramLeaf *Model::makeHistogram(unsigned FeatureIndex,
+                                    std::vector<HistogramBucket> Buckets) {
+  assert(FeatureIndex < NumFeatures && "feature index out of range");
+  return addNode<HistogramLeaf>(FeatureIndex, std::move(Buckets));
+}
+
+CategoricalLeaf *
+Model::makeCategorical(unsigned FeatureIndex,
+                       std::vector<double> Probabilities) {
+  assert(FeatureIndex < NumFeatures && "feature index out of range");
+  return addNode<CategoricalLeaf>(FeatureIndex, std::move(Probabilities));
+}
+
+GaussianLeaf *Model::makeGaussian(unsigned FeatureIndex, double Mean,
+                                  double StdDev) {
+  assert(FeatureIndex < NumFeatures && "feature index out of range");
+  return addNode<GaussianLeaf>(FeatureIndex, Mean, StdDev);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis
+//===----------------------------------------------------------------------===//
+
+std::vector<Node *> Model::topologicalOrder() const {
+  std::vector<Node *> Order;
+  if (!Root)
+    return Order;
+  // Iterative DFS emitting nodes after all children (post-order). Shared
+  // children are emitted once.
+  std::unordered_set<const Node *> Visited;
+  std::vector<std::pair<Node *, size_t>> Stack;
+  Stack.emplace_back(Root, 0);
+  Visited.insert(Root);
+  while (!Stack.empty()) {
+    auto &[Current, NextChild] = Stack.back();
+    const auto *Inner = dyn_cast<InnerNode>(Current);
+    if (!Inner || NextChild >= Inner->getNumChildren()) {
+      Order.push_back(Current);
+      Stack.pop_back();
+      continue;
+    }
+    Node *Child = Inner->getChild(NextChild++);
+    if (Visited.insert(Child).second)
+      Stack.emplace_back(Child, 0);
+  }
+  return Order;
+}
+
+std::set<unsigned> Model::getScope(const Node *N) const {
+  // Bottom-up scope computation over the sub-DAG rooted at N, visiting
+  // children before parents (iterative post-order over the DAG).
+  std::unordered_map<const Node *, std::set<unsigned>> Scopes;
+  std::unordered_set<const Node *> Visited{N};
+  std::vector<std::pair<const Node *, size_t>> Stack;
+  Stack.emplace_back(N, 0);
+  while (!Stack.empty()) {
+    auto &[Current, NextChild] = Stack.back();
+    const auto *Inner = dyn_cast<InnerNode>(Current);
+    if (Inner && NextChild < Inner->getNumChildren()) {
+      const Node *Child = Inner->getChild(NextChild++);
+      if (Visited.insert(Child).second)
+        Stack.emplace_back(Child, 0);
+      continue;
+    }
+    if (const auto *Leaf = dyn_cast<LeafNode>(Current)) {
+      Scopes[Current] = {Leaf->getFeatureIndex()};
+    } else {
+      std::set<unsigned> Scope;
+      for (const Node *Child : Inner->getChildren()) {
+        const std::set<unsigned> &ChildScope = Scopes[Child];
+        Scope.insert(ChildScope.begin(), ChildScope.end());
+      }
+      Scopes[Current] = std::move(Scope);
+    }
+    Stack.pop_back();
+  }
+  return Scopes[N];
+}
+
+bool Model::validate(std::string *ErrorMessage,
+                     double WeightTolerance) const {
+  auto Fail = [&](std::string Message) {
+    if (ErrorMessage)
+      *ErrorMessage = std::move(Message);
+    return false;
+  };
+  if (!Root)
+    return Fail("model has no root node");
+
+  // Acyclicity via iterative three-color DFS.
+  enum class Color : uint8_t { White, Grey, Black };
+  std::unordered_map<const Node *, Color> Colors;
+  {
+    std::vector<std::pair<const Node *, size_t>> Stack;
+    Stack.emplace_back(Root, 0);
+    Colors[Root] = Color::Grey;
+    while (!Stack.empty()) {
+      auto &[Current, NextChild] = Stack.back();
+      const auto *Inner = dyn_cast<InnerNode>(Current);
+      if (!Inner || NextChild >= Inner->getNumChildren()) {
+        Colors[Current] = Color::Black;
+        Stack.pop_back();
+        continue;
+      }
+      const Node *Child = Inner->getChild(NextChild++);
+      Color &ChildColor = Colors.try_emplace(Child, Color::White)
+                              .first->second;
+      if (ChildColor == Color::Grey)
+        return Fail("SPN DAG contains a cycle");
+      if (ChildColor == Color::White) {
+        ChildColor = Color::Grey;
+        Stack.emplace_back(Child, 0);
+      }
+    }
+  }
+
+  // Scope-based checks in one bottom-up pass. Scopes are stored as
+  // bitsets indexed by the dense node ids so validation stays linear-ish
+  // even for paper-scale RAT-SPNs with hundreds of thousands of nodes.
+  size_t Words = (NumFeatures + 63) / 64;
+  std::vector<std::vector<uint64_t>> Scopes(Nodes.size());
+  for (Node *Current : topologicalOrder()) {
+    std::vector<uint64_t> &Scope = Scopes[Current->getId()];
+    if (const auto *Leaf = dyn_cast<LeafNode>(Current)) {
+      if (Leaf->getFeatureIndex() >= NumFeatures)
+        return Fail(formatString("leaf %u references feature %u out of %u",
+                                 Leaf->getId(), Leaf->getFeatureIndex(),
+                                 NumFeatures));
+      Scope.assign(Words, 0);
+      Scope[Leaf->getFeatureIndex() / 64] |=
+          uint64_t(1) << (Leaf->getFeatureIndex() % 64);
+      continue;
+    }
+    const auto *Inner = cast<InnerNode>(Current);
+    if (Inner->getNumChildren() == 0)
+      return Fail(
+          formatString("inner node %u has no children", Inner->getId()));
+
+    if (const auto *Sum = dyn_cast<SumNode>(Current)) {
+      if (Sum->getWeights().size() != Sum->getNumChildren())
+        return Fail(formatString("sum %u weight/child count mismatch",
+                                 Sum->getId()));
+      double Total = 0.0;
+      for (double Weight : Sum->getWeights()) {
+        if (!(Weight >= 0.0) || !std::isfinite(Weight))
+          return Fail(formatString("sum %u has an invalid weight",
+                                   Sum->getId()));
+        Total += Weight;
+      }
+      if (std::fabs(Total - 1.0) > WeightTolerance)
+        return Fail(formatString("sum %u weights sum to %g, expected 1",
+                                 Sum->getId(), Total));
+      // Smoothness: all children must have the same scope.
+      const std::vector<uint64_t> &First =
+          Scopes[Sum->getChild(0)->getId()];
+      for (Node *Child : Sum->getChildren())
+        if (Scopes[Child->getId()] != First)
+          return Fail(formatString(
+              "sum %u is not smooth: child scopes differ", Sum->getId()));
+      Scope = First;
+    } else {
+      // Decomposability: child scopes must be pairwise disjoint.
+      Scope.assign(Words, 0);
+      for (Node *Child : Inner->getChildren()) {
+        const std::vector<uint64_t> &ChildScope =
+            Scopes[Child->getId()];
+        for (size_t W = 0; W < Words; ++W) {
+          if (Scope[W] & ChildScope[W])
+            return Fail(formatString(
+                "product %u is not decomposable: child scopes overlap",
+                Inner->getId()));
+          Scope[W] |= ChildScope[W];
+        }
+      }
+    }
+  }
+  return true;
+}
+
+ModelStats Model::computeStats() const {
+  ModelStats Stats;
+  std::unordered_map<const Node *, size_t> Depths;
+  for (Node *Current : topologicalOrder()) {
+    ++Stats.NumNodes;
+    size_t Depth = 1;
+    switch (Current->getKind()) {
+    case NodeKind::Sum:
+      ++Stats.NumSums;
+      break;
+    case NodeKind::Product:
+      ++Stats.NumProducts;
+      break;
+    case NodeKind::Gaussian:
+      ++Stats.NumGaussians;
+      ++Stats.NumLeaves;
+      break;
+    case NodeKind::Histogram:
+    case NodeKind::Categorical:
+      ++Stats.NumLeaves;
+      break;
+    }
+    if (const auto *Inner = dyn_cast<InnerNode>(Current))
+      for (Node *Child : Inner->getChildren())
+        Depth = std::max(Depth, Depths[Child] + 1);
+    Depths[Current] = Depth;
+    Stats.MaxDepth = std::max(Stats.MaxDepth, Depth);
+  }
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference inference
+//===----------------------------------------------------------------------===//
+
+double Model::evalLogLikelihood(std::span<const double> Sample) const {
+  assert(Sample.size() == NumFeatures && "sample size mismatch");
+  assert(Root && "model has no root");
+  // Bottom-up evaluation in log-space over the topological order; shared
+  // nodes are evaluated exactly once (linear in DAG size, paper §II-A).
+  std::unordered_map<const Node *, double> LogValues;
+  for (Node *Current : topologicalOrder()) {
+    double LogValue = 0.0;
+    switch (Current->getKind()) {
+    case NodeKind::Sum: {
+      const auto *Sum = cast<SumNode>(Current);
+      LogValue = -std::numeric_limits<double>::infinity();
+      for (size_t I = 0; I < Sum->getNumChildren(); ++I) {
+        double Weight = Sum->getWeights()[I];
+        if (Weight == 0.0)
+          continue;
+        double Term = std::log(Weight) + LogValues[Sum->getChild(I)];
+        LogValue = lospn::logSumExp(LogValue, Term);
+      }
+      break;
+    }
+    case NodeKind::Product: {
+      const auto *Product = cast<ProductNode>(Current);
+      LogValue = 0.0;
+      for (Node *Child : Product->getChildren())
+        LogValue += LogValues[Child];
+      break;
+    }
+    case NodeKind::Histogram: {
+      const auto *Leaf = cast<HistogramLeaf>(Current);
+      double Evidence = Sample[Leaf->getFeatureIndex()];
+      if (std::isnan(Evidence)) {
+        LogValue = 0.0; // Marginalized: contributes probability 1.
+        break;
+      }
+      std::vector<double> Flat = Leaf->getFlatBuckets();
+      LogValue = std::log(lospn::evalHistogram(Flat, Evidence));
+      break;
+    }
+    case NodeKind::Categorical: {
+      const auto *Leaf = cast<CategoricalLeaf>(Current);
+      double Evidence = Sample[Leaf->getFeatureIndex()];
+      if (std::isnan(Evidence)) {
+        LogValue = 0.0;
+        break;
+      }
+      LogValue =
+          std::log(lospn::evalCategorical(Leaf->getProbabilities(),
+                                          Evidence));
+      break;
+    }
+    case NodeKind::Gaussian: {
+      const auto *Leaf = cast<GaussianLeaf>(Current);
+      double Evidence = Sample[Leaf->getFeatureIndex()];
+      if (std::isnan(Evidence)) {
+        LogValue = 0.0;
+        break;
+      }
+      LogValue = lospn::evalGaussianLogPdf(Leaf->getMean(),
+                                           Leaf->getStdDev(), Evidence);
+      break;
+    }
+    }
+    LogValues[Current] = LogValue;
+  }
+  return LogValues[Root];
+}

@@ -1,0 +1,328 @@
+//===- Model.h - SPFlow-equivalent SPN model ---------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory Sum-Product Network model mirroring the representation of
+/// the SPFlow library (paper §II-A, §IV-A1): a rooted DAG of weighted sum
+/// nodes, product nodes and univariate leaves (histogram / categorical /
+/// Gaussian). Models are built through the DSL-like factory methods on
+/// `Model`, validated for completeness/smoothness and decomposability, and
+/// translated to the HiSPN dialect for compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_FRONTEND_MODEL_H
+#define SPNC_FRONTEND_MODEL_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spnc {
+namespace spn {
+
+class Model;
+
+/// Discriminator for SPN node kinds.
+enum class NodeKind : uint8_t {
+  Sum,
+  Product,
+  Histogram,
+  Categorical,
+  Gaussian,
+};
+
+/// Base class of all SPN DAG nodes. Nodes are owned by their Model and
+/// identified by a dense id; the same node may be referenced by several
+/// parents (the structure is a DAG, not a tree).
+class Node {
+public:
+  virtual ~Node();
+
+  NodeKind getKind() const { return Kind; }
+  unsigned getId() const { return Id; }
+
+  /// True for histogram/categorical/gaussian leaves.
+  bool isLeaf() const {
+    return Kind == NodeKind::Histogram || Kind == NodeKind::Categorical ||
+           Kind == NodeKind::Gaussian;
+  }
+
+protected:
+  Node(NodeKind Kind, unsigned Id) : Kind(Kind), Id(Id) {}
+
+private:
+  NodeKind Kind;
+  unsigned Id;
+};
+
+/// Inner node with children (sum or product).
+class InnerNode : public Node {
+public:
+  const std::vector<Node *> &getChildren() const { return Children; }
+  size_t getNumChildren() const { return Children.size(); }
+  Node *getChild(size_t Index) const { return Children[Index]; }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Sum ||
+           N->getKind() == NodeKind::Product;
+  }
+
+protected:
+  InnerNode(NodeKind Kind, unsigned Id, std::vector<Node *> Children)
+      : Node(Kind, Id), Children(std::move(Children)) {}
+
+private:
+  std::vector<Node *> Children;
+};
+
+/// Weighted mixture node.
+class SumNode : public InnerNode {
+public:
+  SumNode(unsigned Id, std::vector<Node *> Children,
+          std::vector<double> Weights)
+      : InnerNode(NodeKind::Sum, Id, std::move(Children)),
+        Weights(std::move(Weights)) {}
+
+  const std::vector<double> &getWeights() const { return Weights; }
+
+  /// Replaces the mixture weights (used by parameter learning); the
+  /// count must match the children.
+  void setWeights(std::vector<double> NewWeights) {
+    assert(NewWeights.size() == getNumChildren() &&
+           "one weight per child required");
+    Weights = std::move(NewWeights);
+  }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Sum;
+  }
+
+private:
+  std::vector<double> Weights;
+};
+
+/// Factorization node.
+class ProductNode : public InnerNode {
+public:
+  ProductNode(unsigned Id, std::vector<Node *> Children)
+      : InnerNode(NodeKind::Product, Id, std::move(Children)) {}
+
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Product;
+  }
+};
+
+/// Base of univariate leaves: distribution over a single feature.
+class LeafNode : public Node {
+public:
+  unsigned getFeatureIndex() const { return FeatureIndex; }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Histogram ||
+           N->getKind() == NodeKind::Categorical ||
+           N->getKind() == NodeKind::Gaussian;
+  }
+
+protected:
+  LeafNode(NodeKind Kind, unsigned Id, unsigned FeatureIndex)
+      : Node(Kind, Id), FeatureIndex(FeatureIndex) {}
+
+private:
+  unsigned FeatureIndex;
+};
+
+/// A histogram bucket [Lb, Ub) with probability mass P.
+struct HistogramBucket {
+  double Lb;
+  double Ub;
+  double P;
+};
+
+/// Histogram distribution leaf.
+class HistogramLeaf : public LeafNode {
+public:
+  HistogramLeaf(unsigned Id, unsigned FeatureIndex,
+                std::vector<HistogramBucket> Buckets)
+      : LeafNode(NodeKind::Histogram, Id, FeatureIndex),
+        Buckets(std::move(Buckets)) {}
+
+  const std::vector<HistogramBucket> &getBuckets() const { return Buckets; }
+  /// Buckets flattened to [lb, ub, p, ...] as stored in IR attributes.
+  std::vector<double> getFlatBuckets() const;
+
+  /// Replaces the per-bucket probability masses (bucket bounds are
+  /// structural and stay fixed).
+  void setBucketProbabilities(const std::vector<double> &P) {
+    assert(P.size() == Buckets.size() && "one mass per bucket required");
+    for (size_t I = 0; I < P.size(); ++I)
+      Buckets[I].P = P[I];
+  }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Histogram;
+  }
+
+private:
+  std::vector<HistogramBucket> Buckets;
+};
+
+/// Categorical distribution leaf.
+class CategoricalLeaf : public LeafNode {
+public:
+  CategoricalLeaf(unsigned Id, unsigned FeatureIndex,
+                  std::vector<double> Probabilities)
+      : LeafNode(NodeKind::Categorical, Id, FeatureIndex),
+        Probabilities(std::move(Probabilities)) {}
+
+  const std::vector<double> &getProbabilities() const {
+    return Probabilities;
+  }
+
+  /// Replaces the category probabilities (parameter learning).
+  void setProbabilities(std::vector<double> P) {
+    assert(P.size() == Probabilities.size() &&
+           "category count is structural");
+    Probabilities = std::move(P);
+  }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Categorical;
+  }
+
+private:
+  std::vector<double> Probabilities;
+};
+
+/// Gaussian distribution leaf.
+class GaussianLeaf : public LeafNode {
+public:
+  GaussianLeaf(unsigned Id, unsigned FeatureIndex, double Mean,
+               double StdDev)
+      : LeafNode(NodeKind::Gaussian, Id, FeatureIndex), Mean(Mean),
+        StdDev(StdDev) {}
+
+  double getMean() const { return Mean; }
+  double getStdDev() const { return StdDev; }
+
+  /// Replaces the distribution parameters (parameter learning).
+  void setParameters(double NewMean, double NewStdDev) {
+    assert(NewStdDev > 0.0 && "stddev must be positive");
+    Mean = NewMean;
+    StdDev = NewStdDev;
+  }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Gaussian;
+  }
+
+private:
+  double Mean;
+  double StdDev;
+};
+
+/// Aggregate statistics over a model (used by the workload generators to
+/// match the published model statistics, paper §V-A).
+struct ModelStats {
+  size_t NumNodes = 0;
+  size_t NumSums = 0;
+  size_t NumProducts = 0;
+  size_t NumLeaves = 0;
+  size_t NumGaussians = 0;
+  size_t MaxDepth = 0;
+};
+
+/// An SPN model: node arena + root + feature count.
+class Model {
+public:
+  explicit Model(unsigned NumFeatures, std::string Name = "spn")
+      : NumFeatures(NumFeatures), Name(std::move(Name)) {}
+
+  Model(const Model &) = delete;
+  Model &operator=(const Model &) = delete;
+  Model(Model &&) = default;
+  Model &operator=(Model &&) = default;
+
+  unsigned getNumFeatures() const { return NumFeatures; }
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  Node *getRoot() const { return Root; }
+  void setRoot(Node *NewRoot) { Root = NewRoot; }
+
+  size_t getNumNodes() const { return Nodes.size(); }
+  Node *getNode(unsigned Id) const { return Nodes[Id].get(); }
+
+  //===--------------------------------------------------------------------===//
+  // DSL-style factory methods (SPFlow-like construction, paper §VI)
+  //===--------------------------------------------------------------------===//
+
+  SumNode *makeSum(std::vector<Node *> Children,
+                   std::vector<double> Weights);
+  ProductNode *makeProduct(std::vector<Node *> Children);
+  HistogramLeaf *makeHistogram(unsigned FeatureIndex,
+                               std::vector<HistogramBucket> Buckets);
+  CategoricalLeaf *makeCategorical(unsigned FeatureIndex,
+                                   std::vector<double> Probabilities);
+  GaussianLeaf *makeGaussian(unsigned FeatureIndex, double Mean,
+                             double StdDev);
+
+  //===--------------------------------------------------------------------===//
+  // Analysis
+  //===--------------------------------------------------------------------===//
+
+  /// Checks structural validity: a root exists, the graph below it is
+  /// acyclic, sums are complete/smooth (children share one scope),
+  /// products are decomposable (children have disjoint scopes), weights
+  /// are normalized to 1 within \p WeightTolerance. On failure, fills
+  /// \p ErrorMessage.
+  bool validate(std::string *ErrorMessage = nullptr,
+                double WeightTolerance = 1e-6) const;
+
+  /// Computes the scope (set of feature indices) of \p N.
+  std::set<unsigned> getScope(const Node *N) const;
+
+  /// Returns nodes reachable from the root in topological (children
+  /// before parents) order.
+  std::vector<Node *> topologicalOrder() const;
+
+  ModelStats computeStats() const;
+
+  //===--------------------------------------------------------------------===//
+  // Reference inference (ground truth for all execution engines)
+  //===--------------------------------------------------------------------===//
+
+  /// Evaluates the joint (or, with NaN evidence, marginal) probability of
+  /// one sample, returning the log-probability. \p Sample must hold
+  /// getNumFeatures() values; NaN marks a marginalized feature.
+  double evalLogLikelihood(std::span<const double> Sample) const;
+
+private:
+  template <typename NodeTy, typename... Args>
+  NodeTy *addNode(Args &&...NodeArgs) {
+    auto Owned = std::make_unique<NodeTy>(
+        static_cast<unsigned>(Nodes.size()), std::forward<Args>(NodeArgs)...);
+    NodeTy *Result = Owned.get();
+    Nodes.push_back(std::move(Owned));
+    return Result;
+  }
+
+  unsigned NumFeatures;
+  std::string Name;
+  Node *Root = nullptr;
+  std::vector<std::unique_ptr<Node>> Nodes;
+};
+
+} // namespace spn
+} // namespace spnc
+
+#endif // SPNC_FRONTEND_MODEL_H

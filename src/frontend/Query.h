@@ -1,0 +1,49 @@
+//===- Query.h - Probabilistic query description ------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Describes the probabilistic query to compile (paper §III-A): the query
+/// kind, the batch size hint, the input datatype and whether marginal
+/// inference (NaN evidence) must be supported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_FRONTEND_QUERY_H
+#define SPNC_FRONTEND_QUERY_H
+
+#include <cstdint>
+
+namespace spnc {
+namespace spn {
+
+/// Concrete computation datatype selection. `Auto` defers the choice to
+/// the HiSPN->LoSPN lowering, which picks based on graph depth (paper
+/// §III-A: "the decision can then be based on characteristics, e.g., the
+/// depth of the graph").
+enum class ComputeType : uint8_t { Auto, F32, F64 };
+
+/// A joint-probability query over a batch of samples. Marginal inference
+/// is joint inference with SupportMarginal = true and NaN evidence for
+/// the marginalized features.
+struct QueryConfig {
+  /// Optimization hint: chunk size used for multi-threading on CPU and
+  /// block size for GPU kernel launches. The compiled kernel still
+  /// accepts arbitrary batch sizes.
+  uint32_t BatchSize = 4096;
+  /// Compute in log-space to avoid arithmetic underflow (paper §III-B).
+  bool LogSpace = true;
+  /// Generate NaN checks so features can be marginalized at run time.
+  bool SupportMarginal = false;
+  /// Input feature datatype is always a float here (f64); the compute
+  /// type may be narrower.
+  ComputeType DataType = ComputeType::Auto;
+};
+
+} // namespace spn
+} // namespace spnc
+
+#endif // SPNC_FRONTEND_QUERY_H

@@ -1,0 +1,256 @@
+//===- GpuSimulator.cpp - CUDA-style GPU execution simulator -------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GpuSimulator.h"
+
+#include "support/Timer.h"
+#include "vm/Executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::gpusim;
+using namespace spnc::vm;
+
+/// Hardware cap on architectural registers per thread (as enforced by
+/// ptxas); demand beyond it spills to local memory.
+static constexpr unsigned kMaxRegsPerThread = 255;
+
+double spnc::gpusim::computeOccupancy(const GpuDeviceConfig &Config,
+                                      unsigned BlockSize,
+                                      unsigned RegistersPerThread) {
+  BlockSize = std::max(1u, std::min(BlockSize, Config.MaxThreadsPerBlock));
+  // The device compiler caps architectural registers per thread; the
+  // overflow spills (computeSpillSlowdown) instead of reducing occupancy
+  // further.
+  RegistersPerThread =
+      std::min(std::max(1u, RegistersPerThread), kMaxRegsPerThread);
+  // Resident threads per SM are limited by the thread cap, the block cap
+  // and the register file; blocks are resident as whole units, so large
+  // blocks quantize the register-limited thread count.
+  unsigned ByThreads = Config.MaxThreadsPerSM / BlockSize;
+  unsigned ByRegisters =
+      (Config.RegistersPerSM / RegistersPerThread) / BlockSize;
+  // A block whose threads cannot all get registers still launches, but
+  // the compiler must spill; one block stays resident.
+  unsigned ResidentBlocks = std::max(
+      1u, std::min({ByThreads, ByRegisters, Config.MaxBlocksPerSM}));
+  unsigned ResidentThreads =
+      std::min(ResidentBlocks * BlockSize, Config.MaxThreadsPerSM);
+  return static_cast<double>(ResidentThreads) /
+         static_cast<double>(Config.MaxThreadsPerSM);
+}
+
+double spnc::gpusim::computeSpillSlowdown(const GpuDeviceConfig &Config,
+                                          unsigned BlockSize,
+                                          unsigned RegistersPerThread) {
+  BlockSize = std::max(1u, std::min(BlockSize, Config.MaxThreadsPerBlock));
+  RegistersPerThread = std::max(1u, RegistersPerThread);
+  // Per-thread spills: values beyond the architectural register cap live
+  // in (L1-cached) local memory; the penalty grows slowly with the
+  // over-subscription because spill traffic caches well.
+  double PerThread = 1.0;
+  if (RegistersPerThread > kMaxRegsPerThread)
+    PerThread = std::min(
+        2.5, 1.0 + 0.3 * std::log2(static_cast<double>(RegistersPerThread) /
+                                   kMaxRegsPerThread));
+  // Block-level register-file overflow (large blocks of register-heavy
+  // threads): steeper, as whole warps stall on local memory.
+  double Demand =
+      static_cast<double>(
+          std::min(RegistersPerThread, kMaxRegsPerThread)) *
+      static_cast<double>(BlockSize);
+  double Ratio = Demand / static_cast<double>(Config.RegistersPerSM);
+  double PerBlock =
+      Ratio <= 1.0 ? 1.0 : std::min(4.0, 1.0 + 4.0 * (Ratio - 1.0));
+  return PerThread * PerBlock;
+}
+
+GpuExecutor::GpuExecutor(KernelProgram TheProgram,
+                         GpuDeviceConfig TheConfig, unsigned TheBlockSize)
+    : Program(std::move(TheProgram)), Config(TheConfig),
+      BlockSize(TheBlockSize ? TheBlockSize : Program.BatchSize) {
+  assert(Program.NumInputs == 1 && Program.NumOutputs == 1 &&
+         "simulator supports kernels with one input and one output");
+  BlockSize = std::max(1u, std::min(BlockSize, Config.MaxThreadsPerBlock));
+}
+
+namespace {
+
+template <typename T>
+void runOnDevice(const KernelProgram &Program,
+                 const GpuDeviceConfig &Config, unsigned BlockSize,
+                 const double *Input, double *Output, size_t NumSamples,
+                 GpuExecutionStats &Stats) {
+  const double BytesPerNs = Config.PcieBandwidthGBs; // GB/s == bytes/ns
+  const auto TransferNs = [&](uint64_t Bytes) {
+    return static_cast<uint64_t>(Config.TransferLatencyUs * 1000.0 +
+                                 static_cast<double>(Bytes) / BytesPerNs);
+  };
+
+  // Device buffers: intermediates live here; external buffers are
+  // modelled by accounting their transfers (the computation reads/writes
+  // the host copies directly, which is numerically identical).
+  std::vector<std::vector<T>> DeviceBuffers(Program.Buffers.size());
+  std::vector<BufferBinding<T>> Bindings(Program.Buffers.size());
+  for (size_t I = 0; I < Program.Buffers.size(); ++I) {
+    const BufferInfo &Info = Program.Buffers[I];
+    BufferBinding<T> &B = Bindings[I];
+    B.Columns = Info.Columns;
+    B.Transposed = Info.Transposed;
+    B.Stride = NumSamples;
+    B.Offset = 0;
+    switch (Info.Role) {
+    case BufferInfo::Kind::Input:
+      B.ExternalIn = Input;
+      break;
+    case BufferInfo::Kind::Output:
+      B.ExternalOut = Output;
+      break;
+    case BufferInfo::Kind::Intermediate:
+      DeviceBuffers[I].resize(static_cast<size_t>(Info.Columns) *
+                              NumSamples);
+      B.Scratch = DeviceBuffers[I].data();
+      break;
+    }
+  }
+
+  auto BufferBytes = [&](size_t I) {
+    return static_cast<uint64_t>(Program.Buffers[I].Columns) *
+           NumSamples * sizeof(T);
+  };
+
+  // Initial host->device transfer of the external input.
+  for (size_t I = 0; I < Program.Buffers.size(); ++I)
+    if (Program.Buffers[I].Role == BufferInfo::Kind::Input) {
+      Stats.TransferNs += TransferNs(BufferBytes(I));
+      Stats.BytesHostToDevice += BufferBytes(I);
+      ++Stats.NumTransfers;
+    }
+
+  uint32_t MaxRegs = 1;
+  for (const TaskProgram &Task : Program.Tasks)
+    MaxRegs = std::max(MaxRegs, Task.NumRegisters);
+  std::vector<T> Registers(MaxRegs);
+
+  // Which intermediate buffers currently live on the device. Without the
+  // transfer-elimination pass (DeviceResident == false), a produced
+  // buffer is copied to the host after the task and re-uploaded before
+  // the next consumer (paper §IV-C).
+  std::vector<uint8_t> OnDevice(Program.Buffers.size(), 1);
+
+  for (const KernelStep &Step : Program.Steps) {
+    if (Step.Task < 0) {
+      // Device-to-device copy at device memory bandwidth (~200 GB/s).
+      uint64_t Bytes = BufferBytes(static_cast<size_t>(Step.CopySrc));
+      Stats.ComputeNs += Bytes / 200;
+      const BufferBinding<T> &Src = Bindings[Step.CopySrc];
+      const BufferBinding<T> &Dst = Bindings[Step.CopyDst];
+      for (uint32_t Col = 0; Col < Src.Columns; ++Col)
+        for (size_t S = 0; S < NumSamples; ++S) {
+          size_t SrcIdx = static_cast<size_t>(Col) * NumSamples + S;
+          if (Src.Scratch && Dst.ExternalOut)
+            Dst.ExternalOut[SrcIdx] =
+                static_cast<double>(Src.Scratch[SrcIdx]);
+          else if (Src.Scratch && Dst.Scratch)
+            Dst.Scratch[SrcIdx] = Src.Scratch[SrcIdx];
+        }
+      continue;
+    }
+
+    const TaskProgram &Task = Program.Tasks[Step.Task];
+
+    // Upload any consumed intermediate that is not on the device.
+    for (const BufferAccess &Access : Task.Loads) {
+      const BufferInfo &Info = Program.Buffers[Access.Buffer];
+      if (Info.Role == BufferInfo::Kind::Intermediate &&
+          !OnDevice[Access.Buffer]) {
+        uint64_t Bytes = BufferBytes(Access.Buffer);
+        Stats.TransferNs += TransferNs(Bytes);
+        Stats.BytesHostToDevice += Bytes;
+        ++Stats.NumTransfers;
+        OnDevice[Access.Buffer] = 1;
+      }
+    }
+
+    // Launch: one thread per sample, measured on the host and scaled by
+    // throughput and occupancy.
+    Stats.LaunchNs += static_cast<uint64_t>(
+        Config.KernelLaunchOverheadUs * 1000.0);
+    ++Stats.NumLaunches;
+
+    Timer HostTimer;
+    for (size_t S = 0; S < NumSamples; ++S)
+      executeSample(Task, Bindings.data(), S, Registers.data());
+    uint64_t HostNs = HostTimer.elapsedNs();
+
+    double Occupancy =
+        computeOccupancy(Config, BlockSize, Task.NumRegisters);
+    double Spill =
+        computeSpillSlowdown(Config, BlockSize, Task.NumRegisters);
+    size_t NumBlocks = (NumSamples + BlockSize - 1) / BlockSize;
+    // Global-memory traffic for the inter-task buffers this launch reads
+    // and writes (one element per sample per interface value).
+    uint64_t IntermediateBytes = 0;
+    for (const BufferAccess &Access : Task.Loads)
+      if (Program.Buffers[Access.Buffer].Role ==
+          BufferInfo::Kind::Intermediate)
+        IntermediateBytes += NumSamples * sizeof(T);
+    for (const BufferAccess &Access : Task.Stores)
+      if (Program.Buffers[Access.Buffer].Role ==
+          BufferInfo::Kind::Intermediate)
+        IntermediateBytes += NumSamples * sizeof(T);
+    Stats.ComputeNs += static_cast<uint64_t>(
+        static_cast<double>(HostNs) * Spill /
+            (Config.PeakSpeedup * Occupancy) +
+        static_cast<double>(IntermediateBytes) /
+            Config.DeviceBandwidthGBs +
+        static_cast<double>(NumBlocks) * Config.BlockScheduleOverheadNs /
+            static_cast<double>(Config.NumSMs));
+
+    // Download produced buffers: intermediates only when not
+    // device-resident; the external output at the end (below).
+    for (const BufferAccess &Access : Task.Stores) {
+      const BufferInfo &Info = Program.Buffers[Access.Buffer];
+      if (Info.Role == BufferInfo::Kind::Intermediate &&
+          !Info.DeviceResident) {
+        uint64_t Bytes = BufferBytes(Access.Buffer);
+        Stats.TransferNs += TransferNs(Bytes);
+        Stats.BytesDeviceToHost += Bytes;
+        ++Stats.NumTransfers;
+        OnDevice[Access.Buffer] = 0;
+      }
+    }
+  }
+
+  // Final device->host transfer of the external output.
+  for (size_t I = 0; I < Program.Buffers.size(); ++I)
+    if (Program.Buffers[I].Role == BufferInfo::Kind::Output) {
+      Stats.TransferNs += TransferNs(BufferBytes(I));
+      Stats.BytesDeviceToHost += BufferBytes(I);
+      ++Stats.NumTransfers;
+    }
+}
+
+} // namespace
+
+void GpuExecutor::execute(const double *Input, double *Output,
+                          size_t NumSamples,
+                          GpuExecutionStats *Stats) const {
+  GpuExecutionStats Local;
+  GpuExecutionStats &S = Stats ? *Stats : Local;
+  S = GpuExecutionStats();
+  if (Program.UseF32)
+    runOnDevice<float>(Program, Config, BlockSize, Input, Output,
+                       NumSamples, S);
+  else
+    runOnDevice<double>(Program, Config, BlockSize, Input, Output,
+                        NumSamples, S);
+}

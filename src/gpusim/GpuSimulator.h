@@ -1,0 +1,135 @@
+//===- GpuSimulator.h - CUDA-style GPU execution simulator --------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A GPU execution simulator standing in for the CUDA device of the paper
+/// (RTX 2070 Super; see DESIGN.md §4). Kernels execute with full numerical
+/// fidelity — every sample runs through the bytecode interpreter on the
+/// host — while a device model accounts simulated wall-clock time for:
+///
+///  * kernel execution: measured host work scaled by the device's peak
+///    throughput and the achieved occupancy. Occupancy follows the CUDA
+///    rules that make small block sizes preferable for register-heavy
+///    SPN kernels (paper §V-A1): the number of resident threads per SM is
+///    limited by the register file, and large blocks quantize that limit.
+///  * host<->device transfers: per-transfer latency plus bytes over the
+///    modelled PCIe bandwidth (the dominant cost in paper Fig. 9);
+///  * per-launch overhead.
+///
+/// Buffers marked device-resident by the transfer-elimination pass stay
+/// on the device between tasks; without that pass every intermediate
+/// buffer is copied back to the host after the producing task and back to
+/// the device before each consuming task (paper §IV-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_GPUSIM_GPUSIMULATOR_H
+#define SPNC_GPUSIM_GPUSIMULATOR_H
+
+#include "vm/Bytecode.h"
+
+#include <cstddef>
+
+namespace spnc {
+namespace gpusim {
+
+/// Device-model parameters. Hardware shape parameters (SM count, thread
+/// and register limits) follow the paper's RTX 2070 Super. The two
+/// throughput parameters are expressed relative to *this host running the
+/// bytecode interpreter*: because the host-side compute baseline is an
+/// interpreter (roughly an order of magnitude slower than the native
+/// code the paper's CPU path emits), the device's relative speedup and
+/// the transfer bandwidth are de-rated by the same factor. The defaults
+/// are calibrated so the published relations hold on the speaker-ID
+/// workload: GPU execution lands near the non-vectorized CPU executable
+/// and below the vectorized one (Figs. 7/8), with data movement above
+/// 60% of GPU execution time (Fig. 9). See EXPERIMENTS.md.
+struct GpuDeviceConfig {
+  unsigned NumSMs = 40;
+  unsigned MaxThreadsPerBlock = 1024;
+  unsigned MaxThreadsPerSM = 1024;
+  unsigned MaxBlocksPerSM = 16;
+  unsigned RegistersPerSM = 65536;
+  /// Full-occupancy device throughput relative to one host core running
+  /// the same bytecode (calibrated; see above).
+  double PeakSpeedup = 4.0;
+  /// Effective host<->device bandwidth in GB/s of simulated time
+  /// (calibrated; see above).
+  double PcieBandwidthGBs = 0.0023;
+  /// Fixed cost per transfer call (driver + DMA setup) in microseconds.
+  double TransferLatencyUs = 8.0;
+  /// Fixed cost per kernel launch in microseconds.
+  double KernelLaunchOverheadUs = 6.0;
+  /// Per-scheduled-block overhead in nanoseconds.
+  double BlockScheduleOverheadNs = 300.0;
+  /// Device (global) memory bandwidth in GB/s of simulated time, charged
+  /// for the intermediate-buffer traffic between tasks — the cost that
+  /// makes many small partitions expensive on the GPU (paper Fig. 12).
+  /// De-rated like PcieBandwidthGBs (see above).
+  double DeviceBandwidthGBs = 0.25;
+};
+
+/// Simulated wall-clock breakdown of one execution (paper Fig. 9).
+struct GpuExecutionStats {
+  uint64_t ComputeNs = 0;
+  uint64_t TransferNs = 0;
+  uint64_t LaunchNs = 0;
+  uint64_t BytesHostToDevice = 0;
+  uint64_t BytesDeviceToHost = 0;
+  unsigned NumLaunches = 0;
+  unsigned NumTransfers = 0;
+
+  uint64_t totalNs() const { return ComputeNs + TransferNs + LaunchNs; }
+  /// Fraction of the total time spent in data movement.
+  double transferFraction() const {
+    uint64_t Total = totalNs();
+    return Total == 0 ? 0.0
+                      : static_cast<double>(TransferNs) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Occupancy achieved by a kernel with the given per-thread register
+/// demand and block size: resident threads per SM over the maximum.
+/// Exposed for testing and for the block-size sweep.
+double computeOccupancy(const GpuDeviceConfig &Config, unsigned BlockSize,
+                        unsigned RegistersPerThread);
+
+/// Slowdown factor (>= 1) modelling register spills when a single block's
+/// register demand exceeds the SM register file (large blocks on
+/// register-heavy SPN kernels; the reason small block sizes win in
+/// paper §V-A1).
+double computeSpillSlowdown(const GpuDeviceConfig &Config,
+                            unsigned BlockSize,
+                            unsigned RegistersPerThread);
+
+/// Executes compiled kernels on the simulated device.
+class GpuExecutor {
+public:
+  /// \p BlockSize is the CUDA block size used for every launch; 0 uses
+  /// the kernel's batch-size hint (paper §V-A1: the user batch size is
+  /// the constant block size of the launches).
+  GpuExecutor(vm::KernelProgram Program, GpuDeviceConfig Config = {},
+              unsigned BlockSize = 0);
+
+  const vm::KernelProgram &getProgram() const { return Program; }
+
+  /// Runs the kernel; same buffer conventions as CpuExecutor. Fills
+  /// \p Stats with the simulated time breakdown when provided.
+  void execute(const double *Input, double *Output, size_t NumSamples,
+               GpuExecutionStats *Stats = nullptr) const;
+
+private:
+  vm::KernelProgram Program;
+  GpuDeviceConfig Config;
+  unsigned BlockSize;
+};
+
+} // namespace gpusim
+} // namespace spnc
+
+#endif // SPNC_GPUSIM_GPUSIMULATOR_H

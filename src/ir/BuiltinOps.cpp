@@ -1,0 +1,18 @@
+//===- BuiltinOps.cpp - Builtin module operation ----------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BuiltinOps.h"
+
+using namespace spnc;
+using namespace spnc::ir;
+
+void spnc::ir::registerBuiltinDialect(Context &Ctx) {
+  if (Ctx.isDialectLoaded("builtin"))
+    return;
+  Ctx.markDialectLoaded("builtin");
+  registerOperation<ModuleOp>(Ctx);
+}

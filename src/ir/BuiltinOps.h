@@ -1,0 +1,106 @@
+//===- BuiltinOps.h - Builtin module operation ------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The builtin `module` op: the top-level single-region container every
+/// compilation pipeline operates on, plus `OwningOpRef` for RAII ownership
+/// of detached (top-level) operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_BUILTINOPS_H
+#define SPNC_IR_BUILTINOPS_H
+
+#include "ir/OpDefinition.h"
+
+namespace spnc {
+namespace ir {
+
+/// Top-level container op with a single region holding a single block.
+class ModuleOp : public OpView {
+public:
+  using OpView::OpView;
+
+  static const char *getOperationName() { return "builtin.module"; }
+  static constexpr bool kIsPure = false;
+  static constexpr bool kIsTerminator = false;
+
+  static void build(OpBuilder &, OperationState &State) {
+    State.addRegion();
+  }
+
+  /// Creates a fresh module with its (empty) body block.
+  static ModuleOp create(Context &Ctx) {
+    OpBuilder Builder(Ctx);
+    ModuleOp Module = Builder.create<ModuleOp>();
+    Module->getRegion(0).emplaceBlock();
+    return Module;
+  }
+
+  Block &getBody() { return TheOp->getRegion(0).front(); }
+
+  LogicalResult verify() {
+    if (TheOp->getNumOperands() != 0 || TheOp->getNumResults() != 0) {
+      getContext().emitError("module must have no operands and no results");
+      return failure();
+    }
+    if (TheOp->getNumRegions() != 1 || TheOp->getRegion(0).size() != 1) {
+      getContext().emitError("module must have a single-block region");
+      return failure();
+    }
+    return success();
+  }
+};
+
+/// Registers the builtin dialect (idempotent).
+void registerBuiltinDialect(Context &Ctx);
+
+/// RAII owner for a detached top-level operation (typically a module).
+template <typename OpTy = ModuleOp>
+class OwningOpRef {
+public:
+  OwningOpRef() = default;
+  /*implicit*/ OwningOpRef(OpTy Op) : TheOp(Op) {}
+  OwningOpRef(OwningOpRef &&Other) : TheOp(Other.release()) {}
+  OwningOpRef &operator=(OwningOpRef &&Other) {
+    reset();
+    TheOp = Other.release();
+    return *this;
+  }
+  ~OwningOpRef() { reset(); }
+
+  OwningOpRef(const OwningOpRef &) = delete;
+  OwningOpRef &operator=(const OwningOpRef &) = delete;
+
+  explicit operator bool() const { return static_cast<bool>(TheOp); }
+  OpTy operator*() const { return TheOp; }
+  Operation *operator->() const { return TheOp.getOperation(); }
+  OpTy get() const { return TheOp; }
+
+  /// Relinquishes ownership.
+  OpTy release() {
+    OpTy Result = TheOp;
+    TheOp = OpTy(nullptr);
+    return Result;
+  }
+
+  void reset() {
+    if (TheOp) {
+      TheOp.getOperation()->dropAllReferences();
+      TheOp.getOperation()->destroy();
+    }
+    TheOp = OpTy(nullptr);
+  }
+
+private:
+  OpTy TheOp = OpTy(nullptr);
+};
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_BUILTINOPS_H

@@ -1,0 +1,49 @@
+//===- Cloning.cpp - Deep operation cloning -----------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloning.h"
+
+using namespace spnc;
+using namespace spnc::ir;
+
+Operation *spnc::ir::cloneOperation(Operation *Op, ValueMapping &Mapping,
+                                    OpBuilder &Builder) {
+  OperationState State(Op->getName());
+  for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+    Value Operand = Op->getOperand(I);
+    auto It = Mapping.find(Operand.getImpl());
+    State.addOperand(It == Mapping.end() ? Operand : It->second);
+  }
+  for (unsigned I = 0; I < Op->getNumResults(); ++I)
+    State.addResultType(Op->getResult(I).getType());
+  for (const NamedAttribute &Entry : Op->getAttrs())
+    State.addAttribute(Entry.Name, Entry.Value);
+  State.NumRegions = Op->getNumRegions();
+
+  Operation *Clone = Builder.createOperation(State);
+  for (unsigned I = 0; I < Op->getNumResults(); ++I)
+    Mapping[Op->getResult(I).getImpl()] = Clone->getResult(I);
+
+  // Clone nested regions block by block.
+  for (unsigned R = 0; R < Op->getNumRegions(); ++R) {
+    Region &SourceRegion = Op->getRegion(R);
+    Region &TargetRegion = Clone->getRegion(R);
+    for (auto &SourceBlock : SourceRegion) {
+      Block &TargetBlock = TargetRegion.emplaceBlock();
+      for (unsigned A = 0; A < SourceBlock->getNumArguments(); ++A) {
+        Value SourceArg = SourceBlock->getArgument(A);
+        Value TargetArg = TargetBlock.addArgument(SourceArg.getType());
+        Mapping[SourceArg.getImpl()] = TargetArg;
+      }
+      OpBuilder NestedBuilder =
+          OpBuilder::atBlockEnd(Builder.getContext(), &TargetBlock);
+      for (Operation *Nested : *SourceBlock)
+        cloneOperation(Nested, Mapping, NestedBuilder);
+    }
+  }
+  return Clone;
+}

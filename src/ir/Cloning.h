@@ -1,0 +1,38 @@
+//===- Cloning.h - Deep operation cloning -------------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep cloning of operations, including nested regions, with a value
+/// mapping that redirects operand references — the workhorse of the
+/// partitioning and bufferization rewrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_CLONING_H
+#define SPNC_IR_CLONING_H
+
+#include "ir/Builder.h"
+
+#include <unordered_map>
+
+namespace spnc {
+namespace ir {
+
+/// Maps original values to their clones.
+using ValueMapping = std::unordered_map<ValueImpl *, Value>;
+
+/// Clones \p Op at the builder's insertion point. Operands are remapped
+/// through \p Mapping (operands without a mapping are used as-is, which
+/// is correct for values defined above the cloned region). Results and
+/// nested block arguments are entered into \p Mapping.
+Operation *cloneOperation(Operation *Op, ValueMapping &Mapping,
+                          OpBuilder &Builder);
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_CLONING_H

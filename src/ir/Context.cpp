@@ -1,0 +1,266 @@
+//===- Context.cpp - IR context implementation ----------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+
+#include "support/Hashing.h"
+#include "support/RawOStream.h"
+
+#include <cassert>
+
+using namespace spnc;
+using namespace spnc::ir;
+
+//===----------------------------------------------------------------------===//
+// Hashing and equality for uniqued storage
+//===----------------------------------------------------------------------===//
+
+static size_t hashType(const TypeStorage &T) {
+  size_t Seed = hashCombine(static_cast<unsigned>(T.Kind), T.Width,
+                            reinterpret_cast<uintptr_t>(T.Element));
+  for (int64_t Dim : T.Shape)
+    hashCombineSeed(Seed, std::hash<int64_t>()(Dim));
+  return Seed;
+}
+
+static bool typeEquals(const TypeStorage &A, const TypeStorage &B) {
+  return A.Kind == B.Kind && A.Width == B.Width && A.Element == B.Element &&
+         A.Shape == B.Shape;
+}
+
+static size_t hashAttr(const AttrStorage &A) {
+  size_t Seed = hashCombine(static_cast<unsigned>(A.Kind), A.BoolValue,
+                            A.IntValue, A.FloatValue, A.StringValue,
+                            reinterpret_cast<uintptr_t>(A.TypeValue));
+  for (const AttrStorage *Element : A.Elements)
+    hashCombineSeed(Seed, std::hash<const void *>()(Element));
+  for (double Value : A.Doubles)
+    hashCombineSeed(Seed, std::hash<double>()(Value));
+  return Seed;
+}
+
+static bool attrEquals(const AttrStorage &A, const AttrStorage &B) {
+  return A.Kind == B.Kind && A.BoolValue == B.BoolValue &&
+         A.IntValue == B.IntValue && A.FloatValue == B.FloatValue &&
+         A.StringValue == B.StringValue && A.TypeValue == B.TypeValue &&
+         A.Elements == B.Elements && A.Doubles == B.Doubles;
+}
+
+//===----------------------------------------------------------------------===//
+// Context
+//===----------------------------------------------------------------------===//
+
+Context::Context() {
+  DiagHandler = [](const std::string &Message) {
+    errs() << "error: " << Message << '\n';
+  };
+}
+
+Context::~Context() = default;
+
+const TypeStorage *Context::uniqueType(TypeStorage Prototype) {
+  Prototype.Ctx = this;
+  size_t Hash = hashType(Prototype);
+  auto [Begin, End] = TypePool.equal_range(Hash);
+  for (auto It = Begin; It != End; ++It)
+    if (typeEquals(*It->second, Prototype))
+      return It->second.get();
+  auto Storage = std::make_unique<TypeStorage>(std::move(Prototype));
+  const TypeStorage *Result = Storage.get();
+  TypePool.emplace(Hash, std::move(Storage));
+  return Result;
+}
+
+const AttrStorage *Context::uniqueAttr(AttrStorage Prototype) {
+  Prototype.Ctx = this;
+  size_t Hash = hashAttr(Prototype);
+  auto [Begin, End] = AttrPool.equal_range(Hash);
+  for (auto It = Begin; It != End; ++It)
+    if (attrEquals(*It->second, Prototype))
+      return It->second.get();
+  auto Storage = std::make_unique<AttrStorage>(std::move(Prototype));
+  const AttrStorage *Result = Storage.get();
+  AttrPool.emplace(Hash, std::move(Storage));
+  return Result;
+}
+
+const OpInfo *Context::registerOp(OpInfo Info) {
+  assert(!OpRegistry.count(Info.Name) && "operation registered twice");
+  auto Owned = std::make_unique<OpInfo>(std::move(Info));
+  const OpInfo *Result = Owned.get();
+  OpRegistry.emplace(Result->Name, std::move(Owned));
+  return Result;
+}
+
+const OpInfo *Context::lookupOrCreateOpInfo(const std::string &Name) {
+  auto It = OpRegistry.find(Name);
+  if (It != OpRegistry.end())
+    return It->second.get();
+  OpInfo Default;
+  Default.Name = Name;
+  size_t Dot = Name.find('.');
+  Default.DialectName = Dot == std::string::npos ? "" : Name.substr(0, Dot);
+  return registerOp(std::move(Default));
+}
+
+const OpInfo *Context::lookupOpInfo(const std::string &Name) const {
+  auto It = OpRegistry.find(Name);
+  return It == OpRegistry.end() ? nullptr : It->second.get();
+}
+
+bool Context::isDialectLoaded(const std::string &Name) const {
+  auto It = LoadedDialects.find(Name);
+  return It != LoadedDialects.end() && It->second;
+}
+
+void Context::markDialectLoaded(const std::string &Name) {
+  LoadedDialects[Name] = true;
+}
+
+void Context::emitError(const std::string &Message) {
+  ++NumErrors;
+  if (DiagHandler)
+    DiagHandler(Message);
+}
+
+DiagnosticHandler Context::setDiagnosticHandler(DiagnosticHandler Handler) {
+  DiagnosticHandler Previous = std::move(DiagHandler);
+  DiagHandler = std::move(Handler);
+  return Previous;
+}
+
+//===----------------------------------------------------------------------===//
+// Type factory methods
+//===----------------------------------------------------------------------===//
+
+NoneType NoneType::get(Context &Ctx) {
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::None;
+  return NoneType(Ctx.uniqueType(std::move(Proto)));
+}
+
+IndexType IndexType::get(Context &Ctx) {
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::Index;
+  return IndexType(Ctx.uniqueType(std::move(Proto)));
+}
+
+IntegerType IntegerType::get(Context &Ctx, unsigned Width) {
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::Integer;
+  Proto.Width = Width;
+  return IntegerType(Ctx.uniqueType(std::move(Proto)));
+}
+
+FloatType FloatType::getF32(Context &Ctx) {
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::Float;
+  Proto.Width = 32;
+  return FloatType(Ctx.uniqueType(std::move(Proto)));
+}
+
+FloatType FloatType::getF64(Context &Ctx) {
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::Float;
+  Proto.Width = 64;
+  return FloatType(Ctx.uniqueType(std::move(Proto)));
+}
+
+TensorType TensorType::get(Context &Ctx, std::vector<int64_t> Shape,
+                           Type ElementType) {
+  assert(ElementType && "tensor element type must be non-null");
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::Tensor;
+  Proto.Shape = std::move(Shape);
+  Proto.Element = ElementType.getImpl();
+  return TensorType(Ctx.uniqueType(std::move(Proto)));
+}
+
+MemRefType MemRefType::get(Context &Ctx, std::vector<int64_t> Shape,
+                           Type ElementType) {
+  assert(ElementType && "memref element type must be non-null");
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::MemRef;
+  Proto.Shape = std::move(Shape);
+  Proto.Element = ElementType.getImpl();
+  return MemRefType(Ctx.uniqueType(std::move(Proto)));
+}
+
+VectorType VectorType::get(Context &Ctx, unsigned NumLanes,
+                           Type ElementType) {
+  assert(NumLanes > 0 && "vector must have at least one lane");
+  TypeStorage Proto;
+  Proto.Kind = TypeKind::Vector;
+  Proto.Width = NumLanes;
+  Proto.Element = ElementType.getImpl();
+  return VectorType(Ctx.uniqueType(std::move(Proto)));
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute factory methods
+//===----------------------------------------------------------------------===//
+
+UnitAttr UnitAttr::get(Context &Ctx) {
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::Unit;
+  return UnitAttr(Ctx.uniqueAttr(std::move(Proto)));
+}
+
+BoolAttr BoolAttr::get(Context &Ctx, bool Value) {
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::Bool;
+  Proto.BoolValue = Value;
+  return BoolAttr(Ctx.uniqueAttr(std::move(Proto)));
+}
+
+IntAttr IntAttr::get(Context &Ctx, int64_t Value) {
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::Int;
+  Proto.IntValue = Value;
+  return IntAttr(Ctx.uniqueAttr(std::move(Proto)));
+}
+
+FloatAttr FloatAttr::get(Context &Ctx, double Value) {
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::Float;
+  Proto.FloatValue = Value;
+  return FloatAttr(Ctx.uniqueAttr(std::move(Proto)));
+}
+
+StringAttr StringAttr::get(Context &Ctx, std::string Value) {
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::String;
+  Proto.StringValue = std::move(Value);
+  return StringAttr(Ctx.uniqueAttr(std::move(Proto)));
+}
+
+TypeAttr TypeAttr::get(Context &Ctx, Type Value) {
+  assert(Value && "TypeAttr requires a non-null type");
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::Type;
+  Proto.TypeValue = Value.getImpl();
+  return TypeAttr(Ctx.uniqueAttr(std::move(Proto)));
+}
+
+ArrayAttr ArrayAttr::get(Context &Ctx,
+                         const std::vector<Attribute> &Elements) {
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::Array;
+  Proto.Elements.reserve(Elements.size());
+  for (Attribute Element : Elements) {
+    assert(Element && "ArrayAttr elements must be non-null");
+    Proto.Elements.push_back(Element.getImpl());
+  }
+  return ArrayAttr(Ctx.uniqueAttr(std::move(Proto)));
+}
+
+DenseF64Attr DenseF64Attr::get(Context &Ctx, std::vector<double> Values) {
+  AttrStorage Proto;
+  Proto.Kind = AttrKind::DenseF64;
+  Proto.Doubles = std::move(Values);
+  return DenseF64Attr(Ctx.uniqueAttr(std::move(Proto)));
+}

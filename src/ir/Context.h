@@ -1,0 +1,158 @@
+//===- Context.h - IR context: uniquing, registry, diagnostics ------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Context owns all uniqued types and attributes, the registry of
+/// operation definitions contributed by dialects, and the diagnostic
+/// engine. Every IR object is tied to exactly one Context; a Context must
+/// outlive all IR created within it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_CONTEXT_H
+#define SPNC_IR_CONTEXT_H
+
+#include "ir/Attributes.h"
+#include "ir/Types.h"
+#include "support/LogicalResult.h"
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spnc {
+namespace ir {
+
+class OpBuilder;
+class Operation;
+class RewritePattern;
+class Value;
+
+/// Static information about a registered operation kind. Dialects register
+/// one OpInfo per operation; Operation instances point at their OpInfo.
+struct OpInfo {
+  /// Fully qualified name, e.g. "lo_spn.mul".
+  std::string Name;
+  /// Dialect namespace prefix, e.g. "lo_spn".
+  std::string DialectName;
+  /// True if the op has no side effects (eligible for CSE/DCE).
+  bool IsPure = false;
+  /// True if the op terminates a block (e.g. yield, root).
+  bool IsTerminator = false;
+  /// True if the op materializes a compile-time constant carried in its
+  /// "value" attribute (enables participation in constant folding).
+  bool IsConstant = false;
+  /// Optional per-op structural verifier.
+  std::function<LogicalResult(Operation *)> Verifier;
+  /// Optional constant folder: given constant operand attributes (null
+  /// entries for non-constant operands), returns the folded result
+  /// attribute or null.
+  std::function<Attribute(Operation *, std::span<const Attribute>)> Folder;
+  /// Optional provider of canonicalization patterns.
+  std::function<void(std::vector<std::unique_ptr<RewritePattern>> &Patterns,
+                     Context &Ctx)>
+      CanonicalizationPatterns;
+};
+
+/// Sink for diagnostics. The default handler prints to stderr; tests
+/// install capturing handlers.
+using DiagnosticHandler = std::function<void(const std::string &Message)>;
+
+class Context {
+public:
+  Context();
+  ~Context();
+
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Type and attribute uniquing
+  //===--------------------------------------------------------------------===//
+
+  /// Returns the canonical storage for a type equal to \p Prototype,
+  /// creating it on first use. The Ctx field of the prototype is ignored.
+  const TypeStorage *uniqueType(TypeStorage Prototype);
+
+  /// Returns the canonical storage for an attribute equal to \p Prototype.
+  const AttrStorage *uniqueAttr(AttrStorage Prototype);
+
+  //===--------------------------------------------------------------------===//
+  // Operation registry
+  //===--------------------------------------------------------------------===//
+
+  /// Registers an operation definition. Registering the same name twice is
+  /// an error.
+  const OpInfo *registerOp(OpInfo Info);
+
+  /// Looks up the definition for \p Name. Unregistered names lazily get a
+  /// conservative default definition (impure, unverified), which allows
+  /// the generic parser to construct unknown ops.
+  const OpInfo *lookupOrCreateOpInfo(const std::string &Name);
+
+  /// Returns the definition for \p Name or null if it was never seen.
+  const OpInfo *lookupOpInfo(const std::string &Name) const;
+
+  /// Invokes \p Fn for every registered operation definition.
+  void forEachOpInfo(
+      const std::function<void(const OpInfo &)> &Fn) const {
+    for (const auto &Entry : OpRegistry)
+      Fn(*Entry.second);
+  }
+
+  /// True if the dialect with namespace \p Name has been loaded.
+  bool isDialectLoaded(const std::string &Name) const;
+  /// Marks the dialect namespace \p Name as loaded.
+  void markDialectLoaded(const std::string &Name);
+
+  //===--------------------------------------------------------------------===//
+  // Constant materialization
+  //===--------------------------------------------------------------------===//
+
+  /// Hook creating a dialect constant op for a folded attribute of the
+  /// given result type (returns null if the dialect cannot represent it).
+  using ConstantMaterializer =
+      std::function<Operation *(OpBuilder &Builder, Attribute Value,
+                                Type ResultType)>;
+
+  void setConstantMaterializer(ConstantMaterializer Materializer) {
+    ConstantHook = std::move(Materializer);
+  }
+  const ConstantMaterializer &getConstantMaterializer() const {
+    return ConstantHook;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Diagnostics
+  //===--------------------------------------------------------------------===//
+
+  /// Reports an error through the installed handler.
+  void emitError(const std::string &Message);
+
+  /// Installs \p Handler as diagnostic sink and returns the previous one.
+  DiagnosticHandler setDiagnosticHandler(DiagnosticHandler Handler);
+
+  /// Number of errors emitted so far.
+  unsigned getNumErrors() const { return NumErrors; }
+
+private:
+  std::unordered_multimap<size_t, std::unique_ptr<TypeStorage>> TypePool;
+  std::unordered_multimap<size_t, std::unique_ptr<AttrStorage>> AttrPool;
+  std::unordered_map<std::string, std::unique_ptr<OpInfo>> OpRegistry;
+  std::unordered_map<std::string, bool> LoadedDialects;
+  ConstantMaterializer ConstantHook;
+  DiagnosticHandler DiagHandler;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_CONTEXT_H

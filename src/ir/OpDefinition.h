@@ -1,0 +1,134 @@
+//===- OpDefinition.h - Typed operation views and registration -------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infrastructure for typed operation classes: the `OpView` base (a thin
+/// wrapper over `Operation *`, as in MLIR's Op classes), cast helpers and
+/// the `registerOperation<OpTy>` hook that derives an OpInfo from the op
+/// class's static members.
+///
+/// A concrete op class provides:
+///   static const char *getOperationName();          // required
+///   static void build(OpBuilder &, OperationState &, ...); // required
+///   static constexpr bool kIsPure / kIsTerminator;  // required
+///   LogicalResult verify();                         // optional
+///   Attribute fold(std::span<const Attribute>);     // optional
+///   static void getCanonicalizationPatterns(...);   // optional
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_OPDEFINITION_H
+#define SPNC_IR_OPDEFINITION_H
+
+#include "ir/Builder.h"
+#include "ir/Operation.h"
+
+#include <memory>
+#include <vector>
+
+namespace spnc {
+namespace ir {
+
+class RewritePattern;
+
+/// Base for typed op views. A view may be null; check with operator bool.
+class OpView {
+public:
+  OpView() = default;
+  /*implicit*/ OpView(Operation *TheOp) : TheOp(TheOp) {}
+
+  explicit operator bool() const { return TheOp != nullptr; }
+  bool operator==(const OpView &Other) const { return TheOp == Other.TheOp; }
+
+  Operation *getOperation() const { return TheOp; }
+  Operation *operator->() const {
+    assert(TheOp && "dereferencing a null op view");
+    return TheOp;
+  }
+  Context &getContext() const { return TheOp->getContext(); }
+
+protected:
+  Operation *TheOp = nullptr;
+};
+
+/// True if \p Op is non-null and an instance of OpTy.
+template <typename OpTy>
+bool isa_op(Operation *Op) {
+  return Op && Op->getName() == OpTy::getOperationName();
+}
+
+/// Casts \p Op to OpTy, asserting the name matches.
+template <typename OpTy>
+OpTy cast_op(Operation *Op) {
+  assert(isa_op<OpTy>(Op) && "cast_op to incompatible operation");
+  return OpTy(Op);
+}
+
+/// Returns a null view unless \p Op is an OpTy.
+template <typename OpTy>
+OpTy dyn_cast_op(Operation *Op) {
+  return isa_op<OpTy>(Op) ? OpTy(Op) : OpTy(nullptr);
+}
+
+namespace detail {
+
+template <typename OpTy>
+concept HasVerify = requires(OpTy Op) {
+  { Op.verify() } -> std::same_as<LogicalResult>;
+};
+
+template <typename OpTy>
+concept HasFold = requires(OpTy Op, std::span<const Attribute> Operands) {
+  { Op.fold(Operands) } -> std::same_as<Attribute>;
+};
+
+template <typename OpTy>
+concept HasConstantFlag = requires {
+  { OpTy::kIsConstant } -> std::convertible_to<bool>;
+};
+
+template <typename OpTy>
+concept HasCanonicalization =
+    requires(std::vector<std::unique_ptr<RewritePattern>> &Patterns,
+             Context &Ctx) {
+      OpTy::getCanonicalizationPatterns(Patterns, Ctx);
+    };
+
+} // namespace detail
+
+/// Registers OpTy's OpInfo with \p Ctx, deriving hooks from the statically
+/// detected members of OpTy.
+template <typename OpTy>
+void registerOperation(Context &Ctx) {
+  OpInfo Info;
+  Info.Name = OpTy::getOperationName();
+  size_t Dot = Info.Name.find('.');
+  Info.DialectName =
+      Dot == std::string::npos ? "" : Info.Name.substr(0, Dot);
+  Info.IsPure = OpTy::kIsPure;
+  Info.IsTerminator = OpTy::kIsTerminator;
+  if constexpr (detail::HasConstantFlag<OpTy>)
+    Info.IsConstant = OpTy::kIsConstant;
+  if constexpr (detail::HasVerify<OpTy>)
+    Info.Verifier = [](Operation *Op) { return OpTy(Op).verify(); };
+  if constexpr (detail::HasFold<OpTy>)
+    Info.Folder = [](Operation *Op, std::span<const Attribute> Operands) {
+      return OpTy(Op).fold(Operands);
+    };
+  if constexpr (detail::HasCanonicalization<OpTy>)
+    Info.CanonicalizationPatterns =
+        [](std::vector<std::unique_ptr<RewritePattern>> &Patterns,
+           Context &TheCtx) {
+          OpTy::getCanonicalizationPatterns(Patterns, TheCtx);
+        };
+  Ctx.registerOp(std::move(Info));
+}
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_OPDEFINITION_H

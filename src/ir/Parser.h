@@ -1,0 +1,35 @@
+//===- Parser.h - Generic textual IR parsing ---------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the generic operation syntax produced by Printer.h, so modules
+/// round-trip through text — the debugging workflow MLIR users rely on.
+/// Dialect ops are recognized through the context's operation registry
+/// (unregistered names parse with conservative defaults).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_PARSER_H
+#define SPNC_IR_PARSER_H
+
+#include "ir/BuiltinOps.h"
+#include "support/Expected.h"
+
+#include <string>
+
+namespace spnc {
+namespace ir {
+
+/// Parses one top-level `builtin.module` from \p Source. On syntax errors
+/// the Expected carries a message with line/column information.
+Expected<OwningOpRef<ModuleOp>> parseSourceString(Context &Ctx,
+                                                  const std::string &Source);
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_PARSER_H

@@ -1,0 +1,98 @@
+//===- PatternMatch.h - Rewrite patterns and the greedy driver --------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DAG rewrite infrastructure: `RewritePattern` (match+rewrite on a single
+/// anchor op), `PatternRewriter` (an OpBuilder that reports mutations back
+/// to the driver) and `applyPatternsGreedily` (worklist fixpoint driver
+/// that also performs constant folding through the registered op folders).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_PATTERNMATCH_H
+#define SPNC_IR_PATTERNMATCH_H
+
+#include "ir/Builder.h"
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace spnc {
+namespace ir {
+
+class GreedyDriver;
+
+/// An OpBuilder that notifies the rewrite driver about mutations so the
+/// worklist stays consistent. All IR mutation inside patterns must go
+/// through this class.
+class PatternRewriter : public OpBuilder {
+public:
+  explicit PatternRewriter(Context &Ctx) : OpBuilder(Ctx) {}
+
+  /// Replaces all uses of \p Op's results with \p NewValues and erases it.
+  void replaceOp(Operation *Op, std::span<const Value> NewValues);
+  /// Single-result convenience overload.
+  void replaceOp(Operation *Op, Value NewValue) {
+    Value Values[1] = {NewValue};
+    replaceOp(Op, Values);
+  }
+  /// Erases \p Op (whose results must be unused).
+  void eraseOp(Operation *Op);
+  /// Notifies the driver that \p Op was modified in place.
+  void notifyChanged(Operation *Op);
+
+private:
+  void notifyCreated(Operation *Op) override;
+
+  GreedyDriver *Driver = nullptr;
+  friend class GreedyDriver;
+};
+
+/// A rewrite rule anchored on one operation name (empty name = any op).
+class RewritePattern {
+public:
+  explicit RewritePattern(std::string AnchorOpName, unsigned Benefit = 1)
+      : AnchorOpName(std::move(AnchorOpName)), Benefit(Benefit) {}
+  virtual ~RewritePattern();
+
+  const std::string &getAnchorOpName() const { return AnchorOpName; }
+  unsigned getBenefit() const { return Benefit; }
+
+  /// Attempts the rewrite rooted at \p Op. On success the pattern must
+  /// have mutated the IR through \p Rewriter.
+  virtual LogicalResult matchAndRewrite(Operation *Op,
+                                        PatternRewriter &Rewriter) const = 0;
+
+private:
+  std::string AnchorOpName;
+  unsigned Benefit;
+};
+
+using PatternList = std::vector<std::unique_ptr<RewritePattern>>;
+
+/// Applies \p Patterns (plus registered op folders) to all ops nested
+/// under \p Scope until a fixpoint is reached. Returns success when a
+/// fixpoint was reached (always, unless the iteration limit was hit).
+/// \p Changed reports whether anything was rewritten.
+LogicalResult applyPatternsGreedily(Operation *Scope,
+                                    const PatternList &Patterns,
+                                    bool *Changed = nullptr);
+
+/// Collects the canonicalization patterns of every op registered in
+/// \p Ctx.
+PatternList collectCanonicalizationPatterns(Context &Ctx);
+
+/// Folds \p Op if all its folder prerequisites hold: returns the
+/// replacement value (possibly a newly materialized constant) or the null
+/// value. The insertion point of \p Builder must be at \p Op.
+Value tryFold(Operation *Op, OpBuilder &Builder);
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_PATTERNMATCH_H

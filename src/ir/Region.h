@@ -1,0 +1,76 @@
+//===- Region.h - Region holding blocks -------------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Region is an ordered list of blocks owned by an operation. Regions
+/// give the IR its nesting capability (paper §II-B): the graph of an
+/// `hi_spn.joint_query` or the body of a `lo_spn.task` are regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_REGION_H
+#define SPNC_IR_REGION_H
+
+#include "ir/Block.h"
+
+#include <memory>
+#include <vector>
+
+namespace spnc {
+namespace ir {
+
+class Operation;
+
+class Region {
+public:
+  Region() = default;
+
+  Region(const Region &) = delete;
+  Region &operator=(const Region &) = delete;
+
+  /// Returns the operation owning this region (null while detached).
+  Operation *getParentOp() const { return ParentOp; }
+
+  bool empty() const { return Blocks.empty(); }
+  size_t size() const { return Blocks.size(); }
+
+  Block &front() {
+    assert(!Blocks.empty() && "front() on empty region");
+    return *Blocks.front();
+  }
+  Block &getBlock(size_t Index) {
+    assert(Index < Blocks.size() && "block index out of range");
+    return *Blocks[Index];
+  }
+
+  /// Creates and appends a new empty block.
+  Block &emplaceBlock() {
+    Blocks.push_back(std::make_unique<Block>());
+    Blocks.back()->ParentRegion = this;
+    return *Blocks.back();
+  }
+
+  /// Drops operand references in all contained blocks.
+  void dropAllReferences() {
+    for (auto &TheBlock : Blocks)
+      TheBlock->dropAllReferences();
+  }
+
+  auto begin() { return Blocks.begin(); }
+  auto end() { return Blocks.end(); }
+
+private:
+  Operation *ParentOp = nullptr;
+  std::vector<std::unique_ptr<Block>> Blocks;
+
+  friend class Operation;
+};
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_REGION_H

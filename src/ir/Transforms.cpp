@@ -1,0 +1,205 @@
+//===- Transforms.cpp - Generic IR transformations --------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Transforms.h"
+
+#include "ir/Operation.h"
+#include "ir/PatternMatch.h"
+#include "support/Hashing.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::ir;
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Structural key of a pure operation: name, operand identities,
+/// attributes, result types.
+struct OpKey {
+  const OpInfo *Info;
+  std::vector<ValueImpl *> Operands;
+  std::vector<const AttrStorage *> Attrs;
+  std::vector<const TypeStorage *> ResultTypes;
+
+  bool operator==(const OpKey &Other) const {
+    return Info == Other.Info && Operands == Other.Operands &&
+           Attrs == Other.Attrs && ResultTypes == Other.ResultTypes;
+  }
+};
+
+struct OpKeyHash {
+  size_t operator()(const OpKey &Key) const {
+    size_t Seed = std::hash<const void *>()(Key.Info);
+    for (ValueImpl *Operand : Key.Operands)
+      hashCombineSeed(Seed, std::hash<void *>()(Operand));
+    for (const AttrStorage *Attr : Key.Attrs)
+      hashCombineSeed(Seed, std::hash<const void *>()(Attr));
+    for (const TypeStorage *Ty : Key.ResultTypes)
+      hashCombineSeed(Seed, std::hash<const void *>()(Ty));
+    return Seed;
+  }
+};
+
+static OpKey makeKey(Operation *Op) {
+  OpKey Key;
+  Key.Info = Op->getInfo();
+  for (unsigned I = 0; I < Op->getNumOperands(); ++I)
+    Key.Operands.push_back(Op->getOperand(I).getImpl());
+  for (const NamedAttribute &Entry : Op->getAttrs())
+    Key.Attrs.push_back(Entry.Value.getImpl());
+  for (unsigned I = 0; I < Op->getNumResults(); ++I)
+    Key.ResultTypes.push_back(Op->getResult(I).getType().getImpl());
+  return Key;
+}
+
+/// Scoped value-numbering table: one map per nesting level; lookups walk
+/// outward, so expressions already available in an enclosing block are
+/// reused inside nested regions.
+class CSEDriver {
+public:
+  unsigned run(Operation *Scope) {
+    processRegionsOf(Scope);
+    return NumErased;
+  }
+
+private:
+  void processRegionsOf(Operation *Op) {
+    for (unsigned R = 0; R < Op->getNumRegions(); ++R)
+      for (auto &TheBlock : Op->getRegion(R))
+        processBlock(*TheBlock);
+  }
+
+  void processBlock(Block &TheBlock) {
+    Scopes.emplace_back();
+    auto It = TheBlock.begin();
+    while (It != TheBlock.end()) {
+      Operation *Op = *It;
+      ++It;
+      // Only simple pure ops without regions are CSE candidates; ops with
+      // regions are just recursed into.
+      if (!Op->isPure() || Op->getNumRegions() > 0 ||
+          Op->getNumResults() == 0) {
+        processRegionsOf(Op);
+        continue;
+      }
+      OpKey Key = makeKey(Op);
+      if (Operation *Existing = lookup(Key)) {
+        std::vector<Value> Replacements = Existing->getResults();
+        Op->replaceAllUsesWith(Replacements);
+        Op->erase();
+        ++NumErased;
+        continue;
+      }
+      Scopes.back().emplace(std::move(Key), Op);
+    }
+    Scopes.pop_back();
+  }
+
+  Operation *lookup(const OpKey &Key) const {
+    for (auto ScopeIt = Scopes.rbegin(); ScopeIt != Scopes.rend();
+         ++ScopeIt) {
+      auto Found = ScopeIt->find(Key);
+      if (Found != ScopeIt->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::unordered_map<OpKey, Operation *, OpKeyHash>> Scopes;
+  unsigned NumErased = 0;
+};
+
+} // namespace
+
+unsigned spnc::ir::runCSE(Operation *Scope) {
+  return CSEDriver().run(Scope);
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+unsigned spnc::ir::runDCE(Operation *Scope) {
+  unsigned NumErased = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Scope->walk([&](Operation *Op) {
+      if (Op == Scope || !Op->isPure() || Op->isTerminator())
+        return;
+      if (Op->getNumResults() == 0 || !Op->useEmpty())
+        return;
+      Op->erase();
+      ++NumErased;
+      Changed = true;
+    });
+  }
+  return NumErased;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalizer
+//===----------------------------------------------------------------------===//
+
+LogicalResult spnc::ir::runCanonicalizer(Operation *Scope) {
+  PatternList Patterns =
+      collectCanonicalizationPatterns(Scope->getContext());
+  if (failed(applyPatternsGreedily(Scope, Patterns)))
+    return failure();
+  runDCE(Scope);
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Pass wrappers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class CSEPass : public Pass {
+public:
+  const char *getName() const override { return "cse"; }
+  LogicalResult run(Operation *Module, Context &) override {
+    runCSE(Module);
+    return success();
+  }
+};
+
+class DCEPass : public Pass {
+public:
+  const char *getName() const override { return "dce"; }
+  LogicalResult run(Operation *Module, Context &) override {
+    runDCE(Module);
+    return success();
+  }
+};
+
+class CanonicalizerPass : public Pass {
+public:
+  const char *getName() const override { return "canonicalize"; }
+  LogicalResult run(Operation *Module, Context &) override {
+    return runCanonicalizer(Module);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> spnc::ir::createCSEPass() {
+  return std::make_unique<CSEPass>();
+}
+std::unique_ptr<Pass> spnc::ir::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}
+std::unique_ptr<Pass> spnc::ir::createCanonicalizerPass() {
+  return std::make_unique<CanonicalizerPass>();
+}

@@ -1,0 +1,32 @@
+//===- Verifier.h - Structural IR verification ------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier checks generic structural invariants (SSA dominance within
+/// blocks, value visibility across region nesting, terminator placement)
+/// and then invokes each registered op's own verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_IR_VERIFIER_H
+#define SPNC_IR_VERIFIER_H
+
+#include "support/LogicalResult.h"
+
+namespace spnc {
+namespace ir {
+
+class Operation;
+
+/// Verifies \p TopLevel and everything nested inside it. Emits diagnostics
+/// through the op's context and returns failure if any check failed.
+LogicalResult verify(Operation *TopLevel);
+
+} // namespace ir
+} // namespace spnc
+
+#endif // SPNC_IR_VERIFIER_H

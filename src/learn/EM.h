@@ -1,0 +1,67 @@
+//===- EM.h - Expectation-maximization parameter learning ----------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expectation-maximization parameter learning for Sum-Product Networks.
+/// The paper assumes "training of the SPN [took] place beforehand, using a
+/// standard Sum-Product Network framework such as SPFlow" (§II-A); this
+/// module is the corresponding training substrate: given a structure (from
+/// the model builders or the workload generators), EM fits the sum weights
+/// and leaf distribution parameters to data.
+///
+/// The implementation follows the standard SPN EM scheme (see Peharz et
+/// al., "On the Latent Variable Interpretation in Sum-Product Networks"):
+/// an upward pass computes per-node log-likelihoods, a downward pass
+/// computes per-node posteriors ("responsibilities"), and sufficient
+/// statistics accumulate per sum edge and per leaf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_LEARN_EM_H
+#define SPNC_LEARN_EM_H
+
+#include "frontend/Model.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace spnc {
+namespace learn {
+
+struct EmOptions {
+  /// Number of EM iterations over the full data set.
+  unsigned Iterations = 10;
+  /// Laplace-style smoothing added to every sum-edge count, keeping
+  /// weights strictly positive.
+  double WeightSmoothing = 0.1;
+  /// Lower bound on learned Gaussian standard deviations (numerical
+  /// guard against collapsing onto single points).
+  double MinStdDev = 1e-2;
+  /// Also update leaf distribution parameters (Gaussian mean/stddev,
+  /// histogram and categorical probabilities); weights-only otherwise.
+  bool UpdateLeaves = true;
+};
+
+/// Result of a training run.
+struct EmResult {
+  /// Mean log-likelihood of the data after each iteration. EM guarantees
+  /// this to be non-decreasing.
+  std::vector<double> LogLikelihoodPerIteration;
+};
+
+/// Fits \p TheModel's parameters to \p Data (row-major
+/// [sample][feature], NumSamples x getNumFeatures()) by EM. The model
+/// structure is unchanged; weights and (optionally) leaf parameters are
+/// updated in place. The updated model remains valid (weights
+/// normalized, stddevs positive).
+EmResult fitParameters(spn::Model &TheModel, const double *Data,
+                       size_t NumSamples, const EmOptions &Options = {});
+
+} // namespace learn
+} // namespace spnc
+
+#endif // SPNC_LEARN_EM_H

@@ -1,0 +1,79 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast templates ----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of LLVM's `llvm/Support/Casting.h`.
+/// A class hierarchy participates by providing a static
+/// `bool classof(const Base *)` on each derived class. The project is built
+/// without C++ RTTI, so `dynamic_cast` is unavailable by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_CASTING_H
+#define SPNC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace spnc {
+
+/// Returns true if \p Val is an instance of type \p To. \p Val must be
+/// non-null.
+template <typename To, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Returns true if \p Val is non-null and an instance of \p To.
+template <typename To, typename From>
+bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Casts \p Val to type \p To, asserting that the dynamic type matches.
+template <typename To, typename From>
+To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Const overload of cast<>.
+template <typename To, typename From>
+const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Casts \p Val to \p To if the dynamic type matches, otherwise returns
+/// nullptr. \p Val must be non-null.
+template <typename To, typename From>
+To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Const overload of dyn_cast<>.
+template <typename To, typename From>
+const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, but tolerates a null input by returning null.
+template <typename To, typename From>
+To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Const overload of dyn_cast_or_null<>.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_CASTING_H

@@ -1,0 +1,46 @@
+//===- Compiler.h - Compiler-abstraction and diagnostics helpers ---------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-abstraction helpers shared across the whole project:
+/// `spnc_unreachable` (an `llvm_unreachable` equivalent) and inlining
+/// hints used by the execution engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_COMPILER_H
+#define SPNC_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPNC_ALWAYS_INLINE inline __attribute__((always_inline))
+#define SPNC_NOINLINE __attribute__((noinline))
+#else
+#define SPNC_ALWAYS_INLINE inline
+#define SPNC_NOINLINE
+#endif
+
+namespace spnc {
+
+/// Reports a fatal internal error and aborts. Used by `spnc_unreachable`;
+/// never returns.
+[[noreturn]] inline void reportUnreachable(const char *Msg, const char *File,
+                                           unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace spnc
+
+/// Marks a point in the code that must never be reached. In all builds this
+/// aborts with a message; it exists so fully covered switches over enums do
+/// not need default labels.
+#define spnc_unreachable(msg) ::spnc::reportUnreachable(msg, __FILE__, __LINE__)
+
+#endif // SPNC_SUPPORT_COMPILER_H

@@ -1,0 +1,89 @@
+//===- Expected.h - Value-or-error return type ----------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Expected<T>` is a lightweight stand-in for `llvm::Expected`: a tagged
+/// union of a value and an error message, used on API boundaries that can
+/// fail on user input (deserialization, compilation entry points). The
+/// project builds without exceptions, so recoverable errors must travel
+/// through return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_EXPECTED_H
+#define SPNC_SUPPORT_EXPECTED_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace spnc {
+
+/// Error payload carried by a failed Expected<T>.
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Creates an Error with the given message, styled after LLVM's
+/// createStringError.
+inline Error makeError(std::string Message) {
+  return Error(std::move(Message));
+}
+
+/// Either a value of type T or an Error. Check with operator bool before
+/// dereferencing.
+template <typename T>
+class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Error Err) : Storage(std::move(Err)) {}
+
+  /// Returns true if this holds a value.
+  explicit operator bool() const {
+    return std::holds_alternative<T>(Storage);
+  }
+
+  T &get() {
+    assert(*this && "dereferencing an errorful Expected");
+    return std::get<T>(Storage);
+  }
+  const T &get() const {
+    assert(*this && "dereferencing an errorful Expected");
+    return std::get<T>(Storage);
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Returns the error; only valid when this holds no value.
+  const Error &getError() const {
+    assert(!*this && "no error present");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the contained value out.
+  T takeValue() {
+    assert(*this && "no value present");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_EXPECTED_H

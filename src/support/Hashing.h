@@ -1,0 +1,49 @@
+//===- Hashing.h - Hash combination utilities ------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-combining helpers used by the IR uniquer and CSE. The mixing
+/// function follows the boost::hash_combine recipe with a 64-bit constant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_HASHING_H
+#define SPNC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace spnc {
+
+/// Mixes \p Value into the running hash \p Seed.
+inline void hashCombineSeed(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Returns a hash combining all arguments, each hashed with std::hash.
+template <typename... Ts>
+size_t hashCombine(const Ts &...Values) {
+  size_t Seed = 0;
+  (hashCombineSeed(Seed, std::hash<Ts>()(Values)), ...);
+  return Seed;
+}
+
+/// Hashes a contiguous range of values.
+template <typename Iterator>
+size_t hashRange(Iterator Begin, Iterator End) {
+  size_t Seed = 0;
+  for (Iterator It = Begin; It != End; ++It)
+    hashCombineSeed(
+        Seed, std::hash<typename std::iterator_traits<Iterator>::value_type>()(
+                  *It));
+  return Seed;
+}
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_HASHING_H

@@ -1,0 +1,48 @@
+//===- LogicalResult.h - Success/failure result type ---------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `LogicalResult` mirrors MLIR's two-state result type used by verifiers,
+/// passes and rewrite patterns, where failures carry no payload and
+/// diagnostics are reported out-of-band through the DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_LOGICALRESULT_H
+#define SPNC_SUPPORT_LOGICALRESULT_H
+
+namespace spnc {
+
+/// Two-state success/failure value. Deliberately not convertible to bool to
+/// force call sites through the self-documenting succeeded()/failed()
+/// helpers.
+class LogicalResult {
+public:
+  static LogicalResult success(bool IsSuccess = true) {
+    return LogicalResult(IsSuccess);
+  }
+  static LogicalResult failure(bool IsFailure = true) {
+    return LogicalResult(!IsFailure);
+  }
+
+  bool succeeded() const { return IsSuccess; }
+  bool failed() const { return !IsSuccess; }
+
+private:
+  explicit LogicalResult(bool IsSuccess) : IsSuccess(IsSuccess) {}
+
+  bool IsSuccess;
+};
+
+inline LogicalResult success() { return LogicalResult::success(); }
+inline LogicalResult failure() { return LogicalResult::failure(); }
+inline bool succeeded(LogicalResult Result) { return Result.succeeded(); }
+inline bool failed(LogicalResult Result) { return Result.failed(); }
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_LOGICALRESULT_H

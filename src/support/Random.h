@@ -1,0 +1,104 @@
+//===- Random.h - Deterministic random number generation ------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64 seeded xoshiro256**) used by the
+/// workload generators and property tests. The standard `<random>` engines
+/// are avoided for the generators because their streams differ between
+/// standard library implementations, which would make the synthetic SPN
+/// models non-reproducible across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_RANDOM_H
+#define SPNC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace spnc {
+
+/// Deterministic 64-bit PRNG with convenience samplers. The exact output
+/// stream is part of the workload-reproducibility contract and must not
+/// change.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value (xoshiro256**).
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t uniformInt(uint64_t Bound) {
+    assert(Bound > 0 && "uniformInt bound must be positive");
+    // Modulo bias is negligible for the bounds used by the generators.
+    return next() % Bound;
+  }
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair, caches the
+  /// second sample).
+  double normal() {
+    if (HasCachedNormal) {
+      HasCachedNormal = false;
+      return CachedNormal;
+    }
+    double U1 = 1.0 - uniform(); // avoid log(0)
+    double U2 = uniform();
+    double Radius = std::sqrt(-2.0 * std::log(U1));
+    double Angle = 2.0 * 3.14159265358979323846 * U2;
+    CachedNormal = Radius * std::sin(Angle);
+    HasCachedNormal = true;
+    return Radius * std::cos(Angle);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double Mean, double StdDev) {
+    return Mean + StdDev * normal();
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+  double CachedNormal = 0.0;
+  bool HasCachedNormal = false;
+};
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_RANDOM_H

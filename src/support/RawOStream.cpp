@@ -1,0 +1,68 @@
+//===- RawOStream.cpp - Lightweight output stream -------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawOStream.h"
+
+#include <cinttypes>
+
+using namespace spnc;
+
+RawOStream::~RawOStream() = default;
+
+RawOStream &RawOStream::operator<<(int32_t Value) {
+  return *this << static_cast<int64_t>(Value);
+}
+
+RawOStream &RawOStream::operator<<(uint32_t Value) {
+  return *this << static_cast<uint64_t>(Value);
+}
+
+RawOStream &RawOStream::operator<<(int64_t Value) {
+  char Buffer[24];
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%" PRId64, Value);
+  write(Buffer, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &RawOStream::operator<<(uint64_t Value) {
+  char Buffer[24];
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%" PRIu64, Value);
+  write(Buffer, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &RawOStream::operator<<(double Value) {
+  // Round-trippable shortest representation is not required here; IR
+  // attribute printing uses enough digits to reparse exactly.
+  char Buffer[40];
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  write(Buffer, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &RawOStream::operator<<(const void *Ptr) {
+  char Buffer[24];
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%p", Ptr);
+  write(Buffer, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &RawOStream::indent(unsigned NumSpaces) {
+  for (unsigned I = 0; I < NumSpaces; ++I)
+    write(" ", 1);
+  return *this;
+}
+
+RawOStream &spnc::outs() {
+  static FileOStream Stream(stdout);
+  return Stream;
+}
+
+RawOStream &spnc::errs() {
+  static FileOStream Stream(stderr);
+  return Stream;
+}

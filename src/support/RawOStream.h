@@ -1,0 +1,100 @@
+//===- RawOStream.h - Lightweight output stream ---------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal `llvm::raw_ostream` replacement. Library code must not include
+/// `<iostream>` (static constructor injection); all IR printing and
+/// diagnostics go through this class instead. Two concrete sinks are
+/// provided: an in-memory string stream and a `FILE *` stream, plus the
+/// `outs()`/`errs()` accessors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_RAWOSTREAM_H
+#define SPNC_SUPPORT_RAWOSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace spnc {
+
+/// Abstract character sink with operator<< formatting for the types the
+/// project prints. Deliberately unbuffered on top of the underlying sink;
+/// the string sink is the hot path (IR printing) and appends directly.
+class RawOStream {
+public:
+  virtual ~RawOStream();
+
+  RawOStream &operator<<(std::string_view Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+  RawOStream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+  RawOStream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  RawOStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  RawOStream &operator<<(bool Value) {
+    return *this << (Value ? "true" : "false");
+  }
+  RawOStream &operator<<(int32_t Value);
+  RawOStream &operator<<(uint32_t Value);
+  RawOStream &operator<<(int64_t Value);
+  RawOStream &operator<<(uint64_t Value);
+  RawOStream &operator<<(double Value);
+  RawOStream &operator<<(const void *Ptr);
+
+  /// Writes \p Size raw bytes.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Indents by \p NumSpaces spaces.
+  RawOStream &indent(unsigned NumSpaces);
+};
+
+/// RawOStream that appends to a caller-owned std::string.
+class StringOStream : public RawOStream {
+public:
+  explicit StringOStream(std::string &Buffer) : Buffer(Buffer) {}
+
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string &Buffer;
+};
+
+/// RawOStream over a C stdio FILE handle (not owned).
+class FileOStream : public RawOStream {
+public:
+  explicit FileOStream(std::FILE *File) : File(File) {}
+
+  void write(const char *Data, size_t Size) override {
+    std::fwrite(Data, 1, Size, File);
+  }
+
+private:
+  std::FILE *File;
+};
+
+/// Returns a stream writing to stdout.
+RawOStream &outs();
+/// Returns a stream writing to stderr.
+RawOStream &errs();
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_RAWOSTREAM_H

@@ -1,0 +1,61 @@
+//===- StringUtils.h - String formatting helpers ---------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style string formatting used for diagnostics and benchmark
+/// reporting, avoiding `<iostream>` in library code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_STRINGUTILS_H
+#define SPNC_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace spnc {
+
+/// Returns a std::string produced from a printf-style format.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+formatString(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Format, Args);
+  va_end(Args);
+  std::string Result;
+  if (Size > 0) {
+    Result.resize(static_cast<size_t>(Size));
+    std::vsnprintf(Result.data(), Result.size() + 1, Format, ArgsCopy);
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+/// Splits \p Input on \p Separator; empty pieces are kept.
+inline std::vector<std::string> splitString(const std::string &Input,
+                                            char Separator) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Input.size(); ++I) {
+    if (I == Input.size() || Input[I] == Separator) {
+      Pieces.push_back(Input.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Pieces;
+}
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_STRINGUTILS_H

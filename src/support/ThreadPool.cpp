@@ -1,0 +1,83 @@
+//===- ThreadPool.cpp - Simple fixed-size thread pool ---------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spnc;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  NumThreads = std::max(1u, NumThreads);
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "submit after shutdown");
+    Tasks.push(std::move(Task));
+    ++PendingTasks;
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return PendingTasks == 0; });
+}
+
+void ThreadPool::parallelFor(size_t NumItems,
+                             const std::function<void(size_t)> &Fn) {
+  if (NumItems == 0)
+    return;
+  size_t NumChunks = std::min<size_t>(getNumThreads(), NumItems);
+  size_t ChunkSize = (NumItems + NumChunks - 1) / NumChunks;
+  for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk) {
+    size_t Begin = Chunk * ChunkSize;
+    size_t End = std::min(NumItems, Begin + ChunkSize);
+    submit([Begin, End, &Fn] {
+      for (size_t I = Begin; I < End; ++I)
+        Fn(I);
+    });
+  }
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Shutting down and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--PendingTasks == 0)
+        AllDone.notify_all();
+    }
+  }
+}

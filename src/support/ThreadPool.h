@@ -1,0 +1,67 @@
+//===- ThreadPool.h - Simple fixed-size thread pool ------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size worker pool used by the CPU runtime (batch chunking across
+/// threads, paper §IV-B) and by the GPU simulator (one worker per simulated
+/// streaming multiprocessor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_THREADPOOL_H
+#define SPNC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spnc {
+
+/// A fixed-size thread pool. Tasks are arbitrary callables; wait() blocks
+/// until all submitted tasks have completed. The pool is not reentrant:
+/// tasks must not submit further tasks.
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned getNumThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Runs Fn(I) for I in [0, NumItems) across the pool and waits for
+  /// completion. Items are distributed in contiguous chunks.
+  void parallelFor(size_t NumItems, const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllDone;
+  size_t PendingTasks = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_THREADPOOL_H

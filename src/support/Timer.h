@@ -1,0 +1,50 @@
+//===- Timer.h - Wall-clock timing helpers ---------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-clock stopwatch used by the pass manager (per-pass compile-time
+/// breakdown, paper §V-B1) and by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_TIMER_H
+#define SPNC_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace spnc {
+
+/// Simple wall-clock stopwatch with nanosecond resolution.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time since construction/reset in nanoseconds.
+  uint64_t elapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+  /// Elapsed time in seconds.
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNs()) * 1e-9;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_TIMER_H

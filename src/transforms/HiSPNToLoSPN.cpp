@@ -1,0 +1,290 @@
+//===- HiSPNToLoSPN.cpp - Lowering from HiSPN to LoSPN -----------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers hi_spn.joint_query operations to lo_spn.kernel operations in
+/// tensor form (paper §IV-A3). The lowering:
+///  * picks the concrete computation type for the abstract probability
+///    type (f32/f64, optionally wrapped in !lo_spn.log<>);
+///  * decomposes variadic weighted sums into binary mul/add chains with
+///    lo_spn.constant weights (log-weights in log-space);
+///  * wraps the whole DAG into a single task whose body processes one
+///    sample, reading features through lo_spn.batch_extract.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/hispn/HiSPNOps.h"
+#include "dialects/lospn/LoSPNOps.h"
+#include "transforms/Passes.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+using namespace spnc;
+using namespace spnc::ir;
+using namespace spnc::transforms;
+
+double spnc::transforms::estimateMinLogProbability(
+    Operation *GraphOperation, const LoweringOptions &Options) {
+  hispn::GraphOp Graph(GraphOperation);
+  // Bottom-up propagation of a conservative lower bound on each node's
+  // log-value:
+  //   leaf: log of the smallest positive probability (mass) it can emit;
+  //         Gaussians are bounded assuming evidence within k sigma;
+  //   product: the factors are independent, bounds add;
+  //   sum: sum_i w_i p_i(x) >= w_j p_j(x) for every j, so the best
+  //        single weighted child bound is a valid lower bound.
+  std::unordered_map<Operation *, double> Bounds;
+  double RootBound = 0.0;
+  for (Operation *Op : Graph.getBody()) {
+    double Bound = 0.0;
+    if (auto Gauss = dyn_cast_op<hispn::GaussianOp>(Op)) {
+      double K = Options.GaussianEvidenceSigmas;
+      Bound = -0.5 * K * K - std::log(Gauss.getStdDev()) -
+              0.91893853320467274178;
+    } else if (auto Hist = dyn_cast_op<hispn::HistogramOp>(Op)) {
+      double MinMass = 1.0;
+      std::vector<double> Flat = Hist.getFlatBuckets();
+      for (size_t I = 2; I < Flat.size(); I += 3)
+        if (Flat[I] > 0.0)
+          MinMass = std::min(MinMass, Flat[I]);
+      Bound = std::log(MinMass);
+    } else if (auto Cat = dyn_cast_op<hispn::CategoricalOp>(Op)) {
+      double MinMass = 1.0;
+      for (double P : Cat.getProbabilities())
+        if (P > 0.0)
+          MinMass = std::min(MinMass, P);
+      Bound = std::log(MinMass);
+    } else if (isa_op<hispn::ProductOp>(Op)) {
+      for (unsigned I = 0; I < Op->getNumOperands(); ++I)
+        Bound += Bounds[Op->getOperand(I).getDefiningOp()];
+    } else if (auto Sum = dyn_cast_op<hispn::SumOp>(Op)) {
+      Bound = -std::numeric_limits<double>::infinity();
+      std::vector<double> Weights = Sum.getWeights();
+      for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+        if (Weights[I] <= 0.0)
+          continue;
+        Bound = std::max(
+            Bound, std::log(Weights[I]) +
+                       Bounds[Op->getOperand(I).getDefiningOp()]);
+      }
+    } else if (auto Root = dyn_cast_op<hispn::RootOp>(Op)) {
+      RootBound = Bounds[Root.getRootValue().getDefiningOp()];
+      continue;
+    }
+    Bounds[Op] = Bound;
+  }
+  return RootBound;
+}
+
+namespace {
+
+class HiSPNToLoSPNPass : public Pass {
+public:
+  explicit HiSPNToLoSPNPass(LoweringOptions Options)
+      : Options(Options) {}
+
+  const char *getName() const override { return "lower-hispn-to-lospn"; }
+
+  LogicalResult run(Operation *Module, Context &Ctx) override {
+    lospn::registerLoSPNDialect(Ctx);
+    std::vector<Operation *> Queries;
+    for (Operation *Op : cast_op<ModuleOp>(Module).getBody())
+      if (isa_op<hispn::JointQueryOp>(Op))
+        Queries.push_back(Op);
+    for (Operation *Query : Queries)
+      if (failed(lowerQuery(hispn::JointQueryOp(Query), Ctx)))
+        return failure();
+    return success();
+  }
+
+private:
+  /// Chooses the concrete computation type (paper §III-A: deferred until
+  /// lowering, based on characteristics of the SPN). Log-space is
+  /// underflow-safe, so the narrow type suffices; linear-space graphs
+  /// run the underflow analysis and widen to f64 when f32 could flush
+  /// the result to zero.
+  Type selectComputationType(hispn::JointQueryOp Query, Context &Ctx) {
+    unsigned Width = Options.ComputeWidth;
+    if (Width == 0) {
+      Width = 32;
+      if (!Query.getLogSpace() &&
+          estimateMinLogProbability(Query.getGraph(), Options) <
+              Options.F32MinLogThreshold)
+        Width = 64;
+    }
+    Type Storage = Width == 64 ? Type(FloatType::getF64(Ctx))
+                               : Type(FloatType::getF32(Ctx));
+    return Query.getLogSpace() ? Type(lospn::LogType::get(Ctx, Storage))
+                               : Storage;
+  }
+
+  LogicalResult lowerQuery(hispn::JointQueryOp Query, Context &Ctx) {
+    hispn::GraphOp Graph(Query.getGraph());
+    Type ComputeTy = selectComputationType(Query, Ctx);
+    Type InputTy = Query.getInputType();
+    bool Marginal = Query.getSupportMarginal();
+    bool Log = lospn::isLogSpace(ComputeTy);
+    unsigned NumFeatures = Query.getNumFeatures();
+
+    OpBuilder Builder(Ctx);
+    Builder.setInsertionPoint(Query.getOperation());
+
+    // Kernel with one input tensor [batch x features].
+    auto Kernel = Builder.create<lospn::KernelOp>("spn_kernel", 1u);
+    Block &KernelBlock = Kernel->getRegion(0).emplaceBlock();
+    Value InputTensor = KernelBlock.addArgument(TensorType::get(
+        Ctx, {TypeStorage::kDynamic, NumFeatures}, InputTy));
+
+    // Single task producing the result tensor [1 x batch] (transposed).
+    Builder.setInsertionPointToEnd(&KernelBlock);
+    Type ResultTensorTy =
+        TensorType::get(Ctx, {1, TypeStorage::kDynamic}, ComputeTy);
+    Value TaskOperands[1] = {InputTensor};
+    Type TaskResults[1] = {ResultTensorTy};
+    auto Task = Builder.create<lospn::TaskOp>(
+        std::span<const Value>(TaskOperands),
+        std::span<const Type>(TaskResults), Query.getBatchSize(), 1u);
+    Block &TaskBlock = Task->getRegion(0).emplaceBlock();
+    Value BatchIndex = TaskBlock.addArgument(IndexType::get(Ctx));
+    Value TensorArg = TaskBlock.addArgument(InputTensor.getType());
+
+    Builder.setInsertionPointToEnd(&TaskBlock);
+
+    // One batch_extract per feature actually used by a leaf.
+    std::unordered_map<unsigned, Value> FeatureExtracts;
+    std::vector<Value> BodyOperands;
+    std::vector<unsigned> BodyFeatures;
+    Graph.getBody(); // ensure region is materialized
+    for (Operation *Op : Graph.getBody()) {
+      if (Op->getNumOperands() == 0)
+        continue;
+      if (!isa_op<hispn::HistogramOp>(Op) &&
+          !isa_op<hispn::CategoricalOp>(Op) &&
+          !isa_op<hispn::GaussianOp>(Op))
+        continue;
+      Value Evidence = Op->getOperand(0);
+      assert(Evidence.isBlockArgument() &&
+             "leaf evidence must be a graph feature");
+      unsigned Feature = Evidence.getIndex();
+      if (FeatureExtracts.count(Feature))
+        continue;
+      auto Extract = Builder.create<lospn::BatchExtractOp>(
+          TensorArg, BatchIndex, Feature, /*Transposed=*/false);
+      FeatureExtracts.emplace(Feature, Extract->getResult(0));
+      BodyOperands.push_back(Extract->getResult(0));
+      BodyFeatures.push_back(Feature);
+    }
+
+    // Body op wrapping the arithmetic.
+    Type BodyResults[1] = {ComputeTy};
+    auto Body = Builder.create<lospn::BodyOp>(
+        std::span<const Value>(BodyOperands),
+        std::span<const Type>(BodyResults));
+    Block &BodyBlock = Body->getRegion(0).emplaceBlock();
+    std::unordered_map<unsigned, Value> FeatureArgs;
+    for (size_t I = 0; I < BodyOperands.size(); ++I)
+      FeatureArgs.emplace(BodyFeatures[I],
+                          BodyBlock.addArgument(InputTy));
+
+    Builder.setInsertionPointToEnd(&BodyBlock);
+
+    // Translate the DAG children-first (the graph body is already in
+    // def-before-use order).
+    std::unordered_map<Operation *, Value> Lowered;
+    Value RootValue;
+    for (Operation *Op : Graph.getBody()) {
+      if (hispn::RootOp Root = dyn_cast_op<hispn::RootOp>(Op)) {
+        RootValue = Lowered.at(Root.getRootValue().getDefiningOp());
+        continue;
+      }
+      Value Result;
+      if (auto Leaf = dyn_cast_op<hispn::HistogramOp>(Op)) {
+        Result = Builder
+                     .create<lospn::HistogramOp>(
+                         FeatureArgs.at(Op->getOperand(0).getIndex()),
+                         Leaf.getFlatBuckets(), Marginal, ComputeTy)
+                     ->getResult(0);
+      } else if (auto Leaf = dyn_cast_op<hispn::CategoricalOp>(Op)) {
+        Result = Builder
+                     .create<lospn::CategoricalOp>(
+                         FeatureArgs.at(Op->getOperand(0).getIndex()),
+                         Leaf.getProbabilities(), Marginal, ComputeTy)
+                     ->getResult(0);
+      } else if (auto Leaf = dyn_cast_op<hispn::GaussianOp>(Op)) {
+        Result = Builder
+                     .create<lospn::GaussianOp>(
+                         FeatureArgs.at(Op->getOperand(0).getIndex()),
+                         Leaf.getMean(), Leaf.getStdDev(), Marginal,
+                         ComputeTy)
+                     ->getResult(0);
+      } else if (isa_op<hispn::ProductOp>(Op)) {
+        Result = Lowered.at(Op->getOperand(0).getDefiningOp());
+        for (unsigned I = 1; I < Op->getNumOperands(); ++I) {
+          Value Rhs = Lowered.at(Op->getOperand(I).getDefiningOp());
+          Result =
+              Builder.create<lospn::MulOp>(Result, Rhs)->getResult(0);
+        }
+      } else if (auto Sum = dyn_cast_op<hispn::SumOp>(Op)) {
+        // Weighted sum decomposition: sum_i w_i * x_i as a chain of
+        // binary mul/add (paper §III-B).
+        std::vector<double> Weights = Sum.getWeights();
+        Value Acc;
+        for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+          double Weight = Log ? std::log(Weights[I]) : Weights[I];
+          Value Child = Lowered.at(Op->getOperand(I).getDefiningOp());
+          Value WeightConst =
+              Builder.create<lospn::ConstantOp>(Weight, ComputeTy)
+                  ->getResult(0);
+          Value Term =
+              Builder.create<lospn::MulOp>(Child, WeightConst)
+                  ->getResult(0);
+          Acc = Acc
+                    ? Builder.create<lospn::AddOp>(Acc, Term)->getResult(0)
+                    : Term;
+        }
+        Result = Acc;
+      } else {
+        Query.getContext().emitError("unexpected op in hi_spn.graph: " +
+                                     Op->getName());
+        return failure();
+      }
+      Lowered.emplace(Op, Result);
+    }
+    if (!RootValue) {
+      Query.getContext().emitError("graph has no root value");
+      return failure();
+    }
+    Value Yielded[1] = {RootValue};
+    Builder.create<lospn::YieldOp>(std::span<const Value>(Yielded));
+
+    // Task terminator: collect the body result for this sample.
+    Builder.setInsertionPointToEnd(&TaskBlock);
+    Value Collected[1] = {Body->getResult(0)};
+    Builder.create<lospn::BatchCollectOp>(
+        BatchIndex, std::span<const Value>(Collected), /*Transposed=*/true);
+
+    // Kernel terminator returns the task's result tensor.
+    Builder.setInsertionPointToEnd(&KernelBlock);
+    Value Returned[1] = {Task->getResult(0)};
+    Builder.create<lospn::ReturnOp>(std::span<const Value>(Returned));
+
+    // The query op is fully lowered; remove it.
+    Query.getOperation()->erase();
+    return success();
+  }
+
+  LoweringOptions Options;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+spnc::transforms::createHiSPNToLoSPNLoweringPass(LoweringOptions Options) {
+  return std::make_unique<HiSPNToLoSPNPass>(Options);
+}

@@ -1,0 +1,82 @@
+//===- Passes.h - SPNC compilation passes -------------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target-independent compilation steps of the SPNC pipeline (paper
+/// §IV-A): lowering HiSPN queries to LoSPN kernels, partitioning large
+/// tasks, bufferization with copy avoidance, and the GPU buffer-transfer
+/// elimination that keeps intermediate buffers device-resident (paper
+/// §IV-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_TRANSFORMS_PASSES_H
+#define SPNC_TRANSFORMS_PASSES_H
+
+#include "ir/PassManager.h"
+#include "partition/Partitioner.h"
+
+#include <memory>
+
+namespace spnc {
+namespace transforms {
+
+/// Options of the HiSPN -> LoSPN lowering.
+struct LoweringOptions {
+  /// Force the compute float width; 0 = decide by error analysis
+  /// (paper §III-A: the abstract probability type defers this decision
+  /// to the lowering, "based on characteristics ... of the SPN").
+  unsigned ComputeWidth = 0;
+  /// Linear-space underflow analysis: a conservative lower bound on the
+  /// smallest log-probability the graph can produce is propagated bottom
+  /// up; if it falls below this threshold (default: near log FLT_MIN),
+  /// f32 would underflow to zero and f64 is selected. Log-space
+  /// computation is underflow-safe and always uses the narrow type.
+  double F32MinLogThreshold = -85.0;
+  /// Evidence range assumed for Gaussian leaves in the underflow
+  /// analysis, in standard deviations from the mean.
+  double GaussianEvidenceSigmas = 4.0;
+};
+
+/// Conservative lower bound on the log-probability any single evaluation
+/// of the graph can produce (the underflow analysis behind the automatic
+/// f32/f64 selection). Exposed for testing.
+double estimateMinLogProbability(ir::Operation *GraphOp,
+                                 const LoweringOptions &Options);
+
+/// Lowers every hi_spn.joint_query in the module to a lo_spn.kernel with
+/// a single task in tensor form (paper §IV-A3).
+std::unique_ptr<ir::Pass>
+createHiSPNToLoSPNLoweringPass(LoweringOptions Options = {});
+
+/// Splits oversized LoSPN tasks into multiple tasks using the acyclic
+/// graph partitioner (paper §IV-A4).
+std::unique_ptr<ir::Pass>
+createTaskPartitioningPass(partition::PartitionOptions Options = {});
+
+/// Options of the bufferization.
+struct BufferizationOptions {
+  /// Write task results that are returned by the kernel directly into the
+  /// kernel output buffer instead of copying an intermediate buffer
+  /// (paper §IV-A5). Disabled only for the copy-avoidance ablation.
+  bool AvoidCopies = true;
+};
+
+/// Rewrites kernels from tensor form to memref form: explicit buffers,
+/// batch_read/batch_write, alloc/dealloc of intermediates (paper §IV-A5).
+std::unique_ptr<ir::Pass>
+createBufferizationPass(BufferizationOptions Options = {});
+
+/// Marks intermediate buffers as device-resident so the GPU runtime keeps
+/// them on the device instead of copying them back and forth between
+/// tasks (paper §IV-C).
+std::unique_ptr<ir::Pass> createGpuBufferTransferEliminationPass();
+
+} // namespace transforms
+} // namespace spnc
+
+#endif // SPNC_TRANSFORMS_PASSES_H

@@ -1,0 +1,314 @@
+//===- TaskPartitioning.cpp - Split oversized LoSPN tasks --------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits LoSPN tasks whose body exceeds the maximum partition size into a
+/// sequence of smaller tasks (paper §IV-A4). The arithmetic DAG inside the
+/// task body is handed to the acyclic graph partitioner; each partition
+/// becomes a task that reads the external features it needs plus the
+/// interface values produced by earlier partitions (via transposed
+/// intermediate tensors), and publishes its own interface values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/lospn/LoSPNOps.h"
+#include "ir/Cloning.h"
+#include "transforms/Passes.h"
+
+#include <unordered_map>
+
+using namespace spnc;
+using namespace spnc::ir;
+using namespace spnc::lospn;
+using namespace spnc::transforms;
+
+namespace {
+
+/// Where a task-level scalar input comes from: a feature of an external
+/// container or a slot of an earlier partition's result.
+struct ScalarSource {
+  Value Container;      // kernel-level tensor value
+  unsigned StaticIndex; // feature / slot
+  bool Transposed;
+};
+
+class TaskPartitioningPass : public Pass {
+public:
+  explicit TaskPartitioningPass(partition::PartitionOptions Options)
+      : Options(Options) {}
+
+  const char *getName() const override { return "partition-tasks"; }
+
+  LogicalResult run(Operation *Module, Context &Ctx) override {
+    std::vector<Operation *> Kernels;
+    cast_op<ModuleOp>(Module).getBody();
+    for (Operation *Op : cast_op<ModuleOp>(Module).getBody())
+      if (isa_op<KernelOp>(Op))
+        Kernels.push_back(Op);
+    for (Operation *Kernel : Kernels)
+      if (failed(processKernel(KernelOp(Kernel), Ctx)))
+        return failure();
+    return success();
+  }
+
+private:
+  LogicalResult processKernel(KernelOp Kernel, Context &Ctx) {
+    std::vector<Operation *> Tasks;
+    for (Operation *Op : Kernel.getBody())
+      if (isa_op<TaskOp>(Op))
+        Tasks.push_back(Op);
+    for (Operation *Task : Tasks)
+      if (failed(processTask(TaskOp(Task), Ctx)))
+        return failure();
+    return success();
+  }
+
+  LogicalResult processTask(TaskOp Task, Context &Ctx) {
+    // Locate the body op and the collect terminator.
+    BodyOp Body(nullptr);
+    for (Operation *Op : Task.getBody())
+      if (isa_op<BodyOp>(Op))
+        Body = BodyOp(Op);
+    if (!Body)
+      return success(); // Nothing to partition.
+    Block &Inner = Body.getBody();
+
+    // Collect the arithmetic ops (everything but the terminator).
+    std::vector<Operation *> Nodes;
+    for (Operation *Op : Inner)
+      if (!Op->isTerminator())
+        Nodes.push_back(Op);
+    if (Nodes.size() <= Options.MaxPartitionSize)
+      return success();
+
+    Operation *Yield = Inner.getTerminator();
+    assert(Yield && Yield->getNumOperands() == 1 &&
+           "expected single-result task body");
+    Value RootValue = Yield->getOperand(0);
+    Operation *RootDef = RootValue.getDefiningOp();
+    if (!RootDef)
+      return success(); // Root is a block argument; nothing to gain.
+
+    // Build the dependence graph over body ops.
+    std::unordered_map<Operation *, uint32_t> NodeId;
+    for (Operation *Op : Nodes)
+      NodeId.emplace(Op, static_cast<uint32_t>(NodeId.size()));
+    partition::Graph DepGraph(static_cast<uint32_t>(Nodes.size()));
+    for (Operation *Op : Nodes)
+      for (unsigned I = 0; I < Op->getNumOperands(); ++I)
+        if (Operation *Def = Op->getOperand(I).getDefiningOp())
+          if (NodeId.count(Def))
+            DepGraph.addEdge(NodeId.at(Def), NodeId.at(Op));
+
+    partition::Partitioning Partitioned =
+        partition::partitionGraph(DepGraph, Options);
+    uint32_t NumParts = Partitioned.NumPartitions;
+    if (NumParts <= 1)
+      return success();
+
+    // Force the root into the last partition so the final task produces
+    // exactly the kernel result (acyclicity holds: the root has no
+    // consumers among the body ops).
+    Partitioned.NodeToPartition[NodeId.at(RootDef)] = NumParts - 1;
+
+    // Map the body's block arguments back to their scalar sources (the
+    // batch_extracts in the task region).
+    std::unordered_map<ValueImpl *, ScalarSource> ArgSources;
+    for (unsigned I = 0; I < Body->getNumOperands(); ++I) {
+      Value Operand = Body->getOperand(I);
+      Operation *Def = Operand.getDefiningOp();
+      assert(Def && isa_op<BatchExtractOp>(Def) &&
+             "body operands must come from batch_extract");
+      BatchExtractOp Extract(Def);
+      // The extract reads from a task block arg; map it to the
+      // kernel-level operand of the task.
+      Value Container = Def->getOperand(0);
+      assert(Container.isBlockArgument() && Container.getIndex() >= 1);
+      Value KernelLevel =
+          Task->getOperand(Container.getIndex() - 1);
+      ArgSources.emplace(
+          Inner.getArgument(I).getImpl(),
+          ScalarSource{KernelLevel, Extract.getStaticIndex(),
+                       Extract.getTransposed()});
+    }
+
+    Context &TheCtx = Ctx;
+    OpBuilder KernelBuilder(TheCtx);
+    KernelBuilder.setInsertionPoint(Task.getOperation());
+
+    // Per original value: the (partition, slot) where it is published.
+    struct Published {
+      uint32_t Partition;
+      unsigned Slot;
+    };
+    std::unordered_map<ValueImpl *, Published> PublishedSlots;
+    // Result tensor of each created task.
+    std::vector<Value> PartResult(NumParts);
+
+    Type IndexTy = IndexType::get(TheCtx);
+
+    for (uint32_t P = 0; P < NumParts; ++P) {
+      // Ops of this partition in original order.
+      std::vector<Operation *> PartOps;
+      for (Operation *Op : Nodes)
+        if (Partitioned[NodeId.at(Op)] == P)
+          PartOps.push_back(Op);
+      if (PartOps.empty())
+        continue;
+
+      // Interface-out: values produced here and consumed later (or the
+      // root in the last partition).
+      std::vector<Value> InterfaceOut;
+      for (Operation *Op : PartOps) {
+        for (unsigned R = 0; R < Op->getNumResults(); ++R) {
+          Value Result = Op->getResult(R);
+          bool Escapes = (Result == RootValue);
+          Result.forEachUse([&](OpOperand &Use) {
+            Operation *User = Use.getOwner();
+            auto It = NodeId.find(User);
+            if (It != NodeId.end() && Partitioned[It->second] != P)
+              Escapes = true;
+          });
+          if (Escapes)
+            InterfaceOut.push_back(Result);
+        }
+      }
+      assert(!InterfaceOut.empty() &&
+             "a partition must publish at least one value");
+
+      // Scalar inputs: external features and earlier interface values.
+      // Deduplicated per (container, index) by value identity.
+      std::vector<ScalarSource> Sources;
+      std::vector<Value> SourceKeys; // original value for remapping
+      auto AddSource = [&](Value Original, const ScalarSource &Source) {
+        for (Value Key : SourceKeys)
+          if (Key == Original)
+            return;
+        SourceKeys.push_back(Original);
+        Sources.push_back(Source);
+      };
+      for (Operation *Op : PartOps) {
+        for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+          Value Operand = Op->getOperand(I);
+          if (Operation *Def = Operand.getDefiningOp()) {
+            auto It = NodeId.find(Def);
+            if (It == NodeId.end())
+              continue; // Defined outside the body (impossible here).
+            if (Partitioned[It->second] == P)
+              continue; // Internal value.
+            const Published &Pub = PublishedSlots.at(Operand.getImpl());
+            AddSource(Operand,
+                      ScalarSource{PartResult[Pub.Partition], Pub.Slot,
+                                   /*Transposed=*/true});
+          } else {
+            // Body block argument: an external feature.
+            AddSource(Operand, ArgSources.at(Operand.getImpl()));
+          }
+        }
+      }
+
+      // Create the new task.
+      std::vector<Value> TaskOperands;
+      auto OperandIndexOf = [&](Value Container) {
+        for (size_t I = 0; I < TaskOperands.size(); ++I)
+          if (TaskOperands[I] == Container)
+            return static_cast<unsigned>(I);
+        TaskOperands.push_back(Container);
+        return static_cast<unsigned>(TaskOperands.size() - 1);
+      };
+      for (const ScalarSource &Source : Sources)
+        OperandIndexOf(Source.Container);
+
+      Type ComputeTy = InterfaceOut.front().getType();
+      Type ResultTy = TensorType::get(
+          TheCtx,
+          {static_cast<int64_t>(InterfaceOut.size()),
+           TypeStorage::kDynamic},
+          ComputeTy);
+      Type ResultTypes[1] = {ResultTy};
+      auto NewTask = KernelBuilder.create<TaskOp>(
+          std::span<const Value>(TaskOperands),
+          std::span<const Type>(ResultTypes), Task.getBatchSize(),
+          static_cast<unsigned>(TaskOperands.size()));
+      Block &NewTaskBlock = NewTask->getRegion(0).emplaceBlock();
+      Value BatchIndex = NewTaskBlock.addArgument(IndexTy);
+      for (Value Operand : TaskOperands)
+        NewTaskBlock.addArgument(Operand.getType());
+
+      OpBuilder TaskBuilder =
+          OpBuilder::atBlockEnd(TheCtx, &NewTaskBlock);
+
+      // Extract all scalar inputs.
+      std::vector<Value> BodyOperands;
+      std::vector<Type> BodyOperandTypes;
+      for (const ScalarSource &Source : Sources) {
+        unsigned ArgIdx = OperandIndexOf(Source.Container) + 1;
+        auto Extract = TaskBuilder.create<BatchExtractOp>(
+            NewTaskBlock.getArgument(ArgIdx), BatchIndex,
+            Source.StaticIndex, Source.Transposed);
+        BodyOperands.push_back(Extract->getResult(0));
+        BodyOperandTypes.push_back(Extract->getResult(0).getType());
+      }
+
+      // Body with cloned arithmetic.
+      std::vector<Type> BodyResultTypes;
+      BodyResultTypes.reserve(InterfaceOut.size());
+      for (Value Out : InterfaceOut)
+        BodyResultTypes.push_back(Out.getType());
+      auto NewBody = TaskBuilder.create<BodyOp>(
+          std::span<const Value>(BodyOperands),
+          std::span<const Type>(BodyResultTypes));
+      Block &NewInner = NewBody->getRegion(0).emplaceBlock();
+      ValueMapping Mapping;
+      for (size_t I = 0; I < Sources.size(); ++I) {
+        Value Arg = NewInner.addArgument(BodyOperandTypes[I]);
+        Mapping[SourceKeys[I].getImpl()] = Arg;
+      }
+      OpBuilder InnerBuilder = OpBuilder::atBlockEnd(TheCtx, &NewInner);
+      for (Operation *Op : PartOps)
+        cloneOperation(Op, Mapping, InnerBuilder);
+      std::vector<Value> Yielded;
+      Yielded.reserve(InterfaceOut.size());
+      for (Value Out : InterfaceOut)
+        Yielded.push_back(Mapping.at(Out.getImpl()));
+      InnerBuilder.create<YieldOp>(std::span<const Value>(Yielded));
+
+      // Collect terminator.
+      std::vector<Value> Collected;
+      Collected.reserve(InterfaceOut.size());
+      for (unsigned I = 0; I < InterfaceOut.size(); ++I)
+        Collected.push_back(NewBody->getResult(I));
+      TaskBuilder.create<BatchCollectOp>(
+          BatchIndex, std::span<const Value>(Collected),
+          /*Transposed=*/true);
+
+      // Publish slots.
+      PartResult[P] = NewTask->getResult(0);
+      for (unsigned I = 0; I < InterfaceOut.size(); ++I)
+        PublishedSlots.emplace(InterfaceOut[I].getImpl(),
+                               Published{P, I});
+    }
+
+    // Rewire the kernel result to the last partition's tensor and drop
+    // the original task.
+    uint32_t RootPartition =
+        Partitioned[NodeId.at(RootDef)];
+    Value NewResult = PartResult[RootPartition];
+    Task->getResult(0).replaceAllUsesWith(NewResult);
+    Task.getOperation()->erase();
+    return success();
+  }
+
+  partition::PartitionOptions Options;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> spnc::transforms::createTaskPartitioningPass(
+    partition::PartitionOptions Options) {
+  return std::make_unique<TaskPartitioningPass>(Options);
+}

@@ -1,0 +1,183 @@
+//===- Bytecode.h - Register bytecode for compiled SPN kernels ---------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable representation produced by the SPNC code generators.
+/// Where the paper's pipeline lowers LoSPN through the standard MLIR
+/// dialects into LLVM IR and native object code, this reproduction lowers
+/// LoSPN into a compact register bytecode executed by tight scalar or
+/// lane-parallel (SIMD) interpreter loops (see DESIGN.md §4 for the
+/// substitution rationale). One `TaskProgram` corresponds to one LoSPN
+/// task; a `KernelProgram` bundles the tasks and the buffer plan of a
+/// kernel.
+///
+/// Log-space arithmetic is resolved at code generation time: a `lo_spn.mul`
+/// on `!lo_spn.log<T>` emits `Add`, a `lo_spn.add` emits `LogSumExp`, and
+/// leaf instructions with log results use tables/coefficients that already
+/// contain log-probabilities (paper §III-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_VM_BYTECODE_H
+#define SPNC_VM_BYTECODE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spnc {
+namespace vm {
+
+enum class OpCode : uint8_t {
+  /// dst <- constant pool [A].
+  Const,
+  /// dst <- buffer[A] element (B = static index); layout per buffer plan.
+  Load,
+  /// buffer[A] element (B = static slot) <- src register (Dst field).
+  Store,
+  /// dst <- a + b (also log-space multiplication).
+  Add,
+  /// dst <- a * b (linear-space multiplication).
+  Mul,
+  /// dst <- a * b + c (fused by the O2+ peephole).
+  FusedMulAdd,
+  /// dst <- log(exp(a) + exp(b)) (log-space addition; uses the vector
+  /// math library when enabled).
+  LogSumExp,
+  /// dst <- gaussian pdf (linear), params[A].
+  Gaussian,
+  /// dst <- gaussian log-pdf, params[A].
+  GaussianLog,
+  /// dst <- table lookup (histogram / categorical), tables[A]. The table
+  /// values are log-probabilities when the task computes in log space.
+  TableLookup,
+  /// dst <- (lo <= a < hi) ? v : dst, selects[A]. The GPU lowering emits
+  /// cascades of these instead of table lookups (paper §IV-C).
+  SelectInRange,
+  /// dst <- isnan(a) ? constpool[B] : dst. Emitted after select cascades
+  /// of marginal-supporting discrete leaves.
+  NanBlend,
+  /// N-ary variants produced by the O2 chain-collapse peephole: operands
+  /// are Args[A .. A+B). dst <- sum / product / log-sum-exp of them.
+  AddN,
+  MulN,
+  LogSumExpN,
+};
+
+/// One bytecode instruction. Register operands index the per-sample
+/// register file; immediate operands index per-program side tables.
+struct Instruction {
+  OpCode Op;
+  uint32_t Dst = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+};
+
+/// Precomputed Gaussian parameters. For log-space tasks, `Coefficient`
+/// holds log(1/(sigma*sqrt(2pi))); for linear space the raw coefficient.
+struct GaussianParams {
+  double Mean = 0.0;
+  double InvStdDev = 1.0;
+  double Coefficient = 0.0;
+  /// Generate the NaN check for marginalized evidence.
+  bool SupportMarginal = false;
+  /// Value contributed by a marginalized feature (1 or log 1 = 0).
+  double MarginalValue = 0.0;
+};
+
+/// Lookup table for discrete leaves. Dense tables map integral evidence
+/// x in [Lo, Lo + Values.size()) to Values[x - Lo]; out-of-range evidence
+/// yields DefaultValue (0, or -inf in log space).
+struct LookupTable {
+  double Lo = 0.0;
+  std::vector<double> Values;
+  double DefaultValue = 0.0;
+  bool SupportMarginal = false;
+  double MarginalValue = 0.0;
+};
+
+/// One range-select of a GPU-style select cascade.
+struct SelectRange {
+  double Lo = 0.0;
+  double Hi = 0.0;
+  double Value = 0.0;
+};
+
+/// How a bytecode load/store addresses a buffer.
+struct BufferAccess {
+  /// Index into the kernel's buffer plan.
+  uint32_t Buffer = 0;
+  /// Feature index (row-major input) or slot index (transposed
+  /// intermediate).
+  uint32_t Index = 0;
+};
+
+/// Executable form of one LoSPN task.
+struct TaskProgram {
+  std::vector<Instruction> Code;
+  uint32_t NumRegisters = 0;
+  std::vector<double> ConstPool;
+  std::vector<GaussianParams> Gaussians;
+  std::vector<LookupTable> Tables;
+  std::vector<SelectRange> Selects;
+  std::vector<BufferAccess> Loads;
+  std::vector<BufferAccess> Stores;
+  /// Register operand lists of the n-ary instructions.
+  std::vector<uint32_t> Args;
+};
+
+/// Role and layout of one kernel-level buffer.
+struct BufferInfo {
+  enum class Kind : uint8_t { Input, Output, Intermediate };
+  Kind Role = Kind::Intermediate;
+  /// Number of features (inputs) or slots (outputs/intermediates).
+  uint32_t Columns = 1;
+  /// True for [slot][sample] layout (contiguous per slot); false for the
+  /// row-major [sample][feature] layout of external inputs.
+  bool Transposed = true;
+  /// GPU: buffer stays on the device between tasks (paper §IV-C).
+  bool DeviceResident = false;
+};
+
+/// One step of a kernel: either a task execution or a buffer copy (the
+/// latter only occurs with copy avoidance disabled, paper §IV-A5).
+struct KernelStep {
+  /// Index into Tasks, or -1 for a copy step.
+  int32_t Task = -1;
+  int32_t CopySrc = -1;
+  int32_t CopyDst = -1;
+};
+
+/// Executable form of one LoSPN kernel.
+struct KernelProgram {
+  std::string Name;
+  std::vector<TaskProgram> Tasks;
+  std::vector<KernelStep> Steps;
+  std::vector<BufferInfo> Buffers;
+  uint32_t NumInputs = 0;
+  uint32_t NumOutputs = 0;
+  /// Compute in 32-bit floats (paper: f32 log-space for speaker models).
+  bool UseF32 = true;
+  /// Results are log-probabilities.
+  bool LogSpace = true;
+  /// Optimization hint from the query (chunk/block size).
+  uint32_t BatchSize = 4096;
+
+  /// Total number of instructions across all tasks.
+  size_t totalInstructions() const {
+    size_t Total = 0;
+    for (const TaskProgram &Task : Tasks)
+      Total += Task.Code.size();
+    return Total;
+  }
+};
+
+} // namespace vm
+} // namespace spnc
+
+#endif // SPNC_VM_BYTECODE_H

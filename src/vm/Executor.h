@@ -1,0 +1,119 @@
+//===- Executor.h - Scalar and SIMD bytecode execution engines ---------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution engines for `KernelProgram`s on the CPU:
+///
+///  * a scalar engine processing one sample at a time (the "No Vec."
+///    configuration of Fig. 6);
+///  * a data-parallel vector engine processing W samples per step with a
+///    scalar epilogue for the remainder (paper §IV-B), configurable in
+///    width (W=8 f32 lanes ~ AVX2, W=16 ~ AVX-512), vector-library use
+///    and gather-vs-load+shuffle input loading.
+///
+/// Multi-threading follows the paper's runtime design: the batch is split
+/// into chunks (chunk size = the user's batch-size hint) and chunks are
+/// processed by a thread pool, each with private intermediate buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_VM_EXECUTOR_H
+#define SPNC_VM_EXECUTOR_H
+
+#include "vm/Bytecode.h"
+
+#include <cstddef>
+#include <memory>
+
+namespace spnc {
+
+class ThreadPool;
+
+namespace vm {
+
+/// CPU execution configuration (the design space of Fig. 6).
+struct ExecutionConfig {
+  /// SIMD lanes; 1 selects the scalar engine. Supported: 1, 4, 8, 16.
+  unsigned VectorWidth = 1;
+  /// Use the vectorized math library (VecMath.h) for exp/log in vector
+  /// code; otherwise scalar libm calls are made per lane.
+  bool UseVecLib = true;
+  /// Load row-major inputs blockwise with a transpose (loads+shuffles)
+  /// instead of per-lane strided gather loads.
+  bool UseShuffle = true;
+  /// Worker threads for chunk-parallel execution.
+  unsigned NumThreads = 1;
+  /// Chunk size; 0 uses the kernel's batch-size hint.
+  uint32_t ChunkSize = 0;
+};
+
+/// Executes a compiled kernel program on the CPU. One external input
+/// buffer (row-major [sample][feature] doubles) and one external output
+/// buffer are supported, matching the kernels the pipeline produces.
+class CpuExecutor {
+public:
+  CpuExecutor(KernelProgram Program, ExecutionConfig Config);
+  ~CpuExecutor();
+
+  CpuExecutor(const CpuExecutor &) = delete;
+  CpuExecutor &operator=(const CpuExecutor &) = delete;
+
+  const KernelProgram &getProgram() const { return Program; }
+  const ExecutionConfig &getConfig() const { return Config; }
+
+  /// Runs the kernel over \p NumSamples samples. \p Output receives one
+  /// value per sample and output slot, laid out [slot][sample].
+  void execute(const double *Input, double *Output,
+               size_t NumSamples) const;
+
+private:
+  void executeChunk(const double *Input, double *Output,
+                    size_t TotalSamples, size_t Begin, size_t End) const;
+
+  KernelProgram Program;
+  ExecutionConfig Config;
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+//===----------------------------------------------------------------------===//
+// Low-level single-sample execution (shared with the GPU simulator)
+//===----------------------------------------------------------------------===//
+
+/// Bound buffer view used by the interpreters. Exactly one of the three
+/// pointers is set, matching the buffer's role.
+template <typename T>
+struct BufferBinding {
+  const double *ExternalIn = nullptr;
+  double *ExternalOut = nullptr;
+  T *Scratch = nullptr;
+  uint32_t Columns = 1;
+  bool Transposed = true;
+  /// Length of the sample dimension used for transposed addressing.
+  size_t Stride = 0;
+  /// Sample offset of the current chunk within the buffer.
+  size_t Offset = 0;
+};
+
+/// Executes \p Task for the single chunk-local sample \p SampleIdx using
+/// \p Registers (NumRegisters entries). Scalar reference engine; also the
+/// per-thread execution model of the GPU simulator.
+template <typename T>
+void executeSample(const TaskProgram &Task,
+                   const BufferBinding<T> *Buffers, size_t SampleIdx,
+                   T *Registers);
+
+extern template void executeSample<float>(const TaskProgram &,
+                                          const BufferBinding<float> *,
+                                          size_t, float *);
+extern template void executeSample<double>(const TaskProgram &,
+                                           const BufferBinding<double> *,
+                                           size_t, double *);
+
+} // namespace vm
+} // namespace spnc
+
+#endif // SPNC_VM_EXECUTOR_H

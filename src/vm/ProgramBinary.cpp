@@ -1,0 +1,300 @@
+//===- ProgramBinary.cpp - Binary encoding of kernel programs ------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ProgramBinary.h"
+
+#include <cstring>
+
+using namespace spnc;
+using namespace spnc::vm;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x43505356; // "VSPC"
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+public:
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+  void u8(uint8_t V) { Bytes.push_back(V); }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void u64(uint64_t V) { raw(&V, sizeof(V)); }
+  void f64(double V) { raw(&V, sizeof(V)); }
+  void str(const std::string &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    raw(V.data(), V.size());
+  }
+  void f64Vec(const std::vector<double> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (double X : V)
+      f64(X);
+  }
+
+private:
+  void raw(const void *Data, size_t Size) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    Bytes.insert(Bytes.end(), P, P + Size);
+  }
+  std::vector<uint8_t> Bytes;
+};
+
+class Reader {
+public:
+  explicit Reader(std::span<const uint8_t> Blob) : Blob(Blob) {}
+
+  bool bad() const { return Error; }
+  bool atEnd() const { return Offset == Blob.size(); }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  double f64() {
+    double V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t Size = u32();
+    if (Error || Blob.size() - Offset < Size) {
+      Error = true;
+      return {};
+    }
+    std::string V(reinterpret_cast<const char *>(&Blob[Offset]), Size);
+    Offset += Size;
+    return V;
+  }
+  std::vector<double> f64Vec() {
+    uint32_t Size = u32();
+    if (Error || (Blob.size() - Offset) / sizeof(double) < Size) {
+      Error = true;
+      return {};
+    }
+    std::vector<double> V(Size);
+    for (double &X : V)
+      X = f64();
+    return V;
+  }
+
+private:
+  void raw(void *Data, size_t Size) {
+    if (Error || Blob.size() - Offset < Size) {
+      Error = true;
+      std::memset(Data, 0, Size);
+      return;
+    }
+    std::memcpy(Data, &Blob[Offset], Size);
+    Offset += Size;
+  }
+  std::span<const uint8_t> Blob;
+  size_t Offset = 0;
+  bool Error = false;
+};
+
+} // namespace
+
+std::vector<uint8_t> spnc::vm::encodeProgram(const KernelProgram &P) {
+  Writer W;
+  W.u32(kMagic);
+  W.u32(kVersion);
+  W.str(P.Name);
+  W.u8(P.UseF32);
+  W.u8(P.LogSpace);
+  W.u32(P.BatchSize);
+  W.u32(P.NumInputs);
+  W.u32(P.NumOutputs);
+
+  W.u32(static_cast<uint32_t>(P.Buffers.size()));
+  for (const BufferInfo &B : P.Buffers) {
+    W.u8(static_cast<uint8_t>(B.Role));
+    W.u32(B.Columns);
+    W.u8(B.Transposed);
+    W.u8(B.DeviceResident);
+  }
+
+  W.u32(static_cast<uint32_t>(P.Steps.size()));
+  for (const KernelStep &S : P.Steps) {
+    W.u32(static_cast<uint32_t>(S.Task));
+    W.u32(static_cast<uint32_t>(S.CopySrc));
+    W.u32(static_cast<uint32_t>(S.CopyDst));
+  }
+
+  W.u32(static_cast<uint32_t>(P.Tasks.size()));
+  for (const TaskProgram &T : P.Tasks) {
+    W.u32(T.NumRegisters);
+    W.u32(static_cast<uint32_t>(T.Code.size()));
+    for (const Instruction &I : T.Code) {
+      W.u8(static_cast<uint8_t>(I.Op));
+      W.u32(I.Dst);
+      W.u32(I.A);
+      W.u32(I.B);
+      W.u32(I.C);
+    }
+    W.f64Vec(T.ConstPool);
+    W.u32(static_cast<uint32_t>(T.Gaussians.size()));
+    for (const GaussianParams &G : T.Gaussians) {
+      W.f64(G.Mean);
+      W.f64(G.InvStdDev);
+      W.f64(G.Coefficient);
+      W.u8(G.SupportMarginal);
+      W.f64(G.MarginalValue);
+    }
+    W.u32(static_cast<uint32_t>(T.Tables.size()));
+    for (const LookupTable &L : T.Tables) {
+      W.f64(L.Lo);
+      W.f64Vec(L.Values);
+      W.f64(L.DefaultValue);
+      W.u8(L.SupportMarginal);
+      W.f64(L.MarginalValue);
+    }
+    W.u32(static_cast<uint32_t>(T.Selects.size()));
+    for (const SelectRange &S : T.Selects) {
+      W.f64(S.Lo);
+      W.f64(S.Hi);
+      W.f64(S.Value);
+    }
+    W.u32(static_cast<uint32_t>(T.Loads.size()));
+    for (const BufferAccess &A : T.Loads) {
+      W.u32(A.Buffer);
+      W.u32(A.Index);
+    }
+    W.u32(static_cast<uint32_t>(T.Stores.size()));
+    for (const BufferAccess &A : T.Stores) {
+      W.u32(A.Buffer);
+      W.u32(A.Index);
+    }
+    W.u32(static_cast<uint32_t>(T.Args.size()));
+    for (uint32_t Arg : T.Args)
+      W.u32(Arg);
+  }
+  return W.take();
+}
+
+Expected<KernelProgram>
+spnc::vm::decodeProgram(std::span<const uint8_t> Blob) {
+  Reader R(Blob);
+  if (R.u32() != kMagic)
+    return makeError("not a kernel program blob (bad magic)");
+  if (R.u32() != kVersion)
+    return makeError("unsupported kernel program version");
+  KernelProgram P;
+  P.Name = R.str();
+  P.UseF32 = R.u8() != 0;
+  P.LogSpace = R.u8() != 0;
+  P.BatchSize = R.u32();
+  P.NumInputs = R.u32();
+  P.NumOutputs = R.u32();
+
+  uint32_t NumBuffers = R.u32();
+  if (R.bad())
+    return makeError("truncated program header");
+  P.Buffers.resize(NumBuffers);
+  for (BufferInfo &B : P.Buffers) {
+    B.Role = static_cast<BufferInfo::Kind>(R.u8());
+    B.Columns = R.u32();
+    B.Transposed = R.u8() != 0;
+    B.DeviceResident = R.u8() != 0;
+  }
+
+  uint32_t NumSteps = R.u32();
+  if (R.bad())
+    return makeError("truncated step table");
+  P.Steps.resize(NumSteps);
+  for (KernelStep &S : P.Steps) {
+    S.Task = static_cast<int32_t>(R.u32());
+    S.CopySrc = static_cast<int32_t>(R.u32());
+    S.CopyDst = static_cast<int32_t>(R.u32());
+  }
+
+  uint32_t NumTasks = R.u32();
+  if (R.bad())
+    return makeError("truncated task table");
+  P.Tasks.resize(NumTasks);
+  for (TaskProgram &T : P.Tasks) {
+    T.NumRegisters = R.u32();
+    uint32_t NumInsts = R.u32();
+    if (R.bad() || NumInsts > Blob.size())
+      return makeError("invalid instruction count");
+    T.Code.resize(NumInsts);
+    for (Instruction &I : T.Code) {
+      I.Op = static_cast<OpCode>(R.u8());
+      I.Dst = R.u32();
+      I.A = R.u32();
+      I.B = R.u32();
+      I.C = R.u32();
+    }
+    T.ConstPool = R.f64Vec();
+    uint32_t NumGauss = R.u32();
+    if (R.bad() || NumGauss > Blob.size())
+      return makeError("invalid gaussian count");
+    T.Gaussians.resize(NumGauss);
+    for (GaussianParams &G : T.Gaussians) {
+      G.Mean = R.f64();
+      G.InvStdDev = R.f64();
+      G.Coefficient = R.f64();
+      G.SupportMarginal = R.u8() != 0;
+      G.MarginalValue = R.f64();
+    }
+    uint32_t NumTables = R.u32();
+    if (R.bad() || NumTables > Blob.size())
+      return makeError("invalid table count");
+    T.Tables.resize(NumTables);
+    for (LookupTable &L : T.Tables) {
+      L.Lo = R.f64();
+      L.Values = R.f64Vec();
+      L.DefaultValue = R.f64();
+      L.SupportMarginal = R.u8() != 0;
+      L.MarginalValue = R.f64();
+    }
+    uint32_t NumSelects = R.u32();
+    if (R.bad() || NumSelects > Blob.size())
+      return makeError("invalid select count");
+    T.Selects.resize(NumSelects);
+    for (SelectRange &S : T.Selects) {
+      S.Lo = R.f64();
+      S.Hi = R.f64();
+      S.Value = R.f64();
+    }
+    uint32_t NumLoads = R.u32();
+    if (R.bad() || NumLoads > Blob.size())
+      return makeError("invalid load count");
+    T.Loads.resize(NumLoads);
+    for (BufferAccess &A : T.Loads) {
+      A.Buffer = R.u32();
+      A.Index = R.u32();
+    }
+    uint32_t NumStores = R.u32();
+    if (R.bad() || NumStores > Blob.size())
+      return makeError("invalid store count");
+    T.Stores.resize(NumStores);
+    for (BufferAccess &A : T.Stores) {
+      A.Buffer = R.u32();
+      A.Index = R.u32();
+    }
+    uint32_t NumArgs = R.u32();
+    if (R.bad() || NumArgs > Blob.size())
+      return makeError("invalid args count");
+    T.Args.resize(NumArgs);
+    for (uint32_t &Arg : T.Args)
+      Arg = R.u32();
+  }
+  if (R.bad() || !R.atEnd())
+    return makeError("malformed kernel program blob");
+  return P;
+}

@@ -1,0 +1,39 @@
+//===- ProgramBinary.h - Binary encoding of kernel programs -------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of `KernelProgram`s — the analog of the object
+/// code / CUBIN module the paper's pipeline produces. The GPU compile
+/// pipeline encodes the device portion into this format and attaches it
+/// to the host module (paper §IV-C); it also enables caching compiled
+/// kernels on disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_VM_PROGRAMBINARY_H
+#define SPNC_VM_PROGRAMBINARY_H
+
+#include "support/Expected.h"
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spnc {
+namespace vm {
+
+/// Encodes \p Program into a self-contained byte blob.
+std::vector<uint8_t> encodeProgram(const KernelProgram &Program);
+
+/// Decodes a program previously produced by encodeProgram.
+Expected<KernelProgram> decodeProgram(std::span<const uint8_t> Blob);
+
+} // namespace vm
+} // namespace spnc
+
+#endif // SPNC_VM_PROGRAMBINARY_H

@@ -1,0 +1,369 @@
+//===- Workloads.cpp - Synthetic evaluation workloads ---------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace spnc;
+using namespace spnc::spn;
+using namespace spnc::workloads;
+
+namespace {
+
+/// Draws K positive weights summing to one.
+static std::vector<double> randomWeights(Rng &R, size_t K) {
+  std::vector<double> Weights(K);
+  double Total = 0.0;
+  for (double &W : Weights) {
+    W = 0.05 + R.uniform();
+    Total += W;
+  }
+  for (double &W : Weights)
+    W /= Total;
+  return Weights;
+}
+
+/// Per-feature specification shared between the speaker model generator
+/// and the speech data generator.
+struct FeatureSpec {
+  bool Continuous = true;
+  /// Discrete domain size (histogram/categorical leaves, data range).
+  unsigned Domain = 4;
+  /// Base location/scale of the continuous distribution.
+  double Mean = 0.0;
+  double Scale = 1.0;
+};
+
+static std::vector<FeatureSpec>
+deriveFeatureSpecs(const SpeakerModelOptions &Options) {
+  Rng R(Options.Seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+  std::vector<FeatureSpec> Specs(Options.NumFeatures);
+  for (FeatureSpec &Spec : Specs) {
+    Spec.Continuous = R.uniform() < Options.ContinuousFeatureFraction;
+    Spec.Domain = 2 + static_cast<unsigned>(R.uniformInt(7));
+    Spec.Mean = R.uniform(-3.0, 3.0);
+    Spec.Scale = R.uniform(0.5, 2.5);
+  }
+  return Specs;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Speaker identification models
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class SpeakerGenerator {
+public:
+  SpeakerGenerator(const SpeakerModelOptions &Options)
+      : Options(Options), Specs(deriveFeatureSpecs(Options)),
+        R(Options.Seed), TheModel(Options.NumFeatures, "speaker") {}
+
+  Model take() {
+    // Mixture components are appended until the target size is reached;
+    // the root mixes them (LearnSPN-style structure over MFCC features).
+    std::vector<Node *> Components;
+    while (TheModel.getNumNodes() + 1 <
+               Options.TargetOperations ||
+           Components.size() < 2) {
+      std::vector<unsigned> Scope(Options.NumFeatures);
+      for (unsigned I = 0; I < Options.NumFeatures; ++I)
+        Scope[I] = I;
+      Components.push_back(buildProduct(Scope, 0));
+    }
+    TheModel.setRoot(
+        TheModel.makeSum(Components, randomWeights(R, Components.size())));
+    return std::move(TheModel);
+  }
+
+private:
+  Node *buildLeaf(unsigned Feature) {
+    const FeatureSpec &Spec = Specs[Feature];
+    if (Spec.Continuous) {
+      // Mixture of 2-3 Gaussians: this drives the Gaussian operation
+      // share toward the published 49%.
+      unsigned K = 2 + static_cast<unsigned>(R.uniformInt(2));
+      std::vector<Node *> Parts;
+      for (unsigned I = 0; I < K; ++I)
+        Parts.push_back(TheModel.makeGaussian(
+            Feature, Spec.Mean + R.uniform(-2.0, 2.0),
+            Spec.Scale * R.uniform(0.5, 1.5)));
+      if (Parts.size() == 1)
+        return Parts[0];
+      return TheModel.makeSum(Parts, randomWeights(R, Parts.size()));
+    }
+    // Discrete feature: histogram or categorical over the domain.
+    std::vector<double> Probs = randomWeights(R, Spec.Domain);
+    if (R.uniform() < 0.5)
+      return TheModel.makeCategorical(Feature, std::move(Probs));
+    std::vector<HistogramBucket> Buckets;
+    for (unsigned I = 0; I < Spec.Domain; ++I)
+      Buckets.push_back(HistogramBucket{static_cast<double>(I),
+                                        static_cast<double>(I + 1),
+                                        Probs[I]});
+    return TheModel.makeHistogram(Feature, std::move(Buckets));
+  }
+
+  Node *buildProduct(std::vector<unsigned> Scope, unsigned Depth) {
+    if (Scope.size() == 1)
+      return buildLeaf(Scope[0]);
+    // Shuffle and split the scope into 2-3 parts.
+    for (size_t I = Scope.size(); I > 1; --I)
+      std::swap(Scope[I - 1], Scope[R.uniformInt(I)]);
+    size_t NumParts =
+        std::min<size_t>(Scope.size(), 2 + R.uniformInt(2));
+    std::vector<Node *> Parts;
+    size_t Begin = 0;
+    for (size_t P = 0; P < NumParts; ++P) {
+      size_t End = P + 1 == NumParts
+                       ? Scope.size()
+                       : Begin + std::max<size_t>(
+                                     1, (Scope.size() - Begin) /
+                                            (NumParts - P));
+      std::vector<unsigned> Part(Scope.begin() + Begin,
+                                 Scope.begin() + End);
+      Begin = End;
+      // Occasionally insert a sum over two alternative factorizations
+      // to obtain a DAG-like mixture structure.
+      if (Part.size() > 1 && Depth < 4 && R.uniform() < 0.3) {
+        std::vector<Node *> Alternatives{
+            buildProduct(Part, Depth + 1),
+            buildProduct(Part, Depth + 1)};
+        Parts.push_back(
+            TheModel.makeSum(Alternatives, randomWeights(R, 2)));
+      } else {
+        Parts.push_back(buildProduct(Part, Depth + 1));
+      }
+    }
+    if (Parts.size() == 1)
+      return Parts[0];
+    return TheModel.makeProduct(Parts);
+  }
+
+  const SpeakerModelOptions &Options;
+  std::vector<FeatureSpec> Specs;
+  Rng R;
+  Model TheModel;
+};
+
+} // namespace
+
+Model spnc::workloads::generateSpeakerModel(
+    const SpeakerModelOptions &Options) {
+  return SpeakerGenerator(Options).take();
+}
+
+std::vector<double>
+spnc::workloads::generateSpeechData(const SpeakerModelOptions &Options,
+                                    size_t NumSamples, uint64_t Seed) {
+  std::vector<FeatureSpec> Specs = deriveFeatureSpecs(Options);
+  Rng R(Seed);
+  std::vector<double> Data(NumSamples * Options.NumFeatures);
+  for (size_t S = 0; S < NumSamples; ++S)
+    for (unsigned F = 0; F < Options.NumFeatures; ++F) {
+      const FeatureSpec &Spec = Specs[F];
+      double Value;
+      if (Spec.Continuous)
+        Value = R.normal(Spec.Mean, Spec.Scale);
+      else
+        Value = static_cast<double>(R.uniformInt(Spec.Domain));
+      Data[S * Options.NumFeatures + F] = Value;
+    }
+  return Data;
+}
+
+std::vector<double> spnc::workloads::generateNoisySpeechData(
+    const SpeakerModelOptions &Options, size_t NumSamples, uint64_t Seed,
+    double DropProbability) {
+  std::vector<double> Data =
+      generateSpeechData(Options, NumSamples, Seed);
+  Rng R(Seed ^ 0x0a015eULL); // distinct stream for the drop mask
+  for (double &Value : Data)
+    if (R.uniform() < DropProbability)
+      Value = std::numeric_limits<double>::quiet_NaN();
+  return Data;
+}
+
+//===----------------------------------------------------------------------===//
+// RAT-SPNs
+//===----------------------------------------------------------------------===//
+
+RatSpnOptions spnc::workloads::ratSpnPaperScale() {
+  // Approximates the published per-class counts (paper §V-B1: ~165k
+  // leaves, ~170k products, ~3k sums).
+  RatSpnOptions Options;
+  Options.NumFeatures = 784;
+  Options.Depth = 5;
+  Options.Replicas = 5;
+  Options.SumsPerRegion = 8;
+  Options.LeafDistributions = 40;
+  return Options;
+}
+
+RatSpnOptions spnc::workloads::ratSpnSmallScale() {
+  RatSpnOptions Options;
+  Options.NumFeatures = 196; // 14x14 images
+  Options.Depth = 4;
+  Options.Replicas = 2;
+  Options.SumsPerRegion = 4;
+  Options.LeafDistributions = 12;
+  return Options;
+}
+
+namespace {
+
+/// Class prototypes exactly as generateImageData derives them (its Rng
+/// draws them first).
+static std::vector<double> derivePrototype(unsigned NumFeatures,
+                                           unsigned ClassIndex,
+                                           uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<double> Prototype(NumFeatures);
+  for (unsigned Class = 0; Class <= ClassIndex; ++Class)
+    for (double &P : Prototype)
+      P = R.uniform();
+  return Prototype;
+}
+
+class RatSpnGenerator {
+public:
+  RatSpnGenerator(const RatSpnOptions &Options, unsigned ClassIndex)
+      : Options(Options), StructureRng(Options.Seed),
+        ParamRng(Options.Seed * 0x2545f4914f6cdd1dULL + ClassIndex + 1),
+        TheModel(Options.NumFeatures, "ratspn") {
+    if (Options.PrototypeSeed != 0)
+      Prototype = derivePrototype(Options.NumFeatures, ClassIndex,
+                                  Options.PrototypeSeed);
+  }
+
+  Model take() {
+    std::vector<Node *> ReplicaRoots;
+    for (unsigned Rep = 0; Rep < Options.Replicas; ++Rep) {
+      std::vector<unsigned> Scope(Options.NumFeatures);
+      for (unsigned I = 0; I < Options.NumFeatures; ++I)
+        Scope[I] = I;
+      std::vector<Node *> Heads = buildRegion(Scope, 0);
+      ReplicaRoots.insert(ReplicaRoots.end(), Heads.begin(),
+                          Heads.end());
+    }
+    TheModel.setRoot(TheModel.makeSum(
+        ReplicaRoots, randomWeights(ParamRng, ReplicaRoots.size())));
+    return std::move(TheModel);
+  }
+
+private:
+  /// Builds the region over \p Scope; returns its heads (sum nodes or
+  /// leaf distributions).
+  std::vector<Node *> buildRegion(std::vector<unsigned> Scope,
+                                  unsigned Depth) {
+    if (Depth >= Options.Depth || Scope.size() == 1)
+      return buildLeafRegion(Scope);
+
+    // Random balanced split (structure shared across classes).
+    for (size_t I = Scope.size(); I > 1; --I)
+      std::swap(Scope[I - 1], Scope[StructureRng.uniformInt(I)]);
+    size_t Half = Scope.size() / 2;
+    std::vector<unsigned> Left(Scope.begin(), Scope.begin() + Half);
+    std::vector<unsigned> Right(Scope.begin() + Half, Scope.end());
+
+    std::vector<Node *> LeftHeads = buildRegion(std::move(Left), Depth + 1);
+    std::vector<Node *> RightHeads =
+        buildRegion(std::move(Right), Depth + 1);
+
+    // Cross products of the child region heads.
+    std::vector<Node *> Products;
+    Products.reserve(LeftHeads.size() * RightHeads.size());
+    for (Node *L : LeftHeads)
+      for (Node *Rh : RightHeads)
+        Products.push_back(TheModel.makeProduct({L, Rh}));
+
+    // S mixtures over the products (1 at the root region).
+    unsigned NumSums = Depth == 0 ? 1 : Options.SumsPerRegion;
+    std::vector<Node *> Sums;
+    Sums.reserve(NumSums);
+    for (unsigned S = 0; S < NumSums; ++S)
+      Sums.push_back(TheModel.makeSum(
+          Products, randomWeights(ParamRng, Products.size())));
+    return Sums;
+  }
+
+  /// Gaussian leaf parameters: random for untrained models, or the
+  /// maximum-likelihood fit to the class distribution (prototype mean,
+  /// data noise scale) with a little mixture jitter when "trained".
+  GaussianLeaf *makeLeaf(unsigned Feature) {
+    if (Prototype.empty())
+      return TheModel.makeGaussian(Feature, ParamRng.uniform(0.0, 1.0),
+                                   ParamRng.uniform(0.05, 0.3));
+    return TheModel.makeGaussian(
+        Feature, Prototype[Feature] + ParamRng.uniform(-0.05, 0.05),
+        ParamRng.uniform(0.12, 0.2));
+  }
+
+  std::vector<Node *> buildLeafRegion(const std::vector<unsigned> &Scope) {
+    std::vector<Node *> Distributions;
+    Distributions.reserve(Options.LeafDistributions);
+    for (unsigned I = 0; I < Options.LeafDistributions; ++I) {
+      if (Scope.size() == 1) {
+        Distributions.push_back(makeLeaf(Scope[0]));
+        continue;
+      }
+      std::vector<Node *> Factors;
+      Factors.reserve(Scope.size());
+      for (unsigned Feature : Scope)
+        Factors.push_back(makeLeaf(Feature));
+      Distributions.push_back(TheModel.makeProduct(std::move(Factors)));
+    }
+    return Distributions;
+  }
+
+  const RatSpnOptions &Options;
+  Rng StructureRng;
+  Rng ParamRng;
+  Model TheModel;
+  std::vector<double> Prototype;
+};
+
+} // namespace
+
+Model spnc::workloads::generateRatSpn(const RatSpnOptions &Options,
+                                      unsigned ClassIndex) {
+  return RatSpnGenerator(Options, ClassIndex).take();
+}
+
+std::vector<double> spnc::workloads::generateImageData(
+    unsigned NumFeatures, unsigned NumClasses, size_t NumSamples,
+    uint64_t Seed, std::vector<unsigned> *Labels) {
+  Rng R(Seed);
+  // Class prototypes in pixel space.
+  std::vector<std::vector<double>> Prototypes(NumClasses);
+  for (auto &Proto : Prototypes) {
+    Proto.resize(NumFeatures);
+    for (double &P : Proto)
+      P = R.uniform();
+  }
+  std::vector<double> Data(NumSamples * NumFeatures);
+  if (Labels)
+    Labels->resize(NumSamples);
+  for (size_t S = 0; S < NumSamples; ++S) {
+    auto Class = static_cast<unsigned>(R.uniformInt(NumClasses));
+    if (Labels)
+      (*Labels)[S] = Class;
+    for (unsigned F = 0; F < NumFeatures; ++F) {
+      double Value = Prototypes[Class][F] + R.normal(0.0, 0.15);
+      Data[S * NumFeatures + F] = std::clamp(Value, 0.0, 1.0);
+    }
+  }
+  return Data;
+}

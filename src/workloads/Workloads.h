@@ -1,0 +1,121 @@
+//===- Workloads.h - Synthetic evaluation workloads ----------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generators for the two evaluation applications of the paper:
+///
+///  * speaker-identification SPNs (paper §V-A, Nicolson et al.): one SPN
+///    per speaker over 26 MFCC-like features; the generator matches the
+///    published model statistics (~2569 operations on average, ~49%
+///    Gaussian leaf nodes) since the original speech models are not
+///    shipped;
+///  * RAT-SPNs (paper §V-B, Peharz et al.): random tensorized SPN
+///    structures built from a region graph; the paper-scale configuration
+///    approximates the published per-class counts (~165k leaves, ~170k
+///    products, ~3k sums over 784 features).
+///
+/// Plus matching synthetic data generators (clean speech features, noisy
+/// speech with NaN-marginalized features, MNIST-like images).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_WORKLOADS_WORKLOADS_H
+#define SPNC_WORKLOADS_WORKLOADS_H
+
+#include "frontend/Model.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spnc {
+namespace workloads {
+
+//===----------------------------------------------------------------------===//
+// Speaker identification (paper §V-A)
+//===----------------------------------------------------------------------===//
+
+struct SpeakerModelOptions {
+  unsigned NumFeatures = 26;
+  /// Approximate operation count to generate (paper: 2569 on average).
+  unsigned TargetOperations = 2569;
+  /// Fraction of features modelled by Gaussian leaves (paper: the models
+  /// average 49% Gaussian leaf nodes).
+  double ContinuousFeatureFraction = 0.68;
+  uint64_t Seed = 1;
+};
+
+/// Generates one per-speaker SPN. Different seeds give the different
+/// speaker models of the evaluation.
+spn::Model generateSpeakerModel(const SpeakerModelOptions &Options);
+
+/// Generates clean speech-like samples (row-major [sample][feature]).
+/// Continuous features are Gaussian-mixture distributed; discrete
+/// features are small non-negative integers, in range of the generated
+/// leaves.
+std::vector<double> generateSpeechData(const SpeakerModelOptions &Options,
+                                       size_t NumSamples, uint64_t Seed);
+
+/// Generates noisy speech samples: like generateSpeechData, but each
+/// feature is marginalized (NaN) with probability \p DropProbability
+/// (paper §V-A: noisy samples are evaluated with marginalization).
+std::vector<double> generateNoisySpeechData(
+    const SpeakerModelOptions &Options, size_t NumSamples, uint64_t Seed,
+    double DropProbability = 0.3);
+
+//===----------------------------------------------------------------------===//
+// RAT-SPNs (paper §V-B)
+//===----------------------------------------------------------------------===//
+
+struct RatSpnOptions {
+  /// Number of random variables (28x28 images in the paper).
+  unsigned NumFeatures = 784;
+  /// Region-graph split depth (leaf regions hold
+  /// NumFeatures / 2^Depth features).
+  unsigned Depth = 5;
+  /// Number of replicas (independent random region trees).
+  unsigned Replicas = 5;
+  /// Sum nodes per internal region.
+  unsigned SumsPerRegion = 8;
+  /// Input distributions per leaf region.
+  unsigned LeafDistributions = 40;
+  uint64_t Seed = 7;
+  /// Weight-learning substitute: when non-zero, the Gaussian leaf
+  /// parameters of class k are fitted to the synthetic class-k image
+  /// distribution of generateImageData(..., PrototypeSeed, ...) —
+  /// maximum likelihood for the per-class prototype + noise model, since
+  /// the paper's trained MNIST parameters are not redistributable. Zero
+  /// leaves the parameters random (an untrained model).
+  uint64_t PrototypeSeed = 0;
+};
+
+/// Approximates the paper-scale per-class RAT-SPN (~340k operations).
+RatSpnOptions ratSpnPaperScale();
+
+/// A scaled-down configuration for tests and default benchmark runs
+/// (~20k operations per class).
+RatSpnOptions ratSpnSmallScale();
+
+/// Generates the RAT-SPN for one output class. Classes share the random
+/// structure (derived from Options.Seed) and differ in the leaf/weight
+/// parameters (derived from ClassIndex), as in the paper where "the
+/// random structure for both tasks is identical and only the weights
+/// differ".
+spn::Model generateRatSpn(const RatSpnOptions &Options,
+                          unsigned ClassIndex);
+
+/// Generates MNIST-like image samples: per-class Gaussian blobs over
+/// pixel space, normalized to [0, 1]. Returns row-major samples and
+/// fills \p Labels with the class of each sample.
+std::vector<double> generateImageData(unsigned NumFeatures,
+                                      unsigned NumClasses,
+                                      size_t NumSamples, uint64_t Seed,
+                                      std::vector<unsigned> *Labels);
+
+} // namespace workloads
+} // namespace spnc
+
+#endif // SPNC_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,101 @@
+//===- baselines_test.cpp - Baseline executor tests ------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace spnc;
+using namespace spnc::baselines;
+
+namespace {
+
+class BaselinesTest : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override {
+    workloads::SpeakerModelOptions Options;
+    Options.TargetOperations = 500;
+    Options.Seed = GetParam();
+    Model = std::make_unique<spn::Model>(
+        workloads::generateSpeakerModel(Options));
+    Data = workloads::generateSpeechData(Options, kNumSamples,
+                                         GetParam() + 100);
+  }
+
+  static constexpr size_t kNumSamples = 50;
+  std::unique_ptr<spn::Model> Model;
+  std::vector<double> Data;
+};
+
+TEST_P(BaselinesTest, InterpreterMatchesReference) {
+  SPFlowInterpreter Interp(*Model);
+  std::vector<double> Output(kNumSamples);
+  Interp.execute(Data.data(), Output.data(), kNumSamples);
+  unsigned F = Model->getNumFeatures();
+  for (size_t S = 0; S < kNumSamples; ++S) {
+    double Reference = Model->evalLogLikelihood(
+        std::span<const double>(&Data[S * F], F));
+    EXPECT_NEAR(Output[S], Reference, 1e-9) << "sample " << S;
+  }
+}
+
+TEST_P(BaselinesTest, TfExecutorMatchesReference) {
+  TfGraphExecutor Tf(*Model);
+  std::vector<double> Output(kNumSamples);
+  Tf.execute(Data.data(), Output.data(), kNumSamples);
+  unsigned F = Model->getNumFeatures();
+  for (size_t S = 0; S < kNumSamples; ++S) {
+    double Reference = Model->evalLogLikelihood(
+        std::span<const double>(&Data[S * F], F));
+    EXPECT_NEAR(Output[S], Reference, 1e-9) << "sample " << S;
+  }
+}
+
+TEST_P(BaselinesTest, InterpreterSupportsMarginalization) {
+  workloads::SpeakerModelOptions Options;
+  Options.TargetOperations = 500;
+  Options.Seed = GetParam();
+  std::vector<double> Noisy = workloads::generateNoisySpeechData(
+      Options, kNumSamples, GetParam() + 7);
+  SPFlowInterpreter Interp(*Model);
+  std::vector<double> Output(kNumSamples);
+  Interp.execute(Noisy.data(), Output.data(), kNumSamples);
+  unsigned F = Model->getNumFeatures();
+  for (size_t S = 0; S < kNumSamples; ++S) {
+    double Reference = Model->evalLogLikelihood(
+        std::span<const double>(&Noisy[S * F], F));
+    EXPECT_NEAR(Output[S], Reference, 1e-9) << "sample " << S;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselinesTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(BaselinesEdgeTest, EmptyBatch) {
+  spn::Model M(1);
+  M.setRoot(M.makeGaussian(0, 0.0, 1.0));
+  SPFlowInterpreter Interp(M);
+  TfGraphExecutor Tf(M);
+  Interp.execute(nullptr, nullptr, 0);
+  Tf.execute(nullptr, nullptr, 0);
+}
+
+TEST(BaselinesEdgeTest, SingleLeafModel) {
+  spn::Model M(1);
+  M.setRoot(M.makeCategorical(0, {0.25, 0.75}));
+  double Input[2] = {0.0, 1.0};
+  double Output[2];
+  SPFlowInterpreter Interp(M);
+  Interp.execute(Input, Output, 2);
+  EXPECT_NEAR(Output[0], std::log(0.25), 1e-12);
+  EXPECT_NEAR(Output[1], std::log(0.75), 1e-12);
+}
+
+} // namespace

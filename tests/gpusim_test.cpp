@@ -1,0 +1,207 @@
+//===- gpusim_test.cpp - GPU simulator tests ------------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GpuSimulator.h"
+#include "runtime/Compiler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace spnc;
+using namespace spnc::gpusim;
+using namespace spnc::runtime;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Occupancy model
+//===----------------------------------------------------------------------===//
+
+TEST(OccupancyTest, FullOccupancyForLightKernels) {
+  GpuDeviceConfig Config;
+  // A tiny kernel fills the SM regardless of block size.
+  EXPECT_DOUBLE_EQ(computeOccupancy(Config, 64, 8), 1.0);
+  EXPECT_DOUBLE_EQ(computeOccupancy(Config, 1024, 8), 1.0);
+}
+
+TEST(OccupancyTest, RegisterPressureQuantizesLargeBlocks) {
+  GpuDeviceConfig Config;
+  // 80 registers/thread: 819 register-limited threads per SM. Blocks of
+  // 64 pack 12 blocks = 768 threads; blocks of 512 fit none (spill
+  // regime) and blocks of 256 fit 3 = 768.
+  double Small = computeOccupancy(Config, 64, 80);
+  double Large = computeOccupancy(Config, 512, 80);
+  EXPECT_GT(Small, 0.7);
+  EXPECT_LE(Large, Small);
+}
+
+TEST(OccupancyTest, TinyBlocksHitBlockLimit) {
+  GpuDeviceConfig Config;
+  // Blocks of 16: at most MaxBlocksPerSM blocks = 256 threads resident.
+  EXPECT_DOUBLE_EQ(computeOccupancy(Config, 16, 8),
+                   16.0 * 16.0 / 1024.0);
+}
+
+TEST(OccupancyTest, SpillSlowdown) {
+  GpuDeviceConfig Config;
+  EXPECT_DOUBLE_EQ(computeSpillSlowdown(Config, 64, 80), 1.0);
+  // 1024 threads x 80 regs = 81920 > 65536: block-level spill regime.
+  EXPECT_GT(computeSpillSlowdown(Config, 1024, 80), 1.0);
+  // Per-thread register demand beyond the architectural cap (255) adds a
+  // gentle, bounded penalty on top of the block-level one.
+  EXPECT_GT(computeSpillSlowdown(Config, 64, 10000),
+            computeSpillSlowdown(Config, 64, 255));
+  EXPECT_LE(computeSpillSlowdown(Config, 64, 1u << 30), 2.5);
+  EXPECT_LE(computeSpillSlowdown(Config, 1024, 1u << 30), 4.0 * 2.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution statistics
+//===----------------------------------------------------------------------===//
+
+class GpuStatsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    workloads::SpeakerModelOptions Options;
+    Options.TargetOperations = 400;
+    Options.Seed = 31;
+    Model = std::make_unique<spn::Model>(
+        workloads::generateSpeakerModel(Options));
+    Data = workloads::generateSpeechData(Options, kNumSamples, 2);
+  }
+
+  GpuExecutionStats run(const CompilerOptions &Options) {
+    Expected<CompiledKernel> Kernel =
+        compileModel(*Model, spn::QueryConfig(), Options);
+    EXPECT_TRUE(static_cast<bool>(Kernel));
+    std::vector<double> Output(kNumSamples);
+    Kernel->execute(Data.data(), Output.data(), kNumSamples);
+    return Kernel->getLastGpuStats();
+  }
+
+  static constexpr size_t kNumSamples = 2048;
+  std::unique_ptr<spn::Model> Model;
+  std::vector<double> Data;
+};
+
+TEST_F(GpuStatsTest, AccountsTransfersAndLaunches) {
+  CompilerOptions Options;
+  Options.TheTarget = Target::GPU;
+  GpuExecutionStats Stats = run(Options);
+  EXPECT_GT(Stats.ComputeNs, 0u);
+  EXPECT_GT(Stats.TransferNs, 0u);
+  EXPECT_EQ(Stats.NumLaunches, 1u); // single task, one launch
+  EXPECT_EQ(Stats.NumTransfers, 2u); // input up, output down
+  // f32 compute: 26 features + 1 output value per sample.
+  EXPECT_EQ(Stats.BytesHostToDevice, kNumSamples * 26 * sizeof(float));
+  EXPECT_EQ(Stats.BytesDeviceToHost, kNumSamples * sizeof(float));
+  EXPECT_EQ(Stats.totalNs(),
+            Stats.ComputeNs + Stats.TransferNs + Stats.LaunchNs);
+}
+
+TEST_F(GpuStatsTest, TransferEliminationRemovesIntermediateTraffic) {
+  CompilerOptions With;
+  With.TheTarget = Target::GPU;
+  With.MaxPartitionSize = 60;
+  CompilerOptions Without = With;
+  Without.GpuTransferElimination = false;
+
+  GpuExecutionStats StatsWith = run(With);
+  GpuExecutionStats StatsWithout = run(Without);
+
+  // Same number of launches (same tasks), but many more transfers and
+  // bytes without the elimination pass (paper §IV-C).
+  EXPECT_EQ(StatsWith.NumLaunches, StatsWithout.NumLaunches);
+  EXPECT_GT(StatsWithout.NumTransfers, StatsWith.NumTransfers);
+  EXPECT_GT(StatsWithout.BytesDeviceToHost, StatsWith.BytesDeviceToHost);
+  EXPECT_GT(StatsWithout.BytesHostToDevice, StatsWith.BytesHostToDevice);
+  EXPECT_GT(StatsWithout.TransferNs, StatsWith.TransferNs);
+}
+
+TEST_F(GpuStatsTest, PartitionedKernelLaunchesPerTask) {
+  CompilerOptions Options;
+  Options.TheTarget = Target::GPU;
+  Options.MaxPartitionSize = 60;
+  Expected<CompiledKernel> Kernel =
+      compileModel(*Model, spn::QueryConfig(), Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  std::vector<double> Output(kNumSamples);
+  Kernel->execute(Data.data(), Output.data(), kNumSamples);
+  GpuExecutionStats Stats = Kernel->getLastGpuStats();
+  EXPECT_EQ(Stats.NumLaunches, Kernel->getProgram().Tasks.size());
+  EXPECT_GT(Stats.NumLaunches, 1u);
+}
+
+/// Device-parameter sweep: correctness is configuration-invariant and
+/// the simulated clock responds monotonically to the throughput knobs.
+class DeviceConfigTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DeviceConfigTest, ResultsInvariantTimesResponsive) {
+  auto [PeakSpeedup, BandwidthGBs] = GetParam();
+  workloads::SpeakerModelOptions Options;
+  Options.TargetOperations = 300;
+  Options.Seed = 12;
+  spn::Model Model = workloads::generateSpeakerModel(Options);
+  std::vector<double> Data =
+      workloads::generateSpeechData(Options, 512, 3);
+
+  CompilerOptions Reference;
+  Expected<CompiledKernel> CpuKernel =
+      compileModel(Model, spn::QueryConfig(), Reference);
+  ASSERT_TRUE(static_cast<bool>(CpuKernel));
+  std::vector<double> ExpectedOut(512);
+  CpuKernel->execute(Data.data(), ExpectedOut.data(), 512);
+
+  CompilerOptions Gpu;
+  Gpu.TheTarget = Target::GPU;
+  Gpu.Device.PeakSpeedup = PeakSpeedup;
+  Gpu.Device.PcieBandwidthGBs = BandwidthGBs;
+  Expected<CompiledKernel> GpuKernel =
+      compileModel(Model, spn::QueryConfig(), Gpu);
+  ASSERT_TRUE(static_cast<bool>(GpuKernel));
+  std::vector<double> Actual(512);
+  GpuKernel->execute(Data.data(), Actual.data(), 512);
+  for (size_t S = 0; S < 512; ++S)
+    EXPECT_NEAR(Actual[S], ExpectedOut[S],
+                std::abs(ExpectedOut[S]) * 1e-4 + 1e-4);
+
+  // A faster device must not report a slower compute clock: compare
+  // against a 2x-derated configuration.
+  gpusim::GpuExecutionStats Fast = GpuKernel->getLastGpuStats();
+  CompilerOptions Slow = Gpu;
+  Slow.Device.PeakSpeedup = PeakSpeedup / 2;
+  Slow.Device.PcieBandwidthGBs = BandwidthGBs / 2;
+  Expected<CompiledKernel> SlowKernel =
+      compileModel(Model, spn::QueryConfig(), Slow);
+  ASSERT_TRUE(static_cast<bool>(SlowKernel));
+  SlowKernel->execute(Data.data(), Actual.data(), 512);
+  gpusim::GpuExecutionStats SlowStats = SlowKernel->getLastGpuStats();
+  EXPECT_GT(SlowStats.TransferNs, Fast.TransferNs);
+  // Compute is measured on a shared host core, so allow scheduling
+  // noise around the modelled 2x.
+  EXPECT_GT(static_cast<double>(SlowStats.ComputeNs),
+            0.8 * static_cast<double>(Fast.ComputeNs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Devices, DeviceConfigTest,
+    ::testing::Combine(::testing::Values(2.0, 8.0, 64.0),
+                       ::testing::Values(0.001, 0.01, 1.0)));
+
+TEST_F(GpuStatsTest, TransferDominatedForSmallModels) {
+  // The Fig. 9 relation: for the speaker-scale models, data movement is
+  // the majority of GPU execution time.
+  CompilerOptions Options;
+  Options.TheTarget = Target::GPU;
+  Options.OptLevel = 2;
+  Options.GpuBlockSize = 64;
+  GpuExecutionStats Stats = run(Options);
+  EXPECT_GT(Stats.transferFraction(), 0.5);
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+//===- learn_test.cpp - EM parameter learning tests ------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "learn/EM.h"
+#include "runtime/Compiler.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace spnc;
+using namespace spnc::learn;
+using namespace spnc::spn;
+
+namespace {
+
+/// Two-component Gaussian mixture data with known parameters.
+std::vector<double> mixtureData(size_t NumSamples, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<double> Data(NumSamples);
+  for (double &X : Data)
+    X = R.uniform() < 0.3 ? R.normal(-2.0, 0.5) : R.normal(3.0, 1.0);
+  return Data;
+}
+
+TEST(EMTest, LogLikelihoodIsNonDecreasing) {
+  Model M(1, "mixture");
+  Node *G0 = M.makeGaussian(0, -1.0, 1.0);
+  Node *G1 = M.makeGaussian(0, 1.0, 1.0);
+  M.setRoot(M.makeSum({G0, G1}, {0.5, 0.5}));
+
+  std::vector<double> Data = mixtureData(2000, 11);
+  EmOptions Options;
+  Options.Iterations = 15;
+  EmResult Result = fitParameters(M, Data.data(), Data.size(), Options);
+
+  ASSERT_EQ(Result.LogLikelihoodPerIteration.size(), 15u);
+  for (size_t I = 1; I < Result.LogLikelihoodPerIteration.size(); ++I)
+    EXPECT_GE(Result.LogLikelihoodPerIteration[I],
+              Result.LogLikelihoodPerIteration[I - 1] - 1e-9)
+        << "iteration " << I;
+}
+
+TEST(EMTest, RecoversMixtureParameters) {
+  Model M(1, "mixture");
+  auto *G0 = M.makeGaussian(0, -1.0, 1.0);
+  auto *G1 = M.makeGaussian(0, 1.0, 1.0);
+  auto *Root = M.makeSum({G0, G1}, {0.5, 0.5});
+  M.setRoot(Root);
+
+  std::vector<double> Data = mixtureData(5000, 3);
+  EmOptions Options;
+  Options.Iterations = 40;
+  fitParameters(M, Data.data(), Data.size(), Options);
+
+  // Identify components by mean ordering.
+  const GaussianLeaf *Low = G0->getMean() < G1->getMean() ? G0 : G1;
+  const GaussianLeaf *High = Low == G0 ? G1 : G0;
+  double WeightLow =
+      Root->getWeights()[Low == G0 ? 0 : 1];
+  EXPECT_NEAR(Low->getMean(), -2.0, 0.15);
+  EXPECT_NEAR(Low->getStdDev(), 0.5, 0.1);
+  EXPECT_NEAR(High->getMean(), 3.0, 0.15);
+  EXPECT_NEAR(High->getStdDev(), 1.0, 0.1);
+  EXPECT_NEAR(WeightLow, 0.3, 0.05);
+
+  std::string Error;
+  EXPECT_TRUE(M.validate(&Error)) << Error;
+}
+
+TEST(EMTest, LearnsDiscreteLeafTables) {
+  Model M(1, "disc");
+  auto *Cat = M.makeCategorical(0, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  M.setRoot(M.makeSum({Cat}, {1.0}));
+
+  // Category frequencies 0.6 / 0.3 / 0.1.
+  Rng R(5);
+  std::vector<double> Data(3000);
+  for (double &X : Data) {
+    double U = R.uniform();
+    X = U < 0.6 ? 0.0 : (U < 0.9 ? 1.0 : 2.0);
+  }
+  EmOptions Options;
+  Options.Iterations = 5;
+  fitParameters(M, Data.data(), Data.size(), Options);
+  EXPECT_NEAR(Cat->getProbabilities()[0], 0.6, 0.05);
+  EXPECT_NEAR(Cat->getProbabilities()[1], 0.3, 0.05);
+  EXPECT_NEAR(Cat->getProbabilities()[2], 0.1, 0.05);
+}
+
+TEST(EMTest, WeightsOnlyModeKeepsLeavesFixed) {
+  Model M(1, "mixture");
+  auto *G0 = M.makeGaussian(0, -2.0, 0.5);
+  auto *G1 = M.makeGaussian(0, 3.0, 1.0);
+  M.setRoot(M.makeSum({G0, G1}, {0.9, 0.1}));
+
+  std::vector<double> Data = mixtureData(3000, 8);
+  EmOptions Options;
+  Options.Iterations = 10;
+  Options.UpdateLeaves = false;
+  fitParameters(M, Data.data(), Data.size(), Options);
+
+  EXPECT_DOUBLE_EQ(G0->getMean(), -2.0);
+  EXPECT_DOUBLE_EQ(G1->getStdDev(), 1.0);
+  // The mixture weight still converges toward the true 0.3 / 0.7.
+  EXPECT_NEAR(cast<SumNode>(M.getRoot())->getWeights()[0], 0.3, 0.05);
+}
+
+TEST(EMTest, MarginalizedEvidenceIsIgnored) {
+  Model M(2, "partial");
+  auto *G0 = M.makeGaussian(0, 0.0, 1.0);
+  auto *G1 = M.makeGaussian(1, 0.0, 1.0);
+  M.setRoot(M.makeProduct({G0, G1}));
+
+  // Feature 1 is always missing; feature 0 is N(1.5, 0.4).
+  Rng R(4);
+  std::vector<double> Data(2 * 2000);
+  for (size_t S = 0; S < 2000; ++S) {
+    Data[2 * S] = R.normal(1.5, 0.4);
+    Data[2 * S + 1] = std::nan("");
+  }
+  EmOptions Options;
+  Options.Iterations = 5;
+  fitParameters(M, Data.data(), 2000, Options);
+  EXPECT_NEAR(G0->getMean(), 1.5, 0.05);
+  EXPECT_NEAR(G0->getStdDev(), 0.4, 0.05);
+  // The fully-marginalized leaf keeps its prior parameters.
+  EXPECT_DOUBLE_EQ(G1->getMean(), 0.0);
+  EXPECT_DOUBLE_EQ(G1->getStdDev(), 1.0);
+}
+
+TEST(EMTest, TrainedModelCompilesAndMatchesReference) {
+  // End-to-end: generate structure, train, compile, verify agreement.
+  workloads::SpeakerModelOptions ModelOptions;
+  ModelOptions.TargetOperations = 300;
+  ModelOptions.Seed = 17;
+  Model M = workloads::generateSpeakerModel(ModelOptions);
+  std::vector<double> Train =
+      workloads::generateSpeechData(ModelOptions, 500, 2);
+  EmOptions Options;
+  Options.Iterations = 3;
+  EmResult Result =
+      fitParameters(M, Train.data(), 500, Options);
+  EXPECT_GE(Result.LogLikelihoodPerIteration.back(),
+            Result.LogLikelihoodPerIteration.front());
+  std::string Error;
+  ASSERT_TRUE(M.validate(&Error)) << Error;
+
+  runtime::CompilerOptions Compile;
+  Expected<runtime::CompiledKernel> Kernel =
+      runtime::compileModel(M, QueryConfig(), Compile);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  std::vector<double> Test =
+      workloads::generateSpeechData(ModelOptions, 20, 9);
+  std::vector<double> Output(20);
+  Kernel->execute(Test.data(), Output.data(), 20);
+  for (size_t S = 0; S < 20; ++S) {
+    double Reference = M.evalLogLikelihood(
+        std::span<const double>(&Test[S * 26], 26));
+    EXPECT_NEAR(Output[S], Reference,
+                std::max(5e-3, std::fabs(Reference) * 5e-3));
+  }
+}
+
+} // namespace

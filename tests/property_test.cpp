@@ -1,0 +1,200 @@
+//===- property_test.cpp - Cross-engine property sweeps --------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized property sweeps asserting the system's central
+/// invariant: every compilation/execution configuration computes the same
+/// probabilities as the reference model evaluator, over random models,
+/// seeds, batch shapes, partition sizes and threading configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Compiler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace spnc;
+using namespace spnc::runtime;
+
+namespace {
+
+struct SweepCase {
+  uint64_t ModelSeed;
+  unsigned VectorWidth;
+  uint32_t MaxPartitionSize; // 0 = no partitioning
+  unsigned OptLevel;
+  Target TheTarget;
+};
+
+void PrintTo(const SweepCase &Case, std::ostream *Out) {
+  *Out << "seed=" << Case.ModelSeed << " W=" << Case.VectorWidth
+       << " part=" << Case.MaxPartitionSize << " O=" << Case.OptLevel
+       << (Case.TheTarget == Target::GPU ? " gpu" : " cpu");
+}
+
+class EngineSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EngineSweepTest, MatchesReferenceEvaluator) {
+  const SweepCase &Case = GetParam();
+  workloads::SpeakerModelOptions ModelOptions;
+  ModelOptions.TargetOperations = 350;
+  ModelOptions.Seed = Case.ModelSeed;
+  spn::Model Model = workloads::generateSpeakerModel(ModelOptions);
+  const size_t NumSamples = 61; // prime: exercises every epilogue
+  std::vector<double> Data = workloads::generateSpeechData(
+      ModelOptions, NumSamples, Case.ModelSeed + 1000);
+
+  CompilerOptions Options;
+  Options.OptLevel = Case.OptLevel;
+  Options.TheTarget = Case.TheTarget;
+  Options.MaxPartitionSize = Case.MaxPartitionSize;
+  Options.Execution.VectorWidth = Case.VectorWidth;
+  Expected<CompiledKernel> Kernel =
+      compileModel(Model, spn::QueryConfig(), Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel)) << Kernel.getError().message();
+
+  std::vector<double> Output(NumSamples);
+  Kernel->execute(Data.data(), Output.data(), NumSamples);
+  for (size_t S = 0; S < NumSamples; ++S) {
+    double Reference = Model.evalLogLikelihood(
+        std::span<const double>(&Data[S * 26], 26));
+    EXPECT_NEAR(Output[S], Reference,
+                std::max(5e-3, std::fabs(Reference) * 5e-3))
+        << "sample " << S;
+  }
+}
+
+std::vector<SweepCase> makeSweep() {
+  std::vector<SweepCase> Cases;
+  for (uint64_t Seed : {11u, 23u, 37u})
+    for (unsigned Width : {1u, 8u})
+      for (uint32_t Partition : {0u, 48u})
+        Cases.push_back(SweepCase{Seed, Width, Partition, 2, Target::CPU});
+  // GPU and extreme-width spot checks.
+  Cases.push_back(SweepCase{11, 1, 0, 2, Target::GPU});
+  Cases.push_back(SweepCase{23, 1, 48, 1, Target::GPU});
+  Cases.push_back(SweepCase{37, 16, 0, 3, Target::CPU});
+  Cases.push_back(SweepCase{11, 4, 48, 0, Target::CPU});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineSweepTest,
+                         ::testing::ValuesIn(makeSweep()));
+
+//===----------------------------------------------------------------------===//
+// Threading / chunking matrix
+//===----------------------------------------------------------------------===//
+
+class ChunkingTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, uint32_t>> {};
+
+TEST_P(ChunkingTest, ChunkedExecutionMatchesSingleThread) {
+  auto [NumThreads, ChunkSize] = GetParam();
+  workloads::SpeakerModelOptions ModelOptions;
+  ModelOptions.TargetOperations = 300;
+  ModelOptions.Seed = 5;
+  spn::Model Model = workloads::generateSpeakerModel(ModelOptions);
+  const size_t NumSamples = 157;
+  std::vector<double> Data =
+      workloads::generateSpeechData(ModelOptions, NumSamples, 77);
+
+  CompilerOptions Single;
+  Single.OptLevel = 2;
+  Expected<CompiledKernel> Reference =
+      compileModel(Model, spn::QueryConfig(), Single);
+  ASSERT_TRUE(static_cast<bool>(Reference));
+  std::vector<double> Expected(NumSamples);
+  Reference->execute(Data.data(), Expected.data(), NumSamples);
+
+  CompilerOptions Chunked = Single;
+  Chunked.Execution.NumThreads = NumThreads;
+  Chunked.Execution.ChunkSize = ChunkSize;
+  Chunked.Execution.VectorWidth = 8;
+  auto Kernel = compileModel(Model, spn::QueryConfig(), Chunked);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  std::vector<double> Actual(NumSamples);
+  Kernel->execute(Data.data(), Actual.data(), NumSamples);
+  for (size_t S = 0; S < NumSamples; ++S)
+    EXPECT_NEAR(Actual[S], Expected[S],
+                std::fabs(Expected[S]) * 1e-4 + 1e-4)
+        << "sample " << S;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Threads, ChunkingTest,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(1u, 13u, 64u, 1000u)));
+
+//===----------------------------------------------------------------------===//
+// RAT-SPN end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST(RatSpnPropertyTest, PartitionedRatSpnMatchesReference) {
+  workloads::RatSpnOptions Options;
+  Options.NumFeatures = 32;
+  Options.Depth = 3;
+  Options.Replicas = 2;
+  Options.SumsPerRegion = 3;
+  Options.LeafDistributions = 4;
+  for (unsigned Class = 0; Class < 2; ++Class) {
+    spn::Model Model = workloads::generateRatSpn(Options, Class);
+    std::vector<double> Data =
+        workloads::generateImageData(32, 2, 19, Class + 50, nullptr);
+
+    CompilerOptions Compile;
+    Compile.OptLevel = 2;
+    Compile.MaxPartitionSize = 100;
+    Compile.Execution.VectorWidth = 8;
+    auto Kernel = compileModel(Model, spn::QueryConfig(), Compile);
+    ASSERT_TRUE(static_cast<bool>(Kernel));
+    EXPECT_GT(Kernel->getProgram().Tasks.size(), 1u);
+
+    std::vector<double> Output(19);
+    Kernel->execute(Data.data(), Output.data(), 19);
+    for (size_t S = 0; S < 19; ++S) {
+      double Reference = Model.evalLogLikelihood(
+          std::span<const double>(&Data[S * 32], 32));
+      EXPECT_NEAR(Output[S], Reference,
+                  std::max(5e-3, std::fabs(Reference) * 5e-3));
+    }
+  }
+}
+
+TEST(RatSpnPropertyTest, BatchSizeInvariance) {
+  // The batch-size hint is an optimization hint only: results must be
+  // identical for any number of input samples (paper §IV-B).
+  workloads::SpeakerModelOptions ModelOptions;
+  ModelOptions.TargetOperations = 300;
+  ModelOptions.Seed = 9;
+  spn::Model Model = workloads::generateSpeakerModel(ModelOptions);
+  std::vector<double> Data =
+      workloads::generateSpeechData(ModelOptions, 100, 4);
+
+  for (uint32_t BatchSize : {1u, 7u, 64u, 4096u}) {
+    spn::QueryConfig Query;
+    Query.BatchSize = BatchSize;
+    CompilerOptions Options;
+    Options.Execution.VectorWidth = 8;
+    auto Kernel = compileModel(Model, Query, Options);
+    ASSERT_TRUE(static_cast<bool>(Kernel));
+    for (size_t NumSamples : {1u, 3u, 100u}) {
+      std::vector<double> Output(NumSamples);
+      Kernel->execute(Data.data(), Output.data(), NumSamples);
+      for (size_t S = 0; S < NumSamples; ++S) {
+        double Reference = Model.evalLogLikelihood(
+            std::span<const double>(&Data[S * 26], 26));
+        EXPECT_NEAR(Output[S], Reference,
+                    std::max(5e-3, std::fabs(Reference) * 5e-3));
+      }
+    }
+  }
+}
+
+} // namespace

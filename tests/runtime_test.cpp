@@ -1,0 +1,147 @@
+//===- runtime_test.cpp - Compile driver and kernel caching tests ----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Compiler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+using namespace spnc;
+using namespace spnc::runtime;
+
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    workloads::SpeakerModelOptions Options;
+    Options.TargetOperations = 300;
+    Options.Seed = 31;
+    Model = std::make_unique<spn::Model>(
+        workloads::generateSpeakerModel(Options));
+    Data = workloads::generateSpeechData(Options, kNumSamples, 5);
+  }
+
+  static constexpr size_t kNumSamples = 40;
+  std::unique_ptr<spn::Model> Model;
+  std::vector<double> Data;
+};
+
+TEST_F(RuntimeTest, CompileFailsOnInvalidModel) {
+  spn::Model Broken(2);
+  spn::Node *G0 = Broken.makeGaussian(0, 0.0, 1.0);
+  spn::Node *G1 = Broken.makeGaussian(0, 1.0, 1.0);
+  Broken.setRoot(Broken.makeProduct({G0, G1})); // not decomposable
+  unsigned Errors = 0;
+  // Suppress the diagnostic spam while counting it.
+  Expected<CompiledKernel> Kernel =
+      compileModel(Broken, spn::QueryConfig(), CompilerOptions());
+  EXPECT_FALSE(static_cast<bool>(Kernel));
+  EXPECT_NE(Kernel.getError().message().find("invalid"),
+            std::string::npos);
+  (void)Errors;
+}
+
+TEST_F(RuntimeTest, SaveAndLoadCompiledKernel) {
+  CompilerOptions Options;
+  Options.OptLevel = 2;
+  Expected<CompiledKernel> Kernel =
+      compileModel(*Model, spn::QueryConfig(), Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  std::vector<double> Original(kNumSamples);
+  Kernel->execute(Data.data(), Original.data(), kNumSamples);
+
+  std::string Path = ::testing::TempDir() + "/kernel.spnk";
+  ASSERT_TRUE(succeeded(saveCompiledKernel(*Kernel, Path)));
+
+  // CPU reload with a different execution configuration.
+  vm::ExecutionConfig Vectorized;
+  Vectorized.VectorWidth = 8;
+  Expected<CompiledKernel> Loaded =
+      loadCompiledKernel(Path, Target::CPU, Vectorized);
+  ASSERT_TRUE(static_cast<bool>(Loaded))
+      << Loaded.getError().message();
+  std::vector<double> Reloaded(kNumSamples);
+  Loaded->execute(Data.data(), Reloaded.data(), kNumSamples);
+  for (size_t S = 0; S < kNumSamples; ++S)
+    EXPECT_NEAR(Reloaded[S], Original[S],
+                std::fabs(Original[S]) * 1e-4 + 1e-4);
+
+  // The same program runs on the simulated GPU executor too.
+  Expected<CompiledKernel> OnGpu = loadCompiledKernel(
+      Path, Target::GPU, {}, gpusim::GpuDeviceConfig(), 64);
+  ASSERT_TRUE(static_cast<bool>(OnGpu));
+  std::vector<double> GpuOut(kNumSamples);
+  OnGpu->execute(Data.data(), GpuOut.data(), kNumSamples);
+  for (size_t S = 0; S < kNumSamples; ++S)
+    EXPECT_NEAR(GpuOut[S], Original[S],
+                std::fabs(Original[S]) * 1e-4 + 1e-4);
+  EXPECT_GT(OnGpu->getLastGpuStats().totalNs(), 0u);
+
+  std::remove(Path.c_str());
+}
+
+TEST_F(RuntimeTest, LoadRejectsMissingAndCorruptFiles) {
+  Expected<CompiledKernel> Missing =
+      loadCompiledKernel("/nonexistent/kernel.spnk");
+  EXPECT_FALSE(static_cast<bool>(Missing));
+
+  std::string Path = ::testing::TempDir() + "/garbage.spnk";
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(File, nullptr);
+  std::fputs("not a kernel program", File);
+  std::fclose(File);
+  Expected<CompiledKernel> Garbage = loadCompiledKernel(Path);
+  EXPECT_FALSE(static_cast<bool>(Garbage));
+  std::remove(Path.c_str());
+}
+
+TEST_F(RuntimeTest, StatsReflectPipelineConfiguration) {
+  CompilerOptions NoPartition;
+  CompileStats StatsA;
+  ASSERT_TRUE(static_cast<bool>(
+      compileModel(*Model, spn::QueryConfig(), NoPartition, &StatsA)));
+  EXPECT_EQ(StatsA.NumTasks, 1u);
+
+  CompilerOptions Partitioned;
+  Partitioned.MaxPartitionSize = 64;
+  CompileStats StatsB;
+  ASSERT_TRUE(static_cast<bool>(
+      compileModel(*Model, spn::QueryConfig(), Partitioned, &StatsB)));
+  EXPECT_GT(StatsB.NumTasks, 1u);
+  // The partition pass shows up in the pass timings.
+  bool SawPartitionPass = false;
+  for (const ir::PassTiming &Pass : StatsB.PassTimings)
+    if (Pass.PassName == "partition-tasks")
+      SawPartitionPass = true;
+  EXPECT_TRUE(SawPartitionPass);
+
+  CompilerOptions ForGpu;
+  ForGpu.TheTarget = Target::GPU;
+  CompileStats StatsC;
+  ASSERT_TRUE(static_cast<bool>(
+      compileModel(*Model, spn::QueryConfig(), ForGpu, &StatsC)));
+  EXPECT_GT(StatsC.BinaryEncodeNs, 0u); // CUBIN-analog stage ran
+  EXPECT_EQ(StatsA.BinaryEncodeNs, 0u); // but not for the CPU
+}
+
+TEST_F(RuntimeTest, OptLevelZeroSkipsIrOptimization) {
+  CompilerOptions O0;
+  O0.OptLevel = 0;
+  CompileStats Stats;
+  ASSERT_TRUE(static_cast<bool>(
+      compileModel(*Model, spn::QueryConfig(), O0, &Stats)));
+  for (const ir::PassTiming &Pass : Stats.PassTimings) {
+    EXPECT_NE(Pass.PassName, "canonicalize");
+    EXPECT_NE(Pass.PassName, "cse");
+  }
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+//===- support_test.cpp - Support library tests ----------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Expected.h"
+#include "support/Hashing.h"
+#include "support/LogicalResult.h"
+#include "support/Random.h"
+#include "support/RawOStream.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+using namespace spnc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Animal {
+  enum class Kind { Dog, Cat } K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->K == Animal::Kind::Dog; }
+};
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->K == Animal::Kind::Cat; }
+};
+
+TEST(CastingTest, IsaCastDynCast) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_FALSE(isa<Cat>(A));
+  EXPECT_EQ(cast<Dog>(A), &D);
+  EXPECT_EQ(dyn_cast<Dog>(A), &D);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+  EXPECT_EQ(dyn_cast_or_null<Dog>(static_cast<Animal *>(nullptr)),
+            nullptr);
+  EXPECT_TRUE(isa_and_nonnull<Dog>(A));
+  EXPECT_FALSE(isa_and_nonnull<Dog>(static_cast<Animal *>(nullptr)));
+  const Animal *CA = &D;
+  EXPECT_TRUE(isa<Dog>(CA));
+  EXPECT_EQ(cast<Dog>(CA), &D);
+}
+
+//===----------------------------------------------------------------------===//
+// LogicalResult and Expected
+//===----------------------------------------------------------------------===//
+
+TEST(LogicalResultTest, States) {
+  EXPECT_TRUE(succeeded(success()));
+  EXPECT_TRUE(failed(failure()));
+  EXPECT_TRUE(failed(LogicalResult::success(false)));
+  EXPECT_TRUE(succeeded(LogicalResult::failure(false)));
+}
+
+TEST(ExpectedTest, ValueAndError) {
+  Expected<int> Good(42);
+  ASSERT_TRUE(static_cast<bool>(Good));
+  EXPECT_EQ(*Good, 42);
+  EXPECT_EQ(Good.takeValue(), 42);
+
+  Expected<int> Bad(makeError("boom"));
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.getError().message(), "boom");
+}
+
+TEST(ExpectedTest, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> Value(std::make_unique<int>(7));
+  ASSERT_TRUE(static_cast<bool>(Value));
+  std::unique_ptr<int> Taken = Value.takeValue();
+  EXPECT_EQ(*Taken, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing, strings, streams
+//===----------------------------------------------------------------------===//
+
+TEST(HashingTest, CombineIsOrderSensitive) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+  EXPECT_EQ(hashCombine(1, 2, 3), hashCombine(1, 2, 3));
+  std::vector<int> A{1, 2, 3}, B{3, 2, 1};
+  EXPECT_NE(hashRange(A.begin(), A.end()), hashRange(B.begin(), B.end()));
+}
+
+TEST(StringUtilsTest, FormatAndSplit) {
+  EXPECT_EQ(formatString("%s=%d", "x", 7), "x=7");
+  EXPECT_EQ(formatString("%.2f", 1.239), "1.24");
+  std::vector<std::string> Pieces = splitString("a,b,,c", ',');
+  ASSERT_EQ(Pieces.size(), 4u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[2], "");
+  EXPECT_EQ(Pieces[3], "c");
+}
+
+TEST(RawOStreamTest, FormatsValues) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  OS << "x=" << 42 << ' ' << int64_t(-7) << ' ' << uint64_t(8) << ' '
+     << 2.5 << ' ' << true;
+  OS.indent(3) << "end";
+  EXPECT_EQ(Buffer, "x=42 -7 8 2.5 true   end");
+}
+
+//===----------------------------------------------------------------------===//
+// RNG
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicStreams) {
+  Rng A(123), B(123), C(124);
+  bool Differs = false;
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    if (VA != C.next())
+      Differs = true;
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng R(7);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double X = R.uniform();
+    ASSERT_GE(X, 0.0);
+    ASSERT_LT(X, 1.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng R(9);
+  double Sum = 0, SumSq = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.normal(2.0, 3.0);
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(Var), 3.0, 0.1);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.uniformInt(7), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+  // Reusable after wait().
+  Pool.submit([&Counter] { Counter += 10; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 110);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(1000, [&](size_t I) { ++Hits[I]; });
+  for (const auto &Hit : Hits)
+    EXPECT_EQ(Hit.load(), 1);
+  Pool.parallelFor(0, [&](size_t) { FAIL(); });
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + std::sqrt(static_cast<double>(I));
+  EXPECT_GT(T.elapsedNs(), 0u);
+  uint64_t First = T.elapsedNs();
+  T.reset();
+  EXPECT_LE(T.elapsedNs(), First + 1000000);
+}
+
+} // namespace

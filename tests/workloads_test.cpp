@@ -1,0 +1,165 @@
+//===- workloads_test.cpp - Synthetic workload generator tests -------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace spnc;
+using namespace spnc::workloads;
+
+namespace {
+
+TEST(SpeakerWorkloadTest, MatchesPublishedStatistics) {
+  // Paper §V-A: ~2569 operations on average, ~49% Gaussian leaves, 26
+  // features. Average over several "speakers".
+  double TotalNodes = 0, TotalGaussianShare = 0;
+  const unsigned NumSpeakers = 8;
+  for (unsigned Speaker = 0; Speaker < NumSpeakers; ++Speaker) {
+    SpeakerModelOptions Options;
+    Options.Seed = Speaker + 1;
+    spn::Model Model = generateSpeakerModel(Options);
+    std::string Error;
+    ASSERT_TRUE(Model.validate(&Error)) << Error;
+    spn::ModelStats Stats = Model.computeStats();
+    TotalNodes += static_cast<double>(Stats.NumNodes);
+    TotalGaussianShare += static_cast<double>(Stats.NumGaussians) /
+                          static_cast<double>(Stats.NumNodes);
+    EXPECT_EQ(Model.getNumFeatures(), 26u);
+  }
+  double MeanNodes = TotalNodes / NumSpeakers;
+  double MeanGaussianShare = TotalGaussianShare / NumSpeakers;
+  EXPECT_NEAR(MeanNodes, 2569.0, 2569.0 * 0.15);
+  EXPECT_NEAR(MeanGaussianShare, 0.49, 0.12);
+}
+
+TEST(SpeakerWorkloadTest, GenerationIsDeterministic) {
+  SpeakerModelOptions Options;
+  Options.Seed = 77;
+  spn::Model A = generateSpeakerModel(Options);
+  spn::Model B = generateSpeakerModel(Options);
+  ASSERT_EQ(A.getNumNodes(), B.getNumNodes());
+  // Identical likelihoods on identical data.
+  std::vector<double> Data = generateSpeechData(Options, 10, 5);
+  for (size_t S = 0; S < 10; ++S) {
+    std::span<const double> Sample(&Data[S * 26], 26);
+    EXPECT_DOUBLE_EQ(A.evalLogLikelihood(Sample),
+                     B.evalLogLikelihood(Sample));
+  }
+}
+
+TEST(SpeakerWorkloadTest, DifferentSeedsDiffer) {
+  SpeakerModelOptions A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  spn::Model MA = generateSpeakerModel(A);
+  spn::Model MB = generateSpeakerModel(B);
+  std::vector<double> Data = generateSpeechData(A, 5, 9);
+  bool AnyDifferent = false;
+  for (size_t S = 0; S < 5; ++S) {
+    std::span<const double> Sample(&Data[S * 26], 26);
+    if (MA.evalLogLikelihood(Sample) != MB.evalLogLikelihood(Sample))
+      AnyDifferent = true;
+  }
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(SpeakerWorkloadTest, DataIsFiniteAndInLeafSupport) {
+  SpeakerModelOptions Options;
+  Options.Seed = 9;
+  spn::Model Model = generateSpeakerModel(Options);
+  std::vector<double> Data = generateSpeechData(Options, 200, 3);
+  for (double X : Data)
+    EXPECT_TRUE(std::isfinite(X));
+  // Likelihoods are finite: every sample lies in the model's support.
+  for (size_t S = 0; S < 200; ++S) {
+    double LL = Model.evalLogLikelihood(
+        std::span<const double>(&Data[S * 26], 26));
+    EXPECT_TRUE(std::isfinite(LL)) << "sample " << S;
+  }
+}
+
+TEST(SpeakerWorkloadTest, NoisyDataDropsFeatures) {
+  SpeakerModelOptions Options;
+  std::vector<double> Noisy =
+      generateNoisySpeechData(Options, 1000, 11, 0.3);
+  size_t NumNaN = 0;
+  for (double X : Noisy)
+    if (std::isnan(X))
+      ++NumNaN;
+  double Fraction =
+      static_cast<double>(NumNaN) / static_cast<double>(Noisy.size());
+  EXPECT_NEAR(Fraction, 0.3, 0.03);
+}
+
+TEST(RatSpnWorkloadTest, PaperScaleApproximatesPublishedCounts) {
+  RatSpnOptions Options = ratSpnPaperScale();
+  spn::Model Model = generateRatSpn(Options, 0);
+  spn::ModelStats Stats = Model.computeStats();
+  // Paper §V-B1: ~165k leaves, ~170k products, >3k sums per class. The
+  // generator approximates the counts within a factor.
+  EXPECT_NEAR(static_cast<double>(Stats.NumLeaves), 165000.0, 40000.0);
+  EXPECT_NEAR(static_cast<double>(Stats.NumProducts), 170000.0, 60000.0);
+  EXPECT_GT(Stats.NumSums, 500u);
+  EXPECT_LT(Stats.NumSums, 10000u);
+  std::string Error;
+  EXPECT_TRUE(Model.validate(&Error)) << Error;
+}
+
+TEST(RatSpnWorkloadTest, ClassesShareStructure) {
+  RatSpnOptions Options = ratSpnSmallScale();
+  spn::Model Class0 = generateRatSpn(Options, 0);
+  spn::Model Class1 = generateRatSpn(Options, 1);
+  // Identical structure: same node counts by kind ("the random structure
+  // ... is identical and only the weights differ", paper §V-B2).
+  spn::ModelStats S0 = Class0.computeStats();
+  spn::ModelStats S1 = Class1.computeStats();
+  EXPECT_EQ(S0.NumNodes, S1.NumNodes);
+  EXPECT_EQ(S0.NumSums, S1.NumSums);
+  EXPECT_EQ(S0.NumProducts, S1.NumProducts);
+  EXPECT_EQ(S0.NumLeaves, S1.NumLeaves);
+  // But different parameters: different likelihoods.
+  std::vector<double> Data =
+      generateImageData(Options.NumFeatures, 2, 3, 5, nullptr);
+  std::span<const double> Sample(Data.data(), Options.NumFeatures);
+  EXPECT_NE(Class0.evalLogLikelihood(Sample),
+            Class1.evalLogLikelihood(Sample));
+}
+
+TEST(RatSpnWorkloadTest, SmallScaleValidates) {
+  RatSpnOptions Options = ratSpnSmallScale();
+  for (unsigned Class = 0; Class < 3; ++Class) {
+    spn::Model Model = generateRatSpn(Options, Class);
+    std::string Error;
+    EXPECT_TRUE(Model.validate(&Error)) << "class " << Class << ": "
+                                        << Error;
+  }
+}
+
+TEST(ImageDataTest, GeneratesLabeledClassData) {
+  std::vector<unsigned> Labels;
+  std::vector<double> Data = generateImageData(196, 10, 500, 3, &Labels);
+  ASSERT_EQ(Labels.size(), 500u);
+  ASSERT_EQ(Data.size(), 500u * 196u);
+  std::vector<unsigned> ClassCounts(10, 0);
+  for (unsigned L : Labels) {
+    ASSERT_LT(L, 10u);
+    ++ClassCounts[L];
+  }
+  // All classes occur.
+  for (unsigned Count : ClassCounts)
+    EXPECT_GT(Count, 10u);
+  // Pixels normalized.
+  for (double X : Data) {
+    EXPECT_GE(X, 0.0);
+    EXPECT_LE(X, 1.0);
+  }
+}
+
+} // namespace

@@ -1,0 +1,292 @@
+//===- spnc-cli.cpp - Command-line compiler and inference driver -----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end, the standalone analog of the paper's Python
+/// interface (§IV-A1): loads a serialized SPN model (.spnb), compiles it
+/// for CPU or simulated GPU, and runs inference over samples given as a
+/// whitespace/comma-separated text file (one sample per line) — or just
+/// reports compile statistics with --stats.
+///
+/// Usage:
+///   spnc-cli MODEL.spnb [--input DATA.txt] [--target cpu|gpu]
+///            [--opt N] [--vector-width N] [--partition N]
+///            [--marginal] [--no-log-space] [--stats] [--dump-ir]
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/HiSPNTranslation.h"
+#include "frontend/Serializer.h"
+#include "ir/Printer.h"
+#include "runtime/Compiler.h"
+#include "support/RawOStream.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::runtime;
+
+namespace {
+
+struct CliOptions {
+  std::string ModelPath;
+  std::string InputPath;
+  std::string SaveKernelPath;
+  CompilerOptions Compile;
+  spn::QueryConfig Query;
+  bool Stats = false;
+  bool DumpIr = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: spnc-cli MODEL.spnb [options]\n"
+      "  --input FILE       samples, one per line (whitespace/comma "
+      "separated;\n"
+      "                     'nan' marginalizes a feature)\n"
+      "  --target cpu|gpu   compilation target (default cpu)\n"
+      "  --opt N            optimization level 0-3 (default 2)\n"
+      "  --vector-width N   SIMD lanes 1/4/8/16 (default 8)\n"
+      "  --partition N      max operations per task (default: no "
+      "partitioning)\n"
+      "  --marginal         enable marginalized (NaN) evidence\n"
+      "  --no-log-space     compute linear probabilities\n"
+      "  --save-kernel FILE cache the compiled kernel (skips "
+      "recompilation\n"
+      "                     when the same file is passed as MODEL with "
+      ".spnk suffix)\n"
+      "  --stats            print compile statistics and exit\n"
+      "  --dump-ir          print the HiSPN module and exit\n");
+}
+
+bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
+  if (Argc < 2)
+    return false;
+  Options.ModelPath = Argv[1];
+  Options.Compile.OptLevel = 2;
+  Options.Compile.Execution.VectorWidth = 8;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--input") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.InputPath = V;
+    } else if (Arg == "--target") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "gpu") == 0) {
+        Options.Compile.TheTarget = Target::GPU;
+        Options.Compile.GpuBlockSize = 64;
+      } else if (std::strcmp(V, "cpu") != 0) {
+        return false;
+      }
+    } else if (Arg == "--opt") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.Compile.OptLevel =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--vector-width") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.Compile.Execution.VectorWidth =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--partition") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.Compile.MaxPartitionSize =
+          static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--save-kernel") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.SaveKernelPath = V;
+    } else if (Arg == "--marginal") {
+      Options.Query.SupportMarginal = true;
+    } else if (Arg == "--no-log-space") {
+      Options.Query.LogSpace = false;
+    } else if (Arg == "--stats") {
+      Options.Stats = true;
+    } else if (Arg == "--dump-ir") {
+      Options.DumpIr = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reads samples (one line each, numbers separated by whitespace or
+/// commas; "nan" allowed). Returns false on shape mismatch.
+bool readSamples(const std::string &Path, unsigned NumFeatures,
+                 std::vector<double> &Data, size_t &NumSamples) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File) {
+    std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  char Line[1 << 16];
+  NumSamples = 0;
+  while (std::fgets(Line, sizeof(Line), File)) {
+    unsigned Count = 0;
+    char *Cursor = Line;
+    for (;;) {
+      while (*Cursor == ' ' || *Cursor == '\t' || *Cursor == ',')
+        ++Cursor;
+      if (*Cursor == '\0' || *Cursor == '\n' || *Cursor == '\r')
+        break;
+      char *End = nullptr;
+      double Value = std::strtod(Cursor, &End);
+      if (End == Cursor) {
+        std::fprintf(stderr, "bad number on line %zu\n", NumSamples + 1);
+        std::fclose(File);
+        return false;
+      }
+      Data.push_back(Value);
+      ++Count;
+      Cursor = End;
+    }
+    if (Count == 0)
+      continue; // blank line
+    if (Count != NumFeatures) {
+      std::fprintf(stderr,
+                   "line %zu has %u values, model expects %u features\n",
+                   NumSamples + 1, Count, NumFeatures);
+      std::fclose(File);
+      return false;
+    }
+    ++NumSamples;
+  }
+  std::fclose(File);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options;
+  if (!parseArguments(Argc, Argv, Options)) {
+    printUsage();
+    return 2;
+  }
+
+  // A .spnk model path is a cached compiled kernel: load and run it
+  // without recompiling.
+  if (Options.ModelPath.size() > 5 &&
+      Options.ModelPath.substr(Options.ModelPath.size() - 5) == ".spnk") {
+    Expected<CompiledKernel> Kernel = loadCompiledKernel(
+        Options.ModelPath, Options.Compile.TheTarget,
+        Options.Compile.Execution, Options.Compile.Device,
+        Options.Compile.GpuBlockSize);
+    if (!Kernel) {
+      std::fprintf(stderr, "failed to load kernel: %s\n",
+                   Kernel.getError().message().c_str());
+      return 1;
+    }
+    unsigned NumFeatures = Kernel->getProgram().Buffers[0].Columns;
+    std::fprintf(stderr, "loaded cached kernel: %zu task(s), %u "
+                 "features\n",
+                 Kernel->getProgram().Tasks.size(), NumFeatures);
+    if (Options.InputPath.empty())
+      return 0;
+    std::vector<double> Data;
+    size_t NumSamples = 0;
+    if (!readSamples(Options.InputPath, NumFeatures, Data, NumSamples))
+      return 1;
+    std::vector<double> Output(NumSamples);
+    Kernel->execute(Data.data(), Output.data(), NumSamples);
+    for (size_t S = 0; S < NumSamples; ++S)
+      std::printf("%.10g\n", Output[S]);
+    return 0;
+  }
+
+  Expected<spn::Model> Model = spn::loadModel(Options.ModelPath);
+  if (!Model) {
+    std::fprintf(stderr, "failed to load model: %s\n",
+                 Model.getError().message().c_str());
+    return 1;
+  }
+  spn::ModelStats Stats = Model->computeStats();
+  std::fprintf(stderr,
+               "loaded '%s': %u features, %zu nodes (%zu sums, %zu "
+               "products, %zu leaves)\n",
+               Model->getName().c_str(), Model->getNumFeatures(),
+               Stats.NumNodes, Stats.NumSums, Stats.NumProducts,
+               Stats.NumLeaves);
+
+  if (Options.DumpIr) {
+    ir::Context Ctx;
+    ir::OwningOpRef<ir::ModuleOp> Module =
+        spn::translateToHiSPN(Ctx, *Model, Options.Query);
+    if (!Module)
+      return 1;
+    FileOStream OS(stdout);
+    ir::printOperation(Module.get().getOperation(), OS);
+    return 0;
+  }
+
+  CompileStats CStats;
+  Expected<CompiledKernel> Kernel =
+      compileModel(*Model, Options.Query, Options.Compile, &CStats);
+  if (!Kernel) {
+    std::fprintf(stderr, "compilation failed: %s\n",
+                 Kernel.getError().message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "compiled for %s in %.2f ms: %zu task(s), %zu "
+               "instructions\n",
+               Options.Compile.TheTarget == Target::GPU ? "gpu (simulated)"
+                                                        : "cpu",
+               static_cast<double>(CStats.TotalNs) * 1e-6, CStats.NumTasks,
+               CStats.NumInstructions);
+  if (!Options.SaveKernelPath.empty()) {
+    if (failed(saveCompiledKernel(*Kernel, Options.SaveKernelPath))) {
+      std::fprintf(stderr, "failed to save kernel to '%s'\n",
+                   Options.SaveKernelPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "cached compiled kernel at '%s'\n",
+                 Options.SaveKernelPath.c_str());
+  }
+  if (Options.Stats) {
+    for (const ir::PassTiming &Pass : CStats.PassTimings)
+      std::fprintf(stderr, "  pass %-24s %8.3f ms\n",
+                   Pass.PassName.c_str(),
+                   static_cast<double>(Pass.WallNs) * 1e-6);
+    return 0;
+  }
+
+  if (Options.InputPath.empty()) {
+    std::fprintf(stderr, "no --input given; nothing to do\n");
+    return 0;
+  }
+  std::vector<double> Data;
+  size_t NumSamples = 0;
+  if (!readSamples(Options.InputPath, Model->getNumFeatures(), Data,
+                   NumSamples))
+    return 1;
+  std::vector<double> Output(NumSamples);
+  Kernel->execute(Data.data(), Output.data(), NumSamples);
+  for (size_t S = 0; S < NumSamples; ++S)
+    std::printf("%.10g\n", Output[S]);
+  return 0;
+}
