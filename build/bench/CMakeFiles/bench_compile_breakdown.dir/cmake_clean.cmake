@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_breakdown.dir/bench_compile_breakdown.cpp.o"
+  "CMakeFiles/bench_compile_breakdown.dir/bench_compile_breakdown.cpp.o.d"
+  "bench_compile_breakdown"
+  "bench_compile_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

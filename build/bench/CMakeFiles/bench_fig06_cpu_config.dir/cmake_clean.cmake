@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_cpu_config.dir/bench_fig06_cpu_config.cpp.o"
+  "CMakeFiles/bench_fig06_cpu_config.dir/bench_fig06_cpu_config.cpp.o.d"
+  "bench_fig06_cpu_config"
+  "bench_fig06_cpu_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_cpu_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

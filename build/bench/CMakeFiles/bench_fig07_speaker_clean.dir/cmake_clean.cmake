@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_speaker_clean.dir/bench_fig07_speaker_clean.cpp.o"
+  "CMakeFiles/bench_fig07_speaker_clean.dir/bench_fig07_speaker_clean.cpp.o.d"
+  "bench_fig07_speaker_clean"
+  "bench_fig07_speaker_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_speaker_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_partition_cpu.dir/bench_fig10_partition_cpu.cpp.o"
+  "CMakeFiles/bench_fig10_partition_cpu.dir/bench_fig10_partition_cpu.cpp.o.d"
+  "bench_fig10_partition_cpu"
+  "bench_fig10_partition_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_partition_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

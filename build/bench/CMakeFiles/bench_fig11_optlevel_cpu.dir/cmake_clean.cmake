@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_optlevel_cpu.dir/bench_fig11_optlevel_cpu.cpp.o"
+  "CMakeFiles/bench_fig11_optlevel_cpu.dir/bench_fig11_optlevel_cpu.cpp.o.d"
+  "bench_fig11_optlevel_cpu"
+  "bench_fig11_optlevel_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_optlevel_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

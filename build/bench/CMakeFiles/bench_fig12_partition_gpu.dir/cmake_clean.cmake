@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_partition_gpu.dir/bench_fig12_partition_gpu.cpp.o"
+  "CMakeFiles/bench_fig12_partition_gpu.dir/bench_fig12_partition_gpu.cpp.o.d"
+  "bench_fig12_partition_gpu"
+  "bench_fig12_partition_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_partition_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_optlevel_gpu.dir/bench_fig13_optlevel_gpu.cpp.o"
+  "CMakeFiles/bench_fig13_optlevel_gpu.dir/bench_fig13_optlevel_gpu.cpp.o.d"
+  "bench_fig13_optlevel_gpu"
+  "bench_fig13_optlevel_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_optlevel_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

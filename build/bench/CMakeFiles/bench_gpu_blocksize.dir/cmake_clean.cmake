@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpu_blocksize.dir/bench_gpu_blocksize.cpp.o"
+  "CMakeFiles/bench_gpu_blocksize.dir/bench_gpu_blocksize.cpp.o.d"
+  "bench_gpu_blocksize"
+  "bench_gpu_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpu_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratspn_classify.dir/bench_ratspn_classify.cpp.o"
+  "CMakeFiles/bench_ratspn_classify.dir/bench_ratspn_classify.cpp.o.d"
+  "bench_ratspn_classify"
+  "bench_ratspn_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratspn_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

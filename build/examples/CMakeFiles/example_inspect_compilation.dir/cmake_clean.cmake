@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inspect_compilation.dir/inspect_compilation.cpp.o"
+  "CMakeFiles/example_inspect_compilation.dir/inspect_compilation.cpp.o.d"
+  "example_inspect_compilation"
+  "example_inspect_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inspect_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_inspect_compilation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.o"
+  "CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.o.d"
+  "example_ratspn_classification"
+  "example_ratspn_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ratspn_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speaker_identification.dir/speaker_identification.cpp.o"
+  "CMakeFiles/example_speaker_identification.dir/speaker_identification.cpp.o.d"
+  "example_speaker_identification"
+  "example_speaker_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speaker_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_speaker_identification.
+# This may be replaced when dependencies are built.

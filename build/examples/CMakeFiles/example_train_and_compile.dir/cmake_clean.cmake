@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_train_and_compile.dir/train_and_compile.cpp.o"
+  "CMakeFiles/example_train_and_compile.dir/train_and_compile.cpp.o.d"
+  "example_train_and_compile"
+  "example_train_and_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_train_and_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

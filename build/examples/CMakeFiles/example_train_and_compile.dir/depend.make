@@ -1,0 +1,2 @@
+# Empty dependencies file for example_train_and_compile.
+# This may be replaced when dependencies are built.

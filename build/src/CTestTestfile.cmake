@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("dialects")
+subdirs("frontend")
+subdirs("learn")
+subdirs("partition")
+subdirs("transforms")
+subdirs("vm")
+subdirs("gpusim")
+subdirs("codegen")
+subdirs("runtime")
+subdirs("baselines")
+subdirs("workloads")

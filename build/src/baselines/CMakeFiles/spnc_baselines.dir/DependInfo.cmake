@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/Baselines.cpp" "src/baselines/CMakeFiles/spnc_baselines.dir/Baselines.cpp.o" "gcc" "src/baselines/CMakeFiles/spnc_baselines.dir/Baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/spnc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/spnc_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spnc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spnc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

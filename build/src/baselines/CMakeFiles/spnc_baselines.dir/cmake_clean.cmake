@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_baselines.dir/Baselines.cpp.o"
+  "CMakeFiles/spnc_baselines.dir/Baselines.cpp.o.d"
+  "libspnc_baselines.a"
+  "libspnc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_codegen.dir/Codegen.cpp.o"
+  "CMakeFiles/spnc_codegen.dir/Codegen.cpp.o.d"
+  "libspnc_codegen.a"
+  "libspnc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

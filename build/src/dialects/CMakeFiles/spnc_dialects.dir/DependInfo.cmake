@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dialects/hispn/HiSPNOps.cpp" "src/dialects/CMakeFiles/spnc_dialects.dir/hispn/HiSPNOps.cpp.o" "gcc" "src/dialects/CMakeFiles/spnc_dialects.dir/hispn/HiSPNOps.cpp.o.d"
+  "/root/repo/src/dialects/lospn/LoSPNOps.cpp" "src/dialects/CMakeFiles/spnc_dialects.dir/lospn/LoSPNOps.cpp.o" "gcc" "src/dialects/CMakeFiles/spnc_dialects.dir/lospn/LoSPNOps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spnc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spnc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

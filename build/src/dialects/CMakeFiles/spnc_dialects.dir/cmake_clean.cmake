@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_dialects.dir/hispn/HiSPNOps.cpp.o"
+  "CMakeFiles/spnc_dialects.dir/hispn/HiSPNOps.cpp.o.d"
+  "CMakeFiles/spnc_dialects.dir/lospn/LoSPNOps.cpp.o"
+  "CMakeFiles/spnc_dialects.dir/lospn/LoSPNOps.cpp.o.d"
+  "libspnc_dialects.a"
+  "libspnc_dialects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_dialects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/HiSPNTranslation.cpp" "src/frontend/CMakeFiles/spnc_frontend.dir/HiSPNTranslation.cpp.o" "gcc" "src/frontend/CMakeFiles/spnc_frontend.dir/HiSPNTranslation.cpp.o.d"
+  "/root/repo/src/frontend/Model.cpp" "src/frontend/CMakeFiles/spnc_frontend.dir/Model.cpp.o" "gcc" "src/frontend/CMakeFiles/spnc_frontend.dir/Model.cpp.o.d"
+  "/root/repo/src/frontend/Serializer.cpp" "src/frontend/CMakeFiles/spnc_frontend.dir/Serializer.cpp.o" "gcc" "src/frontend/CMakeFiles/spnc_frontend.dir/Serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dialects/CMakeFiles/spnc_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spnc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spnc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

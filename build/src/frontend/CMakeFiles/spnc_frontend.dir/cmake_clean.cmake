@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_frontend.dir/HiSPNTranslation.cpp.o"
+  "CMakeFiles/spnc_frontend.dir/HiSPNTranslation.cpp.o.d"
+  "CMakeFiles/spnc_frontend.dir/Model.cpp.o"
+  "CMakeFiles/spnc_frontend.dir/Model.cpp.o.d"
+  "CMakeFiles/spnc_frontend.dir/Serializer.cpp.o"
+  "CMakeFiles/spnc_frontend.dir/Serializer.cpp.o.d"
+  "libspnc_frontend.a"
+  "libspnc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_gpusim.dir/GpuSimulator.cpp.o"
+  "CMakeFiles/spnc_gpusim.dir/GpuSimulator.cpp.o.d"
+  "libspnc_gpusim.a"
+  "libspnc_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

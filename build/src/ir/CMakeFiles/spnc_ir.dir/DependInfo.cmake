@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BuiltinOps.cpp" "src/ir/CMakeFiles/spnc_ir.dir/BuiltinOps.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/BuiltinOps.cpp.o.d"
+  "/root/repo/src/ir/Cloning.cpp" "src/ir/CMakeFiles/spnc_ir.dir/Cloning.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/Cloning.cpp.o.d"
+  "/root/repo/src/ir/Context.cpp" "src/ir/CMakeFiles/spnc_ir.dir/Context.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/Context.cpp.o.d"
+  "/root/repo/src/ir/Operation.cpp" "src/ir/CMakeFiles/spnc_ir.dir/Operation.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/Operation.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/spnc_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/PassManager.cpp" "src/ir/CMakeFiles/spnc_ir.dir/PassManager.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/PassManager.cpp.o.d"
+  "/root/repo/src/ir/PatternMatch.cpp" "src/ir/CMakeFiles/spnc_ir.dir/PatternMatch.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/PatternMatch.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/spnc_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Transforms.cpp" "src/ir/CMakeFiles/spnc_ir.dir/Transforms.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/Transforms.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/spnc_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/spnc_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spnc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

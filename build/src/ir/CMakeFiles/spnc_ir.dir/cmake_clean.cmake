@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_ir.dir/BuiltinOps.cpp.o"
+  "CMakeFiles/spnc_ir.dir/BuiltinOps.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/Cloning.cpp.o"
+  "CMakeFiles/spnc_ir.dir/Cloning.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/Context.cpp.o"
+  "CMakeFiles/spnc_ir.dir/Context.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/Operation.cpp.o"
+  "CMakeFiles/spnc_ir.dir/Operation.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/Parser.cpp.o"
+  "CMakeFiles/spnc_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/PassManager.cpp.o"
+  "CMakeFiles/spnc_ir.dir/PassManager.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/PatternMatch.cpp.o"
+  "CMakeFiles/spnc_ir.dir/PatternMatch.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/Printer.cpp.o"
+  "CMakeFiles/spnc_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/Transforms.cpp.o"
+  "CMakeFiles/spnc_ir.dir/Transforms.cpp.o.d"
+  "CMakeFiles/spnc_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/spnc_ir.dir/Verifier.cpp.o.d"
+  "libspnc_ir.a"
+  "libspnc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

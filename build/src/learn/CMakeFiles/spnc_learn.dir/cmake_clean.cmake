@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_learn.dir/EM.cpp.o"
+  "CMakeFiles/spnc_learn.dir/EM.cpp.o.d"
+  "libspnc_learn.a"
+  "libspnc_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_partition.dir/Partitioner.cpp.o"
+  "CMakeFiles/spnc_partition.dir/Partitioner.cpp.o.d"
+  "libspnc_partition.a"
+  "libspnc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

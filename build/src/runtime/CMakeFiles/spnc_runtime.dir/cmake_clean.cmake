@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_runtime.dir/Compiler.cpp.o"
+  "CMakeFiles/spnc_runtime.dir/Compiler.cpp.o.d"
+  "libspnc_runtime.a"
+  "libspnc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspnc_runtime.a"
+)

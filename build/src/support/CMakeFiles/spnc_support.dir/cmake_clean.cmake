@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_support.dir/RawOStream.cpp.o"
+  "CMakeFiles/spnc_support.dir/RawOStream.cpp.o.d"
+  "CMakeFiles/spnc_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/spnc_support.dir/ThreadPool.cpp.o.d"
+  "libspnc_support.a"
+  "libspnc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

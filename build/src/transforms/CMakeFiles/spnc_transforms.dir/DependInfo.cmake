@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/Bufferization.cpp" "src/transforms/CMakeFiles/spnc_transforms.dir/Bufferization.cpp.o" "gcc" "src/transforms/CMakeFiles/spnc_transforms.dir/Bufferization.cpp.o.d"
+  "/root/repo/src/transforms/HiSPNToLoSPN.cpp" "src/transforms/CMakeFiles/spnc_transforms.dir/HiSPNToLoSPN.cpp.o" "gcc" "src/transforms/CMakeFiles/spnc_transforms.dir/HiSPNToLoSPN.cpp.o.d"
+  "/root/repo/src/transforms/TaskPartitioning.cpp" "src/transforms/CMakeFiles/spnc_transforms.dir/TaskPartitioning.cpp.o" "gcc" "src/transforms/CMakeFiles/spnc_transforms.dir/TaskPartitioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dialects/CMakeFiles/spnc_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/spnc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spnc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spnc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

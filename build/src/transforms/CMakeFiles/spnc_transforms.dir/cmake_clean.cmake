@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_transforms.dir/Bufferization.cpp.o"
+  "CMakeFiles/spnc_transforms.dir/Bufferization.cpp.o.d"
+  "CMakeFiles/spnc_transforms.dir/HiSPNToLoSPN.cpp.o"
+  "CMakeFiles/spnc_transforms.dir/HiSPNToLoSPN.cpp.o.d"
+  "CMakeFiles/spnc_transforms.dir/TaskPartitioning.cpp.o"
+  "CMakeFiles/spnc_transforms.dir/TaskPartitioning.cpp.o.d"
+  "libspnc_transforms.a"
+  "libspnc_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

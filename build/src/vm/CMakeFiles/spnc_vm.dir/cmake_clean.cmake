@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_vm.dir/Executor.cpp.o"
+  "CMakeFiles/spnc_vm.dir/Executor.cpp.o.d"
+  "CMakeFiles/spnc_vm.dir/ProgramBinary.cpp.o"
+  "CMakeFiles/spnc_vm.dir/ProgramBinary.cpp.o.d"
+  "libspnc_vm.a"
+  "libspnc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

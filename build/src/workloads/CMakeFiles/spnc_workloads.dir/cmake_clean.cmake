@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/spnc_workloads.dir/Workloads.cpp.o.d"
+  "libspnc_workloads.a"
+  "libspnc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

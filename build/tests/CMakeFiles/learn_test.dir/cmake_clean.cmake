@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_test.dir/learn_test.cpp.o"
+  "CMakeFiles/learn_test.dir/learn_test.cpp.o.d"
+  "learn_test"
+  "learn_test.pdb"
+  "learn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnc-cli.dir/spnc-cli.cpp.o"
+  "CMakeFiles/spnc-cli.dir/spnc-cli.cpp.o.d"
+  "spnc-cli"
+  "spnc-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnc-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
