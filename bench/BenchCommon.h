@@ -102,6 +102,19 @@ double timeSeconds(Fn &&Run) {
   return T.elapsedSeconds();
 }
 
+/// Runs \p Kernel once and returns the seconds to report: the simulated
+/// device clock for GPU engines (per-call stats), the measured wall
+/// clock otherwise.
+inline double runReportSeconds(const runtime::CompiledKernel &Kernel,
+                               const double *Input, double *Output,
+                               size_t NumSamples) {
+  runtime::ExecutionStats Stats;
+  Kernel.execute(Input, Output, NumSamples, &Stats);
+  return Stats.HasGpuStats
+             ? static_cast<double>(Stats.Gpu.totalNs()) * 1e-9
+             : static_cast<double>(Stats.WallNs) * 1e-9;
+}
+
 /// Prints a paper-style figure header.
 inline void printHeader(const char *Figure, const char *Description) {
   std::printf("\n=== %s: %s ===\n", Figure, Description);

@@ -50,16 +50,15 @@ double execSeconds(const CompilerOptions &Options,
   size_t NumSamples =
       imageData().size() / ratSpnBenchScale().NumFeatures;
   std::vector<double> Output(NumSamples);
-  double Wall = timeSeconds([&] {
-    Kernel->execute(imageData().data(), Output.data(), NumSamples);
-  });
-  if (Options.TheTarget == Target::GPU) {
+  runtime::ExecutionStats ExecStats;
+  Kernel->execute(imageData().data(), Output.data(), NumSamples,
+                  &ExecStats);
+  if (ExecStats.HasGpuStats) {
     if (Stats)
-      *Stats = Kernel->getLastGpuStats();
-    return static_cast<double>(Kernel->getLastGpuStats().totalNs()) *
-           1e-9;
+      *Stats = ExecStats.Gpu;
+    return static_cast<double>(ExecStats.Gpu.totalNs()) * 1e-9;
   }
-  return Wall;
+  return static_cast<double>(ExecStats.WallNs) * 1e-9;
 }
 
 void BM_Ablation(benchmark::State &State) {

@@ -32,25 +32,38 @@ void report(Target TheTarget) {
   Options.OptLevel = fullScale() ? 1 : 3; // exercise every stage
   Options.TheTarget = TheTarget;
   Options.MaxPartitionSize = fullScale() ? 25000 : 5000;
+  Expected<CompilationPipeline> Pipeline =
+      CompilationPipeline::create(Options);
+  if (!Pipeline) {
+    std::printf("invalid configuration: %s\n",
+                Pipeline.getError().message().c_str());
+    return;
+  }
+  std::printf("\n-- %s pipeline stages --\n",
+              TheTarget == Target::CPU ? "CPU" : "GPU");
+  for (const PipelineStage &Stage : Pipeline->getStages())
+    std::printf("  %-16s %s\n", Stage.Name.c_str(),
+                Stage.Detail.c_str());
   CompileStats Stats;
-  Expected<CompiledKernel> Kernel =
-      compileModel(Model, spn::QueryConfig(), Options, &Stats);
-  if (!Kernel) {
+  Expected<vm::KernelProgram> Program =
+      Pipeline->compile(Model, spn::QueryConfig(), &Stats);
+  if (!Program) {
     std::printf("compile failed: %s\n",
-                Kernel.getError().message().c_str());
+                Program.getError().message().c_str());
     return;
   }
 
   double Total = static_cast<double>(Stats.TotalNs);
-  std::printf("\n-- %s compilation: total %.3f s, %zu tasks, %zu "
+  std::printf("-- %s compilation: total %.3f s, %zu tasks, %zu "
               "instructions --\n",
               TheTarget == Target::CPU ? "CPU" : "GPU", Total * 1e-9,
               Stats.NumTasks, Stats.NumInstructions);
   auto Pct = [&](uint64_t Ns) {
     return 100.0 * static_cast<double>(Ns) / Total;
   };
-  std::printf("  %-28s %6.1f%%\n", "model -> HiSPN translation",
-              Pct(Stats.TranslationNs));
+  for (const StageTiming &Stage : Stats.Stages)
+    std::printf("  stage %-22s %6.1f%%\n", Stage.Name.c_str(),
+                Pct(Stage.WallNs));
   for (const ir::PassTiming &Pass : Stats.PassTimings)
     std::printf("  pass %-23s %6.1f%%\n", Pass.PassName.c_str(),
                 Pct(Pass.WallNs));
@@ -74,10 +87,18 @@ void BM_Compile(benchmark::State &State) {
   Options.OptLevel = 1;
   Options.TheTarget = State.range(0) ? Target::GPU : Target::CPU;
   Options.MaxPartitionSize = fullScale() ? 25000 : 5000;
+  // The pipeline is built once and reused across compiles, the
+  // compile-once/run-many shape a serving process would use.
+  Expected<CompilationPipeline> Pipeline =
+      CompilationPipeline::create(Options);
+  if (!Pipeline) {
+    State.SkipWithError("invalid configuration");
+    return;
+  }
   for (auto _ : State) {
-    Expected<CompiledKernel> Kernel =
-        compileModel(Model, spn::QueryConfig(), Options);
-    benchmark::DoNotOptimize(&Kernel);
+    Expected<vm::KernelProgram> Program =
+        Pipeline->compile(Model, spn::QueryConfig());
+    benchmark::DoNotOptimize(&Program);
   }
 }
 BENCHMARK(BM_Compile)

@@ -68,15 +68,9 @@ ModeResult runSpnc(const CompilerOptions &Options) {
     Result.CompileSeconds.push_back(static_cast<double>(Stats.TotalNs) *
                                     1e-9);
     std::vector<double> Output(Instance.NumSamples);
-    double Wall = timeSeconds([&] {
-      Kernel->execute(Instance.Data.data(), Output.data(),
-                      Instance.NumSamples);
-    });
     Result.ExecSeconds.push_back(
-        Result.Simulated
-            ? static_cast<double>(Kernel->getLastGpuStats().totalNs()) *
-                  1e-9
-            : Wall);
+        runReportSeconds(*Kernel, Instance.Data.data(), Output.data(),
+                         Instance.NumSamples));
   }
   return Result;
 }

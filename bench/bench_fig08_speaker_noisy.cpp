@@ -51,15 +51,9 @@ std::vector<double> runSpnc(const CompilerOptions &Options) {
     if (!Kernel)
       continue;
     std::vector<double> Output(Instance.NumSamples);
-    double Wall = timeSeconds([&] {
-      Kernel->execute(Instance.Data.data(), Output.data(),
-                      Instance.NumSamples);
-    });
-    Times.push_back(
-        Options.TheTarget == Target::GPU
-            ? static_cast<double>(Kernel->getLastGpuStats().totalNs()) *
-                  1e-9
-            : Wall);
+    Times.push_back(runReportSeconds(*Kernel, Instance.Data.data(),
+                                     Output.data(),
+                                     Instance.NumSamples));
   }
   return Times;
 }

@@ -45,9 +45,10 @@ Breakdown measure(bool Noisy) {
     if (!Kernel)
       continue;
     std::vector<double> Output(Instance.NumSamples);
+    runtime::ExecutionStats ExecStats;
     Kernel->execute(Instance.Data.data(), Output.data(),
-                    Instance.NumSamples);
-    const gpusim::GpuExecutionStats &Stats = Kernel->getLastGpuStats();
+                    Instance.NumSamples, &ExecStats);
+    const gpusim::GpuExecutionStats &Stats = ExecStats.Gpu;
     Compute += Stats.ComputeNs;
     Transfer += Stats.TransferNs;
     Launch += Stats.LaunchNs;
@@ -79,10 +80,11 @@ void BM_GpuExecution(benchmark::State &State) {
     return;
   }
   std::vector<double> Output(Instances[0].NumSamples);
+  runtime::ExecutionStats ExecStats;
   for (auto _ : State)
     Kernel->execute(Instances[0].Data.data(), Output.data(),
-                    Instances[0].NumSamples);
-  const gpusim::GpuExecutionStats &Stats = Kernel->getLastGpuStats();
+                    Instances[0].NumSamples, &ExecStats);
+  const gpusim::GpuExecutionStats &Stats = ExecStats.Gpu;
   State.counters["sim_transfer_pct"] = Stats.transferFraction() * 100.0;
   State.counters["sim_total_ms"] =
       static_cast<double>(Stats.totalNs()) * 1e-6;

@@ -66,14 +66,8 @@ SweepPoint measure(uint32_t MaxPartitionSize, Target TheTarget) {
   size_t NumSamples =
       imageData().size() / ratSpnBenchScale().NumFeatures;
   std::vector<double> Output(NumSamples);
-  double Wall = timeSeconds([&] {
-    Kernel->execute(imageData().data(), Output.data(), NumSamples);
-  });
-  Point.ExecSeconds =
-      TheTarget == Target::GPU
-          ? static_cast<double>(Kernel->getLastGpuStats().totalNs()) *
-                1e-9
-          : Wall;
+  Point.ExecSeconds = runReportSeconds(*Kernel, imageData().data(),
+                                       Output.data(), NumSamples);
   return Point;
 }
 

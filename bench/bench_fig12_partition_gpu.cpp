@@ -59,9 +59,8 @@ SweepPoint measure(uint32_t MaxPartitionSize) {
   Point.NumTasks = Stats.NumTasks;
   size_t NumSamples = Data.size() / ratSpnBenchScale().NumFeatures;
   std::vector<double> Output(NumSamples);
-  Kernel->execute(Data.data(), Output.data(), NumSamples);
   Point.ExecSeconds =
-      static_cast<double>(Kernel->getLastGpuStats().totalNs()) * 1e-9;
+      runReportSeconds(*Kernel, Data.data(), Output.data(), NumSamples);
   return Point;
 }
 

@@ -55,14 +55,8 @@ SweepPoint measure(unsigned OptLevel, Target TheTarget) {
   Point.NumInstructions = Stats.NumInstructions;
   size_t NumSamples = Data.size() / ratSpnBenchScale().NumFeatures;
   std::vector<double> Output(NumSamples);
-  double Wall = timeSeconds([&] {
-    Kernel->execute(Data.data(), Output.data(), NumSamples);
-  });
   Point.ExecSeconds =
-      TheTarget == Target::GPU
-          ? static_cast<double>(Kernel->getLastGpuStats().totalNs()) *
-                1e-9
-          : Wall;
+      runReportSeconds(*Kernel, Data.data(), Output.data(), NumSamples);
   return Point;
 }
 

@@ -41,9 +41,10 @@ double simulatedMs(unsigned BlockSize) {
   if (!Kernel)
     return -1.0;
   std::vector<double> Output(speaker().NumSamples);
+  runtime::ExecutionStats Stats;
   Kernel->execute(speaker().Data.data(), Output.data(),
-                  speaker().NumSamples);
-  return static_cast<double>(Kernel->getLastGpuStats().totalNs()) * 1e-6;
+                  speaker().NumSamples, &Stats);
+  return static_cast<double>(Stats.Gpu.totalNs()) * 1e-6;
 }
 
 void BM_BlockSize(benchmark::State &State) {

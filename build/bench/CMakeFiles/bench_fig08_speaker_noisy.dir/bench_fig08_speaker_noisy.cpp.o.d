@@ -208,7 +208,11 @@ bench/CMakeFiles/bench_fig08_speaker_noisy.dir/bench_fig08_speaker_noisy.cpp.o: 
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../gpusim/GpuStats.h \
+ /root/repo/src/support/../vm/Bytecode.h \
  /root/repo/src/support/../runtime/Compiler.h \
+ /root/repo/src/support/../runtime/Pipeline.h \
  /root/repo/src/support/../codegen/Codegen.h \
  /root/repo/src/support/../dialects/lospn/LoSPNOps.h \
  /root/repo/src/support/../ir/BuiltinOps.h \
@@ -236,13 +240,12 @@ bench/CMakeFiles/bench_fig08_speaker_noisy.dir/bench_fig08_speaker_noisy.cpp.o: 
  /root/repo/src/support/../support/Expected.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/support/../vm/Bytecode.h \
  /root/repo/src/support/../frontend/Query.h \
  /root/repo/src/support/../gpusim/GpuSimulator.h \
  /root/repo/src/support/../ir/PassManager.h \
  /root/repo/src/support/../transforms/Passes.h \
  /root/repo/src/support/../partition/Partitioner.h \
- /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../vm/Executor.h /usr/include/c++/12/optional \
  /root/repo/src/support/../support/Timer.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \

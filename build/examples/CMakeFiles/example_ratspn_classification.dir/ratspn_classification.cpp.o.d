@@ -1,14 +1,8 @@
 examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.o: \
  /root/repo/examples/ratspn_classification.cpp /usr/include/stdc-predef.h \
  /root/repo/src/support/../runtime/Compiler.h \
- /root/repo/src/support/../codegen/Codegen.h \
- /root/repo/src/support/../dialects/lospn/LoSPNOps.h \
- /root/repo/src/support/../ir/BuiltinOps.h \
- /root/repo/src/support/../ir/OpDefinition.h \
- /root/repo/src/support/../ir/Builder.h \
- /root/repo/src/support/../ir/Operation.h \
- /root/repo/src/support/../ir/Attributes.h \
- /root/repo/src/support/../ir/Types.h /usr/include/c++/12/cassert \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../gpusim/GpuStats.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -19,8 +13,7 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h /usr/include/assert.h \
- /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/pstl/pstl_config.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -29,45 +22,9 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_algobase.h \
- /usr/include/c++/12/bits/functexcept.h \
- /usr/include/c++/12/bits/exception_defines.h \
- /usr/include/c++/12/bits/cpp_type_traits.h \
- /usr/include/c++/12/ext/type_traits.h \
- /usr/include/c++/12/ext/numeric_traits.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
- /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/compare /usr/include/c++/12/concepts \
- /usr/include/c++/12/bits/stl_iterator_base_types.h \
- /usr/include/c++/12/bits/iterator_concepts.h \
- /usr/include/c++/12/bits/ptr_traits.h \
- /usr/include/c++/12/bits/ranges_cmp.h \
- /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
- /usr/include/c++/12/bits/concept_check.h \
- /usr/include/c++/12/debug/assertions.h \
- /usr/include/c++/12/bits/stl_iterator.h /usr/include/c++/12/new \
- /usr/include/c++/12/bits/exception.h \
- /usr/include/c++/12/bits/stl_construct.h \
- /usr/include/c++/12/debug/debug.h \
- /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/allocator.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
- /usr/include/c++/12/bits/new_allocator.h \
- /usr/include/c++/12/bits/memoryfwd.h \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/ext/alloc_traits.h \
- /usr/include/c++/12/bits/alloc_traits.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/initializer_list \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/functional_hash.h \
- /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/invoke.h \
- /usr/include/c++/12/bits/stl_function.h \
- /usr/include/c++/12/backward/binders.h \
- /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/string \
+ /root/repo/src/support/../vm/Bytecode.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/floatn.h \
@@ -81,6 +38,23 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /usr/include/x86_64-linux-gnu/bits/types/FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/compare \
+ /usr/include/c++/12/concepts /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/new /usr/include/c++/12/bits/exception.h \
+ /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/iterator_concepts.h \
+ /usr/include/c++/12/bits/ptr_traits.h \
+ /usr/include/c++/12/bits/ranges_cmp.h \
+ /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/debug/assertions.h \
+ /usr/include/c++/12/bits/allocator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
+ /usr/include/c++/12/bits/new_allocator.h \
+ /usr/include/c++/12/bits/functexcept.h \
+ /usr/include/c++/12/bits/exception_defines.h \
+ /usr/include/c++/12/bits/cpp_type_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
  /usr/include/c++/12/clocale /usr/include/locale.h \
@@ -90,7 +64,23 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /usr/include/x86_64-linux-gnu/bits/endianness.h \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
- /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
+ /usr/include/c++/12/bits/stl_iterator.h \
+ /usr/include/c++/12/ext/type_traits.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/backward/binders.h \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/debug/debug.h \
+ /usr/include/c++/12/bits/predefined_ops.h \
+ /usr/include/c++/12/bits/refwrap.h /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/bits/basic_string.h \
+ /usr/include/c++/12/ext/alloc_traits.h \
+ /usr/include/c++/12/bits/alloc_traits.h /usr/include/c++/12/string_view \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/hash_bytes.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
@@ -130,8 +120,21 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/support/../ir/Context.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/cstddef \
+ /root/repo/src/support/../runtime/Pipeline.h \
+ /root/repo/src/support/../codegen/Codegen.h \
+ /root/repo/src/support/../dialects/lospn/LoSPNOps.h \
+ /root/repo/src/support/../ir/BuiltinOps.h \
+ /root/repo/src/support/../ir/OpDefinition.h \
+ /root/repo/src/support/../ir/Builder.h \
+ /root/repo/src/support/../ir/Operation.h \
+ /root/repo/src/support/../ir/Attributes.h \
+ /root/repo/src/support/../ir/Types.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/support/../ir/Context.h \
  /root/repo/src/support/../support/LogicalResult.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -221,7 +224,7 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/support/../ir/Region.h \
+ /root/repo/src/support/../ir/Region.h \
  /root/repo/src/support/../ir/Block.h \
  /root/repo/src/support/../ir/Value.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
@@ -229,7 +232,6 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /root/repo/src/support/../support/Expected.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/support/../vm/Bytecode.h \
  /root/repo/src/support/../frontend/Model.h \
  /root/repo/src/support/../support/Casting.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
@@ -239,10 +241,12 @@ examples/CMakeFiles/example_ratspn_classification.dir/ratspn_classification.cpp.
  /root/repo/src/support/../ir/PassManager.h \
  /root/repo/src/support/../transforms/Passes.h \
  /root/repo/src/support/../partition/Partitioner.h \
- /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../vm/Executor.h /usr/include/c++/12/optional \
+ /root/repo/src/support/../runtime/KernelCache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/support/../support/Timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \

@@ -214,6 +214,10 @@ examples/CMakeFiles/example_train_and_compile.dir/train_and_compile.cpp.o: \
  /root/repo/src/support/../support/LogicalResult.h \
  /root/repo/src/support/../learn/EM.h \
  /root/repo/src/support/../runtime/Compiler.h \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../gpusim/GpuStats.h \
+ /root/repo/src/support/../vm/Bytecode.h \
+ /root/repo/src/support/../runtime/Pipeline.h \
  /root/repo/src/support/../codegen/Codegen.h \
  /root/repo/src/support/../dialects/lospn/LoSPNOps.h \
  /root/repo/src/support/../ir/BuiltinOps.h \
@@ -236,13 +240,12 @@ examples/CMakeFiles/example_train_and_compile.dir/train_and_compile.cpp.o: \
  /root/repo/src/support/../ir/Value.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/support/../ir/PatternMatch.h \
- /root/repo/src/support/../vm/Bytecode.h \
  /root/repo/src/support/../frontend/Query.h \
  /root/repo/src/support/../gpusim/GpuSimulator.h \
  /root/repo/src/support/../ir/PassManager.h \
  /root/repo/src/support/../transforms/Passes.h \
  /root/repo/src/support/../partition/Partitioner.h \
- /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../vm/Executor.h /usr/include/c++/12/optional \
  /root/repo/src/support/../support/Random.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -1,7 +1,7 @@
 src/gpusim/CMakeFiles/spnc_gpusim.dir/GpuSimulator.cpp.o: \
  /root/repo/src/gpusim/GpuSimulator.cpp /usr/include/stdc-predef.h \
  /root/repo/src/support/../gpusim/GpuSimulator.h \
- /root/repo/src/support/../vm/Bytecode.h /usr/include/c++/12/cstdint \
+ /root/repo/src/support/../gpusim/GpuStats.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -21,7 +21,9 @@ src/gpusim/CMakeFiles/spnc_gpusim.dir/GpuSimulator.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../vm/Bytecode.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \

@@ -9,6 +9,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/runtime/Compiler.cpp" "src/runtime/CMakeFiles/spnc_runtime.dir/Compiler.cpp.o" "gcc" "src/runtime/CMakeFiles/spnc_runtime.dir/Compiler.cpp.o.d"
+  "/root/repo/src/runtime/KernelCache.cpp" "src/runtime/CMakeFiles/spnc_runtime.dir/KernelCache.cpp.o" "gcc" "src/runtime/CMakeFiles/spnc_runtime.dir/KernelCache.cpp.o.d"
+  "/root/repo/src/runtime/Pipeline.cpp" "src/runtime/CMakeFiles/spnc_runtime.dir/Pipeline.cpp.o" "gcc" "src/runtime/CMakeFiles/spnc_runtime.dir/Pipeline.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
   "CMakeFiles/spnc_runtime.dir/Compiler.cpp.o"
   "CMakeFiles/spnc_runtime.dir/Compiler.cpp.o.d"
+  "CMakeFiles/spnc_runtime.dir/KernelCache.cpp.o"
+  "CMakeFiles/spnc_runtime.dir/KernelCache.cpp.o.d"
+  "CMakeFiles/spnc_runtime.dir/Pipeline.cpp.o"
+  "CMakeFiles/spnc_runtime.dir/Pipeline.cpp.o.d"
   "libspnc_runtime.a"
   "libspnc_runtime.pdb"
 )

@@ -239,6 +239,8 @@ tests/CMakeFiles/codegen_test.dir/codegen_test.cpp.o: \
  /root/repo/src/support/../transforms/Passes.h \
  /root/repo/src/support/../partition/Partitioner.h \
  /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../gpusim/GpuStats.h \
  /root/repo/src/support/../workloads/Workloads.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -1,7 +1,7 @@
 tests/CMakeFiles/gpusim_test.dir/gpusim_test.cpp.o: \
  /root/repo/tests/gpusim_test.cpp /usr/include/stdc-predef.h \
  /root/repo/src/support/../gpusim/GpuSimulator.h \
- /root/repo/src/support/../vm/Bytecode.h /usr/include/c++/12/cstdint \
+ /root/repo/src/support/../gpusim/GpuStats.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -21,7 +21,9 @@ tests/CMakeFiles/gpusim_test.dir/gpusim_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../vm/Bytecode.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -124,6 +126,7 @@ tests/CMakeFiles/gpusim_test.dir/gpusim_test.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/cstddef \
  /root/repo/src/support/../runtime/Compiler.h \
+ /root/repo/src/support/../runtime/Pipeline.h \
  /root/repo/src/support/../codegen/Codegen.h \
  /root/repo/src/support/../dialects/lospn/LoSPNOps.h \
  /root/repo/src/support/../ir/BuiltinOps.h \
@@ -238,7 +241,7 @@ tests/CMakeFiles/gpusim_test.dir/gpusim_test.cpp.o: \
  /root/repo/src/support/../ir/PassManager.h \
  /root/repo/src/support/../transforms/Passes.h \
  /root/repo/src/support/../partition/Partitioner.h \
- /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../vm/Executor.h /usr/include/c++/12/optional \
  /root/repo/src/support/../workloads/Workloads.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -270,8 +273,7 @@ tests/CMakeFiles/gpusim_test.dir/gpusim_test.cpp.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/x86_64-linux-gnu/sys/wait.h \
- /usr/include/signal.h \
+ /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
  /usr/include/x86_64-linux-gnu/bits/types/sig_atomic_t.h \

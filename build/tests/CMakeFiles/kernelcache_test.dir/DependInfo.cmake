@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernelcache_test.cpp" "tests/CMakeFiles/kernelcache_test.dir/kernelcache_test.cpp.o" "gcc" "tests/CMakeFiles/kernelcache_test.dir/kernelcache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/learn/CMakeFiles/spnc_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spnc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/spnc_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/spnc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/spnc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/spnc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/spnc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/spnc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/spnc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/spnc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/spnc_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spnc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spnc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

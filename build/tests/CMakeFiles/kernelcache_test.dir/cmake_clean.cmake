@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelcache_test.dir/kernelcache_test.cpp.o"
+  "CMakeFiles/kernelcache_test.dir/kernelcache_test.cpp.o.d"
+  "kernelcache_test"
+  "kernelcache_test.pdb"
+  "kernelcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -208,6 +208,10 @@ tests/CMakeFiles/learn_test.dir/learn_test.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/support/../runtime/Compiler.h \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../gpusim/GpuStats.h \
+ /root/repo/src/support/../vm/Bytecode.h \
+ /root/repo/src/support/../runtime/Pipeline.h \
  /root/repo/src/support/../codegen/Codegen.h \
  /root/repo/src/support/../dialects/lospn/LoSPNOps.h \
  /root/repo/src/support/../ir/BuiltinOps.h \
@@ -235,13 +239,12 @@ tests/CMakeFiles/learn_test.dir/learn_test.cpp.o: \
  /root/repo/src/support/../support/Expected.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/support/../vm/Bytecode.h \
  /root/repo/src/support/../frontend/Query.h \
  /root/repo/src/support/../gpusim/GpuSimulator.h \
  /root/repo/src/support/../ir/PassManager.h \
  /root/repo/src/support/../transforms/Passes.h \
  /root/repo/src/support/../partition/Partitioner.h \
- /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../vm/Executor.h /usr/include/c++/12/optional \
  /root/repo/src/support/../support/Random.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -296,8 +299,7 @@ tests/CMakeFiles/learn_test.dir/learn_test.cpp.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/x86_64-linux-gnu/sys/wait.h \
- /usr/include/signal.h \
+ /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
  /usr/include/x86_64-linux-gnu/bits/types/sig_atomic_t.h \

@@ -122,7 +122,9 @@ tests/CMakeFiles/vm_test.dir/vm_test.cpp.o: /root/repo/tests/vm_test.cpp \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/support/../vm/Executor.h /usr/include/c++/12/cstddef \
+ /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../gpusim/GpuStats.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

@@ -20,4 +20,5 @@ include("/root/repo/build/tests/parser_test[1]_include.cmake")
 include("/root/repo/build/tests/learn_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/kernelcache_test[1]_include.cmake")
 include("/root/repo/build/tests/diagnostics_test[1]_include.cmake")

@@ -235,15 +235,22 @@ tools/CMakeFiles/spnc-cli.dir/spnc-cli.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/support/../ir/Printer.h \
  /root/repo/src/support/../runtime/Compiler.h \
+ /root/repo/src/support/../runtime/ExecutionEngine.h \
+ /root/repo/src/support/../gpusim/GpuStats.h \
+ /root/repo/src/support/../vm/Bytecode.h \
+ /root/repo/src/support/../runtime/Pipeline.h \
  /root/repo/src/support/../codegen/Codegen.h \
  /root/repo/src/support/../dialects/lospn/LoSPNOps.h \
  /root/repo/src/support/../ir/PatternMatch.h \
- /root/repo/src/support/../vm/Bytecode.h \
  /root/repo/src/support/../gpusim/GpuSimulator.h \
  /root/repo/src/support/../ir/PassManager.h \
  /root/repo/src/support/../transforms/Passes.h \
  /root/repo/src/support/../partition/Partitioner.h \
- /root/repo/src/support/../vm/Executor.h \
+ /root/repo/src/support/../vm/Executor.h /usr/include/c++/12/optional \
+ /root/repo/src/support/../runtime/KernelCache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/support/../support/RawOStream.h \
  /root/repo/src/support/../support/StringUtils.h \
  /usr/include/c++/12/cstdarg /usr/include/c++/12/cmath \
@@ -256,8 +263,7 @@ tools/CMakeFiles/spnc-cli.dir/spnc-cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

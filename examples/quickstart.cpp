@@ -7,9 +7,10 @@
 ///
 /// \file
 /// Quickstart: build a small Sum-Product Network with the SPFlow-like
-/// model API, compile it for the CPU with one call (the C++ analog of the
-/// paper's single-API-call Python interface), and run joint and marginal
-/// inference on a few samples.
+/// model API, compile it for the CPU through the kernel cache (the C++
+/// analog of the paper's single-API-call Python interface, in the
+/// compile-once/run-many regime), and run joint and marginal inference
+/// on a few samples with per-call execution statistics.
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && ninja -C build example_quickstart
@@ -18,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Compiler.h"
+#include "runtime/KernelCache.h"
 
 #include <cmath>
 #include <cstdio>
@@ -47,7 +49,10 @@ int main() {
   }
 
   // 2. Compile a joint-probability query for the CPU. The query computes
-  //    in log-space (f32) and supports marginalized evidence.
+  //    in log-space (f32) and supports marginalized evidence. Going
+  //    through the kernel cache makes this compile-once/run-many: a
+  //    second request with the same model + query + options returns the
+  //    already-compiled kernel.
   spn::QueryConfig Query;
   Query.LogSpace = true;
   Query.SupportMarginal = true;
@@ -55,19 +60,33 @@ int main() {
   Options.OptLevel = 2;
   Options.Execution.VectorWidth = 8; // SIMD over 8 samples
 
+  KernelCache Cache;
   CompileStats Stats;
   Expected<CompiledKernel> Kernel =
-      compileModel(Model, Query, Options, &Stats);
+      Cache.getOrCompile(Model, Query, Options, &Stats);
   if (!Kernel) {
     std::fprintf(stderr, "compilation failed: %s\n",
                  Kernel.getError().message().c_str());
     return 1;
   }
-  std::printf("compiled %zu task(s), %zu instructions in %.2f ms\n",
+  std::printf("compiled %zu task(s), %zu instructions in %.2f ms "
+              "(engine: %s)\n",
               Stats.NumTasks, Stats.NumInstructions,
-              static_cast<double>(Stats.TotalNs) * 1e-6);
+              static_cast<double>(Stats.TotalNs) * 1e-6,
+              Kernel->getEngine().describe().c_str());
 
-  // 3. Run inference. NaN marks a marginalized feature.
+  // The same request again is a cache hit — no recompilation.
+  Expected<CompiledKernel> Again =
+      Cache.getOrCompile(Model, Query, Options);
+  if (Again) {
+    KernelCache::Statistics CacheStats = Cache.getStatistics();
+    std::printf("kernel cache: %llu hit(s), %llu miss(es)\n",
+                static_cast<unsigned long long>(CacheStats.Hits),
+                static_cast<unsigned long long>(CacheStats.Misses));
+  }
+
+  // 3. Run inference. NaN marks a marginalized feature; the per-call
+  //    statistics report the wall clock of this execution.
   const double NaN = std::nan("");
   double Samples[4][2] = {
       {-1.0, 0.0}, // near the first mixture component
@@ -76,7 +95,10 @@ int main() {
       {NaN, 2.0},  // feature 0 marginalized out
   };
   double LogLikelihoods[4];
-  Kernel->execute(&Samples[0][0], LogLikelihoods, 4);
+  ExecutionStats ExecStats;
+  Kernel->execute(&Samples[0][0], LogLikelihoods, 4, &ExecStats);
+  std::printf("executed %zu samples in %.1f us\n", ExecStats.NumSamples,
+              static_cast<double>(ExecStats.WallNs) * 1e-3);
 
   for (int I = 0; I < 4; ++I) {
     double Reference = Model.evalLogLikelihood(

@@ -9,6 +9,7 @@
 
 #include "dialects/lospn/LoSPNOps.h"
 #include "support/Compiler.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -205,4 +206,32 @@ void TfGraphExecutor::execute(const double *Input, double *Output,
   const std::vector<double> &RootOut =
       NodeOutputs[PositionOf[TheModel.getRoot()->getId()]];
   std::copy(RootOut.begin(), RootOut.end(), Output);
+}
+
+//===----------------------------------------------------------------------===//
+// ExecutionEngine adapters
+//===----------------------------------------------------------------------===//
+
+void InterpreterEngine::execute(const double *Input, double *Output,
+                                size_t NumSamples,
+                                runtime::ExecutionStats *Stats) const {
+  Timer WallTimer;
+  Interpreter.execute(Input, Output, NumSamples);
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+  }
+}
+
+void TfGraphEngine::execute(const double *Input, double *Output,
+                            size_t NumSamples,
+                            runtime::ExecutionStats *Stats) const {
+  Timer WallTimer;
+  Executor.execute(Input, Output, NumSamples);
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+  }
 }

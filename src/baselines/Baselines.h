@@ -27,8 +27,10 @@
 #define SPNC_BASELINES_BASELINES_H
 
 #include "frontend/Model.h"
+#include "runtime/ExecutionEngine.h"
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace spnc {
@@ -65,6 +67,53 @@ private:
   const spn::Model &TheModel;
   std::vector<spn::Node *> Order;
   std::vector<uint32_t> PositionOf;
+};
+
+//===----------------------------------------------------------------------===//
+// ExecutionEngine adapters
+//===----------------------------------------------------------------------===//
+
+/// Presents the SPFlow-equivalent interpreter through the unified
+/// runtime::ExecutionEngine interface, so baselines plug into the same
+/// harnesses (and kernel cache) as compiled kernels. The adapted model
+/// must outlive the engine.
+class InterpreterEngine : public runtime::ExecutionEngine {
+public:
+  explicit InterpreterEngine(const spn::Model &TheModel)
+      : Interpreter(TheModel) {}
+
+  void execute(const double *Input, double *Output, size_t NumSamples,
+               runtime::ExecutionStats *Stats = nullptr) const override;
+  runtime::Target getTarget() const override {
+    return runtime::Target::CPU;
+  }
+  std::string describe() const override {
+    return "baseline: spflow-style interpreter";
+  }
+
+private:
+  SPFlowInterpreter Interpreter;
+};
+
+/// Presents the Tensorflow-translation baseline through the unified
+/// runtime::ExecutionEngine interface. The adapted model must outlive
+/// the engine. Marginalized (NaN) evidence is unsupported.
+class TfGraphEngine : public runtime::ExecutionEngine {
+public:
+  explicit TfGraphEngine(const spn::Model &TheModel)
+      : Executor(TheModel) {}
+
+  void execute(const double *Input, double *Output, size_t NumSamples,
+               runtime::ExecutionStats *Stats = nullptr) const override;
+  runtime::Target getTarget() const override {
+    return runtime::Target::CPU;
+  }
+  std::string describe() const override {
+    return "baseline: tensorflow-style graph executor";
+  }
+
+private:
+  TfGraphExecutor Executor;
 };
 
 } // namespace baselines

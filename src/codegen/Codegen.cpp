@@ -803,6 +803,9 @@ spnc::codegen::emitKernelProgram(KernelOp Kernel,
 
   KernelProgram Program;
   Program.Name = Kernel.getKernelName();
+  Program.Lowering = Options.EmitSelectCascades
+                         ? LoweringKind::SelectCascade
+                         : LoweringKind::TableLookup;
 
   // Buffer plan from the kernel signature and allocs.
   std::unordered_map<ValueImpl *, uint32_t> BufferIds;

@@ -254,3 +254,27 @@ void GpuExecutor::execute(const double *Input, double *Output,
     runOnDevice<double>(Program, Config, BlockSize, Input, Output,
                         NumSamples, S);
 }
+
+void GpuExecutor::execute(const double *Input, double *Output,
+                          size_t NumSamples,
+                          runtime::ExecutionStats *Stats) const {
+  Timer WallTimer;
+  GpuExecutionStats GpuStats;
+  execute(Input, Output, NumSamples, &GpuStats);
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+    Stats->HasGpuStats = true;
+    Stats->Gpu = GpuStats;
+  }
+}
+
+std::string GpuExecutor::describe() const {
+  unsigned Block = BlockSize ? BlockSize : Program.BatchSize;
+  return "gpusim sms=" + std::to_string(Config.NumSMs) +
+         ", block=" + std::to_string(Block) +
+         (Program.Lowering == vm::LoweringKind::TableLookup
+              ? ", table-lookup kernel"
+              : "");
+}

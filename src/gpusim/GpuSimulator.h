@@ -30,6 +30,8 @@
 #ifndef SPNC_GPUSIM_GPUSIMULATOR_H
 #define SPNC_GPUSIM_GPUSIMULATOR_H
 
+#include "gpusim/GpuStats.h"
+#include "runtime/ExecutionEngine.h"
 #include "vm/Bytecode.h"
 
 #include <cstddef>
@@ -73,26 +75,6 @@ struct GpuDeviceConfig {
   double DeviceBandwidthGBs = 0.25;
 };
 
-/// Simulated wall-clock breakdown of one execution (paper Fig. 9).
-struct GpuExecutionStats {
-  uint64_t ComputeNs = 0;
-  uint64_t TransferNs = 0;
-  uint64_t LaunchNs = 0;
-  uint64_t BytesHostToDevice = 0;
-  uint64_t BytesDeviceToHost = 0;
-  unsigned NumLaunches = 0;
-  unsigned NumTransfers = 0;
-
-  uint64_t totalNs() const { return ComputeNs + TransferNs + LaunchNs; }
-  /// Fraction of the total time spent in data movement.
-  double transferFraction() const {
-    uint64_t Total = totalNs();
-    return Total == 0 ? 0.0
-                      : static_cast<double>(TransferNs) /
-                            static_cast<double>(Total);
-  }
-};
-
 /// Occupancy achieved by a kernel with the given per-thread register
 /// demand and block size: resident threads per SM over the maximum.
 /// Exposed for testing and for the block-size sweep.
@@ -107,8 +89,11 @@ double computeSpillSlowdown(const GpuDeviceConfig &Config,
                             unsigned BlockSize,
                             unsigned RegistersPerThread);
 
-/// Executes compiled kernels on the simulated device.
-class GpuExecutor {
+/// Executes compiled kernels on the simulated device. Implements the
+/// unified runtime::ExecutionEngine interface; the executor is immutable
+/// after construction and `execute` is thread-safe — the simulated device
+/// breakdown is returned per call, never stored on the executor.
+class GpuExecutor : public runtime::ExecutionEngine {
 public:
   /// \p BlockSize is the CUDA block size used for every launch; 0 uses
   /// the kernel's batch-size hint (paper §V-A1: the user batch size is
@@ -116,12 +101,26 @@ public:
   GpuExecutor(vm::KernelProgram Program, GpuDeviceConfig Config = {},
               unsigned BlockSize = 0);
 
-  const vm::KernelProgram &getProgram() const { return Program; }
+  const vm::KernelProgram *getProgram() const override {
+    return &Program;
+  }
+  const GpuDeviceConfig &getDeviceConfig() const { return Config; }
+  runtime::Target getTarget() const override {
+    return runtime::Target::GPU;
+  }
+  std::string describe() const override;
 
   /// Runs the kernel; same buffer conventions as CpuExecutor. Fills
-  /// \p Stats with the simulated time breakdown when provided.
+  /// \p Stats with the simulated device time breakdown when provided.
+  /// (No default argument: the three-argument call resolves to the
+  /// ExecutionEngine overload below.)
   void execute(const double *Input, double *Output, size_t NumSamples,
-               GpuExecutionStats *Stats = nullptr) const;
+               GpuExecutionStats *Stats) const;
+
+  /// ExecutionEngine entry point; the simulated breakdown is returned in
+  /// \p Stats->Gpu with HasGpuStats set.
+  void execute(const double *Input, double *Output, size_t NumSamples,
+               runtime::ExecutionStats *Stats = nullptr) const override;
 
 private:
   vm::KernelProgram Program;

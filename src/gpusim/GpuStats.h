@@ -1,0 +1,47 @@
+//===- GpuStats.h - Simulated GPU execution statistics -------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated wall-clock breakdown of one GPU execution (paper Fig. 9),
+/// split out of GpuSimulator.h so the layer-neutral execution-engine
+/// interface (runtime/ExecutionEngine.h) can embed it without pulling in
+/// the device model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_GPUSIM_GPUSTATS_H
+#define SPNC_GPUSIM_GPUSTATS_H
+
+#include <cstdint>
+
+namespace spnc {
+namespace gpusim {
+
+/// Simulated wall-clock breakdown of one execution (paper Fig. 9).
+struct GpuExecutionStats {
+  uint64_t ComputeNs = 0;
+  uint64_t TransferNs = 0;
+  uint64_t LaunchNs = 0;
+  uint64_t BytesHostToDevice = 0;
+  uint64_t BytesDeviceToHost = 0;
+  unsigned NumLaunches = 0;
+  unsigned NumTransfers = 0;
+
+  uint64_t totalNs() const { return ComputeNs + TransferNs + LaunchNs; }
+  /// Fraction of the total time spent in data movement.
+  double transferFraction() const {
+    uint64_t Total = totalNs();
+    return Total == 0 ? 0.0
+                      : static_cast<double>(TransferNs) /
+                            static_cast<double>(Total);
+  }
+};
+
+} // namespace gpusim
+} // namespace spnc
+
+#endif // SPNC_GPUSIM_GPUSTATS_H

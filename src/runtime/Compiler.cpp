@@ -7,40 +7,66 @@
 
 #include "runtime/Compiler.h"
 
-#include "frontend/HiSPNTranslation.h"
-#include "ir/Transforms.h"
-#include "ir/Verifier.h"
-#include "support/Timer.h"
 #include "vm/ProgramBinary.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
 using namespace spnc;
-using namespace spnc::ir;
 using namespace spnc::runtime;
 
-void CompiledKernel::execute(const double *Input, double *Output,
-                             size_t NumSamples) {
-  if (TheTarget == Target::CPU) {
-    Cpu->execute(Input, Output, NumSamples);
-    return;
-  }
-  Gpu->execute(Input, Output, NumSamples, &LastGpuStats);
-}
-
-const vm::KernelProgram &CompiledKernel::getProgram() const {
-  return TheTarget == Target::CPU ? Cpu->getProgram()
-                                  : Gpu->getProgram();
+Expected<CompiledKernel>
+spnc::runtime::compileModel(const spn::Model &TheModel,
+                            const spn::QueryConfig &Config,
+                            const CompilerOptions &Options,
+                            CompileStats *Stats) {
+  Expected<CompilationPipeline> Pipeline =
+      CompilationPipeline::create(Options);
+  if (!Pipeline)
+    return Pipeline.getError();
+  Expected<vm::KernelProgram> Program =
+      Pipeline->compile(TheModel, Config, Stats);
+  if (!Program)
+    return Program.getError();
+  return CompiledKernel(Pipeline->makeEngine(Program.takeValue()));
 }
 
 LogicalResult
 spnc::runtime::saveCompiledKernel(const CompiledKernel &Kernel,
-                                  const std::string &Path) {
-  std::vector<uint8_t> Blob = vm::encodeProgram(Kernel.getProgram());
-  std::FILE *File = std::fopen(Path.c_str(), "wb");
-  if (!File)
+                                  const std::string &Path,
+                                  std::string *ErrorMessage) {
+  auto Fail = [&](const std::string &What) {
+    if (ErrorMessage)
+      *ErrorMessage = What + ": " + std::strerror(errno);
     return failure();
+  };
+  std::vector<uint8_t> Blob = vm::encodeProgram(Kernel.getProgram());
+  // Write to a temporary sibling and rename into place, so an
+  // interrupted or failed write never leaves a truncated .spnk at Path.
+  std::string TempPath = Path + ".tmp";
+  std::FILE *File = std::fopen(TempPath.c_str(), "wb");
+  if (!File)
+    return Fail("cannot create '" + TempPath + "'");
   size_t Written = std::fwrite(Blob.data(), 1, Blob.size(), File);
-  std::fclose(File);
-  return Written == Blob.size() ? success() : failure();
+  if (Written != Blob.size()) {
+    LogicalResult Result = Fail("short write to '" + TempPath + "'");
+    std::fclose(File);
+    std::remove(TempPath.c_str());
+    return Result;
+  }
+  if (std::fclose(File) != 0) {
+    LogicalResult Result = Fail("cannot flush '" + TempPath + "'");
+    std::remove(TempPath.c_str());
+    return Result;
+  }
+  if (std::rename(TempPath.c_str(), Path.c_str()) != 0) {
+    LogicalResult Result =
+        Fail("cannot rename '" + TempPath + "' to '" + Path + "'");
+    std::remove(TempPath.c_str());
+    return Result;
+  }
+  return success();
 }
 
 Expected<CompiledKernel> spnc::runtime::loadCompiledKernel(
@@ -49,120 +75,48 @@ Expected<CompiledKernel> spnc::runtime::loadCompiledKernel(
     unsigned GpuBlockSize) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
-    return makeError("cannot open '" + Path + "'");
+    return makeError("cannot open '" + Path +
+                     "': " + std::strerror(errno));
   std::vector<uint8_t> Blob;
   uint8_t Chunk[4096];
   size_t Read;
   while ((Read = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
     Blob.insert(Blob.end(), Chunk, Chunk + Read);
+  if (std::ferror(File)) {
+    Error Err = makeError("cannot read '" + Path +
+                          "': " + std::strerror(errno));
+    std::fclose(File);
+    return Err;
+  }
   std::fclose(File);
   Expected<vm::KernelProgram> Program = vm::decodeProgram(Blob);
   if (!Program)
-    return Program.getError();
-  CompiledKernel Result;
-  Result.TheTarget = TheTarget;
+    return makeError("cannot load '" + Path +
+                     "': " + Program.getError().message());
+
+  // Resolve the engine from the lowering target recorded in the binary
+  // header; warn when an explicit target contradicts it (the program
+  // still runs — both engines execute either lowering).
+  Target Recorded = Target::Auto;
+  if (Program->Lowering == vm::LoweringKind::TableLookup)
+    Recorded = Target::CPU;
+  else if (Program->Lowering == vm::LoweringKind::SelectCascade)
+    Recorded = Target::GPU;
+  if (TheTarget == Target::Auto)
+    TheTarget = Recorded == Target::Auto ? Target::CPU : Recorded;
+  else if (Recorded != Target::Auto && TheTarget != Recorded)
+    std::fprintf(stderr,
+                 "warning: '%s' was compiled for the %s lowering but is "
+                 "loaded on the %s engine\n",
+                 Path.c_str(), targetName(Recorded),
+                 targetName(TheTarget));
+
+  std::shared_ptr<ExecutionEngine> Engine;
   if (TheTarget == Target::GPU)
-    Result.Gpu = std::make_shared<gpusim::GpuExecutor>(
-        Program.takeValue(), Device, GpuBlockSize);
+    Engine = std::make_shared<gpusim::GpuExecutor>(Program.takeValue(),
+                                                   Device, GpuBlockSize);
   else
-    Result.Cpu = std::make_shared<vm::CpuExecutor>(Program.takeValue(),
-                                                   Execution);
-  return Result;
-}
-
-Expected<CompiledKernel>
-spnc::runtime::compileModel(const spn::Model &TheModel,
-                            const spn::QueryConfig &Config,
-                            const CompilerOptions &Options,
-                            CompileStats *Stats) {
-  Timer TotalTimer;
-  CompileStats LocalStats;
-  CompileStats &S = Stats ? *Stats : LocalStats;
-  S = CompileStats();
-
-  Context Ctx;
-
-  // Stage 1: translation into the HiSPN dialect (paper §IV-A2).
-  Timer TranslationTimer;
-  spn::QueryConfig Query = Config;
-  if (Query.DataType == spn::ComputeType::Auto &&
-      Options.Lowering.ComputeWidth != 0)
-    Query.DataType = Options.Lowering.ComputeWidth == 64
-                         ? spn::ComputeType::F64
-                         : spn::ComputeType::F32;
-  OwningOpRef<ModuleOp> Module = translateToHiSPN(Ctx, TheModel, Query);
-  S.TranslationNs = TranslationTimer.elapsedNs();
-  if (!Module)
-    return makeError("translation to HiSPN failed (invalid model?)");
-
-  // Stage 2: the target-independent IR pipeline (paper §IV-A).
-  transforms::LoweringOptions Lowering = Options.Lowering;
-  if (Query.DataType == spn::ComputeType::F32)
-    Lowering.ComputeWidth = 32;
-  else if (Query.DataType == spn::ComputeType::F64)
-    Lowering.ComputeWidth = 64;
-
-  PassManager PM(Ctx, Options.VerifyIR);
-  if (Options.OptLevel >= 1)
-    PM.addPass(createCanonicalizerPass()); // HiSPN-level early opts
-  PM.addPass(transforms::createHiSPNToLoSPNLoweringPass(Lowering));
-  if (Options.MaxPartitionSize > 0) {
-    partition::PartitionOptions PartOptions = Options.Partitioning;
-    PartOptions.MaxPartitionSize = Options.MaxPartitionSize;
-    PM.addPass(transforms::createTaskPartitioningPass(PartOptions));
-  }
-  if (Options.OptLevel >= 1) {
-    PM.addPass(createCanonicalizerPass());
-    PM.addPass(createCSEPass());
-  }
-  transforms::BufferizationOptions BufOptions;
-  BufOptions.AvoidCopies = Options.AvoidBufferCopies;
-  PM.addPass(transforms::createBufferizationPass(BufOptions));
-  if (Options.TheTarget == Target::GPU && Options.GpuTransferElimination)
-    PM.addPass(transforms::createGpuBufferTransferEliminationPass());
-
-  if (failed(PM.run(Module.get().getOperation())))
-    return makeError("compilation pipeline failed");
-  S.PassTimings = PM.getTimings();
-
-  // Locate the kernel.
-  lospn::KernelOp Kernel(nullptr);
-  for (Operation *Op : Module.get().getBody())
-    if (isa_op<lospn::KernelOp>(Op))
-      Kernel = lospn::KernelOp(Op);
-  if (!Kernel)
-    return makeError("pipeline produced no kernel");
-
-  // Stage 3: code generation (paper §IV-B / §IV-C).
-  codegen::CodegenOptions CGOptions;
-  CGOptions.OptLevel = Options.OptLevel;
-  CGOptions.EmitSelectCascades = Options.TheTarget == Target::GPU;
-  Expected<vm::KernelProgram> Program =
-      codegen::emitKernelProgram(Kernel, CGOptions, &S.Codegen);
-  if (!Program)
-    return Program.getError();
-
-  S.NumTasks = Program->Tasks.size();
-  S.NumInstructions = Program->totalInstructions();
-
-  CompiledKernel Result;
-  Result.TheTarget = Options.TheTarget;
-  if (Options.TheTarget == Target::GPU) {
-    // Stage 4 (GPU): assemble and reload the device binary, the analog
-    // of the PTX -> CUBIN translation that dominates GPU compile time in
-    // the paper (§V-B1).
-    Timer EncodeTimer;
-    std::vector<uint8_t> Blob = vm::encodeProgram(*Program);
-    Expected<vm::KernelProgram> Reloaded = vm::decodeProgram(Blob);
-    S.BinaryEncodeNs = EncodeTimer.elapsedNs();
-    if (!Reloaded)
-      return makeError("device binary round-trip failed");
-    Result.Gpu = std::make_shared<gpusim::GpuExecutor>(
-        Reloaded.takeValue(), Options.Device, Options.GpuBlockSize);
-  } else {
-    Result.Cpu = std::make_shared<vm::CpuExecutor>(Program.takeValue(),
-                                                   Options.Execution);
-  }
-  S.TotalNs = TotalTimer.elapsedNs();
-  return Result;
+    Engine = std::make_shared<vm::CpuExecutor>(Program.takeValue(),
+                                               Execution);
+  return CompiledKernel(std::move(Engine));
 }

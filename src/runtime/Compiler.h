@@ -9,122 +9,95 @@
 /// The public entry point of the compiler: takes an SPFlow-equivalent SPN
 /// model plus a query description and produces a loaded, executable
 /// kernel for the CPU or the (simulated) GPU — the equivalent of the
-/// paper's single-API-call Python interface (§IV-A1). Compile-time
-/// statistics (per-pass and per-codegen-stage wall clock) feed the
-/// compile-time experiments (paper §V-B).
+/// paper's single-API-call Python interface (§IV-A1). `compileModel` and
+/// `loadCompiledKernel` are thin wrappers over the staged
+/// `CompilationPipeline` (Pipeline.h) and the `ExecutionEngine` layer
+/// (ExecutionEngine.h); compile-time statistics (per-stage, per-pass and
+/// per-codegen-stage wall clock) feed the compile-time experiments
+/// (paper §V-B).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPNC_RUNTIME_COMPILER_H
 #define SPNC_RUNTIME_COMPILER_H
 
-#include "codegen/Codegen.h"
-#include "frontend/Model.h"
-#include "frontend/Query.h"
-#include "gpusim/GpuSimulator.h"
-#include "ir/PassManager.h"
+#include "runtime/ExecutionEngine.h"
+#include "runtime/Pipeline.h"
 #include "support/Expected.h"
-#include "transforms/Passes.h"
-#include "vm/Executor.h"
+#include "support/LogicalResult.h"
 
 #include <memory>
+#include <string>
 
 namespace spnc {
 namespace runtime {
 
-/// Compilation target.
-enum class Target { CPU, GPU };
-
-/// All user-facing knobs of the compiler, mirroring the parameters the
-/// paper's Python interface exposes (§V-B1).
-struct CompilerOptions {
-  Target TheTarget = Target::CPU;
-  /// Optimization level 0..3 (paper Figs. 11/13): 0 disables the IR
-  /// canonicalization/CSE and all codegen optimization; higher levels
-  /// enable progressively more work.
-  unsigned OptLevel = 1;
-  /// Maximum SPN operations per task; 0 disables partitioning
-  /// (paper Figs. 10/12).
-  uint32_t MaxPartitionSize = 0;
-  /// CPU execution configuration (vectorization design space, Fig. 6).
-  vm::ExecutionConfig Execution;
-  /// GPU device model and block size (0 = batch-size hint).
-  gpusim::GpuDeviceConfig Device;
-  unsigned GpuBlockSize = 0;
-  /// Keep intermediate buffers on the GPU between tasks (paper §IV-C).
-  bool GpuTransferElimination = true;
-  /// Write returned task results directly into kernel outputs
-  /// (paper §IV-A5); disable only for the ablation.
-  bool AvoidBufferCopies = true;
-  /// Verify the IR after each pass (slow for very large graphs).
-  bool VerifyIR = false;
-  transforms::LoweringOptions Lowering;
-  partition::PartitionOptions Partitioning;
-};
-
-/// Compile-time measurements (the paper's §V-B1 breakdown).
-struct CompileStats {
-  /// Per-pass wall clock of the IR pipeline.
-  std::vector<ir::PassTiming> PassTimings;
-  /// Codegen stage breakdown (isel / regalloc / peephole / scheduling).
-  codegen::CodegenTimings Codegen;
-  /// Model-to-HiSPN translation time.
-  uint64_t TranslationNs = 0;
-  /// Device binary assembly time (the CUBIN-encoding analog, GPU only).
-  uint64_t BinaryEncodeNs = 0;
-  /// End-to-end compilation wall clock.
-  uint64_t TotalNs = 0;
-  size_t NumTasks = 0;
-  size_t NumInstructions = 0;
-};
-
-/// A compiled, loaded query kernel ready for execution.
+/// A compiled, loaded query kernel ready for execution. A thin handle on
+/// a shared, immutable ExecutionEngine: copying a CompiledKernel shares
+/// the engine, and `execute` is safe to call from multiple threads.
 class CompiledKernel {
 public:
+  CompiledKernel() = default;
+  explicit CompiledKernel(std::shared_ptr<ExecutionEngine> TheEngine)
+      : Engine(std::move(TheEngine)) {}
+
   /// Runs inference on \p NumSamples samples ([sample][feature] doubles).
-  /// \p Output receives one (log-)probability per sample.
-  void execute(const double *Input, double *Output, size_t NumSamples);
+  /// \p Output receives one (log-)probability per sample; \p Stats
+  /// receives the per-call statistics (wall clock, and the simulated
+  /// device breakdown for GPU engines) when provided.
+  void execute(const double *Input, double *Output, size_t NumSamples,
+               ExecutionStats *Stats = nullptr) const {
+    Engine->execute(Input, Output, NumSamples, Stats);
+  }
 
-  Target getTarget() const { return TheTarget; }
-  const vm::KernelProgram &getProgram() const;
+  Target getTarget() const { return Engine->getTarget(); }
 
-  /// Simulated time breakdown of the last GPU execution.
-  const gpusim::GpuExecutionStats &getLastGpuStats() const {
-    return LastGpuStats;
+  /// The compiled program; only valid for kernels backed by a compiled
+  /// engine (always the case for compileModel / loadCompiledKernel
+  /// results).
+  const vm::KernelProgram &getProgram() const {
+    const vm::KernelProgram *Program = Engine->getProgram();
+    assert(Program && "engine has no compiled program");
+    return *Program;
+  }
+
+  /// The underlying engine (shared with every copy of this kernel).
+  const ExecutionEngine &getEngine() const { return *Engine; }
+  const std::shared_ptr<ExecutionEngine> &getEngineShared() const {
+    return Engine;
   }
 
 private:
-  friend Expected<CompiledKernel>
-  compileModel(const spn::Model &, const spn::QueryConfig &,
-               const CompilerOptions &, CompileStats *);
-  friend Expected<CompiledKernel>
-  loadCompiledKernel(const std::string &, Target, vm::ExecutionConfig,
-                     gpusim::GpuDeviceConfig, unsigned);
-
-  Target TheTarget = Target::CPU;
-  std::shared_ptr<vm::CpuExecutor> Cpu;
-  std::shared_ptr<gpusim::GpuExecutor> Gpu;
-  gpusim::GpuExecutionStats LastGpuStats;
+  std::shared_ptr<ExecutionEngine> Engine;
 };
 
 /// Compiles \p TheModel for the query \p Config under \p Options. The
-/// single-call analog of the paper's Python API.
+/// single-call analog of the paper's Python API; equivalent to building a
+/// CompilationPipeline and running it once.
 Expected<CompiledKernel> compileModel(const spn::Model &TheModel,
                                       const spn::QueryConfig &Config,
                                       const CompilerOptions &Options,
                                       CompileStats *Stats = nullptr);
 
 /// Saves the kernel's compiled program to \p Path (the analog of keeping
-/// the emitted object file around, enabling compile-once/run-many).
+/// the emitted object file around, enabling compile-once/run-many). The
+/// write is atomic: the blob goes to a temporary file that is renamed
+/// over \p Path only after a complete write, so a failure never leaves a
+/// truncated kernel behind. On failure, \p ErrorMessage (when non-null)
+/// receives an errno-based reason.
 LogicalResult saveCompiledKernel(const CompiledKernel &Kernel,
-                                 const std::string &Path);
+                                 const std::string &Path,
+                                 std::string *ErrorMessage = nullptr);
 
 /// Loads a program saved by saveCompiledKernel and wraps it in an
-/// executor for the requested target. Target-independent: a kernel
-/// compiled with CPU table lookups runs on the CPU executor; GPU-lowered
-/// programs (select cascades) run on either.
+/// executor. With Target::Auto (the default) the engine matching the
+/// recorded lowering target is selected: kernels lowered with table
+/// lookups run on the CPU executor, select-cascade kernels on the GPU
+/// simulator. An explicit target always wins — programs are
+/// target-independent and run on either engine — but a warning is
+/// printed when it contradicts the recorded lowering.
 Expected<CompiledKernel> loadCompiledKernel(
-    const std::string &Path, Target TheTarget = Target::CPU,
+    const std::string &Path, Target TheTarget = Target::Auto,
     vm::ExecutionConfig Execution = {},
     gpusim::GpuDeviceConfig Device = {}, unsigned GpuBlockSize = 0);
 

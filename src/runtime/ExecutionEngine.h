@@ -1,0 +1,99 @@
+//===- ExecutionEngine.h - Unified kernel execution interface -----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one interface every way of running an SPN inference implements:
+/// the compiled CPU executors (vm::CpuExecutor), the simulated GPU device
+/// (gpusim::GpuExecutor) and the baseline adapters
+/// (baselines::InterpreterEngine / baselines::TfGraphEngine). Target
+/// selection happens exactly once — when the concrete engine is
+/// constructed — and execution statistics are returned per call, so one
+/// engine instance can safely serve concurrent callers.
+///
+/// This header is layer-neutral by design: it is header-only (no link
+/// dependency) and depends only on the bytecode types and the plain GPU
+/// stats struct, so layers both below the runtime driver (vm, gpusim) and
+/// above it (baselines) can implement the interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_RUNTIME_EXECUTIONENGINE_H
+#define SPNC_RUNTIME_EXECUTIONENGINE_H
+
+#include "gpusim/GpuStats.h"
+#include "vm/Bytecode.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spnc {
+namespace runtime {
+
+/// Compilation / execution target. `Auto` defers the decision: compiling
+/// with Auto selects the CPU, loading a saved kernel with Auto selects
+/// the engine the kernel was lowered for (see loadCompiledKernel).
+enum class Target { Auto, CPU, GPU };
+
+/// Returns a human-readable target name ("cpu", "gpu", "auto").
+inline const char *targetName(Target TheTarget) {
+  switch (TheTarget) {
+  case Target::Auto:
+    return "auto";
+  case Target::CPU:
+    return "cpu";
+  case Target::GPU:
+    return "gpu";
+  }
+  return "<invalid>";
+}
+
+/// Per-call execution statistics. Filled by ExecutionEngine::execute when
+/// the caller passes a non-null pointer; engines never retain mutable
+/// per-call state, which keeps execute() safe to call from many threads.
+struct ExecutionStats {
+  /// Measured host wall clock of the call.
+  uint64_t WallNs = 0;
+  /// Number of samples processed by the call.
+  size_t NumSamples = 0;
+  /// True when `Gpu` carries a simulated device-time breakdown (only the
+  /// GPU engine sets this).
+  bool HasGpuStats = false;
+  /// Simulated device-time breakdown of the call (paper Fig. 9).
+  gpusim::GpuExecutionStats Gpu;
+};
+
+/// Abstract execution engine: runs inference over a batch of samples.
+/// Implementations must be immutable after construction so that
+/// `execute` can be invoked concurrently.
+class ExecutionEngine {
+public:
+  virtual ~ExecutionEngine() = default;
+
+  /// Runs inference on \p NumSamples samples (row-major
+  /// [sample][feature] doubles). \p Output receives one (log-)probability
+  /// per sample. Fills \p Stats with per-call statistics when provided.
+  /// Thread-safe: concurrent calls on one engine are allowed.
+  virtual void execute(const double *Input, double *Output,
+                       size_t NumSamples,
+                       ExecutionStats *Stats = nullptr) const = 0;
+
+  /// The compiled program backing this engine, or null for engines that
+  /// evaluate a model directly (the baseline adapters).
+  virtual const vm::KernelProgram *getProgram() const { return nullptr; }
+
+  /// The target this engine executes on.
+  virtual Target getTarget() const = 0;
+
+  /// One-line human-readable description (engine kind + configuration).
+  virtual std::string describe() const = 0;
+};
+
+} // namespace runtime
+} // namespace spnc
+
+#endif // SPNC_RUNTIME_EXECUTIONENGINE_H

@@ -1,0 +1,167 @@
+//===- KernelCache.cpp - Thread-safe compiled-kernel cache --------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/KernelCache.h"
+
+#include "support/Casting.h"
+#include "support/Hashing.h"
+#include "vm/ProgramBinary.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::runtime;
+
+uint64_t KernelCache::hashModel(const spn::Model &Model) {
+  size_t Seed = hashCombine(Model.getNumFeatures());
+  for (const spn::Node *N : Model.topologicalOrder()) {
+    hashCombineSeed(Seed, hashCombine(static_cast<unsigned>(N->getKind()),
+                                      N->getId()));
+    if (const auto *Inner = dyn_cast<spn::InnerNode>(N)) {
+      for (const spn::Node *Child : Inner->getChildren())
+        hashCombineSeed(Seed, std::hash<unsigned>()(Child->getId()));
+      if (const auto *Sum = dyn_cast<spn::SumNode>(N))
+        for (double W : Sum->getWeights())
+          hashCombineSeed(Seed, std::hash<double>()(W));
+      continue;
+    }
+    const auto *Leaf = cast<spn::LeafNode>(N);
+    hashCombineSeed(Seed, std::hash<unsigned>()(Leaf->getFeatureIndex()));
+    if (const auto *Hist = dyn_cast<spn::HistogramLeaf>(N)) {
+      for (const spn::HistogramBucket &B : Hist->getBuckets())
+        hashCombineSeed(Seed, hashCombine(B.Lb, B.Ub, B.P));
+    } else if (const auto *Cat = dyn_cast<spn::CategoricalLeaf>(N)) {
+      for (double P : Cat->getProbabilities())
+        hashCombineSeed(Seed, std::hash<double>()(P));
+    } else if (const auto *Gauss = dyn_cast<spn::GaussianLeaf>(N)) {
+      hashCombineSeed(Seed,
+                      hashCombine(Gauss->getMean(), Gauss->getStdDev()));
+    }
+  }
+  return Seed;
+}
+
+uint64_t KernelCache::makeKey(const spn::Model &Model,
+                              const spn::QueryConfig &Query,
+                              const PipelineConfig &Config) {
+  size_t Seed = hashModel(Model);
+  hashCombineSeed(Seed,
+                  hashCombine(Query.BatchSize, Query.LogSpace,
+                              Query.SupportMarginal,
+                              static_cast<unsigned>(Query.DataType)));
+  hashCombineSeed(Seed, Config.hash());
+  return Seed;
+}
+
+std::string KernelCache::entryPath(uint64_t Key) const {
+  if (Directory.empty())
+    return std::string();
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.spnk",
+                static_cast<unsigned long long>(Key));
+  return Directory + "/" + Name;
+}
+
+namespace {
+
+/// Reads and decodes a cached `.spnk`; any failure (missing file, short
+/// read, bad blob) returns an error the caller treats as a miss.
+Expected<vm::KernelProgram> loadCachedProgram(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return makeError("no cache entry at '" + Path + "'");
+  std::vector<uint8_t> Blob;
+  uint8_t Chunk[4096];
+  size_t Read;
+  while ((Read = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Blob.insert(Blob.end(), Chunk, Chunk + Read);
+  bool ReadError = std::ferror(File) != 0;
+  std::fclose(File);
+  if (ReadError)
+    return makeError("cannot read cache entry '" + Path + "'");
+  return vm::decodeProgram(Blob);
+}
+
+} // namespace
+
+Expected<CompiledKernel>
+KernelCache::getOrCompile(const spn::Model &Model,
+                          const spn::QueryConfig &Query,
+                          const CompilerOptions &Options,
+                          CompileStats *CompStats) {
+  Expected<CompilationPipeline> Pipeline =
+      CompilationPipeline::create(Options);
+  if (!Pipeline)
+    return Pipeline.getError();
+  uint64_t Key = makeKey(Model, Query, Pipeline->getConfig());
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(Key);
+    if (It != Entries.end()) {
+      ++Stats.Hits;
+      return CompiledKernel(It->second);
+    }
+    ++Stats.Misses;
+  }
+
+  // Miss: try the disk tier, then compile. Both run outside the lock so
+  // distinct keys make progress concurrently; duplicate concurrent work
+  // on the same key is resolved at insertion (first wins).
+  bool FromDisk = false;
+  std::shared_ptr<ExecutionEngine> Engine;
+  std::string Path = entryPath(Key);
+  if (!Path.empty()) {
+    if (Expected<vm::KernelProgram> Cached = loadCachedProgram(Path)) {
+      Engine = Pipeline->makeEngine(Cached.takeValue());
+      FromDisk = true;
+    }
+  }
+  if (!Engine) {
+    Expected<vm::KernelProgram> Program =
+        Pipeline->compile(Model, Query, CompStats);
+    if (!Program)
+      return Program.getError();
+    if (!Path.empty()) {
+      // Persist for future processes; failures (e.g. unwritable
+      // directory) only cost the next process a recompile.
+      std::error_code EC;
+      std::filesystem::create_directories(Directory, EC);
+      CompiledKernel Staging(Pipeline->makeEngine(Program.takeValue()));
+      (void)saveCompiledKernel(Staging, Path);
+      Engine = Staging.getEngineShared();
+    } else {
+      Engine = Pipeline->makeEngine(Program.takeValue());
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Entries.emplace(Key, std::move(Engine));
+  if (FromDisk && Inserted)
+    ++Stats.DiskHits;
+  else if (Inserted)
+    ++Stats.Recompiles;
+  return CompiledKernel(It->second);
+}
+
+size_t KernelCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+void KernelCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+}
+
+KernelCache::Statistics KernelCache::getStatistics() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}

@@ -1,0 +1,167 @@
+//===- Pipeline.h - Staged compilation pipeline -------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged compilation pipeline behind `runtime::compileModel`: a
+/// `CompilationPipeline` is built once from a validated `PipelineConfig`
+/// and exposes its stages (translate -> ir-pipeline -> codegen ->
+/// binary-encode) by name, runs them with per-stage wall-clock timing
+/// feeding `CompileStats`, and constructs the matching `ExecutionEngine`
+/// for the produced program. Benchmarks, the CLI and the kernel cache all
+/// drive this one object instead of re-assembling pass lists and options
+/// by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_RUNTIME_PIPELINE_H
+#define SPNC_RUNTIME_PIPELINE_H
+
+#include "codegen/Codegen.h"
+#include "frontend/Model.h"
+#include "frontend/Query.h"
+#include "gpusim/GpuSimulator.h"
+#include "ir/PassManager.h"
+#include "runtime/ExecutionEngine.h"
+#include "support/Expected.h"
+#include "transforms/Passes.h"
+#include "vm/Executor.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spnc {
+namespace runtime {
+
+/// All user-facing knobs of the compiler, mirroring the parameters the
+/// paper's Python interface exposes (§V-B1).
+struct CompilerOptions {
+  Target TheTarget = Target::CPU;
+  /// Optimization level 0..3 (paper Figs. 11/13): 0 disables the IR
+  /// canonicalization/CSE and all codegen optimization; higher levels
+  /// enable progressively more work.
+  unsigned OptLevel = 1;
+  /// Maximum SPN operations per task; 0 disables partitioning
+  /// (paper Figs. 10/12).
+  uint32_t MaxPartitionSize = 0;
+  /// CPU execution configuration (vectorization design space, Fig. 6).
+  vm::ExecutionConfig Execution;
+  /// GPU device model and block size (0 = batch-size hint).
+  gpusim::GpuDeviceConfig Device;
+  unsigned GpuBlockSize = 0;
+  /// Keep intermediate buffers on the GPU between tasks (paper §IV-C).
+  bool GpuTransferElimination = true;
+  /// Write returned task results directly into kernel outputs
+  /// (paper §IV-A5); disable only for the ablation.
+  bool AvoidBufferCopies = true;
+  /// Verify the IR after each pass (slow for very large graphs).
+  bool VerifyIR = false;
+  transforms::LoweringOptions Lowering;
+  partition::PartitionOptions Partitioning;
+};
+
+/// Wall clock of one executed pipeline stage.
+struct StageTiming {
+  std::string Name;
+  uint64_t WallNs = 0;
+};
+
+/// Compile-time measurements (the paper's §V-B1 breakdown).
+struct CompileStats {
+  /// Wall clock per named pipeline stage, in execution order.
+  std::vector<StageTiming> Stages;
+  /// Per-pass wall clock of the IR pipeline.
+  std::vector<ir::PassTiming> PassTimings;
+  /// Codegen stage breakdown (isel / regalloc / peephole / scheduling).
+  codegen::CodegenTimings Codegen;
+  /// Model-to-HiSPN translation time.
+  uint64_t TranslationNs = 0;
+  /// Device binary assembly time (the CUBIN-encoding analog, GPU only).
+  uint64_t BinaryEncodeNs = 0;
+  /// End-to-end compilation wall clock.
+  uint64_t TotalNs = 0;
+  size_t NumTasks = 0;
+  size_t NumInstructions = 0;
+};
+
+/// A validated, immutable compiler configuration. `create` is the single
+/// validation point for every user-facing knob: a PipelineConfig always
+/// describes a buildable pipeline (Target::Auto is resolved to the CPU,
+/// zero thread counts are normalized, out-of-range knobs are rejected
+/// with a message).
+class PipelineConfig {
+public:
+  static Expected<PipelineConfig> create(CompilerOptions Options);
+
+  const CompilerOptions &getOptions() const { return Options; }
+
+  /// Stable structural hash over every knob that influences either the
+  /// compiled program or the engine configuration; one of the three
+  /// kernel-cache key components.
+  uint64_t hash() const;
+
+private:
+  explicit PipelineConfig(CompilerOptions O) : Options(std::move(O)) {}
+  CompilerOptions Options;
+};
+
+/// Introspectable description of one pipeline stage.
+struct PipelineStage {
+  /// Stable stage name: "translate", "ir-pipeline", "codegen",
+  /// "binary-encode".
+  std::string Name;
+  /// Human-readable summary of the work the stage will perform under the
+  /// pipeline's configuration (e.g. the pass list of "ir-pipeline").
+  std::string Detail;
+};
+
+namespace detail {
+struct StageContext;
+} // namespace detail
+
+/// The staged compile path (paper §IV): translate -> IR pipeline ->
+/// codegen -> binary encode (GPU). Built once from a validated config and
+/// reusable across models; `compile` may be called concurrently from
+/// multiple threads.
+class CompilationPipeline {
+public:
+  /// Validates \p Options and builds the pipeline.
+  static Expected<CompilationPipeline> create(CompilerOptions Options);
+
+  explicit CompilationPipeline(PipelineConfig TheConfig);
+
+  const PipelineConfig &getConfig() const { return Config; }
+
+  /// The stages this pipeline will run, in order.
+  const std::vector<PipelineStage> &getStages() const { return Stages; }
+
+  /// Runs every stage over \p Model, returning the engine-ready program.
+  /// Per-stage timings and the pass/codegen breakdowns are recorded into
+  /// \p Stats when provided.
+  Expected<vm::KernelProgram> compile(const spn::Model &Model,
+                                      const spn::QueryConfig &Query,
+                                      CompileStats *Stats = nullptr) const;
+
+  /// Constructs the execution engine this pipeline's target configuration
+  /// selects for \p Program.
+  std::shared_ptr<ExecutionEngine> makeEngine(vm::KernelProgram Program) const;
+
+private:
+  void buildStages();
+
+  PipelineConfig Config;
+  std::vector<PipelineStage> Stages;
+  std::vector<std::function<std::optional<Error>(detail::StageContext &)>>
+      Runners;
+};
+
+} // namespace runtime
+} // namespace spnc
+
+#endif // SPNC_RUNTIME_PIPELINE_H

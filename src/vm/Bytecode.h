@@ -144,6 +144,17 @@ struct BufferInfo {
   bool DeviceResident = false;
 };
 
+/// How the code generator lowered discrete leaves — the CPU strategy
+/// uses dense table lookups, the GPU strategy select cascades (paper
+/// §IV-C). Recorded in the program (and its binary header) so a loaded
+/// kernel can default to the matching engine.
+enum class LoweringKind : uint8_t {
+  /// Pre-v2 binaries that did not record the lowering.
+  Unknown = 0,
+  TableLookup = 1,
+  SelectCascade = 2,
+};
+
 /// One step of a kernel: either a task execution or a buffer copy (the
 /// latter only occurs with copy avoidance disabled, paper §IV-A5).
 struct KernelStep {
@@ -167,6 +178,8 @@ struct KernelProgram {
   bool LogSpace = true;
   /// Optimization hint from the query (chunk/block size).
   uint32_t BatchSize = 4096;
+  /// The discrete-leaf lowering strategy this program was generated with.
+  LoweringKind Lowering = LoweringKind::Unknown;
 
   /// Total number of instructions across all tasks.
   size_t totalInstructions() const {

@@ -9,6 +9,7 @@
 
 #include "support/Compiler.h"
 #include "support/ThreadPool.h"
+#include "support/Timer.h"
 #include "vm/VecMath.h"
 
 #include <algorithm>
@@ -560,23 +561,45 @@ CpuExecutor::CpuExecutor(KernelProgram TheProgram,
 CpuExecutor::~CpuExecutor() = default;
 
 void CpuExecutor::execute(const double *Input, double *Output,
-                          size_t NumSamples) const {
+                          size_t NumSamples,
+                          runtime::ExecutionStats *Stats) const {
+  Timer WallTimer;
   if (!Pool) {
     executeChunk(Input, Output, NumSamples, 0, NumSamples);
-    return;
+  } else {
+    size_t Chunk =
+        Config.ChunkSize ? Config.ChunkSize : Program.BatchSize;
+    if (Chunk == 0)
+      Chunk = NumSamples;
+    size_t NumChunks = (NumSamples + Chunk - 1) / Chunk;
+    for (size_t C = 0; C < NumChunks; ++C) {
+      size_t Begin = C * Chunk;
+      size_t End = std::min(NumSamples, Begin + Chunk);
+      Pool->submit([this, Input, Output, NumSamples, Begin, End] {
+        executeChunk(Input, Output, NumSamples, Begin, End);
+      });
+    }
+    Pool->wait();
   }
-  size_t Chunk = Config.ChunkSize ? Config.ChunkSize : Program.BatchSize;
-  if (Chunk == 0)
-    Chunk = NumSamples;
-  size_t NumChunks = (NumSamples + Chunk - 1) / Chunk;
-  for (size_t C = 0; C < NumChunks; ++C) {
-    size_t Begin = C * Chunk;
-    size_t End = std::min(NumSamples, Begin + Chunk);
-    Pool->submit([this, Input, Output, NumSamples, Begin, End] {
-      executeChunk(Input, Output, NumSamples, Begin, End);
-    });
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
   }
-  Pool->wait();
+}
+
+std::string CpuExecutor::describe() const {
+  std::string Desc = Config.VectorWidth <= 1
+                         ? "cpu scalar"
+                         : "cpu simd w=" +
+                               std::to_string(Config.VectorWidth);
+  if (Config.VectorWidth > 1) {
+    Desc += Config.UseVecLib ? ", veclib" : ", libm";
+    Desc += Config.UseShuffle ? ", shuffle" : ", gather";
+  }
+  if (Config.NumThreads > 1)
+    Desc += ", threads=" + std::to_string(Config.NumThreads);
+  return Desc;
 }
 
 namespace {

@@ -24,6 +24,7 @@
 #ifndef SPNC_VM_EXECUTOR_H
 #define SPNC_VM_EXECUTOR_H
 
+#include "runtime/ExecutionEngine.h"
 #include "vm/Bytecode.h"
 
 #include <cstddef>
@@ -54,21 +55,27 @@ struct ExecutionConfig {
 /// Executes a compiled kernel program on the CPU. One external input
 /// buffer (row-major [sample][feature] doubles) and one external output
 /// buffer are supported, matching the kernels the pipeline produces.
-class CpuExecutor {
+/// Implements the unified runtime::ExecutionEngine interface; the engine
+/// is immutable after construction and `execute` is thread-safe.
+class CpuExecutor : public runtime::ExecutionEngine {
 public:
   CpuExecutor(KernelProgram Program, ExecutionConfig Config);
-  ~CpuExecutor();
+  ~CpuExecutor() override;
 
   CpuExecutor(const CpuExecutor &) = delete;
   CpuExecutor &operator=(const CpuExecutor &) = delete;
 
-  const KernelProgram &getProgram() const { return Program; }
+  const KernelProgram *getProgram() const override { return &Program; }
   const ExecutionConfig &getConfig() const { return Config; }
+  runtime::Target getTarget() const override {
+    return runtime::Target::CPU;
+  }
+  std::string describe() const override;
 
   /// Runs the kernel over \p NumSamples samples. \p Output receives one
   /// value per sample and output slot, laid out [slot][sample].
-  void execute(const double *Input, double *Output,
-               size_t NumSamples) const;
+  void execute(const double *Input, double *Output, size_t NumSamples,
+               runtime::ExecutionStats *Stats = nullptr) const override;
 
 private:
   void executeChunk(const double *Input, double *Output,

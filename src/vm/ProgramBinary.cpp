@@ -8,6 +8,7 @@
 #include "vm/ProgramBinary.h"
 
 #include <cstring>
+#include <string>
 
 using namespace spnc;
 using namespace spnc::vm;
@@ -15,7 +16,9 @@ using namespace spnc::vm;
 namespace {
 
 constexpr uint32_t kMagic = 0x43505356; // "VSPC"
-constexpr uint32_t kVersion = 1;
+// Version 2 added the lowering-strategy byte to the header; version-1
+// blobs still decode (with LoweringKind::Unknown).
+constexpr uint32_t kVersion = 2;
 
 class Writer {
 public:
@@ -116,6 +119,7 @@ std::vector<uint8_t> spnc::vm::encodeProgram(const KernelProgram &P) {
   W.str(P.Name);
   W.u8(P.UseF32);
   W.u8(P.LogSpace);
+  W.u8(static_cast<uint8_t>(P.Lowering));
   W.u32(P.BatchSize);
   W.u32(P.NumInputs);
   W.u32(P.NumOutputs);
@@ -191,12 +195,20 @@ spnc::vm::decodeProgram(std::span<const uint8_t> Blob) {
   Reader R(Blob);
   if (R.u32() != kMagic)
     return makeError("not a kernel program blob (bad magic)");
-  if (R.u32() != kVersion)
-    return makeError("unsupported kernel program version");
+  uint32_t Version = R.u32();
+  if (Version < 1 || Version > kVersion)
+    return makeError("unsupported kernel program version " +
+                     std::to_string(Version));
   KernelProgram P;
   P.Name = R.str();
   P.UseF32 = R.u8() != 0;
   P.LogSpace = R.u8() != 0;
+  if (Version >= 2) {
+    uint8_t Lowering = R.u8();
+    if (Lowering > static_cast<uint8_t>(LoweringKind::SelectCascade))
+      return makeError("invalid lowering kind in program header");
+    P.Lowering = static_cast<LoweringKind>(Lowering);
+  }
   P.BatchSize = R.u32();
   P.NumInputs = R.u32();
   P.NumOutputs = R.u32();

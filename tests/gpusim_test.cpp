@@ -79,8 +79,10 @@ protected:
         compileModel(*Model, spn::QueryConfig(), Options);
     EXPECT_TRUE(static_cast<bool>(Kernel));
     std::vector<double> Output(kNumSamples);
-    Kernel->execute(Data.data(), Output.data(), kNumSamples);
-    return Kernel->getLastGpuStats();
+    runtime::ExecutionStats Stats;
+    Kernel->execute(Data.data(), Output.data(), kNumSamples, &Stats);
+    EXPECT_TRUE(Stats.HasGpuStats);
+    return Stats.Gpu;
   }
 
   static constexpr size_t kNumSamples = 2048;
@@ -130,8 +132,9 @@ TEST_F(GpuStatsTest, PartitionedKernelLaunchesPerTask) {
       compileModel(*Model, spn::QueryConfig(), Options);
   ASSERT_TRUE(static_cast<bool>(Kernel));
   std::vector<double> Output(kNumSamples);
-  Kernel->execute(Data.data(), Output.data(), kNumSamples);
-  GpuExecutionStats Stats = Kernel->getLastGpuStats();
+  runtime::ExecutionStats ExecStats;
+  Kernel->execute(Data.data(), Output.data(), kNumSamples, &ExecStats);
+  GpuExecutionStats Stats = ExecStats.Gpu;
   EXPECT_EQ(Stats.NumLaunches, Kernel->getProgram().Tasks.size());
   EXPECT_GT(Stats.NumLaunches, 1u);
 }
@@ -165,22 +168,24 @@ TEST_P(DeviceConfigTest, ResultsInvariantTimesResponsive) {
       compileModel(Model, spn::QueryConfig(), Gpu);
   ASSERT_TRUE(static_cast<bool>(GpuKernel));
   std::vector<double> Actual(512);
-  GpuKernel->execute(Data.data(), Actual.data(), 512);
+  runtime::ExecutionStats FastExec;
+  GpuKernel->execute(Data.data(), Actual.data(), 512, &FastExec);
   for (size_t S = 0; S < 512; ++S)
     EXPECT_NEAR(Actual[S], ExpectedOut[S],
                 std::abs(ExpectedOut[S]) * 1e-4 + 1e-4);
 
   // A faster device must not report a slower compute clock: compare
   // against a 2x-derated configuration.
-  gpusim::GpuExecutionStats Fast = GpuKernel->getLastGpuStats();
+  gpusim::GpuExecutionStats Fast = FastExec.Gpu;
   CompilerOptions Slow = Gpu;
   Slow.Device.PeakSpeedup = PeakSpeedup / 2;
   Slow.Device.PcieBandwidthGBs = BandwidthGBs / 2;
   Expected<CompiledKernel> SlowKernel =
       compileModel(Model, spn::QueryConfig(), Slow);
   ASSERT_TRUE(static_cast<bool>(SlowKernel));
-  SlowKernel->execute(Data.data(), Actual.data(), 512);
-  gpusim::GpuExecutionStats SlowStats = SlowKernel->getLastGpuStats();
+  runtime::ExecutionStats SlowExec;
+  SlowKernel->execute(Data.data(), Actual.data(), 512, &SlowExec);
+  gpusim::GpuExecutionStats SlowStats = SlowExec.Gpu;
   EXPECT_GT(SlowStats.TransferNs, Fast.TransferNs);
   // Compute is measured on a shared host core, so allow scheduling
   // noise around the modelled 2x.

@@ -1,0 +1,296 @@
+//===- kernelcache_test.cpp - Tests for the kernel cache -------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/KernelCache.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::runtime;
+
+namespace {
+
+class KernelCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    workloads::SpeakerModelOptions Options;
+    Options.TargetOperations = 300;
+    Options.Seed = 31;
+    Model = std::make_unique<spn::Model>(
+        workloads::generateSpeakerModel(Options));
+    NumFeatures = Model->getNumFeatures();
+    Data = workloads::generateSpeechData(Options, kNumSamples, 5);
+    TempDir = std::filesystem::path(::testing::TempDir()) /
+              ("spnc-kernelcache-" +
+               std::to_string(::testing::UnitTest::GetInstance()
+                                  ->random_seed()) +
+               "-" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name());
+    std::filesystem::remove_all(TempDir);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(TempDir); }
+
+  /// The disk key the cache uses for (Model, Query, Options).
+  static uint64_t keyFor(const spn::Model &M,
+                         const spn::QueryConfig &Query,
+                         const CompilerOptions &Options) {
+    Expected<PipelineConfig> Config = PipelineConfig::create(Options);
+    EXPECT_TRUE(static_cast<bool>(Config));
+    return KernelCache::makeKey(M, Query, *Config);
+  }
+
+  static constexpr size_t kNumSamples = 24;
+  std::unique_ptr<spn::Model> Model;
+  unsigned NumFeatures = 0;
+  std::vector<double> Data;
+  std::filesystem::path TempDir;
+};
+
+TEST_F(KernelCacheTest, SecondRequestIsAHit) {
+  KernelCache Cache;
+  CompilerOptions Options;
+
+  CompileStats Stats;
+  Expected<CompiledKernel> First =
+      Cache.getOrCompile(*Model, spn::QueryConfig(), Options, &Stats);
+  ASSERT_TRUE(static_cast<bool>(First));
+  EXPECT_GT(Stats.TotalNs, 0u);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  // The second request reuses the engine: Stats is left untouched and
+  // both kernels share the same underlying object.
+  CompileStats SecondStats;
+  Expected<CompiledKernel> Second = Cache.getOrCompile(
+      *Model, spn::QueryConfig(), Options, &SecondStats);
+  ASSERT_TRUE(static_cast<bool>(Second));
+  EXPECT_EQ(SecondStats.TotalNs, 0u);
+  EXPECT_EQ(&First->getEngine(), &Second->getEngine());
+  EXPECT_EQ(Cache.size(), 1u);
+
+  KernelCache::Statistics CacheStats = Cache.getStatistics();
+  EXPECT_EQ(CacheStats.Hits, 1u);
+  EXPECT_EQ(CacheStats.Misses, 1u);
+  EXPECT_EQ(CacheStats.Recompiles, 1u);
+  EXPECT_EQ(CacheStats.DiskHits, 0u);
+}
+
+TEST_F(KernelCacheTest, KeyIsSensitiveToPipelineAndQueryConfig) {
+  CompilerOptions Base;
+  Base.OptLevel = 1;
+
+  // A different optimization level changes the pipeline, so it must
+  // change the key.
+  CompilerOptions O2 = Base;
+  O2.OptLevel = 2;
+  EXPECT_NE(keyFor(*Model, spn::QueryConfig(), Base),
+            keyFor(*Model, spn::QueryConfig(), O2));
+
+  // So do the execution-affecting knobs...
+  CompilerOptions Vectorized = Base;
+  Vectorized.Execution.VectorWidth = 8;
+  EXPECT_NE(keyFor(*Model, spn::QueryConfig(), Base),
+            keyFor(*Model, spn::QueryConfig(), Vectorized));
+
+  CompilerOptions Gpu = Base;
+  Gpu.TheTarget = Target::GPU;
+  EXPECT_NE(keyFor(*Model, spn::QueryConfig(), Base),
+            keyFor(*Model, spn::QueryConfig(), Gpu));
+
+  // ...and the query configuration.
+  spn::QueryConfig Marginal;
+  Marginal.SupportMarginal = true;
+  EXPECT_NE(keyFor(*Model, spn::QueryConfig(), Base),
+            keyFor(*Model, Marginal, Base));
+
+  spn::QueryConfig Batched;
+  Batched.BatchSize = 64;
+  EXPECT_NE(keyFor(*Model, spn::QueryConfig(), Base),
+            keyFor(*Model, Batched, Base));
+
+  // A structurally different model gets a different key too.
+  workloads::SpeakerModelOptions Other;
+  Other.TargetOperations = 300;
+  Other.Seed = 77;
+  spn::Model OtherModel = workloads::generateSpeakerModel(Other);
+  EXPECT_NE(keyFor(*Model, spn::QueryConfig(), Base),
+            keyFor(OtherModel, spn::QueryConfig(), Base));
+
+  // The cache keeps distinct engines for distinct keys.
+  KernelCache Cache;
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), Base)));
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), O2)));
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, Marginal, Base)));
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_EQ(Cache.getStatistics().Hits, 0u);
+}
+
+TEST_F(KernelCacheTest, InvalidOptionsPropagateTheError) {
+  KernelCache Cache;
+  CompilerOptions Bad;
+  Bad.OptLevel = 9;
+  EXPECT_FALSE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), Bad)));
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST_F(KernelCacheTest, DiskTierIsSharedAcrossInstances) {
+  CompilerOptions Options;
+
+  // First cache compiles and persists the kernel.
+  {
+    KernelCache Cache(TempDir.string());
+    ASSERT_TRUE(static_cast<bool>(
+        Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+    EXPECT_EQ(Cache.getStatistics().Recompiles, 1u);
+    uint64_t Key = keyFor(*Model, spn::QueryConfig(), Options);
+    EXPECT_TRUE(std::filesystem::exists(Cache.entryPath(Key)));
+  }
+
+  // A fresh cache over the same directory loads from disk instead of
+  // compiling, and the loaded kernel computes the same result.
+  KernelCache Fresh(TempDir.string());
+  CompileStats Stats;
+  Expected<CompiledKernel> Loaded =
+      Fresh.getOrCompile(*Model, spn::QueryConfig(), Options, &Stats);
+  ASSERT_TRUE(static_cast<bool>(Loaded));
+  KernelCache::Statistics CacheStats = Fresh.getStatistics();
+  EXPECT_EQ(CacheStats.DiskHits, 1u);
+  EXPECT_EQ(CacheStats.Recompiles, 0u);
+  EXPECT_EQ(Stats.TotalNs, 0u);
+
+  std::vector<double> FromDisk(kNumSamples);
+  Loaded->execute(Data.data(), FromDisk.data(), kNumSamples);
+  std::vector<double> Reference(kNumSamples);
+  for (size_t S = 0; S < kNumSamples; ++S)
+    Reference[S] = Model->evalLogLikelihood(
+        std::span<const double>(Data.data() + S * NumFeatures,
+                                NumFeatures));
+  for (size_t S = 0; S < kNumSamples; ++S)
+    EXPECT_NEAR(FromDisk[S], Reference[S],
+                std::fabs(Reference[S]) * 1e-6 + 1e-6);
+}
+
+TEST_F(KernelCacheTest, CorruptedDiskEntryTriggersRecompile) {
+  CompilerOptions Options;
+  uint64_t Key = keyFor(*Model, spn::QueryConfig(), Options);
+
+  // Plant a corrupted entry where the cache expects its .spnk file.
+  std::filesystem::create_directories(TempDir);
+  KernelCache Cache(TempDir.string());
+  std::string Path = Cache.entryPath(Key);
+  {
+    std::FILE *File = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(File, nullptr);
+    std::fputs("this is not a kernel program", File);
+    std::fclose(File);
+  }
+
+  // The corrupted entry is not an error: the cache recompiles, serves
+  // the kernel, and rewrites the entry.
+  Expected<CompiledKernel> Kernel =
+      Cache.getOrCompile(*Model, spn::QueryConfig(), Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  KernelCache::Statistics CacheStats = Cache.getStatistics();
+  EXPECT_EQ(CacheStats.DiskHits, 0u);
+  EXPECT_EQ(CacheStats.Recompiles, 1u);
+
+  // The rewritten entry is valid now: a fresh cache disk-hits on it.
+  KernelCache Fresh(TempDir.string());
+  ASSERT_TRUE(static_cast<bool>(
+      Fresh.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  EXPECT_EQ(Fresh.getStatistics().DiskHits, 1u);
+}
+
+TEST_F(KernelCacheTest, UnwritableDirectoryStillServesKernels) {
+  // A disk tier that cannot be created (a regular file squats on a path
+  // component) degrades to in-memory behavior. A file blocker works
+  // even when the tests run as root, unlike permission bits.
+  std::filesystem::create_directories(TempDir);
+  std::filesystem::path Blocker = TempDir / "blocker";
+  {
+    std::FILE *File = std::fopen(Blocker.c_str(), "wb");
+    ASSERT_NE(File, nullptr);
+    std::fclose(File);
+  }
+  KernelCache Cache((Blocker / "cache").string());
+  Expected<CompiledKernel> Kernel =
+      Cache.getOrCompile(*Model, spn::QueryConfig(), CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.getStatistics().Recompiles, 1u);
+}
+
+TEST_F(KernelCacheTest, ConcurrentRequestsShareOneEngine) {
+  KernelCache Cache;
+  CompilerOptions Options;
+  Options.Execution.VectorWidth = 4;
+
+  constexpr unsigned kNumThreads = 8;
+  std::vector<CompiledKernel> Kernels(kNumThreads);
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < kNumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Expected<CompiledKernel> Kernel =
+          Cache.getOrCompile(*Model, spn::QueryConfig(), Options);
+      if (!Kernel) {
+        ++Failures;
+        return;
+      }
+      Kernels[T] = Kernel.takeValue();
+      std::vector<double> Output(kNumSamples);
+      Kernels[T].execute(Data.data(), Output.data(), kNumSamples);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  ASSERT_EQ(Failures.load(), 0u);
+
+  // Races may compile the same key more than once, but exactly one
+  // engine wins and everyone ends up sharing it.
+  EXPECT_EQ(Cache.size(), 1u);
+  for (unsigned T = 1; T < kNumThreads; ++T)
+    EXPECT_EQ(&Kernels[0].getEngine(), &Kernels[T].getEngine());
+  KernelCache::Statistics CacheStats = Cache.getStatistics();
+  EXPECT_EQ(CacheStats.Hits + CacheStats.Misses, kNumThreads);
+  EXPECT_GE(CacheStats.Recompiles, 1u);
+}
+
+TEST_F(KernelCacheTest, ClearDropsEnginesButKeepsDisk) {
+  KernelCache Cache(TempDir.string());
+  CompilerOptions Options;
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  ASSERT_EQ(Cache.size(), 1u);
+
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+
+  // The next request misses in memory but recovers from disk.
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  KernelCache::Statistics CacheStats = Cache.getStatistics();
+  EXPECT_EQ(CacheStats.DiskHits, 1u);
+  EXPECT_EQ(CacheStats.Recompiles, 1u);
+}
+
+} // namespace

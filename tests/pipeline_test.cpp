@@ -235,13 +235,14 @@ TEST_F(PipelineTest, GpuBatchSmallerThanBlock) {
       compileModel(*Model, spn::QueryConfig(), Options);
   ASSERT_TRUE(static_cast<bool>(Kernel));
   double Output[3];
-  Kernel->execute(Data.data(), Output, 3); // 3 samples < 256 block
+  runtime::ExecutionStats Stats;
+  Kernel->execute(Data.data(), Output, 3, &Stats); // 3 samples < 256 block
   for (int S = 0; S < 3; ++S)
     EXPECT_NEAR(Output[S],
                 Model->evalLogLikelihood(
                     std::span<const double>(&Data[S * 26], 26)),
                 5e-3);
-  EXPECT_EQ(Kernel->getLastGpuStats().NumLaunches, 1u);
+  EXPECT_EQ(Stats.Gpu.NumLaunches, 1u);
 }
 
 TEST_F(PipelineTest, AllNaNSampleUnderMarginalQuery) {

@@ -5,13 +5,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "baselines/Baselines.h"
 #include "runtime/Compiler.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 using namespace spnc;
 using namespace spnc::runtime;
@@ -79,11 +82,13 @@ TEST_F(RuntimeTest, SaveAndLoadCompiledKernel) {
       Path, Target::GPU, {}, gpusim::GpuDeviceConfig(), 64);
   ASSERT_TRUE(static_cast<bool>(OnGpu));
   std::vector<double> GpuOut(kNumSamples);
-  OnGpu->execute(Data.data(), GpuOut.data(), kNumSamples);
+  runtime::ExecutionStats GpuStats;
+  OnGpu->execute(Data.data(), GpuOut.data(), kNumSamples, &GpuStats);
   for (size_t S = 0; S < kNumSamples; ++S)
     EXPECT_NEAR(GpuOut[S], Original[S],
                 std::fabs(Original[S]) * 1e-4 + 1e-4);
-  EXPECT_GT(OnGpu->getLastGpuStats().totalNs(), 0u);
+  EXPECT_TRUE(GpuStats.HasGpuStats);
+  EXPECT_GT(GpuStats.Gpu.totalNs(), 0u);
 
   std::remove(Path.c_str());
 }
@@ -141,6 +146,185 @@ TEST_F(RuntimeTest, OptLevelZeroSkipsIrOptimization) {
   for (const ir::PassTiming &Pass : Stats.PassTimings) {
     EXPECT_NE(Pass.PassName, "canonicalize");
     EXPECT_NE(Pass.PassName, "cse");
+  }
+}
+
+TEST_F(RuntimeTest, PipelineExposesStagesAndTimings) {
+  CompilerOptions Cpu;
+  Expected<CompilationPipeline> Pipeline = CompilationPipeline::create(Cpu);
+  ASSERT_TRUE(static_cast<bool>(Pipeline));
+  ASSERT_EQ(Pipeline->getStages().size(), 3u);
+  EXPECT_EQ(Pipeline->getStages()[0].Name, "translate");
+  EXPECT_EQ(Pipeline->getStages()[1].Name, "ir-pipeline");
+  EXPECT_EQ(Pipeline->getStages()[2].Name, "codegen");
+  // Stage details describe the configured work, e.g. the pass list.
+  EXPECT_NE(Pipeline->getStages()[1].Detail.find("bufferize"),
+            std::string::npos);
+
+  CompileStats Stats;
+  Expected<vm::KernelProgram> Program =
+      Pipeline->compile(*Model, spn::QueryConfig(), &Stats);
+  ASSERT_TRUE(static_cast<bool>(Program));
+  ASSERT_EQ(Stats.Stages.size(), Pipeline->getStages().size());
+  uint64_t StageSum = 0;
+  for (size_t I = 0; I < Stats.Stages.size(); ++I) {
+    EXPECT_EQ(Stats.Stages[I].Name, Pipeline->getStages()[I].Name);
+    StageSum += Stats.Stages[I].WallNs;
+  }
+  EXPECT_GT(StageSum, 0u);
+  EXPECT_GE(Stats.TotalNs, StageSum);
+
+  // The GPU pipeline appends the device binary round-trip stage.
+  CompilerOptions Gpu;
+  Gpu.TheTarget = Target::GPU;
+  Expected<CompilationPipeline> GpuPipeline =
+      CompilationPipeline::create(Gpu);
+  ASSERT_TRUE(static_cast<bool>(GpuPipeline));
+  ASSERT_EQ(GpuPipeline->getStages().size(), 4u);
+  EXPECT_EQ(GpuPipeline->getStages()[3].Name, "binary-encode");
+}
+
+TEST_F(RuntimeTest, PipelineConfigRejectsInvalidOptions) {
+  CompilerOptions Bad;
+  Bad.OptLevel = 9;
+  EXPECT_FALSE(static_cast<bool>(CompilationPipeline::create(Bad)));
+
+  CompilerOptions BadWidth;
+  BadWidth.Execution.VectorWidth = 3;
+  EXPECT_FALSE(static_cast<bool>(CompilationPipeline::create(BadWidth)));
+
+  CompilerOptions BadBlock;
+  BadBlock.TheTarget = Target::GPU;
+  BadBlock.GpuBlockSize = 100000;
+  EXPECT_FALSE(static_cast<bool>(CompilationPipeline::create(BadBlock)));
+}
+
+TEST_F(RuntimeTest, SaveReportsErrnoReason) {
+  Expected<CompiledKernel> Kernel =
+      compileModel(*Model, spn::QueryConfig(), CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  std::string Message;
+  EXPECT_TRUE(failed(saveCompiledKernel(
+      *Kernel, "/nonexistent-dir/kernel.spnk", &Message)));
+  EXPECT_NE(Message.find("/nonexistent-dir/kernel.spnk.tmp"),
+            std::string::npos);
+  EXPECT_NE(Message.find("No such file or directory"),
+            std::string::npos);
+}
+
+TEST_F(RuntimeTest, SaveNeverLeavesTruncatedKernelBehind) {
+  Expected<CompiledKernel> Kernel =
+      compileModel(*Model, spn::QueryConfig(), CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  std::string Path = ::testing::TempDir() + "/atomic.spnk";
+  ASSERT_TRUE(succeeded(saveCompiledKernel(*Kernel, Path)));
+  // The temporary sibling used for the atomic rename is gone.
+  std::FILE *Temp = std::fopen((Path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(Temp, nullptr);
+  if (Temp)
+    std::fclose(Temp);
+  std::remove(Path.c_str());
+}
+
+TEST_F(RuntimeTest, LoadDefaultsToRecordedLoweringTarget) {
+  // A CPU compile records the table-lookup lowering; Auto selects the
+  // CPU engine on load.
+  Expected<CompiledKernel> CpuKernel =
+      compileModel(*Model, spn::QueryConfig(), CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(CpuKernel));
+  EXPECT_EQ(CpuKernel->getProgram().Lowering,
+            vm::LoweringKind::TableLookup);
+  std::string CpuPath = ::testing::TempDir() + "/auto_cpu.spnk";
+  ASSERT_TRUE(succeeded(saveCompiledKernel(*CpuKernel, CpuPath)));
+  Expected<CompiledKernel> CpuLoaded = loadCompiledKernel(CpuPath);
+  ASSERT_TRUE(static_cast<bool>(CpuLoaded));
+  EXPECT_EQ(CpuLoaded->getTarget(), Target::CPU);
+  std::remove(CpuPath.c_str());
+
+  // A GPU compile records the select-cascade lowering; Auto selects the
+  // simulated GPU engine on load.
+  CompilerOptions Gpu;
+  Gpu.TheTarget = Target::GPU;
+  Expected<CompiledKernel> GpuKernel =
+      compileModel(*Model, spn::QueryConfig(), Gpu);
+  ASSERT_TRUE(static_cast<bool>(GpuKernel));
+  EXPECT_EQ(GpuKernel->getProgram().Lowering,
+            vm::LoweringKind::SelectCascade);
+  std::string GpuPath = ::testing::TempDir() + "/auto_gpu.spnk";
+  ASSERT_TRUE(succeeded(saveCompiledKernel(*GpuKernel, GpuPath)));
+  Expected<CompiledKernel> GpuLoaded = loadCompiledKernel(GpuPath);
+  ASSERT_TRUE(static_cast<bool>(GpuLoaded));
+  EXPECT_EQ(GpuLoaded->getTarget(), Target::GPU);
+
+  // An explicit target always wins over the recorded lowering.
+  Expected<CompiledKernel> Forced =
+      loadCompiledKernel(GpuPath, Target::CPU);
+  ASSERT_TRUE(static_cast<bool>(Forced));
+  EXPECT_EQ(Forced->getTarget(), Target::CPU);
+  std::remove(GpuPath.c_str());
+}
+
+TEST_F(RuntimeTest, EnginesDescribeThemselves) {
+  CompilerOptions Cpu;
+  Cpu.Execution.VectorWidth = 8;
+  Expected<CompiledKernel> CpuKernel =
+      compileModel(*Model, spn::QueryConfig(), Cpu);
+  ASSERT_TRUE(static_cast<bool>(CpuKernel));
+  EXPECT_NE(CpuKernel->getEngine().describe().find("simd w=8"),
+            std::string::npos);
+
+  CompilerOptions Gpu;
+  Gpu.TheTarget = Target::GPU;
+  Expected<CompiledKernel> GpuKernel =
+      compileModel(*Model, spn::QueryConfig(), Gpu);
+  ASSERT_TRUE(static_cast<bool>(GpuKernel));
+  EXPECT_NE(GpuKernel->getEngine().describe().find("gpusim"),
+            std::string::npos);
+}
+
+TEST_F(RuntimeTest, ConcurrentExecutionMatchesReferenceOnBothEngines) {
+  // One shared engine per target, hammered from several threads; every
+  // thread's results must match the interpreter reference. This is the
+  // thread-safety contract of ExecutionEngine::execute (per-call stats,
+  // no mutable engine state).
+  baselines::SPFlowInterpreter Interpreter(*Model);
+  std::vector<double> Reference(kNumSamples);
+  Interpreter.execute(Data.data(), Reference.data(), kNumSamples);
+
+  for (Target TheTarget : {Target::CPU, Target::GPU}) {
+    CompilerOptions Options;
+    Options.TheTarget = TheTarget;
+    Options.Execution.VectorWidth = 4;
+    Expected<CompiledKernel> KernelOrError =
+        compileModel(*Model, spn::QueryConfig(), Options);
+    ASSERT_TRUE(static_cast<bool>(KernelOrError));
+    const CompiledKernel Kernel = KernelOrError.takeValue();
+
+    constexpr unsigned kNumThreads = 8;
+    constexpr unsigned kRunsPerThread = 4;
+    std::atomic<unsigned> Mismatches{0};
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < kNumThreads; ++T)
+      Threads.emplace_back([&] {
+        std::vector<double> Output(kNumSamples);
+        for (unsigned Run = 0; Run < kRunsPerThread; ++Run) {
+          ExecutionStats Stats;
+          Kernel.execute(Data.data(), Output.data(), kNumSamples,
+                         &Stats);
+          if (Stats.NumSamples != kNumSamples)
+            ++Mismatches;
+          if (Stats.HasGpuStats != (TheTarget == Target::GPU))
+            ++Mismatches;
+          for (size_t S = 0; S < kNumSamples; ++S)
+            if (std::fabs(Output[S] - Reference[S]) >
+                std::fabs(Reference[S]) * 1e-4 + 1e-4)
+              ++Mismatches;
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    EXPECT_EQ(Mismatches.load(), 0u)
+        << "target " << targetName(TheTarget);
   }
 }
 

@@ -23,6 +23,7 @@
 #include "frontend/Serializer.h"
 #include "ir/Printer.h"
 #include "runtime/Compiler.h"
+#include "runtime/KernelCache.h"
 #include "support/RawOStream.h"
 #include "support/StringUtils.h"
 
@@ -41,8 +42,12 @@ struct CliOptions {
   std::string ModelPath;
   std::string InputPath;
   std::string SaveKernelPath;
+  std::string KernelCacheDir;
   CompilerOptions Compile;
   spn::QueryConfig Query;
+  /// True when --target was given; a loaded .spnk then keeps that
+  /// engine instead of deferring to the recorded lowering.
+  bool TargetExplicit = false;
   bool Stats = false;
   bool DumpIr = false;
 };
@@ -65,8 +70,12 @@ void printUsage() {
       "recompilation\n"
       "                     when the same file is passed as MODEL with "
       ".spnk suffix)\n"
-      "  --stats            print compile statistics and exit\n"
-      "  --dump-ir          print the HiSPN module and exit\n");
+      "  --kernel-cache DIR reuse compiled kernels from DIR "
+      "(compile-once/run-many)\n"
+      "  --stats            print per-stage compile statistics and "
+      "exit\n"
+      "  --dump-ir          print the HiSPN module and exit\n"
+      "  --help, -h         print this message and exit\n");
 }
 
 bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
@@ -95,6 +104,7 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       } else if (std::strcmp(V, "cpu") != 0) {
         return false;
       }
+      Options.TargetExplicit = true;
     } else if (Arg == "--opt") {
       const char *V = NextValue();
       if (!V)
@@ -118,6 +128,11 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.SaveKernelPath = V;
+    } else if (Arg == "--kernel-cache") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.KernelCacheDir = V;
     } else if (Arg == "--marginal") {
       Options.Query.SupportMarginal = true;
     } else if (Arg == "--no-log-space") {
@@ -182,6 +197,12 @@ bool readSamples(const std::string &Path, unsigned NumFeatures,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--help") == 0 ||
+        std::strcmp(Argv[I], "-h") == 0) {
+      printUsage();
+      return 0;
+    }
   CliOptions Options;
   if (!parseArguments(Argc, Argv, Options)) {
     printUsage();
@@ -193,7 +214,9 @@ int main(int Argc, char **Argv) {
   if (Options.ModelPath.size() > 5 &&
       Options.ModelPath.substr(Options.ModelPath.size() - 5) == ".spnk") {
     Expected<CompiledKernel> Kernel = loadCompiledKernel(
-        Options.ModelPath, Options.Compile.TheTarget,
+        Options.ModelPath,
+        Options.TargetExplicit ? Options.Compile.TheTarget
+                               : Target::Auto,
         Options.Compile.Execution, Options.Compile.Device,
         Options.Compile.GpuBlockSize);
     if (!Kernel) {
@@ -202,9 +225,11 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     unsigned NumFeatures = Kernel->getProgram().Buffers[0].Columns;
-    std::fprintf(stderr, "loaded cached kernel: %zu task(s), %u "
-                 "features\n",
-                 Kernel->getProgram().Tasks.size(), NumFeatures);
+    std::fprintf(stderr,
+                 "loaded cached kernel: %zu task(s), %u features, "
+                 "engine: %s\n",
+                 Kernel->getProgram().Tasks.size(), NumFeatures,
+                 Kernel->getEngine().describe().c_str());
     if (Options.InputPath.empty())
       return 0;
     std::vector<double> Data;
@@ -243,35 +268,71 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  CompileStats CStats;
-  Expected<CompiledKernel> Kernel =
-      compileModel(*Model, Options.Query, Options.Compile, &CStats);
-  if (!Kernel) {
-    std::fprintf(stderr, "compilation failed: %s\n",
-                 Kernel.getError().message().c_str());
+  Expected<CompilationPipeline> Pipeline =
+      CompilationPipeline::create(Options.Compile);
+  if (!Pipeline) {
+    std::fprintf(stderr, "invalid compiler configuration: %s\n",
+                 Pipeline.getError().message().c_str());
     return 1;
   }
-  std::fprintf(stderr,
-               "compiled for %s in %.2f ms: %zu task(s), %zu "
-               "instructions\n",
-               Options.Compile.TheTarget == Target::GPU ? "gpu (simulated)"
-                                                        : "cpu",
-               static_cast<double>(CStats.TotalNs) * 1e-6, CStats.NumTasks,
-               CStats.NumInstructions);
+
+  CompileStats CStats;
+  CompiledKernel Kernel;
+  if (!Options.KernelCacheDir.empty()) {
+    KernelCache Cache(Options.KernelCacheDir);
+    Expected<CompiledKernel> Cached = Cache.getOrCompile(
+        *Model, Options.Query, Options.Compile, &CStats);
+    if (!Cached) {
+      std::fprintf(stderr, "compilation failed: %s\n",
+                   Cached.getError().message().c_str());
+      return 1;
+    }
+    Kernel = Cached.takeValue();
+    KernelCache::Statistics CacheStats = Cache.getStatistics();
+    if (CacheStats.DiskHits > 0)
+      std::fprintf(stderr, "kernel cache: reused entry from '%s'\n",
+                   Options.KernelCacheDir.c_str());
+  } else {
+    Expected<vm::KernelProgram> Program =
+        Pipeline->compile(*Model, Options.Query, &CStats);
+    if (!Program) {
+      std::fprintf(stderr, "compilation failed: %s\n",
+                   Program.getError().message().c_str());
+      return 1;
+    }
+    Kernel = CompiledKernel(Pipeline->makeEngine(Program.takeValue()));
+  }
+  if (CStats.TotalNs > 0)
+    std::fprintf(stderr,
+                 "compiled for %s in %.2f ms: %zu task(s), %zu "
+                 "instructions\n",
+                 Options.Compile.TheTarget == Target::GPU
+                     ? "gpu (simulated)"
+                     : "cpu",
+                 static_cast<double>(CStats.TotalNs) * 1e-6,
+                 CStats.NumTasks, CStats.NumInstructions);
   if (!Options.SaveKernelPath.empty()) {
-    if (failed(saveCompiledKernel(*Kernel, Options.SaveKernelPath))) {
-      std::fprintf(stderr, "failed to save kernel to '%s'\n",
-                   Options.SaveKernelPath.c_str());
+    std::string SaveError;
+    if (failed(saveCompiledKernel(Kernel, Options.SaveKernelPath,
+                                  &SaveError))) {
+      std::fprintf(stderr, "failed to save kernel to '%s': %s\n",
+                   Options.SaveKernelPath.c_str(), SaveError.c_str());
       return 1;
     }
     std::fprintf(stderr, "cached compiled kernel at '%s'\n",
                  Options.SaveKernelPath.c_str());
   }
   if (Options.Stats) {
+    for (const StageTiming &Stage : CStats.Stages)
+      std::fprintf(stderr, "  stage %-23s %8.3f ms\n",
+                   Stage.Name.c_str(),
+                   static_cast<double>(Stage.WallNs) * 1e-6);
     for (const ir::PassTiming &Pass : CStats.PassTimings)
-      std::fprintf(stderr, "  pass %-24s %8.3f ms\n",
+      std::fprintf(stderr, "    pass %-22s %8.3f ms\n",
                    Pass.PassName.c_str(),
                    static_cast<double>(Pass.WallNs) * 1e-6);
+    std::fprintf(stderr, "  engine: %s\n",
+                 Kernel.getEngine().describe().c_str());
     return 0;
   }
 
@@ -285,7 +346,7 @@ int main(int Argc, char **Argv) {
                    NumSamples))
     return 1;
   std::vector<double> Output(NumSamples);
-  Kernel->execute(Data.data(), Output.data(), NumSamples);
+  Kernel.execute(Data.data(), Output.data(), NumSamples);
   for (size_t S = 0; S < NumSamples; ++S)
     std::printf("%.10g\n", Output[S]);
   return 0;
