@@ -52,6 +52,9 @@ CompilerOptions gpuOptions() {
 struct ModeResult {
   std::vector<double> ExecSeconds;
   std::vector<double> CompileSeconds;
+  /// Per-sample work units of the first speaker's engine (bytecode
+  /// instructions or, for baselines, node evaluations).
+  runtime::EngineAccounting Accounting;
   /// Simulated GPU executions report the simulated clock.
   bool Simulated = false;
 };
@@ -67,9 +70,29 @@ ModeResult runSpnc(const CompilerOptions &Options) {
       continue;
     Result.CompileSeconds.push_back(static_cast<double>(Stats.TotalNs) *
                                     1e-9);
+    if (Result.ExecSeconds.empty())
+      Result.Accounting = Kernel->getEngine().getAccounting();
     std::vector<double> Output(Instance.NumSamples);
     Result.ExecSeconds.push_back(
         runReportSeconds(*Kernel, Instance.Data.data(), Output.data(),
+                         Instance.NumSamples));
+  }
+  return Result;
+}
+
+/// Measures one baseline through the same unified ExecutionEngine path
+/// as the compiled modes — `getAccounting()` works for engines without
+/// a compiled program, so nothing here is baseline-specific.
+template <typename EngineT>
+ModeResult runBaseline() {
+  ModeResult Result;
+  for (const SpeakerInstance &Instance : speakers()) {
+    CompiledKernel Kernel(std::make_shared<EngineT>(Instance.Model));
+    if (Result.ExecSeconds.empty())
+      Result.Accounting = Kernel.getEngine().getAccounting();
+    std::vector<double> Output(Instance.NumSamples);
+    Result.ExecSeconds.push_back(
+        runReportSeconds(Kernel, Instance.Data.data(), Output.data(),
                          Instance.NumSamples));
   }
   return Result;
@@ -138,43 +161,36 @@ int main(int argc, char **argv) {
   printHeader("Fig. 7",
               "speedup over SPFlow baseline, clean speech samples");
 
-  // Baselines over all speakers.
-  std::vector<double> SpflowTimes, TfTimes;
-  for (const SpeakerInstance &Instance : speakers()) {
-    baselines::SPFlowInterpreter Interp(Instance.Model);
-    baselines::TfGraphExecutor Tf(Instance.Model);
-    std::vector<double> Output(Instance.NumSamples);
-    SpflowTimes.push_back(timeSeconds([&] {
-      Interp.execute(Instance.Data.data(), Output.data(),
-                     Instance.NumSamples);
-    }));
-    TfTimes.push_back(timeSeconds([&] {
-      Tf.execute(Instance.Data.data(), Output.data(),
-                 Instance.NumSamples);
-    }));
-  }
-
+  // Every mode — baselines included — runs through the same unified
+  // ExecutionEngine path; EngineAccounting supplies the work column
+  // without special-casing engines that lack a compiled program.
+  ModeResult Spflow = runBaseline<baselines::InterpreterEngine>();
+  ModeResult Tf = runBaseline<baselines::TfGraphEngine>();
   ModeResult NoVec = runSpnc(cpuOptions(1));
   ModeResult Avx2 = runSpnc(cpuOptions(8));
   ModeResult Avx512 = runSpnc(cpuOptions(16));
   ModeResult Gpu = runSpnc(gpuOptions());
+  const std::vector<double> &SpflowTimes = Spflow.ExecSeconds;
 
-  auto PrintRow = [&](const char *Name,
-                      const std::vector<double> &Times,
+  auto PrintRow = [&](const char *Name, const ModeResult &Mode,
                       const char *Note = "") {
     std::vector<double> Speedups;
-    for (size_t I = 0; I < Times.size() && I < SpflowTimes.size(); ++I)
-      Speedups.push_back(SpflowTimes[I] / Times[I]);
+    for (size_t I = 0;
+         I < Mode.ExecSeconds.size() && I < SpflowTimes.size(); ++I)
+      Speedups.push_back(SpflowTimes[I] / Mode.ExecSeconds[I]);
     std::printf("%-24s geo-mean speedup over SPFlow = %7.2fx   "
-                "(exec %8.3f ms) %s\n",
-                Name, geoMean(Speedups), geoMean(Times) * 1e3, Note);
+                "(exec %8.3f ms, %6zu %s/sample) %s\n",
+                Name, geoMean(Speedups),
+                geoMean(Mode.ExecSeconds) * 1e3,
+                Mode.Accounting.NumInstructions,
+                Mode.Accounting.Compiled ? "instrs" : "nodes", Note);
   };
-  PrintRow("SPFlow (baseline)", SpflowTimes);
-  PrintRow("TF CPU", TfTimes);
-  PrintRow("SPNC CPU (no vec)", NoVec.ExecSeconds);
-  PrintRow("SPNC CPU AVX2 (w=8)", Avx2.ExecSeconds);
-  PrintRow("SPNC CPU AVX512 (w=16)", Avx512.ExecSeconds);
-  PrintRow("SPNC GPU (sim)", Gpu.ExecSeconds, "[simulated clock]");
+  PrintRow("SPFlow (baseline)", Spflow);
+  PrintRow("TF CPU", Tf);
+  PrintRow("SPNC CPU (no vec)", NoVec);
+  PrintRow("SPNC CPU AVX2 (w=8)", Avx2);
+  PrintRow("SPNC CPU AVX512 (w=16)", Avx512);
+  PrintRow("SPNC GPU (sim)", Gpu, "[simulated clock]");
 
   // §V-A2 compile times: paper averages 3.3 s (CPU) / 1.7 s (GPU) for
   // the real LLVM-based flow; ours are far smaller.

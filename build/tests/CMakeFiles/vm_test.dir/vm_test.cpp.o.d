@@ -321,4 +321,5 @@ tests/CMakeFiles/vm_test.dir/vm_test.cpp.o: /root/repo/tests/vm_test.cpp \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/cstring

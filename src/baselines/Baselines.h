@@ -80,10 +80,20 @@ private:
 class InterpreterEngine : public runtime::ExecutionEngine {
 public:
   explicit InterpreterEngine(const spn::Model &TheModel)
-      : Interpreter(TheModel) {}
+      : Interpreter(TheModel),
+        NumNodes(TheModel.computeStats().NumNodes) {}
 
   void execute(const double *Input, double *Output, size_t NumSamples,
                runtime::ExecutionStats *Stats = nullptr) const override;
+  /// Model-derived accounting: one work unit per SPN node evaluated
+  /// per sample (there is no compiled program to count instructions
+  /// from).
+  runtime::EngineAccounting getAccounting() const override {
+    runtime::EngineAccounting Accounting;
+    Accounting.NumInstructions = NumNodes;
+    Accounting.NumTasks = 1;
+    return Accounting;
+  }
   runtime::Target getTarget() const override {
     return runtime::Target::CPU;
   }
@@ -93,6 +103,7 @@ public:
 
 private:
   SPFlowInterpreter Interpreter;
+  size_t NumNodes;
 };
 
 /// Presents the Tensorflow-translation baseline through the unified
@@ -101,10 +112,17 @@ private:
 class TfGraphEngine : public runtime::ExecutionEngine {
 public:
   explicit TfGraphEngine(const spn::Model &TheModel)
-      : Executor(TheModel) {}
+      : Executor(TheModel), NumNodes(TheModel.computeStats().NumNodes) {}
 
   void execute(const double *Input, double *Output, size_t NumSamples,
                runtime::ExecutionStats *Stats = nullptr) const override;
+  /// Model-derived accounting: one whole-batch op per SPN node.
+  runtime::EngineAccounting getAccounting() const override {
+    runtime::EngineAccounting Accounting;
+    Accounting.NumInstructions = NumNodes;
+    Accounting.NumTasks = 1;
+    return Accounting;
+  }
   runtime::Target getTarget() const override {
     return runtime::Target::CPU;
   }
@@ -114,6 +132,7 @@ public:
 
 private:
   TfGraphExecutor Executor;
+  size_t NumNodes;
 };
 
 } // namespace baselines

@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
 
+#include <cstdio>
 #include <cstring>
 #include <unordered_map>
 
@@ -270,12 +271,21 @@ Expected<Model> spnc::spn::deserializeModel(
 LogicalResult spnc::spn::saveModel(const Model &TheModel,
                                    const std::string &Path) {
   std::vector<uint8_t> Bytes = serializeModel(TheModel);
-  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  // Like saveCompiledKernel: write a temporary sibling and rename it
+  // into place, so an interrupted write never leaves a truncated .spnb
+  // at Path.
+  std::string TempPath = Path + ".tmp";
+  std::FILE *File = std::fopen(TempPath.c_str(), "wb");
   if (!File)
     return failure();
   size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), File);
-  std::fclose(File);
-  return Written == Bytes.size() ? success() : failure();
+  bool Flushed = std::fclose(File) == 0;
+  if (Written != Bytes.size() || !Flushed ||
+      std::rename(TempPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TempPath.c_str());
+    return failure();
+  }
+  return success();
 }
 
 Expected<Model> spnc::spn::loadModel(const std::string &Path) {
@@ -287,6 +297,9 @@ Expected<Model> spnc::spn::loadModel(const std::string &Path) {
   size_t Read;
   while ((Read = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
     Bytes.insert(Bytes.end(), Chunk, Chunk + Read);
+  bool ReadError = std::ferror(File) != 0;
   std::fclose(File);
+  if (ReadError)
+    return makeError(formatString("cannot read '%s'", Path.c_str()));
   return deserializeModel(Bytes);
 }

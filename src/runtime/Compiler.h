@@ -79,23 +79,29 @@ Expected<CompiledKernel> compileModel(const spn::Model &TheModel,
                                       const CompilerOptions &Options,
                                       CompileStats *Stats = nullptr);
 
-/// Saves the kernel's compiled program to \p Path (the analog of keeping
-/// the emitted object file around, enabling compile-once/run-many). The
-/// write is atomic: the blob goes to a temporary file that is renamed
-/// over \p Path only after a complete write, so a failure never leaves a
-/// truncated kernel behind. On failure, \p ErrorMessage (when non-null)
-/// receives an errno-based reason.
+/// Saves the kernel's compiled program to \p Path in the current
+/// (checksummed v3) `.spnk` format — see docs/spnk-format.md (the
+/// analog of keeping the emitted object file around, enabling
+/// compile-once/run-many). The write is atomic: the blob goes to a
+/// temporary file that is renamed over \p Path only after a complete
+/// write, so a failure never leaves a truncated kernel behind. On
+/// failure, \p ErrorMessage (when non-null) receives an errno-based
+/// reason. Thread-safe for distinct paths.
 LogicalResult saveCompiledKernel(const CompiledKernel &Kernel,
                                  const std::string &Path,
                                  std::string *ErrorMessage = nullptr);
 
 /// Loads a program saved by saveCompiledKernel and wraps it in an
-/// executor. With Target::Auto (the default) the engine matching the
-/// recorded lowering target is selected: kernels lowered with table
-/// lookups run on the CPU executor, select-cascade kernels on the GPU
-/// simulator. An explicit target always wins — programs are
-/// target-independent and run on either engine — but a warning is
-/// printed when it contradicts the recorded lowering.
+/// executor. The `.spnk` content checksum is verified before the
+/// program is trusted: truncated or bit-rotted files fail with a
+/// checksum-mismatch error instead of executing garbage. Legacy
+/// (pre-v3, checksum-less) files still load, with a warning on stderr.
+/// With Target::Auto (the default) the engine matching the recorded
+/// lowering target is selected: kernels lowered with table lookups run
+/// on the CPU executor, select-cascade kernels on the GPU simulator. An
+/// explicit target always wins — programs are target-independent and
+/// run on either engine — but a warning is printed when it contradicts
+/// the recorded lowering.
 Expected<CompiledKernel> loadCompiledKernel(
     const std::string &Path, Target TheTarget = Target::Auto,
     vm::ExecutionConfig Execution = {},

@@ -67,6 +67,22 @@ struct ExecutionStats {
   gpusim::GpuExecutionStats Gpu;
 };
 
+/// Static per-sample work accounting, available for *every* engine —
+/// including the baseline adapters, which have no compiled program.
+/// Benches use this instead of special-casing `getProgram()`-less
+/// engines when normalizing by work performed.
+struct EngineAccounting {
+  /// Work units evaluated per sample: bytecode instructions for
+  /// compiled programs, SPN node evaluations for the baseline engines.
+  size_t NumInstructions = 0;
+  /// Task count of the compiled program, or 1 for the single-pass
+  /// baseline engines.
+  size_t NumTasks = 0;
+  /// True when the counts come from a compiled vm::KernelProgram;
+  /// false when they are model-derived estimates (baselines).
+  bool Compiled = false;
+};
+
 /// Abstract execution engine: runs inference over a batch of samples.
 /// Implementations must be immutable after construction so that
 /// `execute` can be invoked concurrently.
@@ -77,19 +93,39 @@ public:
   /// Runs inference on \p NumSamples samples (row-major
   /// [sample][feature] doubles). \p Output receives one (log-)probability
   /// per sample. Fills \p Stats with per-call statistics when provided.
-  /// Thread-safe: concurrent calls on one engine are allowed.
+  /// Thread-safe: concurrent calls on one engine are allowed. Never
+  /// fails; input shape correctness is the caller's contract.
   virtual void execute(const double *Input, double *Output,
                        size_t NumSamples,
                        ExecutionStats *Stats = nullptr) const = 0;
 
   /// The compiled program backing this engine, or null for engines that
-  /// evaluate a model directly (the baseline adapters).
+  /// evaluate a model directly (the baseline adapters). The returned
+  /// pointer is owned by the engine and valid for its lifetime.
+  /// Thread-safe.
   virtual const vm::KernelProgram *getProgram() const { return nullptr; }
 
-  /// The target this engine executes on.
+  /// Static work accounting for this engine. The default derives the
+  /// counts from `getProgram()`; engines without a compiled program
+  /// (the baseline adapters) override this with model-derived counts,
+  /// so callers never need to special-case them. Thread-safe.
+  virtual EngineAccounting getAccounting() const {
+    EngineAccounting Accounting;
+    if (const vm::KernelProgram *Program = getProgram()) {
+      Accounting.Compiled = true;
+      Accounting.NumTasks = Program->Tasks.size();
+      for (const vm::TaskProgram &Task : Program->Tasks)
+        Accounting.NumInstructions += Task.Code.size();
+    }
+    return Accounting;
+  }
+
+  /// The target this engine executes on. Thread-safe; constant for the
+  /// engine's lifetime.
   virtual Target getTarget() const = 0;
 
   /// One-line human-readable description (engine kind + configuration).
+  /// Thread-safe.
   virtual std::string describe() const = 0;
 };
 

@@ -1,4 +1,4 @@
-//===- KernelCache.cpp - Thread-safe compiled-kernel cache --------------------===//
+//===- KernelCache.cpp - Bounded, integrity-checked kernel cache --------------===//
 //
 // Part of the SPNC-Repro project.
 // SPDX-License-Identifier: Apache-2.0
@@ -11,6 +11,7 @@
 #include "support/Hashing.h"
 #include "vm/ProgramBinary.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <utility>
@@ -61,22 +62,34 @@ uint64_t KernelCache::makeKey(const spn::Model &Model,
 }
 
 std::string KernelCache::entryPath(uint64_t Key) const {
-  if (Directory.empty())
+  if (TheConfig.Directory.empty())
     return std::string();
   char Name[32];
   std::snprintf(Name, sizeof(Name), "%016llx.spnk",
                 static_cast<unsigned long long>(Key));
-  return Directory + "/" + Name;
+  return TheConfig.Directory + "/" + Name;
 }
 
 namespace {
 
+/// Outcome of probing the disk tier for one key.
+struct DiskProbe {
+  /// The file existed (so a decode failure means corruption, not a
+  /// plain miss).
+  bool Existed = false;
+  /// The entry predates the checksummed format (v3).
+  bool Legacy = false;
+};
+
 /// Reads and decodes a cached `.spnk`; any failure (missing file, short
-/// read, bad blob) returns an error the caller treats as a miss.
-Expected<vm::KernelProgram> loadCachedProgram(const std::string &Path) {
+/// read, bad blob, checksum mismatch) returns an error the caller
+/// treats as a miss. \p Probe distinguishes corruption from absence.
+Expected<vm::KernelProgram> loadCachedProgram(const std::string &Path,
+                                              DiskProbe &Probe) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return makeError("no cache entry at '" + Path + "'");
+  Probe.Existed = true;
   std::vector<uint8_t> Blob;
   uint8_t Chunk[4096];
   size_t Read;
@@ -86,10 +99,93 @@ Expected<vm::KernelProgram> loadCachedProgram(const std::string &Path) {
   std::fclose(File);
   if (ReadError)
     return makeError("cannot read cache entry '" + Path + "'");
-  return vm::decodeProgram(Blob);
+  vm::BinaryInfo Info;
+  Expected<vm::KernelProgram> Program = vm::decodeProgram(Blob, &Info);
+  if (Program && !Info.Checksummed) {
+    Probe.Legacy = true;
+    std::fprintf(stderr,
+                 "warning: kernel cache entry '%s' uses legacy binary "
+                 "format v%u (no checksum); it will be trusted as-is — "
+                 "delete it to re-save in format v%u\n",
+                 Path.c_str(), Info.Version, vm::kProgramBinaryVersion);
+  }
+  return Program;
 }
 
 } // namespace
+
+void KernelCache::touch(std::unordered_map<uint64_t, Entry>::iterator It) {
+  LruOrder.splice(LruOrder.begin(), LruOrder, It->second.LruIt);
+}
+
+void KernelCache::enforceCapacity() {
+  if (TheConfig.MaxEntries == 0)
+    return;
+  while (Entries.size() > TheConfig.MaxEntries) {
+    uint64_t Victim = LruOrder.back();
+    LruOrder.pop_back();
+    Entries.erase(Victim);
+    ++Counters.Evictions;
+  }
+}
+
+void KernelCache::pruneDiskTier(const std::string &KeepPath,
+                                uint64_t &PrunedFiles,
+                                uint64_t &PrunedBytes) const {
+  PrunedFiles = 0;
+  PrunedBytes = 0;
+  if (TheConfig.DiskBudgetBytes == 0)
+    return;
+
+  namespace fs = std::filesystem;
+  struct DiskFile {
+    fs::path Path;
+    uint64_t Size = 0;
+    fs::file_time_type MTime;
+  };
+  std::vector<DiskFile> Files;
+  uint64_t TotalBytes = 0;
+  std::error_code EC;
+  for (const fs::directory_entry &DirEntry :
+       fs::directory_iterator(TheConfig.Directory, EC)) {
+    if (EC)
+      return;
+    if (!DirEntry.is_regular_file(EC) ||
+        DirEntry.path().extension() != ".spnk")
+      continue;
+    DiskFile F;
+    F.Path = DirEntry.path();
+    F.Size = DirEntry.file_size(EC);
+    if (EC)
+      continue;
+    F.MTime = DirEntry.last_write_time(EC);
+    if (EC)
+      continue;
+    TotalBytes += F.Size;
+    Files.push_back(std::move(F));
+  }
+  if (TotalBytes <= TheConfig.DiskBudgetBytes)
+    return;
+
+  // Oldest first; the entry just written (KeepPath) survives even when
+  // it alone exceeds the budget.
+  std::sort(Files.begin(), Files.end(),
+            [](const DiskFile &A, const DiskFile &B) {
+              return A.MTime < B.MTime;
+            });
+  for (const DiskFile &F : Files) {
+    if (TotalBytes <= TheConfig.DiskBudgetBytes)
+      break;
+    if (F.Path == fs::path(KeepPath))
+      continue;
+    std::error_code RemoveEC;
+    if (fs::remove(F.Path, RemoveEC) && !RemoveEC) {
+      TotalBytes -= F.Size;
+      ++PrunedFiles;
+      PrunedBytes += F.Size;
+    }
+  }
+}
 
 Expected<CompiledKernel>
 KernelCache::getOrCompile(const spn::Model &Model,
@@ -106,22 +202,31 @@ KernelCache::getOrCompile(const spn::Model &Model,
     std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Entries.find(Key);
     if (It != Entries.end()) {
-      ++Stats.Hits;
-      return CompiledKernel(It->second);
+      ++Counters.Hits;
+      touch(It);
+      return CompiledKernel(It->second.Engine);
     }
-    ++Stats.Misses;
+    ++Counters.Misses;
   }
 
   // Miss: try the disk tier, then compile. Both run outside the lock so
   // distinct keys make progress concurrently; duplicate concurrent work
   // on the same key is resolved at insertion (first wins).
   bool FromDisk = false;
+  DiskProbe Probe;
   std::shared_ptr<ExecutionEngine> Engine;
   std::string Path = entryPath(Key);
+  uint64_t PrunedFiles = 0, PrunedBytes = 0;
   if (!Path.empty()) {
-    if (Expected<vm::KernelProgram> Cached = loadCachedProgram(Path)) {
+    Expected<vm::KernelProgram> Cached = loadCachedProgram(Path, Probe);
+    if (Cached) {
       Engine = Pipeline->makeEngine(Cached.takeValue());
       FromDisk = true;
+    } else if (Probe.Existed) {
+      std::fprintf(stderr,
+                   "warning: rejecting kernel cache entry '%s': %s "
+                   "(recompiling)\n",
+                   Path.c_str(), Cached.getError().message().c_str());
     }
   }
   if (!Engine) {
@@ -133,9 +238,10 @@ KernelCache::getOrCompile(const spn::Model &Model,
       // Persist for future processes; failures (e.g. unwritable
       // directory) only cost the next process a recompile.
       std::error_code EC;
-      std::filesystem::create_directories(Directory, EC);
+      std::filesystem::create_directories(TheConfig.Directory, EC);
       CompiledKernel Staging(Pipeline->makeEngine(Program.takeValue()));
-      (void)saveCompiledKernel(Staging, Path);
+      if (succeeded(saveCompiledKernel(Staging, Path)))
+        pruneDiskTier(Path, PrunedFiles, PrunedBytes);
       Engine = Staging.getEngineShared();
     } else {
       Engine = Pipeline->makeEngine(Program.takeValue());
@@ -143,12 +249,29 @@ KernelCache::getOrCompile(const spn::Model &Model,
   }
 
   std::lock_guard<std::mutex> Lock(Mutex);
-  auto [It, Inserted] = Entries.emplace(Key, std::move(Engine));
-  if (FromDisk && Inserted)
-    ++Stats.DiskHits;
-  else if (Inserted)
-    ++Stats.Recompiles;
-  return CompiledKernel(It->second);
+  Counters.DiskPrunedFiles += PrunedFiles;
+  Counters.DiskPrunedBytes += PrunedBytes;
+  if (Probe.Existed && !FromDisk)
+    ++Counters.CorruptedDiskEntries;
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    // Lost a same-key race: the first engine wins, ours is dropped.
+    touch(It);
+    return CompiledKernel(It->second.Engine);
+  }
+  LruOrder.push_front(Key);
+  It = Entries.emplace(Key, Entry{std::move(Engine), LruOrder.begin()})
+           .first;
+  if (FromDisk) {
+    ++Counters.DiskHits;
+    if (Probe.Legacy)
+      ++Counters.LegacyDiskEntries;
+  } else {
+    ++Counters.Recompiles;
+  }
+  CompiledKernel Result(It->second.Engine);
+  enforceCapacity();
+  return Result;
 }
 
 size_t KernelCache::size() const {
@@ -159,9 +282,10 @@ size_t KernelCache::size() const {
 void KernelCache::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Entries.clear();
+  LruOrder.clear();
 }
 
-KernelCache::Statistics KernelCache::getStatistics() const {
+KernelCache::Stats KernelCache::getStats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Stats;
+  return Counters;
 }

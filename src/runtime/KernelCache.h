@@ -1,4 +1,4 @@
-//===- KernelCache.h - Thread-safe compiled-kernel cache ----------------------===//
+//===- KernelCache.h - Bounded, integrity-checked kernel cache ----------------===//
 //
 // Part of the SPNC-Repro project.
 // SPDX-License-Identifier: Apache-2.0
@@ -6,18 +6,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A thread-safe cache of compiled kernels for serving scenarios that mix
-/// repeated queries over a fixed set of models (the compile-once/run-many
-/// regime the paper's §V-B compile-time measurements motivate). Kernels
-/// are keyed by (model structure+parameters, query configuration,
-/// pipeline configuration); a second request with the same key returns
-/// the already-constructed ExecutionEngine instead of recompiling.
+/// A thread-safe, bounded cache of compiled kernels for serving
+/// scenarios that mix repeated queries over a fixed set of models (the
+/// compile-once/run-many regime the paper's §V-B compile-time
+/// measurements motivate). Kernels are keyed by (model
+/// structure+parameters, query configuration, pipeline configuration); a
+/// second request with the same key returns the already-constructed
+/// ExecutionEngine instead of recompiling.
 ///
-/// Optionally the cache is backed by a directory of `.spnk` files
-/// (saveCompiledKernel / loadCompiledKernel): a miss first tries
-/// `<dir>/<key>.spnk` before compiling, and a fresh compile persists its
-/// program there. Corrupted or unreadable entries are never an error —
-/// the kernel is recompiled and the entry rewritten.
+/// Two tiers:
+///
+///  * **In-memory tier** — an LRU-capped map of live ExecutionEngines.
+///    `Config::MaxEntries` bounds residency; inserting beyond the cap
+///    evicts the least-recently-used engine (evicted kernels already
+///    handed out stay valid — they share ownership of the engine).
+///  * **Disk tier** (optional) — a directory of `.spnk` files (see
+///    docs/spnk-format.md). A miss first tries `<dir>/<key>.spnk`
+///    before compiling, and a fresh compile persists its program there
+///    atomically. `Config::DiskBudgetBytes` bounds the directory's total
+///    `.spnk` size; exceeding it prunes the oldest files first (the
+///    just-written entry is never pruned).
+///
+/// Disk entries are integrity-checked: the `.spnk` header carries a
+/// content checksum (format v3), verified on every disk-tier hit.
+/// Corrupted, truncated or unreadable entries are never an error — the
+/// kernel is recompiled, the entry rewritten, and the rejection counted
+/// in `Stats::CorruptedDiskEntries`. Legacy (pre-v3, checksum-less)
+/// entries still load, with a warning and a `Stats::LegacyDiskEntries`
+/// count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +43,7 @@
 #include "runtime/Compiler.h"
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,8 +56,30 @@ namespace runtime {
 /// ExecutionEngine. All public members may be called concurrently.
 class KernelCache {
 public:
-  /// Cache observability counters (a snapshot; taken under the lock).
-  struct Statistics {
+  /// Default in-memory capacity: generous for a per-process model set,
+  /// small enough that a long-running server cannot accumulate
+  /// thousands of dead engines.
+  static constexpr size_t kDefaultMaxEntries = 64;
+
+  /// Cache construction parameters. The defaults give a bounded,
+  /// in-memory-only cache.
+  struct Config {
+    /// Directory of the `.spnk` disk tier; empty disables it. Created
+    /// on first write if missing.
+    std::string Directory;
+    /// In-memory LRU capacity; 0 means unbounded (not recommended for
+    /// long-running servers).
+    size_t MaxEntries = kDefaultMaxEntries;
+    /// Total size budget (bytes) for `.spnk` files in Directory; 0
+    /// means unbounded. Enforced after each insert by pruning the
+    /// oldest files first; the newest entry is never pruned, so one
+    /// oversized kernel may exceed the budget by itself.
+    uint64_t DiskBudgetBytes = 0;
+  };
+
+  /// Cache observability counters. `getStats()` returns a consistent
+  /// snapshot taken under the cache lock.
+  struct Stats {
     /// Requests answered from the in-memory map.
     uint64_t Hits = 0;
     /// Requests that required compilation or a disk load.
@@ -50,16 +89,34 @@ public:
     /// Misses that ran the compilation pipeline (including recoveries
     /// from corrupted disk entries).
     uint64_t Recompiles = 0;
+    /// In-memory engines dropped by the LRU cap.
+    uint64_t Evictions = 0;
+    /// `.spnk` files removed by the disk byte budget, and their total
+    /// size.
+    uint64_t DiskPrunedFiles = 0;
+    uint64_t DiskPrunedBytes = 0;
+    /// Disk entries rejected as unreadable, truncated or failing the
+    /// content checksum (each one triggered a transparent recompile).
+    uint64_t CorruptedDiskEntries = 0;
+    /// Disk entries loaded from a pre-checksum (v1/v2) `.spnk`.
+    uint64_t LegacyDiskEntries = 0;
   };
+  /// Legacy name of the counters struct (pre-LRU API).
+  using Statistics = Stats;
 
-  /// An in-memory-only cache.
+  /// An in-memory-only cache with the default LRU capacity.
   KernelCache() = default;
 
   /// A disk-backed cache persisting `.spnk` files under \p Directory
   /// (created on first write if missing). Pass an empty string for an
-  /// in-memory-only cache.
-  explicit KernelCache(std::string Directory)
-      : Directory(std::move(Directory)) {}
+  /// in-memory-only cache. Capacity and disk budget take their
+  /// defaults; use the Config constructor to tune them.
+  explicit KernelCache(std::string Directory) {
+    TheConfig.Directory = std::move(Directory);
+  }
+
+  /// A cache with explicit capacity/budget configuration.
+  explicit KernelCache(Config TheConfig) : TheConfig(std::move(TheConfig)) {}
 
   KernelCache(const KernelCache &) = delete;
   KernelCache &operator=(const KernelCache &) = delete;
@@ -67,43 +124,77 @@ public:
   /// Structural+parametric hash of \p Model: node kinds, wiring, weights
   /// and leaf parameters of the graph reachable from the root, plus the
   /// feature count. Two models with identical structure and parameters
-  /// collide (desired: they compile to identical kernels).
+  /// collide (desired: they compile to identical kernels). Thread-safe;
+  /// the model must not be mutated concurrently.
   static uint64_t hashModel(const spn::Model &Model);
 
   /// The cache key for compiling \p Model for \p Query under \p Config.
+  /// Thread-safe; never fails.
   static uint64_t makeKey(const spn::Model &Model,
                           const spn::QueryConfig &Query,
                           const PipelineConfig &Config);
 
   /// Returns the kernel for (\p Model, \p Query, \p Options), compiling
-  /// at most once per key. Compilation runs outside the cache lock, so
-  /// distinct keys compile concurrently; \p Stats is only written on an
-  /// actual compile (cache hits leave it untouched).
+  /// at most once per key. Compilation and disk I/O run outside the
+  /// cache lock, so distinct keys compile concurrently; concurrent
+  /// requests for one key may compile redundantly, but exactly one
+  /// engine wins and all callers share it. \p Stats is only written on
+  /// an actual compile (cache hits leave it untouched). Fails only when
+  /// \p Options is invalid or compilation fails — disk-tier corruption
+  /// is recovered transparently.
   Expected<CompiledKernel> getOrCompile(const spn::Model &Model,
                                         const spn::QueryConfig &Query,
                                         const CompilerOptions &Options,
                                         CompileStats *Stats = nullptr);
 
-  /// Number of resident engines.
+  /// Number of resident engines. Thread-safe.
   size_t size() const;
 
   /// Drops every in-memory entry (disk entries are kept) and resets no
-  /// counters.
+  /// counters. Kernels already handed out remain valid. Thread-safe.
   void clear();
 
-  Statistics getStatistics() const;
+  /// A consistent snapshot of the observability counters. Thread-safe.
+  Stats getStats() const;
 
-  const std::string &getDirectory() const { return Directory; }
+  /// Legacy spelling of getStats().
+  Statistics getStatistics() const { return getStats(); }
+
+  const std::string &getDirectory() const { return TheConfig.Directory; }
+
+  /// The active configuration (immutable after construction).
+  const Config &getConfig() const { return TheConfig; }
 
   /// Path of the `.spnk` backing file for \p Key (empty when the cache
-  /// is in-memory only).
+  /// is in-memory only). Thread-safe.
   std::string entryPath(uint64_t Key) const;
 
 private:
-  std::string Directory;
+  struct Entry {
+    std::shared_ptr<ExecutionEngine> Engine;
+    /// Position in LruOrder (for O(1) touch on hit).
+    std::list<uint64_t>::iterator LruIt;
+  };
+
+  /// Moves \p It to the front of the recency list. Caller holds Mutex.
+  void touch(std::unordered_map<uint64_t, Entry>::iterator It);
+
+  /// Evicts least-recently-used entries until the LRU cap is respected.
+  /// Caller holds Mutex.
+  void enforceCapacity();
+
+  /// Deletes oldest `.spnk` files until the disk tier fits the byte
+  /// budget, never removing \p KeepPath. Runs without the cache lock
+  /// (filesystem only); returns the number of files and bytes removed.
+  void pruneDiskTier(const std::string &KeepPath, uint64_t &PrunedFiles,
+                     uint64_t &PrunedBytes) const;
+
+  Config TheConfig;
   mutable std::mutex Mutex;
-  std::unordered_map<uint64_t, std::shared_ptr<ExecutionEngine>> Entries;
-  Statistics Stats;
+  std::unordered_map<uint64_t, Entry> Entries;
+  /// Keys ordered most-recently-used first.
+  std::list<uint64_t> LruOrder;
+  Stats Counters;
 };
 
 } // namespace runtime

@@ -97,13 +97,18 @@ struct CompileStats {
 /// with a message).
 class PipelineConfig {
 public:
+  /// Validates \p Options; fails with a descriptive message on any
+  /// out-of-range knob (e.g. OptLevel > 3, unsupported vector width).
+  /// Thread-safe.
   static Expected<PipelineConfig> create(CompilerOptions Options);
 
+  /// The validated, normalized options. Thread-safe; the reference is
+  /// valid for the config's lifetime.
   const CompilerOptions &getOptions() const { return Options; }
 
   /// Stable structural hash over every knob that influences either the
   /// compiled program or the engine configuration; one of the three
-  /// kernel-cache key components.
+  /// kernel-cache key components. Thread-safe; never fails.
   uint64_t hash() const;
 
 private:
@@ -131,25 +136,36 @@ struct StageContext;
 /// multiple threads.
 class CompilationPipeline {
 public:
-  /// Validates \p Options and builds the pipeline.
+  /// Validates \p Options and builds the pipeline. Fails exactly when
+  /// PipelineConfig::create fails (invalid knobs); a returned pipeline
+  /// is always runnable. Thread-safe.
   static Expected<CompilationPipeline> create(CompilerOptions Options);
 
+  /// Builds the pipeline from an already-validated config; never fails.
   explicit CompilationPipeline(PipelineConfig TheConfig);
 
+  /// The validated configuration. Thread-safe; valid for the pipeline's
+  /// lifetime.
   const PipelineConfig &getConfig() const { return Config; }
 
-  /// The stages this pipeline will run, in order.
+  /// The stages this pipeline will run, in order. Thread-safe; fixed at
+  /// construction.
   const std::vector<PipelineStage> &getStages() const { return Stages; }
 
   /// Runs every stage over \p Model, returning the engine-ready program.
   /// Per-stage timings and the pass/codegen breakdowns are recorded into
-  /// \p Stats when provided.
+  /// \p Stats when provided (\p Stats is untouched on failure). Fails on
+  /// malformed models or IR verification errors; the pipeline itself is
+  /// unchanged by failure and may be reused. Thread-safe: concurrent
+  /// `compile` calls on one pipeline are allowed (each call uses private
+  /// state).
   Expected<vm::KernelProgram> compile(const spn::Model &Model,
                                       const spn::QueryConfig &Query,
                                       CompileStats *Stats = nullptr) const;
 
   /// Constructs the execution engine this pipeline's target configuration
-  /// selects for \p Program.
+  /// selects for \p Program. Never fails (the config was validated);
+  /// thread-safe.
   std::shared_ptr<ExecutionEngine> makeEngine(vm::KernelProgram Program) const;
 
 private:

@@ -33,6 +33,20 @@ size_t hashCombine(const Ts &...Values) {
   return Seed;
 }
 
+/// 64-bit FNV-1a over a byte range. Used as the content checksum of the
+/// `.spnk` kernel-binary format (see docs/spnk-format.md): cheap, has no
+/// dependencies, and detects the truncations and bit flips a disk-backed
+/// cache must survive. Not cryptographic.
+inline uint64_t fnv1a64(const void *Data, size_t Size) {
+  uint64_t Hash = 0xcbf29ce484222325ULL; // FNV offset basis
+  const auto *Bytes = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= 0x100000001b3ULL; // FNV prime
+  }
+  return Hash;
+}
+
 /// Hashes a contiguous range of values.
 template <typename Iterator>
 size_t hashRange(Iterator Begin, Iterator End) {

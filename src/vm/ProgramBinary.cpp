@@ -7,6 +7,8 @@
 
 #include "vm/ProgramBinary.h"
 
+#include "support/Hashing.h"
+
 #include <cstring>
 #include <string>
 
@@ -16,9 +18,11 @@ using namespace spnc::vm;
 namespace {
 
 constexpr uint32_t kMagic = 0x43505356; // "VSPC"
-// Version 2 added the lowering-strategy byte to the header; version-1
-// blobs still decode (with LoweringKind::Unknown).
-constexpr uint32_t kVersion = 2;
+// Byte offset of the v3 checksum field (after magic + version) and of
+// the checksummed payload that follows it. docs/spnk-format.md is the
+// authoritative layout description.
+constexpr size_t kChecksumOffset = 8;
+constexpr size_t kPayloadOffset = 16;
 
 class Writer {
 public:
@@ -115,7 +119,8 @@ private:
 std::vector<uint8_t> spnc::vm::encodeProgram(const KernelProgram &P) {
   Writer W;
   W.u32(kMagic);
-  W.u32(kVersion);
+  W.u32(kProgramBinaryVersion);
+  W.u64(0); // checksum placeholder, patched after the payload is known
   W.str(P.Name);
   W.u8(P.UseF32);
   W.u8(P.LogSpace);
@@ -187,18 +192,35 @@ std::vector<uint8_t> spnc::vm::encodeProgram(const KernelProgram &P) {
     for (uint32_t Arg : T.Args)
       W.u32(Arg);
   }
-  return W.take();
+  std::vector<uint8_t> Bytes = W.take();
+  uint64_t Checksum =
+      fnv1a64(Bytes.data() + kPayloadOffset, Bytes.size() - kPayloadOffset);
+  std::memcpy(Bytes.data() + kChecksumOffset, &Checksum, sizeof(Checksum));
+  return Bytes;
 }
 
 Expected<KernelProgram>
-spnc::vm::decodeProgram(std::span<const uint8_t> Blob) {
+spnc::vm::decodeProgram(std::span<const uint8_t> Blob, BinaryInfo *Info) {
   Reader R(Blob);
   if (R.u32() != kMagic)
     return makeError("not a kernel program blob (bad magic)");
   uint32_t Version = R.u32();
-  if (Version < 1 || Version > kVersion)
+  if (Version < 1 || Version > kProgramBinaryVersion)
     return makeError("unsupported kernel program version " +
                      std::to_string(Version));
+  bool Checksummed = Version >= 3;
+  if (Checksummed) {
+    // Verify the content checksum before any structural parsing, so a
+    // damaged blob can never be half-interpreted into a program.
+    uint64_t Expected = R.u64();
+    if (R.bad() || Blob.size() < kPayloadOffset)
+      return makeError("truncated program header");
+    uint64_t Actual = fnv1a64(Blob.data() + kPayloadOffset,
+                              Blob.size() - kPayloadOffset);
+    if (Actual != Expected)
+      return makeError("kernel program checksum mismatch (truncated or "
+                       "corrupted blob)");
+  }
   KernelProgram P;
   P.Name = R.str();
   P.UseF32 = R.u8() != 0;
@@ -308,5 +330,9 @@ spnc::vm::decodeProgram(std::span<const uint8_t> Blob) {
   }
   if (R.bad() || !R.atEnd())
     return makeError("malformed kernel program blob");
+  if (Info) {
+    Info->Version = Version;
+    Info->Checksummed = Checksummed;
+  }
   return P;
 }

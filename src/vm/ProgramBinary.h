@@ -10,7 +10,13 @@
 /// code / CUBIN module the paper's pipeline produces. The GPU compile
 /// pipeline encodes the device portion into this format and attaches it
 /// to the host module (paper §IV-C); it also enables caching compiled
-/// kernels on disk.
+/// kernels on disk (`.spnk` files).
+///
+/// The on-disk layout is a stable, documented contract: see
+/// docs/spnk-format.md for the byte-level specification and the version
+/// history. Since version 3 the header carries an FNV-1a content
+/// checksum over the payload, so truncated or bit-rotted blobs are
+/// rejected at decode time instead of executing garbage.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,11 +33,35 @@
 namespace spnc {
 namespace vm {
 
-/// Encodes \p Program into a self-contained byte blob.
+/// The header version `encodeProgram` writes. History (full table in
+/// docs/spnk-format.md): v1 initial format, v2 added the
+/// lowering-strategy byte, v3 added the FNV-1a payload checksum.
+/// `decodeProgram` accepts every version from 1 to this value.
+inline constexpr uint32_t kProgramBinaryVersion = 3;
+
+/// Metadata about a decoded blob, reported alongside the program so
+/// callers can warn about (and eventually refuse) legacy entries.
+struct BinaryInfo {
+  /// Header version of the decoded blob.
+  uint32_t Version = 0;
+  /// True when the blob carried a checksum that was verified (v3+);
+  /// false for legacy v1/v2 blobs, which are trusted after a purely
+  /// structural decode.
+  bool Checksummed = false;
+};
+
+/// Encodes \p Program into a self-contained byte blob in the current
+/// (v3, checksummed) format. Never fails.
 std::vector<uint8_t> encodeProgram(const KernelProgram &Program);
 
-/// Decodes a program previously produced by encodeProgram.
-Expected<KernelProgram> decodeProgram(std::span<const uint8_t> Blob);
+/// Decodes a program previously produced by encodeProgram (any version
+/// from v1 to kProgramBinaryVersion). For v3+ blobs the payload checksum
+/// is verified before any structural parsing; a mismatch (truncation,
+/// bit rot, partial write) fails with a "checksum mismatch" error.
+/// \p Info, when non-null, receives the blob's version/checksum status
+/// on success. Errors never leave a partially-filled program behind.
+Expected<KernelProgram> decodeProgram(std::span<const uint8_t> Blob,
+                                      BinaryInfo *Info = nullptr);
 
 } // namespace vm
 } // namespace spnc

@@ -5,14 +5,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "baselines/Baselines.h"
 #include "runtime/KernelCache.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <span>
@@ -54,6 +57,30 @@ protected:
     Expected<PipelineConfig> Config = PipelineConfig::create(Options);
     EXPECT_TRUE(static_cast<bool>(Config));
     return KernelCache::makeKey(M, Query, *Config);
+  }
+
+  /// Reads a cache file's bytes.
+  static std::vector<uint8_t> readFile(const std::string &Path) {
+    std::FILE *File = std::fopen(Path.c_str(), "rb");
+    EXPECT_NE(File, nullptr) << Path;
+    std::vector<uint8_t> Bytes;
+    uint8_t Chunk[4096];
+    size_t Read;
+    while (File && (Read = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+      Bytes.insert(Bytes.end(), Chunk, Chunk + Read);
+    if (File)
+      std::fclose(File);
+    return Bytes;
+  }
+
+  /// Overwrites a cache file with \p Bytes.
+  static void writeFile(const std::string &Path,
+                        const std::vector<uint8_t> &Bytes) {
+    std::FILE *File = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(File, nullptr) << Path;
+    ASSERT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), File),
+              Bytes.size());
+    std::fclose(File);
   }
 
   static constexpr size_t kNumSamples = 24;
@@ -273,6 +300,230 @@ TEST_F(KernelCacheTest, ConcurrentRequestsShareOneEngine) {
   KernelCache::Statistics CacheStats = Cache.getStatistics();
   EXPECT_EQ(CacheStats.Hits + CacheStats.Misses, kNumThreads);
   EXPECT_GE(CacheStats.Recompiles, 1u);
+}
+
+TEST_F(KernelCacheTest, LruEvictionDropsLeastRecentlyUsed) {
+  KernelCache::Config Config;
+  Config.MaxEntries = 2;
+  KernelCache Cache(Config);
+
+  CompilerOptions O0, O1, O2;
+  O0.OptLevel = 0;
+  O1.OptLevel = 1;
+  O2.OptLevel = 2;
+
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), O0)));
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), O1)));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.getStats().Evictions, 0u);
+
+  // Touch O0 so O1 becomes the least-recently-used entry...
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), O0)));
+  // ...then a third key evicts O1, not O0.
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), O2)));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.getStats().Evictions, 1u);
+
+  // O0 is still resident (hit); O1 was evicted (miss + recompile).
+  KernelCache::Stats Before = Cache.getStats();
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), O0)));
+  EXPECT_EQ(Cache.getStats().Hits, Before.Hits + 1);
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), O1)));
+  KernelCache::Stats After = Cache.getStats();
+  EXPECT_EQ(After.Misses, Before.Misses + 1);
+  EXPECT_EQ(After.Recompiles, Before.Recompiles + 1);
+  // Inserting O1 again pushed another entry out.
+  EXPECT_EQ(After.Evictions, 2u);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST_F(KernelCacheTest, UnboundedCapacityNeverEvicts) {
+  KernelCache::Config Config;
+  Config.MaxEntries = 0; // unbounded
+  KernelCache Cache(Config);
+  for (unsigned Opt = 0; Opt <= 3; ++Opt) {
+    CompilerOptions Options;
+    Options.OptLevel = Opt;
+    ASSERT_TRUE(static_cast<bool>(
+        Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  }
+  EXPECT_EQ(Cache.size(), 4u);
+  EXPECT_EQ(Cache.getStats().Evictions, 0u);
+}
+
+TEST_F(KernelCacheTest, DiskBudgetPrunesOldestFirst) {
+  spn::QueryConfig Query;
+  CompilerOptions OldOptions, NewOptions;
+  OldOptions.OptLevel = 1;
+  NewOptions.OptLevel = 2;
+
+  // Write the first entry with no budget, then age its mtime so it is
+  // unambiguously the oldest file in the tier.
+  std::string OldPath;
+  uintmax_t OldSize = 0;
+  {
+    KernelCache Unbounded(TempDir.string());
+    ASSERT_TRUE(static_cast<bool>(
+        Unbounded.getOrCompile(*Model, Query, OldOptions)));
+    OldPath = Unbounded.entryPath(keyFor(*Model, Query, OldOptions));
+    ASSERT_TRUE(std::filesystem::exists(OldPath));
+    OldSize = std::filesystem::file_size(OldPath);
+    std::filesystem::last_write_time(
+        OldPath, std::filesystem::file_time_type::clock::now() -
+                     std::chrono::hours(1));
+  }
+
+  // A budget of one kernel: inserting the second entry overflows it and
+  // prunes the aged file while keeping the just-written one.
+  KernelCache::Config Config;
+  Config.Directory = TempDir.string();
+  Config.DiskBudgetBytes = OldSize;
+  KernelCache Bounded(Config);
+  ASSERT_TRUE(static_cast<bool>(
+      Bounded.getOrCompile(*Model, Query, NewOptions)));
+  EXPECT_FALSE(std::filesystem::exists(OldPath));
+  EXPECT_TRUE(std::filesystem::exists(
+      Bounded.entryPath(keyFor(*Model, Query, NewOptions))));
+  KernelCache::Stats Stats = Bounded.getStats();
+  EXPECT_EQ(Stats.DiskPrunedFiles, 1u);
+  EXPECT_EQ(Stats.DiskPrunedBytes, OldSize);
+}
+
+TEST_F(KernelCacheTest, TruncatedDiskEntryIsRejectedAndRecompiled) {
+  CompilerOptions Options;
+  {
+    KernelCache Cache(TempDir.string());
+    ASSERT_TRUE(static_cast<bool>(
+        Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  }
+  std::string Path =
+      KernelCache(TempDir.string())
+          .entryPath(keyFor(*Model, spn::QueryConfig(), Options));
+  std::vector<uint8_t> Bytes = readFile(Path);
+  ASSERT_GT(Bytes.size(), 32u);
+  Bytes.resize(Bytes.size() / 2);
+  writeFile(Path, Bytes);
+
+  // The truncated entry is detected (checksum over the payload fails)
+  // and the kernel recompiles transparently.
+  KernelCache Fresh(TempDir.string());
+  Expected<CompiledKernel> Kernel =
+      Fresh.getOrCompile(*Model, spn::QueryConfig(), Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  KernelCache::Stats Stats = Fresh.getStats();
+  EXPECT_EQ(Stats.DiskHits, 0u);
+  EXPECT_EQ(Stats.Recompiles, 1u);
+  EXPECT_EQ(Stats.CorruptedDiskEntries, 1u);
+
+  // The recompile rewrote a valid entry.
+  KernelCache Reloaded(TempDir.string());
+  ASSERT_TRUE(static_cast<bool>(
+      Reloaded.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  EXPECT_EQ(Reloaded.getStats().DiskHits, 1u);
+  EXPECT_EQ(Reloaded.getStats().CorruptedDiskEntries, 0u);
+}
+
+TEST_F(KernelCacheTest, BitFlippedDiskEntryIsRejectedAndRecompiled) {
+  CompilerOptions Options;
+  {
+    KernelCache Cache(TempDir.string());
+    ASSERT_TRUE(static_cast<bool>(
+        Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  }
+  std::string Path =
+      KernelCache(TempDir.string())
+          .entryPath(keyFor(*Model, spn::QueryConfig(), Options));
+  std::vector<uint8_t> Bytes = readFile(Path);
+  ASSERT_FALSE(Bytes.empty());
+  // Flip one bit in the last payload byte: the blob stays structurally
+  // parseable, so only the content checksum can reject it.
+  Bytes[Bytes.size() - 1] ^= 0x01;
+  writeFile(Path, Bytes);
+
+  KernelCache Fresh(TempDir.string());
+  Expected<CompiledKernel> Kernel =
+      Fresh.getOrCompile(*Model, spn::QueryConfig(), Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  KernelCache::Stats Stats = Fresh.getStats();
+  EXPECT_EQ(Stats.DiskHits, 0u);
+  EXPECT_EQ(Stats.Recompiles, 1u);
+  EXPECT_EQ(Stats.CorruptedDiskEntries, 1u);
+
+  // The flipped entry never reached execution: the recompiled kernel
+  // computes the reference result.
+  std::vector<double> Output(kNumSamples);
+  Kernel->execute(Data.data(), Output.data(), kNumSamples);
+  for (size_t S = 0; S < kNumSamples; ++S) {
+    double Reference = Model->evalLogLikelihood(
+        std::span<const double>(Data.data() + S * NumFeatures,
+                                NumFeatures));
+    EXPECT_NEAR(Output[S], Reference,
+                std::fabs(Reference) * 1e-6 + 1e-6);
+  }
+}
+
+TEST_F(KernelCacheTest, LegacyV2DiskEntryLoadsWithWarning) {
+  CompilerOptions Options;
+  {
+    KernelCache Cache(TempDir.string());
+    ASSERT_TRUE(static_cast<bool>(
+        Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  }
+  std::string Path =
+      KernelCache(TempDir.string())
+          .entryPath(keyFor(*Model, spn::QueryConfig(), Options));
+  // Downgrade the entry to the pre-checksum v2 layout: drop the 8-byte
+  // checksum field and patch the header version word.
+  std::vector<uint8_t> Bytes = readFile(Path);
+  ASSERT_GT(Bytes.size(), 16u);
+  Bytes.erase(Bytes.begin() + 8, Bytes.begin() + 16);
+  const uint32_t Version = 2;
+  std::memcpy(Bytes.data() + 4, &Version, sizeof(Version));
+  writeFile(Path, Bytes);
+
+  // v2 entries still load (with a warning) and count as legacy.
+  KernelCache Fresh(TempDir.string());
+  Expected<CompiledKernel> Kernel =
+      Fresh.getOrCompile(*Model, spn::QueryConfig(), Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  KernelCache::Stats Stats = Fresh.getStats();
+  EXPECT_EQ(Stats.DiskHits, 1u);
+  EXPECT_EQ(Stats.LegacyDiskEntries, 1u);
+  EXPECT_EQ(Stats.Recompiles, 0u);
+  EXPECT_EQ(Stats.CorruptedDiskEntries, 0u);
+
+  std::vector<double> Output(kNumSamples);
+  Kernel->execute(Data.data(), Output.data(), kNumSamples);
+  double Reference = Model->evalLogLikelihood(
+      std::span<const double>(Data.data(), NumFeatures));
+  EXPECT_NEAR(Output[0], Reference, std::fabs(Reference) * 1e-6 + 1e-6);
+}
+
+TEST_F(KernelCacheTest, BaselineEnginesReportAccounting) {
+  // The separate accounting path: baseline adapters have no compiled
+  // program but still report per-sample work, so harnesses need no
+  // special case.
+  baselines::InterpreterEngine Interp(*Model);
+  EngineAccounting InterpAccounting = Interp.getAccounting();
+  EXPECT_FALSE(InterpAccounting.Compiled);
+  EXPECT_EQ(InterpAccounting.NumInstructions,
+            Model->computeStats().NumNodes);
+  EXPECT_EQ(InterpAccounting.NumTasks, 1u);
+
+  // Compiled engines derive the counts from their program.
+  Expected<CompiledKernel> Kernel =
+      compileModel(*Model, spn::QueryConfig(), CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(Kernel));
+  EngineAccounting Compiled = Kernel->getEngine().getAccounting();
+  EXPECT_TRUE(Compiled.Compiled);
+  EXPECT_GT(Compiled.NumInstructions, 0u);
+  EXPECT_EQ(Compiled.NumTasks, Kernel->getProgram().Tasks.size());
 }
 
 TEST_F(KernelCacheTest, ClearDropsEnginesButKeepsDisk) {

@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <span>
 
 using namespace spnc;
 using namespace spnc::vm;
@@ -447,6 +449,53 @@ TEST(ProgramBinaryTest, RejectsCorruptBlobs) {
   Bad = Blob;
   Bad.push_back(42);
   EXPECT_FALSE(static_cast<bool>(decodeProgram(Bad)));
+}
+
+TEST(ProgramBinaryTest, ReportsCurrentVersionAndChecksum) {
+  std::vector<uint8_t> Blob = encodeProgram(makeSampleProgram());
+  BinaryInfo Info;
+  ASSERT_TRUE(static_cast<bool>(decodeProgram(Blob, &Info)));
+  EXPECT_EQ(Info.Version, kProgramBinaryVersion);
+  EXPECT_TRUE(Info.Checksummed);
+}
+
+TEST(ProgramBinaryTest, ChecksumCatchesPayloadBitFlip) {
+  KernelProgram Program = makeSampleProgram();
+  std::vector<uint8_t> Blob = encodeProgram(Program);
+  // Flip one bit in the last byte — part of a numeric payload field, so
+  // the blob stays structurally valid and only the checksum can catch
+  // the damage.
+  std::vector<uint8_t> Flipped = Blob;
+  Flipped[Flipped.size() - 1] ^= 0x01;
+  Expected<KernelProgram> Result = decodeProgram(Flipped);
+  ASSERT_FALSE(static_cast<bool>(Result));
+  EXPECT_NE(Result.getError().message().find("checksum"),
+            std::string::npos);
+}
+
+/// Rewrites a current (v3) blob as a v2 blob: drop the 8-byte checksum
+/// field and patch the version word. The payload layout is identical.
+static std::vector<uint8_t> downgradeToV2(std::span<const uint8_t> V3) {
+  std::vector<uint8_t> V2(V3.begin(), V3.end());
+  V2.erase(V2.begin() + 8, V2.begin() + 16);
+  const uint32_t Version = 2;
+  std::memcpy(V2.data() + 4, &Version, sizeof(Version));
+  return V2;
+}
+
+TEST(ProgramBinaryTest, LegacyV2BlobStillDecodes) {
+  KernelProgram Program = makeSampleProgram();
+  std::vector<uint8_t> V2 = downgradeToV2(encodeProgram(Program));
+  BinaryInfo Info;
+  Expected<KernelProgram> Restored = decodeProgram(V2, &Info);
+  ASSERT_TRUE(static_cast<bool>(Restored))
+      << Restored.getError().message();
+  EXPECT_EQ(Info.Version, 2u);
+  EXPECT_FALSE(Info.Checksummed);
+  EXPECT_EQ(Restored->Name, "sample");
+  EXPECT_EQ(Restored->Lowering, Program.Lowering);
+  ASSERT_EQ(Restored->Tasks.size(), 1u);
+  EXPECT_EQ(Restored->Tasks[0].Code.size(), 1u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -29,6 +29,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -43,12 +44,17 @@ struct CliOptions {
   std::string InputPath;
   std::string SaveKernelPath;
   std::string KernelCacheDir;
+  /// In-memory LRU capacity of the kernel cache (0 = unbounded).
+  size_t KernelCacheCapacity = KernelCache::kDefaultMaxEntries;
+  /// Disk-tier byte budget of the kernel cache (0 = unbounded).
+  uint64_t KernelCacheDiskBudget = 0;
   CompilerOptions Compile;
   spn::QueryConfig Query;
   /// True when --target was given; a loaded .spnk then keeps that
   /// engine instead of deferring to the recorded lowering.
   bool TargetExplicit = false;
   bool Stats = false;
+  bool KernelCacheStats = false;
   bool DumpIr = false;
 };
 
@@ -72,6 +78,18 @@ void printUsage() {
       ".spnk suffix)\n"
       "  --kernel-cache DIR reuse compiled kernels from DIR "
       "(compile-once/run-many)\n"
+      "  --kernel-cache-capacity N\n"
+      "                     max in-memory cached kernels, LRU-evicted "
+      "beyond N\n"
+      "                     (default 64; 0 = unbounded)\n"
+      "  --kernel-cache-disk-budget BYTES\n"
+      "                     total .spnk size budget of the cache dir; "
+      "oldest\n"
+      "                     entries are pruned first (default 0 = "
+      "unbounded)\n"
+      "  --kernel-cache-stats\n"
+      "                     print cache hit/miss/eviction/corruption "
+      "counters\n"
       "  --stats            print per-stage compile statistics and "
       "exit\n"
       "  --dump-ir          print the HiSPN module and exit\n"
@@ -133,6 +151,19 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.KernelCacheDir = V;
+    } else if (Arg == "--kernel-cache-capacity") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.KernelCacheCapacity =
+          static_cast<size_t>(std::strtoull(V, nullptr, 10));
+    } else if (Arg == "--kernel-cache-disk-budget") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.KernelCacheDiskBudget = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--kernel-cache-stats") {
+      Options.KernelCacheStats = true;
     } else if (Arg == "--marginal") {
       Options.Query.SupportMarginal = true;
     } else if (Arg == "--no-log-space") {
@@ -278,8 +309,12 @@ int main(int Argc, char **Argv) {
 
   CompileStats CStats;
   CompiledKernel Kernel;
-  if (!Options.KernelCacheDir.empty()) {
-    KernelCache Cache(Options.KernelCacheDir);
+  if (!Options.KernelCacheDir.empty() || Options.KernelCacheStats) {
+    KernelCache::Config CacheConfig;
+    CacheConfig.Directory = Options.KernelCacheDir;
+    CacheConfig.MaxEntries = Options.KernelCacheCapacity;
+    CacheConfig.DiskBudgetBytes = Options.KernelCacheDiskBudget;
+    KernelCache Cache(CacheConfig);
     Expected<CompiledKernel> Cached = Cache.getOrCompile(
         *Model, Options.Query, Options.Compile, &CStats);
     if (!Cached) {
@@ -288,10 +323,30 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Kernel = Cached.takeValue();
-    KernelCache::Statistics CacheStats = Cache.getStatistics();
+    KernelCache::Stats CacheStats = Cache.getStats();
     if (CacheStats.DiskHits > 0)
       std::fprintf(stderr, "kernel cache: reused entry from '%s'\n",
                    Options.KernelCacheDir.c_str());
+    if (Options.KernelCacheStats)
+      std::fprintf(stderr,
+                   "kernel cache stats: hits=%llu misses=%llu "
+                   "disk-hits=%llu recompiles=%llu evictions=%llu "
+                   "disk-pruned=%llu (%llu bytes) corrupted=%llu "
+                   "legacy=%llu\n",
+                   static_cast<unsigned long long>(CacheStats.Hits),
+                   static_cast<unsigned long long>(CacheStats.Misses),
+                   static_cast<unsigned long long>(CacheStats.DiskHits),
+                   static_cast<unsigned long long>(
+                       CacheStats.Recompiles),
+                   static_cast<unsigned long long>(CacheStats.Evictions),
+                   static_cast<unsigned long long>(
+                       CacheStats.DiskPrunedFiles),
+                   static_cast<unsigned long long>(
+                       CacheStats.DiskPrunedBytes),
+                   static_cast<unsigned long long>(
+                       CacheStats.CorruptedDiskEntries),
+                   static_cast<unsigned long long>(
+                       CacheStats.LegacyDiskEntries));
   } else {
     Expected<vm::KernelProgram> Program =
         Pipeline->compile(*Model, Options.Query, &CStats);
