@@ -39,6 +39,13 @@ void report(Target TheTarget) {
                 Pipeline.getError().message().c_str());
     return;
   }
+  // Sample per-stage module op counts alongside the timings — the
+  // stage-report diagnostic shows IR growth across the lowering.
+  if (std::optional<Error> Err = Pipeline->enableStageReport()) {
+    std::printf("cannot enable stage report: %s\n",
+                Err->message().c_str());
+    return;
+  }
   std::printf("\n-- %s pipeline stages --\n",
               TheTarget == Target::CPU ? "CPU" : "GPU");
   for (const PipelineStage &Stage : Pipeline->getStages())
@@ -64,6 +71,9 @@ void report(Target TheTarget) {
   for (const StageTiming &Stage : Stats.Stages)
     std::printf("  stage %-22s %6.1f%%\n", Stage.Name.c_str(),
                 Pct(Stage.WallNs));
+  for (const StageOpCount &Count : Stats.OpCounts)
+    std::printf("  ops after %-18s %zu\n", Count.Stage.c_str(),
+                Count.NumOps);
   for (const ir::PassTiming &Pass : Stats.PassTimings)
     std::printf("  pass %-23s %6.1f%%\n", Pass.PassName.c_str(),
                 Pct(Pass.WallNs));

@@ -76,7 +76,7 @@ double spnc::gpusim::computeSpillSlowdown(const GpuDeviceConfig &Config,
 GpuExecutor::GpuExecutor(KernelProgram TheProgram,
                          GpuDeviceConfig TheConfig, unsigned TheBlockSize)
     : Program(std::move(TheProgram)), Config(TheConfig),
-      BlockSize(TheBlockSize ? TheBlockSize : Program.BatchSize) {
+      BlockSize(TheBlockSize ? TheBlockSize : kDefaultBlockSize) {
   assert(Program.NumInputs == 1 && Program.NumOutputs == 1 &&
          "simulator supports kernels with one input and one output");
   BlockSize = std::max(1u, std::min(BlockSize, Config.MaxThreadsPerBlock));
@@ -271,9 +271,8 @@ void GpuExecutor::execute(const double *Input, double *Output,
 }
 
 std::string GpuExecutor::describe() const {
-  unsigned Block = BlockSize ? BlockSize : Program.BatchSize;
   return "gpusim sms=" + std::to_string(Config.NumSMs) +
-         ", block=" + std::to_string(Block) +
+         ", block=" + std::to_string(BlockSize) +
          (Program.Lowering == vm::LoweringKind::TableLookup
               ? ", table-lookup kernel"
               : "");

@@ -95,11 +95,21 @@ double computeSpillSlowdown(const GpuDeviceConfig &Config,
 /// breakdown is returned per call, never stored on the executor.
 class GpuExecutor : public runtime::ExecutionEngine {
 public:
+  /// Block size used when none is requested: 64 threads, the
+  /// occupancy-optimal choice for register-heavy SPN kernels (paper
+  /// §V-A1's block-size sweep). Deliberately NOT the query batch size:
+  /// serving batch sizes routinely exceed the per-block register budget
+  /// and would silently run at a fraction of peak occupancy.
+  static constexpr unsigned kDefaultBlockSize = 64;
+
   /// \p BlockSize is the CUDA block size used for every launch; 0 uses
-  /// the kernel's batch-size hint (paper §V-A1: the user batch size is
-  /// the constant block size of the launches).
+  /// the occupancy-optimal default (kDefaultBlockSize). The effective
+  /// size is clamped to the device's MaxThreadsPerBlock.
   GpuExecutor(vm::KernelProgram Program, GpuDeviceConfig Config = {},
               unsigned BlockSize = 0);
+
+  /// The clamped block size every launch of this executor uses.
+  unsigned getBlockSize() const { return BlockSize; }
 
   const vm::KernelProgram *getProgram() const override {
     return &Program;

@@ -7,6 +7,7 @@
 
 #include "ir/Verifier.h"
 
+#include "ir/Context.h"
 #include "ir/Operation.h"
 #include "ir/Printer.h"
 #include "support/StringUtils.h"
@@ -119,4 +120,24 @@ private:
 LogicalResult spnc::ir::verify(Operation *TopLevel) {
   VerifierImpl Impl(TopLevel->getContext());
   return Impl.verifyOp(TopLevel);
+}
+
+LogicalResult spnc::ir::verify(Operation *TopLevel,
+                               std::string *FirstDiagnostic) {
+  if (!FirstDiagnostic)
+    return verify(TopLevel);
+  // Capture the first diagnostic instead of letting it reach the
+  // context's (stderr-printing) handler; every later diagnostic of the
+  // same run is swallowed with it.
+  Context &Ctx = TopLevel->getContext();
+  std::string Captured;
+  DiagnosticHandler Previous =
+      Ctx.setDiagnosticHandler([&Captured](const std::string &Message) {
+        if (Captured.empty())
+          Captured = Message;
+      });
+  LogicalResult Result = verify(TopLevel);
+  Ctx.setDiagnosticHandler(std::move(Previous));
+  *FirstDiagnostic = std::move(Captured);
+  return Result;
 }

@@ -17,6 +17,8 @@
 
 #include "support/LogicalResult.h"
 
+#include <string>
+
 namespace spnc {
 namespace ir {
 
@@ -25,6 +27,13 @@ class Operation;
 /// Verifies \p TopLevel and everything nested inside it. Emits diagnostics
 /// through the op's context and returns failure if any check failed.
 LogicalResult verify(Operation *TopLevel);
+
+/// Like verify(Operation *), but diverts the run's diagnostics away from
+/// the context's handler and stores the first one in \p FirstDiagnostic
+/// (cleared on success). Used by the pipeline's verify-after-each
+/// diagnostic stage to name the offending stage in its error. Not
+/// thread-safe against concurrent diagnostics on the same context.
+LogicalResult verify(Operation *TopLevel, std::string *FirstDiagnostic);
 
 } // namespace ir
 } // namespace spnc

@@ -196,6 +196,9 @@ KernelCache::getOrCompile(const spn::Model &Model,
       CompilationPipeline::create(Options);
   if (!Pipeline)
     return Pipeline.getError();
+  if (TheConfig.ConfigurePipeline)
+    if (std::optional<Error> Err = TheConfig.ConfigurePipeline(*Pipeline))
+      return *Err;
   uint64_t Key = makeKey(Model, Query, Pipeline->getConfig());
 
   {

@@ -75,6 +75,15 @@ public:
     /// oldest files first; the newest entry is never pruned, so one
     /// oversized kernel may exceed the budget by itself.
     uint64_t DiskBudgetBytes = 0;
+    /// Applied to every pipeline the cache builds (once per compiling
+    /// getOrCompile) before compilation — the hook for registering
+    /// diagnostic stages on the cache path. A returned error fails the
+    /// request. Must be safe to invoke concurrently. Stages registered
+    /// here must not change the compiled program: the cache key does
+    /// not cover them, so a transforming stage would poison shared
+    /// entries.
+    std::function<std::optional<Error>(CompilationPipeline &)>
+        ConfigurePipeline;
   };
 
   /// Cache observability counters. `getStats()` returns a consistent

@@ -8,11 +8,16 @@
 #include "runtime/Pipeline.h"
 
 #include "frontend/HiSPNTranslation.h"
+#include "ir/Printer.h"
 #include "ir/Transforms.h"
+#include "ir/Verifier.h"
 #include "support/Hashing.h"
+#include "support/RawOStream.h"
 #include "support/Timer.h"
 #include "vm/ProgramBinary.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 using namespace spnc;
@@ -81,37 +86,6 @@ uint64_t PipelineConfig::hash() const {
   return Seed;
 }
 
-//===----------------------------------------------------------------------===//
-// Stage context
-//===----------------------------------------------------------------------===//
-
-namespace spnc {
-namespace runtime {
-namespace detail {
-
-/// Mutable state threaded through the stages of one compile() run. Each
-/// run owns a fresh context, which is what keeps a shared pipeline object
-/// safe to use from concurrent compiles.
-struct StageContext {
-  StageContext(const spn::Model &Model, spn::QueryConfig Query,
-               const CompilerOptions &Options, CompileStats &Stats)
-      : Model(Model), Query(Query), Options(Options), Stats(Stats) {}
-
-  const spn::Model &Model;
-  spn::QueryConfig Query;
-  const CompilerOptions &Options;
-  CompileStats &Stats;
-
-  ir::Context Ctx;
-  ir::OwningOpRef<ir::ModuleOp> Module;
-  lospn::KernelOp Kernel{nullptr};
-  vm::KernelProgram Program;
-};
-
-} // namespace detail
-} // namespace runtime
-} // namespace spnc
-
 using runtime::detail::StageContext;
 
 //===----------------------------------------------------------------------===//
@@ -172,14 +146,157 @@ std::string describeIrPipeline(const CompilerOptions &Options) {
   return Detail;
 }
 
+/// Operations in the module threaded through \p C, 0 when no module
+/// exists at this point of the run.
+size_t countModuleOps(StageContext &C) {
+  if (!C.Module)
+    return 0;
+  size_t NumOps = 0;
+  C.Module.get().getOperation()->walk([&](Operation *) { ++NumOps; });
+  return NumOps;
+}
+
 } // namespace
+
+bool CompilationPipeline::hasStage(const std::string &Name) const {
+  return std::any_of(
+      Stages.begin(), Stages.end(),
+      [&](const PipelineStage &Stage) { return Stage.Name == Name; });
+}
+
+std::optional<Error>
+CompilationPipeline::registerStage(PipelineStage Info, StageRunner Runner,
+                                   StageAnchor Anchor) {
+  if (Info.Name.empty())
+    return makeError("pipeline stage name must not be empty");
+  if (hasStage(Info.Name))
+    return makeError("duplicate pipeline stage name '" + Info.Name +
+                     "': every stage must be registered under a unique "
+                     "name");
+  size_t Index = Stages.size();
+  if (Anchor.getPlacement() != StageAnchor::Placement::End) {
+    auto It = std::find_if(Stages.begin(), Stages.end(),
+                           [&](const PipelineStage &Stage) {
+                             return Stage.Name == Anchor.getReference();
+                           });
+    if (It == Stages.end())
+      return makeError(
+          "cannot anchor stage '" + Info.Name + "' " +
+          (Anchor.getPlacement() == StageAnchor::Placement::Before
+               ? "before"
+               : "after") +
+          " unknown stage '" + Anchor.getReference() + "'");
+    Index = static_cast<size_t>(It - Stages.begin());
+    if (Anchor.getPlacement() == StageAnchor::Placement::After)
+      ++Index;
+  }
+  Stages.insert(Stages.begin() + static_cast<ptrdiff_t>(Index),
+                std::move(Info));
+  Runners.insert(Runners.begin() + static_cast<ptrdiff_t>(Index),
+                 std::move(Runner));
+  return std::nullopt;
+}
+
+std::optional<Error> CompilationPipeline::enableVerifyAfterEachStage() {
+  // Snapshot first: registering mutates the stage list we iterate.
+  std::vector<std::string> Anchors;
+  for (const PipelineStage &Stage : Stages)
+    if (!Stage.Diagnostic)
+      Anchors.push_back(Stage.Name);
+  for (const std::string &Anchor : Anchors) {
+    PipelineStage Info{"verify:" + Anchor,
+                       "IR verification after '" + Anchor + "'",
+                       /*Diagnostic=*/true};
+    std::optional<Error> Err = registerStage(
+        std::move(Info),
+        [Anchor](StageContext &C) -> std::optional<Error> {
+          if (!C.Module)
+            return std::nullopt;
+          std::string FirstDiagnostic;
+          if (failed(ir::verify(C.Module.get().getOperation(),
+                                &FirstDiagnostic)))
+            return makeError(
+                "IR verification failed after stage '" + Anchor + "'" +
+                (FirstDiagnostic.empty() ? std::string()
+                                         : ": " + FirstDiagnostic));
+          return std::nullopt;
+        },
+        StageAnchor::after(Anchor));
+    if (Err)
+      return Err;
+  }
+  return std::nullopt;
+}
+
+std::optional<Error>
+CompilationPipeline::addIrDumpStage(const std::string &AfterStage,
+                                    std::string OutputPath) {
+  PipelineStage Info{"ir-dump:" + AfterStage,
+                     OutputPath.empty()
+                         ? "module dump after '" + AfterStage +
+                               "' to stderr"
+                         : "module dump after '" + AfterStage + "' to '" +
+                               OutputPath + "'",
+                     /*Diagnostic=*/true};
+  return registerStage(
+      std::move(Info),
+      [AfterStage,
+       Path = std::move(OutputPath)](StageContext &C) -> std::optional<Error> {
+        if (!C.Module)
+          return std::nullopt;
+        if (Path.empty()) {
+          FileOStream OS(stderr);
+          OS << "// IR after stage '" << AfterStage << "'\n";
+          ir::printOperation(C.Module.get().getOperation(), OS);
+          return std::nullopt;
+        }
+        std::FILE *File = std::fopen(Path.c_str(), "w");
+        if (!File)
+          return makeError("cannot open IR dump file '" + Path + "'");
+        FileOStream OS(File);
+        ir::printOperation(C.Module.get().getOperation(), OS);
+        std::fclose(File);
+        return std::nullopt;
+      },
+      StageAnchor::after(AfterStage));
+}
+
+std::optional<Error> CompilationPipeline::enableStageReport() {
+  std::vector<std::string> Anchors;
+  for (const PipelineStage &Stage : Stages)
+    if (!Stage.Diagnostic)
+      Anchors.push_back(Stage.Name);
+  for (const std::string &Anchor : Anchors) {
+    PipelineStage Info{"stage-report:" + Anchor,
+                       "module op count after '" + Anchor + "'",
+                       /*Diagnostic=*/true};
+    std::optional<Error> Err = registerStage(
+        std::move(Info),
+        [Anchor](StageContext &C) -> std::optional<Error> {
+          C.Stats.OpCounts.push_back({Anchor, countModuleOps(C)});
+          return std::nullopt;
+        },
+        StageAnchor::after(Anchor));
+    if (Err)
+      return Err;
+  }
+  return std::nullopt;
+}
 
 void CompilationPipeline::buildStages() {
   const CompilerOptions &O = Config.getOptions();
+  // The default registration set. Names are unique and the anchors refer
+  // to already-registered stages, so none of these can fail.
+  auto MustRegister = [&](PipelineStage Info, StageRunner Runner) {
+    std::optional<Error> Err =
+        registerStage(std::move(Info), std::move(Runner));
+    (void)Err;
+    assert(!Err && "default stage registration failed");
+  };
 
   // Stage 1: translation into the HiSPN dialect (paper §IV-A2).
-  Stages.push_back({"translate", "model -> HiSPN dialect"});
-  Runners.push_back([](StageContext &C) -> std::optional<Error> {
+  MustRegister({"translate", "model -> HiSPN dialect"},
+               [](StageContext &C) -> std::optional<Error> {
     C.Module = spn::translateToHiSPN(C.Ctx, C.Model, C.Query);
     if (!C.Module)
       return makeError("translation to HiSPN failed (invalid model?)");
@@ -187,8 +304,8 @@ void CompilationPipeline::buildStages() {
   });
 
   // Stage 2: the target-independent IR pipeline (paper §IV-A).
-  Stages.push_back({"ir-pipeline", describeIrPipeline(O)});
-  Runners.push_back([](StageContext &C) -> std::optional<Error> {
+  MustRegister({"ir-pipeline", describeIrPipeline(O)},
+               [](StageContext &C) -> std::optional<Error> {
     const CompilerOptions &O = C.Options;
     transforms::LoweringOptions Lowering = O.Lowering;
     if (C.Query.DataType == spn::ComputeType::F32)
@@ -228,11 +345,10 @@ void CompilationPipeline::buildStages() {
   });
 
   // Stage 3: code generation (paper §IV-B / §IV-C).
-  Stages.push_back(
-      {"codegen", O.TheTarget == Target::GPU
-                      ? "LoSPN -> bytecode (select-cascade leaves)"
-                      : "LoSPN -> bytecode (table-lookup leaves)"});
-  Runners.push_back([](StageContext &C) -> std::optional<Error> {
+  MustRegister({"codegen", O.TheTarget == Target::GPU
+                               ? "LoSPN -> bytecode (select-cascade leaves)"
+                               : "LoSPN -> bytecode (table-lookup leaves)"},
+               [](StageContext &C) -> std::optional<Error> {
     const CompilerOptions &O = C.Options;
     codegen::CodegenOptions CGOptions;
     CGOptions.OptLevel = O.OptLevel;
@@ -251,8 +367,8 @@ void CompilationPipeline::buildStages() {
   // analog of the PTX -> CUBIN translation that dominates GPU compile
   // time in the paper (§V-B1).
   if (O.TheTarget == Target::GPU) {
-    Stages.push_back({"binary-encode", "device binary round-trip"});
-    Runners.push_back([](StageContext &C) -> std::optional<Error> {
+    MustRegister({"binary-encode", "device binary round-trip"},
+                 [](StageContext &C) -> std::optional<Error> {
       std::vector<uint8_t> Blob = vm::encodeProgram(C.Program);
       Expected<vm::KernelProgram> Reloaded = vm::decodeProgram(Blob);
       if (!Reloaded)

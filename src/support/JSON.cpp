@@ -1,0 +1,398 @@
+//===- JSON.cpp - Minimal ordered JSON writer and parser -------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include "support/RawOStream.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spnc;
+using namespace spnc::json;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void spnc::json::writeEscaped(RawOStream &OS, std::string_view Str) {
+  OS << '"';
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        OS << Buffer;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void Writer::indent() {
+  OS.indent(static_cast<unsigned>(Scopes.size()) * IndentWidth);
+}
+
+void Writer::beforeElement() {
+  if (PendingKey) {
+    // Value completing a "key": pair; stays on the key's line.
+    PendingKey = false;
+    return;
+  }
+  if (!Scopes.empty()) {
+    assert(Scopes.back() == Scope::Array &&
+           "object members must start with key()");
+    if (HasElements.back())
+      OS << ',';
+    HasElements.back() = true;
+    OS << '\n';
+    indent();
+  }
+}
+
+void Writer::beginObject() {
+  beforeElement();
+  OS << '{';
+  Scopes.push_back(Scope::Object);
+  HasElements.push_back(false);
+}
+
+void Writer::endObject() {
+  assert(!Scopes.empty() && Scopes.back() == Scope::Object &&
+         "unbalanced endObject");
+  bool WasEmpty = !HasElements.back();
+  Scopes.pop_back();
+  HasElements.pop_back();
+  if (!WasEmpty) {
+    OS << '\n';
+    indent();
+  }
+  OS << '}';
+}
+
+void Writer::beginArray() {
+  beforeElement();
+  OS << '[';
+  Scopes.push_back(Scope::Array);
+  HasElements.push_back(false);
+}
+
+void Writer::endArray() {
+  assert(!Scopes.empty() && Scopes.back() == Scope::Array &&
+         "unbalanced endArray");
+  bool WasEmpty = !HasElements.back();
+  Scopes.pop_back();
+  HasElements.pop_back();
+  if (!WasEmpty) {
+    OS << '\n';
+    indent();
+  }
+  OS << ']';
+}
+
+void Writer::key(std::string_view Key) {
+  assert(!Scopes.empty() && Scopes.back() == Scope::Object &&
+         "key() outside an object");
+  assert(!PendingKey && "two key() calls without a value");
+  if (HasElements.back())
+    OS << ',';
+  HasElements.back() = true;
+  OS << '\n';
+  indent();
+  writeEscaped(OS, Key);
+  OS << ": ";
+  PendingKey = true;
+}
+
+void Writer::value(std::string_view Str) {
+  beforeElement();
+  writeEscaped(OS, Str);
+}
+
+void Writer::value(bool Boolean) {
+  beforeElement();
+  OS << Boolean;
+}
+
+void Writer::value(double Number) {
+  beforeElement();
+  if (!std::isfinite(Number)) {
+    // JSON has no Inf/NaN; null is the conventional substitute.
+    OS << "null";
+    return;
+  }
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Number);
+  OS << Buffer;
+}
+
+void Writer::value(uint64_t Number) {
+  beforeElement();
+  OS << Number;
+}
+
+void Writer::value(int64_t Number) {
+  beforeElement();
+  OS << Number;
+}
+
+void Writer::null() {
+  beforeElement();
+  OS << "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const Value *Value::find(std::string_view Key) const {
+  for (const Member &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Expected<Value> parseDocument() {
+    Expected<Value> Result = parseValue();
+    if (!Result)
+      return Result;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return error("trailing garbage after JSON document");
+    return Result;
+  }
+
+private:
+  Error error(const std::string &Message) const {
+    return makeError("JSON parse error at offset " + std::to_string(Pos) +
+                     ": " + Message);
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeLiteral(std::string_view Literal) {
+    if (Text.substr(Pos, Literal.size()) == Literal) {
+      Pos += Literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Value> parseValue() {
+    skipWhitespace();
+    if (Pos >= Text.size())
+      return error("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      Expected<std::string> Str = parseString();
+      if (!Str)
+        return Str.getError();
+      return Value(Str.takeValue());
+    }
+    if (consumeLiteral("true"))
+      return Value(true);
+    if (consumeLiteral("false"))
+      return Value(false);
+    if (consumeLiteral("null"))
+      return Value();
+    return parseNumber();
+  }
+
+  Expected<Value> parseObject() {
+    consume('{');
+    Value Result = Value::makeObject();
+    skipWhitespace();
+    if (consume('}'))
+      return Result;
+    for (;;) {
+      skipWhitespace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return error("expected object key string");
+      Expected<std::string> Key = parseString();
+      if (!Key)
+        return Key.getError();
+      skipWhitespace();
+      if (!consume(':'))
+        return error("expected ':' after object key");
+      Expected<Value> Member = parseValue();
+      if (!Member)
+        return Member;
+      Result.getMembers().emplace_back(Key.takeValue(),
+                                       Member.takeValue());
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Result;
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<Value> parseArray() {
+    consume('[');
+    Value Result = Value::makeArray();
+    skipWhitespace();
+    if (consume(']'))
+      return Result;
+    for (;;) {
+      Expected<Value> Element = parseValue();
+      if (!Element)
+        return Element;
+      Result.getArray().push_back(Element.takeValue());
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Result;
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<std::string> parseString() {
+    consume('"');
+    std::string Result;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Result;
+      if (C != '\\') {
+        Result += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char Escape = Text[Pos++];
+      switch (Escape) {
+      case '"':
+      case '\\':
+      case '/':
+        Result += Escape;
+        break;
+      case 'n':
+        Result += '\n';
+        break;
+      case 'r':
+        Result += '\r';
+        break;
+      case 't':
+        Result += '\t';
+        break;
+      case 'b':
+        Result += '\b';
+        break;
+      case 'f':
+        Result += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return error("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return error("invalid \\u escape digit");
+        }
+        // Only BMP code points below 0x80 are emitted by our writer;
+        // encode the rest as UTF-8 for completeness.
+        if (Code < 0x80) {
+          Result += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Result += static_cast<char>(0xC0 | (Code >> 6));
+          Result += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Result += static_cast<char>(0xE0 | (Code >> 12));
+          Result += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Result += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return error("invalid escape character");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Expected<Value> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return error("expected a JSON value");
+    std::string Token(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double Number = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size())
+      return error("malformed number '" + Token + "'");
+    return Value(Number);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<Value> spnc::json::parse(std::string_view Text) {
+  return Parser(Text).parseDocument();
+}

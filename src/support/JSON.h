@@ -1,0 +1,166 @@
+//===- JSON.h - Minimal ordered JSON writer and parser ---------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON layer behind the machine-readable reports (`--pipeline-report`,
+/// `--kernel-cache-report`). Two halves:
+///
+///  * `json::Writer` — a streaming emitter over RawOStream. Object keys
+///    appear exactly in emission order, which is what lets the report
+///    golden tests (and dashboards scraping the reports) rely on a stable
+///    key ordering.
+///  * `json::Value` + `json::parse` — a small recursive-descent parser
+///    used by tests to validate emitted reports; objects preserve their
+///    textual member order for the same reason.
+///
+/// Deliberately minimal: UTF-8 pass-through, numbers are doubles (exact
+/// for the 53-bit counter/timing magnitudes the reports emit), no
+/// comments, no trailing commas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_JSON_H
+#define SPNC_SUPPORT_JSON_H
+
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spnc {
+
+class RawOStream;
+
+namespace json {
+
+/// Writes \p Str to \p OS as a quoted JSON string with the mandatory
+/// escapes (quote, backslash, control characters).
+void writeEscaped(RawOStream &OS, std::string_view Str);
+
+/// Streaming, pretty-printing JSON emitter. Usage:
+///
+///   json::Writer W(OS);
+///   W.beginObject();
+///   W.key("stages"); W.beginArray(); ... W.endArray();
+///   W.key("total_ns"); W.value(uint64_t(42));
+///   W.endObject();
+///
+/// The writer never reorders anything: members appear in the order the
+/// key() calls are made. Misuse (value without key inside an object,
+/// unbalanced end*) is caught by assertions.
+class Writer {
+public:
+  explicit Writer(RawOStream &OS, unsigned IndentWidth = 2)
+      : OS(OS), IndentWidth(IndentWidth) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the member key for the next value; only valid inside an
+  /// object.
+  void key(std::string_view Key);
+
+  void value(std::string_view Str);
+  void value(const char *Str) { value(std::string_view(Str)); }
+  void value(bool Boolean);
+  void value(double Number);
+  void value(uint64_t Number);
+  void value(int64_t Number);
+  void null();
+
+  /// Convenience: key() followed by value().
+  template <typename T> void member(std::string_view Key, T &&Val) {
+    key(Key);
+    value(std::forward<T>(Val));
+  }
+
+private:
+  enum class Scope : uint8_t { Object, Array };
+
+  /// Newline + indentation + separating comma bookkeeping before a new
+  /// element (key or array value).
+  void beforeElement();
+  void indent();
+
+  RawOStream &OS;
+  unsigned IndentWidth;
+  std::vector<Scope> Scopes;
+  /// Whether the current scope already holds at least one element.
+  std::vector<bool> HasElements;
+  /// True directly after key(): the next value continues that line.
+  bool PendingKey = false;
+};
+
+/// A parsed JSON document. Objects preserve the member order of the
+/// input text.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, Value>;
+
+  Value() : TheKind(Kind::Null) {}
+  explicit Value(bool Boolean) : TheKind(Kind::Bool), Bool(Boolean) {}
+  explicit Value(double Number) : TheKind(Kind::Number), Number(Number) {}
+  explicit Value(std::string Str)
+      : TheKind(Kind::String), Str(std::move(Str)) {}
+
+  static Value makeArray() {
+    Value V;
+    V.TheKind = Kind::Array;
+    return V;
+  }
+  static Value makeObject() {
+    Value V;
+    V.TheKind = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isNumber() const { return TheKind == Kind::Number; }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool getBool() const { return Bool; }
+  double getNumber() const { return Number; }
+  const std::string &getString() const { return Str; }
+  const std::vector<Value> &getArray() const { return Elements; }
+  /// Members in textual order.
+  const std::vector<Member> &getMembers() const { return Members; }
+
+  /// First member named \p Key, or nullptr. Objects only.
+  const Value *find(std::string_view Key) const;
+
+  std::vector<Value> &getArray() { return Elements; }
+  std::vector<Member> &getMembers() { return Members; }
+
+private:
+  Kind TheKind;
+  bool Bool = false;
+  double Number = 0.0;
+  std::string Str;
+  std::vector<Value> Elements;
+  std::vector<Member> Members;
+};
+
+/// Parses one JSON document (with optional surrounding whitespace);
+/// fails with a byte-offset diagnostic on malformed input or trailing
+/// garbage.
+Expected<Value> parse(std::string_view Text);
+
+} // namespace json
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_JSON_H

@@ -1,0 +1,165 @@
+//===- differential_test.cpp - Compiled-vs-interpreter differential suite ------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-stage analog of the paper's correctness claim (§IV: a sequence
+/// of semantics-preserving lowerings): for a population of randomly
+/// generated SPNs, the compiled CPU executor must reproduce the
+/// SPFlow-style reference interpreter (InterpreterEngine) to within
+/// 1e-9 on log-likelihoods — for joint and marginal queries, with and
+/// without task partitioning. Everything computes in f64 (the query
+/// pins the compute type), so the bound is a genuine
+/// few-ulps-of-reassociation budget, not an f32 allowance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "runtime/Compiler.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::runtime;
+
+namespace {
+
+constexpr double kTolerance = 1e-9;
+constexpr size_t kNumModels = 50;
+constexpr size_t kNumSamples = 16;
+
+/// One randomly drawn model+data scenario of the population.
+struct Scenario {
+  spn::Model Model;
+  std::vector<double> JointData;
+  std::vector<double> MarginalData;
+};
+
+/// Draws the \p Index-th random SPN of the population: speaker-shaped
+/// graphs of varying size/leaf mix (reusing the seeded workload
+/// generators, so the population is identical on every platform).
+Scenario makeScenario(size_t Index) {
+  Rng SizeRng(0x5eed5eedULL + Index);
+  workloads::SpeakerModelOptions Options;
+  Options.Seed = 1000 + Index;
+  Options.TargetOperations =
+      static_cast<unsigned>(120 + (SizeRng.next() % 600));
+  Options.ContinuousFeatureFraction =
+      0.3 + 0.5 * static_cast<double>(SizeRng.next() % 100) / 100.0;
+  Scenario S{workloads::generateSpeakerModel(Options),
+             workloads::generateSpeechData(Options, kNumSamples,
+                                           9000 + Index),
+             workloads::generateNoisySpeechData(Options, kNumSamples,
+                                                9500 + Index,
+                                                /*DropProbability=*/0.3)};
+  return S;
+}
+
+/// Log-likelihoods of \p Engine over \p Data.
+std::vector<double> runEngine(const ExecutionEngine &Engine,
+                              const std::vector<double> &Data) {
+  std::vector<double> Output(kNumSamples, 0.0);
+  Engine.execute(Data.data(), Output.data(), kNumSamples);
+  return Output;
+}
+
+/// Compiles \p Model for the CPU in f64 and checks its log-likelihoods
+/// against the reference interpreter on \p Data.
+void expectMatchesInterpreter(const Scenario &S,
+                              const std::vector<double> &Data,
+                              bool Marginal, uint32_t MaxPartitionSize,
+                              size_t Index) {
+  CompilerOptions Options;
+  Options.TheTarget = Target::CPU;
+  // Vary the optimization level and vector width across the population
+  // so the differential net also covers the codegen design space.
+  Options.OptLevel = static_cast<unsigned>(Index % 4);
+  Options.Execution.VectorWidth = Index % 2 == 0 ? 8 : 1;
+  Options.MaxPartitionSize = MaxPartitionSize;
+
+  spn::QueryConfig Query;
+  Query.LogSpace = true;
+  Query.SupportMarginal = Marginal;
+  Query.DataType = spn::ComputeType::F64;
+
+  Expected<CompiledKernel> Kernel =
+      compileModel(S.Model, Query, Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel)) << Kernel.getError().message();
+
+  baselines::InterpreterEngine Interpreter(S.Model);
+  std::vector<double> Reference = runEngine(Interpreter, Data);
+  std::vector<double> Compiled = runEngine(Kernel->getEngine(), Data);
+
+  for (size_t I = 0; I < kNumSamples; ++I) {
+    ASSERT_TRUE(std::isfinite(Reference[I]))
+        << "model " << Index << " sample " << I
+        << ": reference not finite";
+    EXPECT_NEAR(Compiled[I], Reference[I], kTolerance)
+        << "model " << Index << " sample " << I
+        << (Marginal ? " (marginal" : " (joint")
+        << (MaxPartitionSize ? ", partitioned)" : ", unpartitioned)");
+  }
+}
+
+/// Partition budget that actually splits these graphs (far below the
+/// generated operation counts).
+uint32_t partitionBudget(const Scenario &S) {
+  size_t NumNodes = S.Model.computeStats().NumNodes;
+  return static_cast<uint32_t>(NumNodes / 4 + 16);
+}
+
+TEST(DifferentialTest, JointUnpartitioned) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    expectMatchesInterpreter(S, S.JointData, /*Marginal=*/false,
+                             /*MaxPartitionSize=*/0, I);
+  }
+}
+
+TEST(DifferentialTest, JointPartitioned) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    expectMatchesInterpreter(S, S.JointData, /*Marginal=*/false,
+                             partitionBudget(S), I);
+  }
+}
+
+TEST(DifferentialTest, MarginalUnpartitioned) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    expectMatchesInterpreter(S, S.MarginalData, /*Marginal=*/true,
+                             /*MaxPartitionSize=*/0, I);
+  }
+}
+
+TEST(DifferentialTest, MarginalPartitioned) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    expectMatchesInterpreter(S, S.MarginalData, /*Marginal=*/true,
+                             partitionBudget(S), I);
+  }
+}
+
+/// The interpreter itself must agree with the model's reference
+/// evaluator — anchors the differential chain to the ground truth.
+TEST(DifferentialTest, InterpreterMatchesReferenceEvaluator) {
+  Scenario S = makeScenario(0);
+  baselines::InterpreterEngine Interpreter(S.Model);
+  std::vector<double> Output = runEngine(Interpreter, S.JointData);
+  unsigned NumFeatures = S.Model.getNumFeatures();
+  for (size_t I = 0; I < kNumSamples; ++I) {
+    double Reference = S.Model.evalLogLikelihood(std::span<const double>(
+        &S.JointData[I * NumFeatures], NumFeatures));
+    EXPECT_NEAR(Output[I], Reference, kTolerance) << "sample " << I;
+  }
+}
+
+} // namespace

@@ -16,6 +16,9 @@
 ///   spnc-cli MODEL.spnb [--input DATA.txt] [--target cpu|gpu]
 ///            [--opt N] [--vector-width N] [--partition N]
 ///            [--marginal] [--no-log-space] [--stats] [--dump-ir]
+///            [--verify-each-stage] [--dump-ir-after=STAGE]
+///            [--pipeline-report=FILE.json]
+///            [--kernel-cache-report=FILE.json]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +27,7 @@
 #include "ir/Printer.h"
 #include "runtime/Compiler.h"
 #include "runtime/KernelCache.h"
+#include "runtime/Reports.h"
 #include "support/RawOStream.h"
 #include "support/StringUtils.h"
 
@@ -31,6 +35,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +62,14 @@ struct CliOptions {
   bool Stats = false;
   bool KernelCacheStats = false;
   bool DumpIr = false;
+  /// Insert an IR verification stage after every pipeline stage.
+  bool VerifyEachStage = false;
+  /// Dump the module after this named pipeline stage (empty = off).
+  std::string DumpIrAfter;
+  /// Write the per-stage JSON compile report here (empty = off).
+  std::string PipelineReportPath;
+  /// Write the kernel-cache counters as JSON here (empty = off).
+  std::string KernelCacheReportPath;
 };
 
 void printUsage() {
@@ -93,6 +107,20 @@ void printUsage() {
       "  --stats            print per-stage compile statistics and "
       "exit\n"
       "  --dump-ir          print the HiSPN module and exit\n"
+      "  --verify-each-stage\n"
+      "                     run the IR verifier after every pipeline "
+      "stage;\n"
+      "                     compilation fails naming the offending "
+      "stage\n"
+      "  --dump-ir-after=STAGE\n"
+      "                     print the module after the named stage "
+      "(e.g.\n"
+      "                     translate, ir-pipeline) to stderr\n"
+      "  --pipeline-report=FILE.json\n"
+      "                     write per-stage timings and op counts as "
+      "JSON\n"
+      "  --kernel-cache-report=FILE.json\n"
+      "                     write the kernel cache counters as JSON\n"
       "  --help, -h         print this message and exit\n");
 }
 
@@ -107,6 +135,21 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
     auto NextValue = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
     };
+    // "--flag=value" spelling for the diagnostic flags; the value
+    // follows the '='.
+    auto EqualsValue = [&](const char *Flag,
+                           std::string &Out) -> bool {
+      std::string Prefix = std::string(Flag) + "=";
+      if (Arg.rfind(Prefix, 0) != 0)
+        return false;
+      Out = Arg.substr(Prefix.size());
+      return true;
+    };
+    if (EqualsValue("--dump-ir-after", Options.DumpIrAfter) ||
+        EqualsValue("--pipeline-report", Options.PipelineReportPath) ||
+        EqualsValue("--kernel-cache-report",
+                    Options.KernelCacheReportPath))
+      continue;
     if (Arg == "--input") {
       const char *V = NextValue();
       if (!V)
@@ -117,8 +160,9 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       if (std::strcmp(V, "gpu") == 0) {
+        // GpuBlockSize stays 0: the executor defaults to the
+        // occupancy-optimal block size (GpuExecutor::kDefaultBlockSize).
         Options.Compile.TheTarget = Target::GPU;
-        Options.Compile.GpuBlockSize = 64;
       } else if (std::strcmp(V, "cpu") != 0) {
         return false;
       }
@@ -172,6 +216,23 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       Options.Stats = true;
     } else if (Arg == "--dump-ir") {
       Options.DumpIr = true;
+    } else if (Arg == "--verify-each-stage") {
+      Options.VerifyEachStage = true;
+    } else if (Arg == "--dump-ir-after") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.DumpIrAfter = V;
+    } else if (Arg == "--pipeline-report") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.PipelineReportPath = V;
+    } else if (Arg == "--kernel-cache-report") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.KernelCacheReportPath = V;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -307,15 +368,45 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // Registers the requested diagnostic stages on \p P; shared between
+  // the direct pipeline and the kernel-cache path (which builds its own
+  // pipelines).
+  auto ConfigureDiagnostics =
+      [&Options](CompilationPipeline &P) -> std::optional<Error> {
+    if (!Options.PipelineReportPath.empty())
+      if (std::optional<Error> Err = P.enableStageReport())
+        return Err;
+    if (Options.VerifyEachStage)
+      if (std::optional<Error> Err = P.enableVerifyAfterEachStage())
+        return Err;
+    if (!Options.DumpIrAfter.empty())
+      if (std::optional<Error> Err = P.addIrDumpStage(Options.DumpIrAfter))
+        return Err;
+    return std::nullopt;
+  };
+  if (std::optional<Error> Err = ConfigureDiagnostics(*Pipeline)) {
+    std::fprintf(stderr, "invalid diagnostic configuration: %s\n",
+                 Err->message().c_str());
+    std::fprintf(stderr, "registered stages:\n");
+    for (const PipelineStage &Stage : Pipeline->getStages())
+      std::fprintf(stderr, "  %s\n", Stage.Name.c_str());
+    return 1;
+  }
+
+  bool UseCache = !Options.KernelCacheDir.empty() ||
+                  Options.KernelCacheStats ||
+                  !Options.KernelCacheReportPath.empty();
   CompileStats CStats;
   CompiledKernel Kernel;
-  if (!Options.KernelCacheDir.empty() || Options.KernelCacheStats) {
+  std::unique_ptr<KernelCache> Cache;
+  if (UseCache) {
     KernelCache::Config CacheConfig;
     CacheConfig.Directory = Options.KernelCacheDir;
     CacheConfig.MaxEntries = Options.KernelCacheCapacity;
     CacheConfig.DiskBudgetBytes = Options.KernelCacheDiskBudget;
-    KernelCache Cache(CacheConfig);
-    Expected<CompiledKernel> Cached = Cache.getOrCompile(
+    CacheConfig.ConfigurePipeline = ConfigureDiagnostics;
+    Cache = std::make_unique<KernelCache>(CacheConfig);
+    Expected<CompiledKernel> Cached = Cache->getOrCompile(
         *Model, Options.Query, Options.Compile, &CStats);
     if (!Cached) {
       std::fprintf(stderr, "compilation failed: %s\n",
@@ -323,7 +414,7 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Kernel = Cached.takeValue();
-    KernelCache::Stats CacheStats = Cache.getStats();
+    KernelCache::Stats CacheStats = Cache->getStats();
     if (CacheStats.DiskHits > 0)
       std::fprintf(stderr, "kernel cache: reused entry from '%s'\n",
                    Options.KernelCacheDir.c_str());
@@ -376,6 +467,31 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr, "cached compiled kernel at '%s'\n",
                  Options.SaveKernelPath.c_str());
+  }
+  if (!Options.PipelineReportPath.empty()) {
+    std::string ReportError;
+    if (failed(writePipelineReport(CStats, &Pipeline->getStages(),
+                                   Options.PipelineReportPath,
+                                   &ReportError))) {
+      std::fprintf(stderr, "failed to write pipeline report: %s\n",
+                   ReportError.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote pipeline report to '%s'\n",
+                 Options.PipelineReportPath.c_str());
+  }
+  if (!Options.KernelCacheReportPath.empty()) {
+    std::string ReportError;
+    KernelCache::Stats CacheStats = Cache->getStats();
+    if (failed(writeKernelCacheReport(CacheStats, &Cache->getConfig(),
+                                      Options.KernelCacheReportPath,
+                                      &ReportError))) {
+      std::fprintf(stderr, "failed to write kernel cache report: %s\n",
+                   ReportError.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote kernel cache report to '%s'\n",
+                 Options.KernelCacheReportPath.c_str());
   }
   if (Options.Stats) {
     for (const StageTiming &Stage : CStats.Stages)
