@@ -1,0 +1,182 @@
+//===- bench_serving.cpp - Batched serving vs per-request execution -------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-loop load generator for the serving layer: K client threads
+/// issue single-sample requests back-to-back, either executing each
+/// request directly on the shared engine (the per-request baseline, one
+/// engine call per sample) or through the `InferenceServer` (requests
+/// coalesced into micro-batches). The per-request baseline wastes the
+/// engine's SIMD lanes and per-call overhead on one sample at a time —
+/// the same effect the paper's batch-size sweeps quantify (§V) — so
+/// batched serving must win on throughput once enough clients supply
+/// concurrent arrivals. items_per_second counts samples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "serving/InferenceServer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::bench;
+using namespace spnc::runtime;
+using namespace spnc::serving;
+
+namespace {
+
+/// Requests per client per iteration (kept modest: google-benchmark
+/// multiplies by iterations).
+size_t requestsPerClient() { return fullScale() ? 512 : 128; }
+
+struct ServingWorkload {
+  spn::Model Model;
+  std::vector<double> Data;
+  size_t NumSamples = 0;
+  unsigned NumFeatures = 0;
+};
+
+const ServingWorkload &workload() {
+  static ServingWorkload W = [] {
+    workloads::SpeakerModelOptions Options;
+    Options.Seed = 3;
+    // A large-end speaker model: per-sample execution cost must
+    // dominate scheduling overhead for the batching comparison to
+    // measure lane amortization rather than context switches.
+    Options.TargetOperations = 8000;
+    ServingWorkload Wl{workloads::generateSpeakerModel(Options), {}, 0,
+                       0};
+    Wl.NumSamples = 2048;
+    Wl.Data = workloads::generateSpeechData(Options, Wl.NumSamples, 11);
+    Wl.NumFeatures = Wl.Model.getNumFeatures();
+    return Wl;
+  }();
+  return W;
+}
+
+CompilerOptions servingCompilerOptions() {
+  CompilerOptions Options;
+  Options.OptLevel = 2;
+  Options.Execution.VectorWidth = 8;
+  return Options;
+}
+
+/// Per-request baseline: every client calls the engine itself with its
+/// single sample — no batching, full per-call overhead per sample.
+void BM_PerRequestExecution(benchmark::State &State) {
+  const ServingWorkload &W = workload();
+  unsigned Clients = static_cast<unsigned>(State.range(0));
+  KernelCache Cache;
+  Expected<CompiledKernel> Kernel = Cache.getOrCompile(
+      W.Model, spn::QueryConfig(), servingCompilerOptions());
+  if (!Kernel) {
+    State.SkipWithError(Kernel.getError().message().c_str());
+    return;
+  }
+  size_t PerClient = requestsPerClient();
+  for (auto _ : State) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        double Output = 0.0;
+        for (size_t R = 0; R < PerClient; ++R) {
+          size_t Index = (C * PerClient + R) % W.NumSamples;
+          Kernel->execute(W.Data.data() + Index * W.NumFeatures,
+                          &Output, 1);
+          benchmark::DoNotOptimize(Output);
+        }
+      });
+    for (std::thread &Thread : Threads)
+      Thread.join();
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Clients) *
+                          static_cast<int64_t>(PerClient));
+  State.counters["clients"] = Clients;
+}
+
+/// Batched serving: the same client load submitted through the
+/// InferenceServer, which coalesces concurrent arrivals into
+/// micro-batches before touching the engine.
+void BM_BatchedServing(benchmark::State &State) {
+  const ServingWorkload &W = workload();
+  unsigned Clients = static_cast<unsigned>(State.range(0));
+  ServerConfig Config;
+  Config.MaxBatchSamples = 256;
+  // The co-batching window must cover the spread of client re-submits
+  // after a batch completes (scheduling skew, not arrival rate: the
+  // closed-loop clients all wake when their round's batch finishes).
+  // Too short and batches stay lane-starved below the vector width;
+  // this window reliably coalesces the full client set.
+  Config.MaxQueueDelayUs = 500;
+  Config.MaxQueueDepth = 0; // closed loop; no admission pressure
+  Config.NumWorkers = 2;
+  InferenceServer Server(Config);
+  if (std::optional<Error> Err =
+          Server.addModel("speaker", W.Model, spn::QueryConfig(),
+                          servingCompilerOptions())) {
+    State.SkipWithError(Err->message().c_str());
+    return;
+  }
+  size_t PerClient = requestsPerClient();
+  std::atomic<uint64_t> Failures{0};
+  for (auto _ : State) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        for (size_t R = 0; R < PerClient; ++R) {
+          size_t Index = (C * PerClient + R) % W.NumSamples;
+          InferenceResult Result =
+              Server
+                  .submit("speaker",
+                          W.Data.data() + Index * W.NumFeatures, 1)
+                  .take();
+          if (Result.Status != RequestStatus::Ok)
+            ++Failures;
+          benchmark::DoNotOptimize(Result.LogLikelihoods);
+        }
+      });
+    for (std::thread &Thread : Threads)
+      Thread.join();
+  }
+  if (Failures.load() > 0)
+    State.SkipWithError("serving requests failed");
+  ServerStats Stats = Server.getStats();
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Clients) *
+                          static_cast<int64_t>(PerClient));
+  State.counters["clients"] = Clients;
+  State.counters["mean_batch"] = Stats.meanBatchSize();
+  Server.shutdown();
+}
+
+BENCHMARK(BM_PerRequestExecution)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_BatchedServing)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

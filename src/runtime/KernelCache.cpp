@@ -49,15 +49,35 @@ uint64_t KernelCache::hashModel(const spn::Model &Model) {
   return Seed;
 }
 
+uint64_t KernelCache::stageFingerprint(
+    const CompilationPipeline &Pipeline) {
+  size_t Seed = hashCombine(Pipeline.getStages().size());
+  for (const PipelineStage &Stage : Pipeline.getStages())
+    hashCombineSeed(Seed, fnv1a64(Stage.Name.data(), Stage.Name.size()));
+  return Seed;
+}
+
 uint64_t KernelCache::makeKey(const spn::Model &Model,
                               const spn::QueryConfig &Query,
                               const PipelineConfig &Config) {
+  // Default stage set: hashing the freshly-built pipeline keeps this
+  // overload's keys identical to what getOrCompile computes when no
+  // ConfigurePipeline hook is installed.
+  return makeKey(Model, Query, Config,
+                 stageFingerprint(CompilationPipeline(Config)));
+}
+
+uint64_t KernelCache::makeKey(const spn::Model &Model,
+                              const spn::QueryConfig &Query,
+                              const PipelineConfig &Config,
+                              uint64_t StageFingerprint) {
   size_t Seed = hashModel(Model);
   hashCombineSeed(Seed,
                   hashCombine(Query.BatchSize, Query.LogSpace,
                               Query.SupportMarginal,
                               static_cast<unsigned>(Query.DataType)));
   hashCombineSeed(Seed, Config.hash());
+  hashCombineSeed(Seed, StageFingerprint);
   return Seed;
 }
 
@@ -199,7 +219,8 @@ KernelCache::getOrCompile(const spn::Model &Model,
   if (TheConfig.ConfigurePipeline)
     if (std::optional<Error> Err = TheConfig.ConfigurePipeline(*Pipeline))
       return *Err;
-  uint64_t Key = makeKey(Model, Query, Pipeline->getConfig());
+  uint64_t Key = makeKey(Model, Query, Pipeline->getConfig(),
+                         stageFingerprint(*Pipeline));
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);

@@ -10,9 +10,10 @@
 /// scenarios that mix repeated queries over a fixed set of models (the
 /// compile-once/run-many regime the paper's §V-B compile-time
 /// measurements motivate). Kernels are keyed by (model
-/// structure+parameters, query configuration, pipeline configuration); a
-/// second request with the same key returns the already-constructed
-/// ExecutionEngine instead of recompiling.
+/// structure+parameters, query configuration, pipeline configuration,
+/// registered-stage fingerprint); a second request with the same key
+/// returns the already-constructed ExecutionEngine instead of
+/// recompiling.
 ///
 /// Two tiers:
 ///
@@ -52,8 +53,9 @@
 namespace spnc {
 namespace runtime {
 
-/// Thread-safe map from (model, query, pipeline config) to a shared
-/// ExecutionEngine. All public members may be called concurrently.
+/// Thread-safe map from (model, query, pipeline config, stage set) to a
+/// shared ExecutionEngine. All public members may be called
+/// concurrently.
 class KernelCache {
 public:
   /// Default in-memory capacity: generous for a per-process model set,
@@ -77,11 +79,14 @@ public:
     uint64_t DiskBudgetBytes = 0;
     /// Applied to every pipeline the cache builds (once per compiling
     /// getOrCompile) before compilation — the hook for registering
-    /// diagnostic stages on the cache path. A returned error fails the
-    /// request. Must be safe to invoke concurrently. Stages registered
-    /// here must not change the compiled program: the cache key does
-    /// not cover them, so a transforming stage would poison shared
-    /// entries.
+    /// custom stages on the cache path, diagnostic or transforming. A
+    /// returned error fails the request. Must be safe to invoke
+    /// concurrently. The cache key covers the configured pipeline's
+    /// stage fingerprint (registered stage names, in order), so caches
+    /// with different stage sets never share entries; the name is the
+    /// stage's identity, though — re-registering the *same* name with a
+    /// different runner still collides, and the hook must behave
+    /// deterministically (the same stages every invocation).
     std::function<std::optional<Error>(CompilationPipeline &)>
         ConfigurePipeline;
   };
@@ -137,11 +142,27 @@ public:
   /// the model must not be mutated concurrently.
   static uint64_t hashModel(const spn::Model &Model);
 
-  /// The cache key for compiling \p Model for \p Query under \p Config.
-  /// Thread-safe; never fails.
+  /// Order-sensitive hash of \p Pipeline's registered stage names — the
+  /// cache-key component that distinguishes pipelines carrying custom
+  /// `Config::ConfigurePipeline` stages. Thread-safe once registration
+  /// is finished; never fails.
+  static uint64_t stageFingerprint(const CompilationPipeline &Pipeline);
+
+  /// The cache key for compiling \p Model for \p Query under \p Config
+  /// with a default (unconfigured) stage set. Thread-safe; never fails.
   static uint64_t makeKey(const spn::Model &Model,
                           const spn::QueryConfig &Query,
                           const PipelineConfig &Config);
+
+  /// The cache key for a pipeline whose stage fingerprint is
+  /// \p StageFingerprint (see stageFingerprint()). This is the key
+  /// getOrCompile actually uses; the three-argument overload delegates
+  /// here with the default pipeline's fingerprint. Thread-safe; never
+  /// fails.
+  static uint64_t makeKey(const spn::Model &Model,
+                          const spn::QueryConfig &Query,
+                          const PipelineConfig &Config,
+                          uint64_t StageFingerprint);
 
   /// Returns the kernel for (\p Model, \p Query, \p Options), compiling
   /// at most once per key. Compilation and disk I/O run outside the

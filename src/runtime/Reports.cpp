@@ -56,14 +56,11 @@ LogicalResult writeReportFile(const std::string &Path,
   return success();
 }
 
-} // namespace
-
-void spnc::runtime::writePipelineReport(
-    const CompileStats &Stats, const std::vector<PipelineStage> *Stages,
-    RawOStream &OS) {
-  json::Writer W(OS);
-  W.beginObject();
-
+/// Emits the members of one pipeline-report document into an object
+/// \p W has already opened; shared by the single- and multi-model
+/// entry points.
+void emitPipelineReportMembers(json::Writer &W, const CompileStats &Stats,
+                               const std::vector<PipelineStage> *Stages) {
   W.key("stages");
   W.beginArray();
   for (const StageTiming &Timing : Stats.Stages) {
@@ -112,6 +109,16 @@ void spnc::runtime::writePipelineReport(
   W.member("num_tasks", static_cast<uint64_t>(Stats.NumTasks));
   W.member("num_instructions",
            static_cast<uint64_t>(Stats.NumInstructions));
+}
+
+} // namespace
+
+void spnc::runtime::writePipelineReport(
+    const CompileStats &Stats, const std::vector<PipelineStage> *Stages,
+    RawOStream &OS) {
+  json::Writer W(OS);
+  W.beginObject();
+  emitPipelineReportMembers(W, Stats, Stages);
   W.endObject();
 }
 
@@ -120,6 +127,27 @@ LogicalResult spnc::runtime::writePipelineReport(
     const std::string &Path, std::string *ErrorMessage) {
   return writeReportFile(Path, ErrorMessage, [&](RawOStream &OS) {
     writePipelineReport(Stats, Stages, OS);
+  });
+}
+
+void spnc::runtime::writePipelineReports(
+    const std::vector<ModelPipelineReport> &Reports, RawOStream &OS) {
+  json::Writer W(OS);
+  W.beginArray();
+  for (const ModelPipelineReport &Report : Reports) {
+    W.beginObject();
+    W.member("model", Report.Model);
+    emitPipelineReportMembers(W, Report.Stats, Report.Stages);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+LogicalResult spnc::runtime::writePipelineReports(
+    const std::vector<ModelPipelineReport> &Reports,
+    const std::string &Path, std::string *ErrorMessage) {
+  return writeReportFile(Path, ErrorMessage, [&](RawOStream &OS) {
+    writePipelineReports(Reports, OS);
   });
 }
 

@@ -26,6 +26,10 @@
 ///     "num_tasks": ..., "num_instructions": ...
 ///   }
 ///
+/// When several models are compiled in one invocation, the report is a
+/// top-level array of these documents, each prefixed with a "model"
+/// member naming its model (writePipelineReports).
+///
 /// Cache report shape: one member per `KernelCache::Stats` counter, in
 /// declaration order, plus the capacity configuration.
 ///
@@ -59,6 +63,28 @@ LogicalResult writePipelineReport(const CompileStats &Stats,
                                   const std::vector<PipelineStage> *Stages,
                                   const std::string &Path,
                                   std::string *ErrorMessage = nullptr);
+
+/// One model's compile outcome inside a multi-model pipeline report.
+struct ModelPipelineReport {
+  /// Display name (the CLI uses the model path).
+  std::string Model;
+  CompileStats Stats;
+  /// Registered stage descriptions, or null (as in writePipelineReport).
+  const std::vector<PipelineStage> *Stages = nullptr;
+};
+
+/// Writes the multi-model pipeline report for \p Reports to \p OS: a
+/// top-level JSON array with one document per model, each the
+/// single-model report shape prefixed with a "model" member.
+void writePipelineReports(const std::vector<ModelPipelineReport> &Reports,
+                          RawOStream &OS);
+
+/// Writes the multi-model pipeline report to \p Path (overwritten). On
+/// failure, \p ErrorMessage (when non-null) receives the reason.
+LogicalResult
+writePipelineReports(const std::vector<ModelPipelineReport> &Reports,
+                     const std::string &Path,
+                     std::string *ErrorMessage = nullptr);
 
 /// Writes the JSON kernel-cache report for \p Stats to \p OS.
 /// \p CacheConfig, when non-null, adds the active capacity/budget

@@ -1,0 +1,451 @@
+//===- InferenceServer.cpp - In-process serving with dynamic micro-batching ----===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/InferenceServer.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace spnc;
+using namespace spnc::serving;
+
+const char *spnc::serving::requestStatusName(RequestStatus Status) {
+  switch (Status) {
+  case RequestStatus::Ok:
+    return "ok";
+  case RequestStatus::Rejected:
+    return "rejected";
+  case RequestStatus::TimedOut:
+    return "timed-out";
+  case RequestStatus::ShutDown:
+    return "shut-down";
+  }
+  return "<invalid>";
+}
+
+//===----------------------------------------------------------------------===//
+// Internal request/batch state
+//===----------------------------------------------------------------------===//
+
+/// One queued request: the copied input rows, the promise the submitter
+/// holds the future of, and the timing the batcher schedules by.
+struct InferenceServer::Request {
+  ModelEntry *Model = nullptr;
+  std::vector<double> Input;
+  size_t NumSamples = 0;
+  Promise<InferenceResult> ResultPromise;
+  Clock::time_point Enqueued;
+  /// time_point::max() when the request carries no deadline.
+  Clock::time_point Deadline;
+};
+
+/// One registered model: the cache-acquired engine plus its request
+/// queue. Queue and QueuedSamples are guarded by the server mutex.
+struct InferenceServer::ModelEntry {
+  std::string Name;
+  runtime::CompiledKernel Kernel;
+  unsigned NumFeatures = 0;
+  std::deque<Request> Queue;
+  /// Samples queued (not yet formed into a batch) for this model.
+  size_t QueuedSamples = 0;
+};
+
+/// A formed micro-batch: requests of one model, executed as one engine
+/// call.
+struct InferenceServer::Batch {
+  ModelEntry *Model = nullptr;
+  std::vector<Request> Requests;
+  size_t TotalSamples = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / registration
+//===----------------------------------------------------------------------===//
+
+InferenceServer::InferenceServer(ServerConfig TheConfig,
+                                 runtime::KernelCache *SharedCache)
+    : Config(TheConfig) {
+  Config.MaxBatchSamples = std::max<size_t>(1, Config.MaxBatchSamples);
+  if (SharedCache) {
+    Cache = SharedCache;
+  } else {
+    OwnedCache = std::make_unique<runtime::KernelCache>();
+    Cache = OwnedCache.get();
+  }
+  StartTime = Clock::now();
+  Workers =
+      std::make_unique<ThreadPool>(std::max(1u, Config.NumWorkers));
+  Batcher = std::thread([this] { batcherLoop(); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::optional<Error>
+InferenceServer::addModel(const std::string &Name,
+                          const spn::Model &Model,
+                          const spn::QueryConfig &Query,
+                          const runtime::CompilerOptions &Options) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShuttingDown)
+      return makeError("cannot register model '" + Name +
+                       "': server is shutting down");
+    if (Models.count(Name))
+      return makeError("model '" + Name + "' is already registered");
+  }
+
+  // Compile (or fetch) outside the lock: compilation is slow and the
+  // cache serializes same-key work internally.
+  Expected<runtime::CompiledKernel> Kernel =
+      Cache->getOrCompile(Model, Query, Options);
+  if (!Kernel)
+    return Kernel.getError();
+
+  auto Entry = std::make_unique<ModelEntry>();
+  Entry->Name = Name;
+  Entry->Kernel = Kernel.takeValue();
+  Entry->NumFeatures = Model.getNumFeatures();
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (ShuttingDown)
+    return makeError("cannot register model '" + Name +
+                     "': server is shutting down");
+  auto [It, Inserted] = Models.emplace(Name, std::move(Entry));
+  if (!Inserted)
+    return makeError("model '" + Name + "' is already registered");
+  ModelOrder.push_back(It->second.get());
+  return std::nullopt;
+}
+
+bool InferenceServer::hasModel(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Models.count(Name) != 0;
+}
+
+unsigned InferenceServer::getNumFeatures(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Models.find(Name);
+  return It == Models.end() ? 0 : It->second->NumFeatures;
+}
+
+//===----------------------------------------------------------------------===//
+// Submission / admission control
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A future completed on the spot (rejections, shutdown refusals).
+ResultFuture immediateResult(RequestStatus Status, std::string Message) {
+  Promise<InferenceResult> ThePromise;
+  ResultFuture TheFuture = ThePromise.getFuture();
+  InferenceResult Result;
+  Result.Status = Status;
+  Result.Message = std::move(Message);
+  ThePromise.set(std::move(Result));
+  return TheFuture;
+}
+
+} // namespace
+
+ResultFuture InferenceServer::submit(const std::string &Name,
+                                     const double *Samples,
+                                     size_t NumSamples,
+                                     uint64_t DeadlineUs) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  ++Stats.SubmittedRequests;
+  Stats.SubmittedSamples += NumSamples;
+
+  if (ShuttingDown)
+    return immediateResult(RequestStatus::ShutDown,
+                           "server is shutting down");
+  auto It = Models.find(Name);
+  if (It == Models.end()) {
+    ++Stats.RejectedRequests;
+    return immediateResult(RequestStatus::Rejected,
+                           "unknown model '" + Name + "'");
+  }
+  if (NumSamples == 0) {
+    ++Stats.RejectedRequests;
+    return immediateResult(RequestStatus::Rejected,
+                           "request carries no samples");
+  }
+
+  if (Config.MaxQueueDepth > 0 &&
+      OutstandingSamples + NumSamples > Config.MaxQueueDepth) {
+    if (Config.Admission == ServerConfig::AdmissionPolicy::Reject) {
+      ++Stats.RejectedRequests;
+      return immediateResult(
+          RequestStatus::Rejected,
+          "queue full (" + std::to_string(OutstandingSamples) + " of " +
+              std::to_string(Config.MaxQueueDepth) +
+              " samples outstanding)");
+    }
+    ++Stats.BlockedSubmits;
+    SpaceAvailable.wait(Lock, [&] {
+      return ShuttingDown ||
+             OutstandingSamples + NumSamples <= Config.MaxQueueDepth;
+    });
+    if (ShuttingDown)
+      return immediateResult(RequestStatus::ShutDown,
+                             "server shut down while waiting for queue "
+                             "space");
+  }
+
+  ModelEntry &Model = *It->second;
+  Request TheRequest;
+  TheRequest.Model = &Model;
+  TheRequest.Input.assign(Samples,
+                          Samples + NumSamples * Model.NumFeatures);
+  TheRequest.NumSamples = NumSamples;
+  TheRequest.Enqueued = Clock::now();
+  uint64_t EffectiveDeadlineUs =
+      DeadlineUs ? DeadlineUs : Config.DefaultDeadlineUs;
+  TheRequest.Deadline =
+      EffectiveDeadlineUs
+          ? TheRequest.Enqueued +
+                std::chrono::microseconds(EffectiveDeadlineUs)
+          : Clock::time_point::max();
+  ResultFuture TheFuture = TheRequest.ResultPromise.getFuture();
+
+  Model.Queue.push_back(std::move(TheRequest));
+  Model.QueuedSamples += NumSamples;
+  OutstandingSamples += NumSamples;
+  Stats.PeakQueueDepth = std::max(Stats.PeakQueueDepth,
+                                  OutstandingSamples);
+  WorkAvailable.notify_one();
+  return TheFuture;
+}
+
+//===----------------------------------------------------------------------===//
+// Batcher
+//===----------------------------------------------------------------------===//
+
+void InferenceServer::failRequest(Request &TheRequest,
+                                  RequestStatus Status,
+                                  std::string Message) {
+  InferenceResult Result;
+  Result.Status = Status;
+  Result.Message = std::move(Message);
+  Result.LatencyNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - TheRequest.Enqueued)
+          .count());
+  TheRequest.ResultPromise.set(std::move(Result));
+}
+
+void InferenceServer::collectExpired(Clock::time_point Now,
+                                     std::vector<Request> &Expired) {
+  for (ModelEntry *Model : ModelOrder) {
+    for (auto It = Model->Queue.begin(); It != Model->Queue.end();) {
+      if (It->Deadline > Now) {
+        ++It;
+        continue;
+      }
+      Model->QueuedSamples -= It->NumSamples;
+      OutstandingSamples -= It->NumSamples;
+      ++Stats.TimedOutRequests;
+      Expired.push_back(std::move(*It));
+      It = Model->Queue.erase(It);
+    }
+  }
+  if (!Expired.empty())
+    SpaceAvailable.notify_all();
+}
+
+InferenceServer::Batch InferenceServer::formBatch(ModelEntry &Model,
+                                                  Clock::time_point) {
+  Batch TheBatch;
+  TheBatch.Model = &Model;
+  while (!Model.Queue.empty()) {
+    Request &Front = Model.Queue.front();
+    // Always take at least one request; a single oversized request
+    // becomes its own (over-cap) batch rather than being unservable.
+    if (!TheBatch.Requests.empty() &&
+        TheBatch.TotalSamples + Front.NumSamples >
+            Config.MaxBatchSamples)
+      break;
+    TheBatch.TotalSamples += Front.NumSamples;
+    Model.QueuedSamples -= Front.NumSamples;
+    TheBatch.Requests.push_back(std::move(Front));
+    Model.Queue.pop_front();
+  }
+  return TheBatch;
+}
+
+void InferenceServer::batcherLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    Clock::time_point Now = Clock::now();
+
+    // 1. Expired requests leave the queue before they can occupy a
+    // batch slot. Their promises are completed outside the lock.
+    std::vector<Request> Expired;
+    collectExpired(Now, Expired);
+    if (!Expired.empty()) {
+      Lock.unlock();
+      for (Request &TheRequest : Expired)
+        failRequest(TheRequest, RequestStatus::TimedOut,
+                    "deadline expired after " +
+                        std::to_string(
+                            std::chrono::duration_cast<
+                                std::chrono::microseconds>(
+                                Now - TheRequest.Enqueued)
+                                .count()) +
+                        " us in queue");
+      Lock.lock();
+      continue;
+    }
+
+    // 2. Dispatch a model whose batch is ready: the cap is reached, the
+    // oldest request has waited out the batching window, or the server
+    // is draining. Round-robin keeps one hot model from starving the
+    // others.
+    std::chrono::microseconds Delay(Config.MaxQueueDelayUs);
+    ModelEntry *Ready = nullptr;
+    for (size_t I = 0; I < ModelOrder.size() && !Ready; ++I) {
+      ModelEntry *Model =
+          ModelOrder[(NextModel + I) % ModelOrder.size()];
+      if (Model->Queue.empty())
+        continue;
+      if (ShuttingDown ||
+          Model->QueuedSamples >= Config.MaxBatchSamples ||
+          Model->Queue.front().Enqueued + Delay <= Now) {
+        Ready = Model;
+        NextModel = (NextModel + I + 1) % ModelOrder.size();
+      }
+    }
+    if (Ready) {
+      auto TheBatch =
+          std::make_shared<Batch>(formBatch(*Ready, Now));
+      ++Stats.BatchesDispatched;
+      Stats.BatchSizes.record(TheBatch->TotalSamples);
+      Lock.unlock();
+      // shared_ptr wrapper: std::function requires a copyable callable,
+      // and a Batch owns move-only promises.
+      Workers->submit(
+          [this, TheBatch] { runBatch(std::move(*TheBatch)); });
+      Lock.lock();
+      continue;
+    }
+
+    // 3. Nothing ready. Exit once draining is complete, otherwise sleep
+    // until the earliest batching window or deadline comes due.
+    bool AnyQueued = false;
+    Clock::time_point WakeAt = Clock::time_point::max();
+    for (ModelEntry *Model : ModelOrder) {
+      if (Model->Queue.empty())
+        continue;
+      AnyQueued = true;
+      WakeAt = std::min(WakeAt, Model->Queue.front().Enqueued + Delay);
+      for (const Request &TheRequest : Model->Queue)
+        WakeAt = std::min(WakeAt, TheRequest.Deadline);
+    }
+    if (ShuttingDown && !AnyQueued)
+      return;
+    if (!AnyQueued)
+      WorkAvailable.wait(Lock);
+    else
+      WorkAvailable.wait_until(Lock, WakeAt);
+  }
+}
+
+void InferenceServer::runBatch(Batch TheBatch) {
+  ModelEntry &Model = *TheBatch.Model;
+  size_t NumFeatures = Model.NumFeatures;
+
+  // Gather the request rows into one contiguous batch buffer.
+  std::vector<double> Input(TheBatch.TotalSamples * NumFeatures);
+  std::vector<double> Output(TheBatch.TotalSamples);
+  size_t Offset = 0;
+  for (const Request &TheRequest : TheBatch.Requests) {
+    std::copy(TheRequest.Input.begin(), TheRequest.Input.end(),
+              Input.begin() +
+                  static_cast<ptrdiff_t>(Offset * NumFeatures));
+    Offset += TheRequest.NumSamples;
+  }
+
+  runtime::ExecutionStats ExecStats;
+  Model.Kernel.execute(Input.data(), Output.data(),
+                       TheBatch.TotalSamples, &ExecStats);
+  Clock::time_point Done = Clock::now();
+
+  // Account first, then complete the promises: a submitter that
+  // observes its future ready sees the completion in getStats() too.
+  std::vector<uint64_t> Latencies;
+  Latencies.reserve(TheBatch.Requests.size());
+  for (const Request &TheRequest : TheBatch.Requests)
+    Latencies.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Done - TheRequest.Enqueued)
+            .count()));
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stats.CompletedRequests += TheBatch.Requests.size();
+    Stats.CompletedSamples += TheBatch.TotalSamples;
+    Stats.ExecutionNs += ExecStats.WallNs;
+    for (uint64_t Latency : Latencies)
+      Stats.LatencyNs.record(Latency);
+    OutstandingSamples -= TheBatch.TotalSamples;
+    SpaceAvailable.notify_all();
+  }
+
+  Offset = 0;
+  for (size_t I = 0; I < TheBatch.Requests.size(); ++I) {
+    Request &TheRequest = TheBatch.Requests[I];
+    InferenceResult Result;
+    Result.Status = RequestStatus::Ok;
+    Result.LogLikelihoods.assign(
+        Output.begin() + static_cast<ptrdiff_t>(Offset),
+        Output.begin() +
+            static_cast<ptrdiff_t>(Offset + TheRequest.NumSamples));
+    Result.LatencyNs = Latencies[I];
+    Result.BatchSamples = TheBatch.TotalSamples;
+    Offset += TheRequest.NumSamples;
+    TheRequest.ResultPromise.set(std::move(Result));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shutdown / stats
+//===----------------------------------------------------------------------===//
+
+void InferenceServer::shutdown() {
+  // Serializes concurrent shutdown() calls (user + destructor).
+  std::lock_guard<std::mutex> ShutdownLock(ShutdownMutex);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShutdownComplete)
+      return;
+    ShuttingDown = true;
+  }
+  // Wake everyone: the batcher drains, blocked submitters give up.
+  WorkAvailable.notify_all();
+  SpaceAvailable.notify_all();
+  if (Batcher.joinable())
+    Batcher.join();
+  // The batcher exited with empty queues; wait for the dispatched
+  // batches to finish so every accepted future is completed.
+  Workers->wait();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(OutstandingSamples == 0 &&
+         "shutdown drained but work remains outstanding");
+  ShutdownComplete = true;
+}
+
+ServerStats InferenceServer::getStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ServerStats Snapshot = Stats;
+  Snapshot.QueueDepth = OutstandingSamples;
+  Snapshot.ElapsedNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - StartTime)
+          .count());
+  return Snapshot;
+}

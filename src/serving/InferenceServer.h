@@ -1,0 +1,268 @@
+//===- InferenceServer.h - In-process serving with dynamic micro-batching -----===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process serving layer that bridges from "caller already holds a
+/// full batch" (`ExecutionEngine::execute`) to the serving regime the
+/// paper's speedups assume: its CPU and GPU gains come from amortizing
+/// per-kernel overhead across large batches (§IV-B batch chunking, §IV-C
+/// device-buffer reuse), but online traffic arrives one or a few samples
+/// per request. The `InferenceServer` closes that gap:
+///
+///  * clients submit single- or few-sample requests (per registered
+///    model) from any number of threads and get a `Future` back;
+///  * a batcher thread coalesces queued requests into micro-batches of up
+///    to `MaxBatchSamples` samples, or dispatches earlier once the oldest
+///    request has waited `MaxQueueDelayUs`;
+///  * a worker pool executes the batches on engines obtained through the
+///    shared `runtime::KernelCache` (several models are served
+///    concurrently) and scatters the results back to the right futures;
+///  * admission control bounds the outstanding work: beyond
+///    `MaxQueueDepth` samples, submits are rejected or block per policy
+///    (backpressure is counted either way);
+///  * per-request deadlines: a request that expires in the queue
+///    completes with `RequestStatus::TimedOut` instead of occupying a
+///    batch slot;
+///  * `shutdown()` drains in-flight work — every accepted request is
+///    completed before the server stops.
+///
+/// `getStats()` snapshots throughput, a batch-size histogram, queue depth
+/// and p50/p95/p99 latency; `writeServerStatsReport` (ServingReports.h)
+/// emits the snapshot through the json::Writer report machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SERVING_INFERENCESERVER_H
+#define SPNC_SERVING_INFERENCESERVER_H
+
+#include "runtime/KernelCache.h"
+#include "support/Future.h"
+#include "support/Histogram.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace spnc {
+
+class ThreadPool;
+
+namespace serving {
+
+/// How a request completed.
+enum class RequestStatus : uint8_t {
+  /// Executed; `LogLikelihoods` holds one value per submitted sample.
+  Ok,
+  /// Refused at admission (queue full under the Reject policy, or the
+  /// model name is unknown).
+  Rejected,
+  /// The deadline expired before the request reached an engine.
+  TimedOut,
+  /// The server was shutting down when the request arrived.
+  ShutDown,
+};
+
+/// Human-readable status name ("ok", "rejected", ...).
+const char *requestStatusName(RequestStatus Status);
+
+/// What a submitted request resolves to.
+struct InferenceResult {
+  RequestStatus Status = RequestStatus::Ok;
+  /// One (log-)probability per submitted sample; empty unless Ok.
+  std::vector<double> LogLikelihoods;
+  /// Submit-to-completion wall clock.
+  uint64_t LatencyNs = 0;
+  /// Samples in the micro-batch this request rode in (Ok only).
+  uint64_t BatchSamples = 0;
+  /// Failure detail for non-Ok statuses.
+  std::string Message;
+};
+
+/// The future a submit() returns.
+using ResultFuture = Future<InferenceResult>;
+
+/// Server tuning knobs. The defaults suit a latency-tolerant
+/// throughput-oriented deployment; latency-sensitive callers shrink
+/// MaxQueueDelayUs.
+struct ServerConfig {
+  /// Micro-batch sample cap. A single request larger than the cap is
+  /// dispatched as its own (oversized) batch.
+  size_t MaxBatchSamples = 256;
+  /// Longest time the oldest queued request waits for co-batching before
+  /// the batcher dispatches what it has.
+  uint64_t MaxQueueDelayUs = 1000;
+  /// Bound on outstanding samples (queued + executing); 0 = unbounded.
+  size_t MaxQueueDepth = 4096;
+  /// What happens to a submit that would exceed MaxQueueDepth.
+  enum class AdmissionPolicy : uint8_t {
+    /// Complete the future immediately with RequestStatus::Rejected.
+    Reject,
+    /// Block the submitting thread until space frees up (or shutdown).
+    Block,
+  };
+  AdmissionPolicy Admission = AdmissionPolicy::Reject;
+  /// Engines executing dispatched batches concurrently.
+  unsigned NumWorkers = 2;
+  /// Deadline applied to submits that pass DeadlineUs = 0; 0 = none.
+  uint64_t DefaultDeadlineUs = 0;
+};
+
+/// A consistent snapshot of the server's observability counters.
+struct ServerStats {
+  uint64_t SubmittedRequests = 0;
+  uint64_t SubmittedSamples = 0;
+  uint64_t CompletedRequests = 0;
+  uint64_t CompletedSamples = 0;
+  /// Admission rejections (the backpressure counter under Reject).
+  uint64_t RejectedRequests = 0;
+  /// Submits that had to wait for queue space (backpressure under
+  /// Block).
+  uint64_t BlockedSubmits = 0;
+  /// Requests completed with an expired deadline.
+  uint64_t TimedOutRequests = 0;
+  /// Micro-batches dispatched to the worker pool.
+  uint64_t BatchesDispatched = 0;
+  /// Outstanding samples (queued + executing) at snapshot time.
+  size_t QueueDepth = 0;
+  size_t PeakQueueDepth = 0;
+  /// Total engine wall clock spent executing batches.
+  uint64_t ExecutionNs = 0;
+  /// Wall clock since server construction.
+  uint64_t ElapsedNs = 0;
+  /// Samples per dispatched micro-batch.
+  Histogram BatchSizes;
+  /// Submit-to-completion latency of Ok requests, in nanoseconds.
+  Histogram LatencyNs;
+
+  double meanBatchSize() const { return BatchSizes.mean(); }
+  double throughputSamplesPerSec() const {
+    return ElapsedNs
+               ? static_cast<double>(CompletedSamples) * 1e9 /
+                     static_cast<double>(ElapsedNs)
+               : 0.0;
+  }
+};
+
+/// The in-process inference server. All public members are thread-safe;
+/// submit() is designed to be called from many client threads
+/// concurrently.
+class InferenceServer {
+public:
+  /// Creates the server. \p Cache, when non-null, is the (caller-owned,
+  /// shared) kernel cache engines are acquired through — it must outlive
+  /// the server; when null the server owns a private in-memory cache.
+  explicit InferenceServer(ServerConfig Config = {},
+                           runtime::KernelCache *Cache = nullptr);
+
+  /// Shuts down (drains) if the caller has not already.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer &) = delete;
+  InferenceServer &operator=(const InferenceServer &) = delete;
+
+  /// Registers \p Model under \p Name, acquiring its engine through the
+  /// kernel cache (compiling at most once per cache key). Fails on
+  /// duplicate names, invalid options, or compilation failure. The model
+  /// is not retained — only the compiled engine is.
+  std::optional<Error> addModel(const std::string &Name,
+                                const spn::Model &Model,
+                                const spn::QueryConfig &Query,
+                                const runtime::CompilerOptions &Options);
+
+  /// True when a model named \p Name is registered.
+  bool hasModel(const std::string &Name) const;
+
+  /// Feature count of the registered model, 0 when unknown.
+  unsigned getNumFeatures(const std::string &Name) const;
+
+  /// Submits \p NumSamples samples (row-major [sample][feature], copied)
+  /// against model \p Name. \p DeadlineUs bounds the time the request
+  /// may spend queued (0 uses ServerConfig::DefaultDeadlineUs). The
+  /// returned future always completes — with Ok results, or with a
+  /// Rejected/TimedOut/ShutDown status per the policies above.
+  ResultFuture submit(const std::string &Name, const double *Samples,
+                      size_t NumSamples, uint64_t DeadlineUs = 0);
+
+  /// Stops admission, drains every queued and in-flight request (each
+  /// future completes), and joins the batcher and worker threads.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Consistent snapshot of the observability counters.
+  ServerStats getStats() const;
+
+  const ServerConfig &getConfig() const { return Config; }
+
+  /// The cache engines are acquired through (shared or owned).
+  runtime::KernelCache &getKernelCache() { return *Cache; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One registered model.
+  struct ModelEntry;
+  /// One queued request.
+  struct Request;
+  /// A formed micro-batch on its way to a worker.
+  struct Batch;
+
+  void batcherLoop();
+  /// Pops a dispatchable micro-batch for \p Model. Caller holds Mutex.
+  Batch formBatch(ModelEntry &Model, Clock::time_point Now);
+  /// Executes \p TheBatch on its model's engine and completes the
+  /// futures. Runs on a worker thread, no lock held.
+  void runBatch(Batch TheBatch);
+  /// Completes queued requests whose deadline has passed. Caller holds
+  /// Mutex; the promises are completed after the caller releases it.
+  void collectExpired(Clock::time_point Now,
+                      std::vector<Request> &Expired);
+  /// Completes \p TheRequest with a non-Ok \p Status. No lock required.
+  static void failRequest(Request &TheRequest, RequestStatus Status,
+                          std::string Message);
+
+  ServerConfig Config;
+  /// Owned cache when the caller did not supply one.
+  std::unique_ptr<runtime::KernelCache> OwnedCache;
+  runtime::KernelCache *Cache;
+
+  mutable std::mutex Mutex;
+  /// Wakes the batcher on new work or shutdown.
+  std::condition_variable WorkAvailable;
+  /// Wakes blocked submitters when queue space frees up.
+  std::condition_variable SpaceAvailable;
+
+  std::unordered_map<std::string, std::unique_ptr<ModelEntry>> Models;
+  /// Registration order, for fair round-robin batch formation.
+  std::vector<ModelEntry *> ModelOrder;
+
+  /// Admission-counted samples: queued plus executing.
+  size_t OutstandingSamples = 0;
+  /// Round-robin cursor into ModelOrder for fair batch formation.
+  size_t NextModel = 0;
+  bool ShuttingDown = false;
+  bool ShutdownComplete = false;
+  /// Serializes concurrent shutdown() calls (user thread + destructor).
+  std::mutex ShutdownMutex;
+
+  ServerStats Stats;
+  Clock::time_point StartTime;
+
+  std::unique_ptr<ThreadPool> Workers;
+  std::thread Batcher;
+};
+
+} // namespace serving
+} // namespace spnc
+
+#endif // SPNC_SERVING_INFERENCESERVER_H

@@ -1,0 +1,84 @@
+//===- ServingReports.cpp - JSON serialization of ServerStats ------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/ServingReports.h"
+
+#include "support/JSON.h"
+#include "support/RawOStream.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+using namespace spnc;
+using namespace spnc::serving;
+
+namespace {
+
+void emitHistogram(json::Writer &W, const Histogram &H) {
+  W.beginObject();
+  W.member("count", H.getCount());
+  W.member("min", H.getMin());
+  W.member("max", H.getMax());
+  W.member("mean", H.mean());
+  W.member("p50", H.quantile(0.50));
+  W.member("p95", H.quantile(0.95));
+  W.member("p99", H.quantile(0.99));
+  W.endObject();
+}
+
+} // namespace
+
+void spnc::serving::writeServerStatsReport(const ServerStats &Stats,
+                                           RawOStream &OS) {
+  json::Writer W(OS);
+  W.beginObject();
+  W.member("submitted_requests", Stats.SubmittedRequests);
+  W.member("submitted_samples", Stats.SubmittedSamples);
+  W.member("completed_requests", Stats.CompletedRequests);
+  W.member("completed_samples", Stats.CompletedSamples);
+  W.member("rejected_requests", Stats.RejectedRequests);
+  W.member("blocked_submits", Stats.BlockedSubmits);
+  W.member("timed_out_requests", Stats.TimedOutRequests);
+  W.member("batches_dispatched", Stats.BatchesDispatched);
+  W.member("mean_batch_size", Stats.meanBatchSize());
+  W.member("queue_depth", static_cast<uint64_t>(Stats.QueueDepth));
+  W.member("peak_queue_depth",
+           static_cast<uint64_t>(Stats.PeakQueueDepth));
+  W.member("execution_ns", Stats.ExecutionNs);
+  W.member("elapsed_ns", Stats.ElapsedNs);
+  W.member("throughput_samples_per_s", Stats.throughputSamplesPerSec());
+  W.key("batch_size");
+  emitHistogram(W, Stats.BatchSizes);
+  W.key("latency_ns");
+  emitHistogram(W, Stats.LatencyNs);
+  W.endObject();
+}
+
+LogicalResult spnc::serving::writeServerStatsReport(
+    const ServerStats &Stats, const std::string &Path,
+    std::string *ErrorMessage) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot create '" + Path +
+                      "': " + std::strerror(errno);
+    return failure();
+  }
+  {
+    FileOStream OS(File);
+    writeServerStatsReport(Stats, OS);
+    OS << '\n';
+  }
+  if (std::fclose(File) != 0) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot flush '" + Path +
+                      "': " + std::strerror(errno);
+    return failure();
+  }
+  return success();
+}

@@ -1,0 +1,54 @@
+//===- ServingReports.h - JSON serialization of ServerStats -------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON serialization of the serving layer's `ServerStats` snapshot,
+/// behind `spnc-serve --stats-report`. Key order is stable and covered
+/// by a golden test (serving_test.cpp). Shape:
+///
+///   {
+///     "submitted_requests": ..., "submitted_samples": ...,
+///     "completed_requests": ..., "completed_samples": ...,
+///     "rejected_requests": ..., "blocked_submits": ...,
+///     "timed_out_requests": ..., "batches_dispatched": ...,
+///     "mean_batch_size": ..., "queue_depth": ...,
+///     "peak_queue_depth": ..., "execution_ns": ..., "elapsed_ns": ...,
+///     "throughput_samples_per_s": ...,
+///     "batch_size": {"count": ..., "min": ..., "max": ..., "mean": ...,
+///                    "p50": ..., "p95": ..., "p99": ...},
+///     "latency_ns": {same seven members}
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SERVING_SERVINGREPORTS_H
+#define SPNC_SERVING_SERVINGREPORTS_H
+
+#include "serving/InferenceServer.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace spnc {
+
+class RawOStream;
+
+namespace serving {
+
+/// Writes the JSON serving report for \p Stats to \p OS.
+void writeServerStatsReport(const ServerStats &Stats, RawOStream &OS);
+
+/// Writes the serving report to \p Path (overwritten). On failure,
+/// \p ErrorMessage (when non-null) receives the reason.
+LogicalResult writeServerStatsReport(const ServerStats &Stats,
+                                     const std::string &Path,
+                                     std::string *ErrorMessage = nullptr);
+
+} // namespace serving
+} // namespace spnc
+
+#endif // SPNC_SERVING_SERVINGREPORTS_H

@@ -1,0 +1,150 @@
+//===- Future.h - Minimal one-shot promise/future pair ----------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small one-shot promise/future pair used by the serving layer to hand
+/// results back to request submitters. Unlike std::future it never throws
+/// (the project routes recoverable failures through result values, see
+/// Expected.h), is copyable on the consumer side (several observers may
+/// wait on one result), and exposes a bounded wait without exceptions.
+///
+/// The producer (`Promise<T>`) sets the value exactly once; consumers
+/// (`Future<T>`) block in `wait`/`waitFor` and read it with `get` (shared
+/// reference) or `take` (move out, single consumer). Destroying the
+/// promise without setting a value leaves the future pending forever —
+/// the serving layer guarantees every accepted request is completed, and
+/// `waitFor` gives callers an escape hatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_FUTURE_H
+#define SPNC_SUPPORT_FUTURE_H
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace spnc {
+
+namespace detail {
+
+/// Shared rendezvous state of one promise/future pair.
+template <typename T>
+struct FutureState {
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::optional<T> Value;
+};
+
+} // namespace detail
+
+/// Consumer half: blocks until the paired Promise publishes the value.
+/// Copies share the same underlying state.
+template <typename T>
+class Future {
+public:
+  /// An invalid future (no paired promise). valid() is false.
+  Future() = default;
+
+  explicit Future(std::shared_ptr<detail::FutureState<T>> State)
+      : State(std::move(State)) {}
+
+  /// True when paired with a promise (default-constructed futures are
+  /// not).
+  bool valid() const { return State != nullptr; }
+
+  /// True once the value has been set. Non-blocking.
+  bool ready() const {
+    assert(valid() && "ready() on an invalid future");
+    std::lock_guard<std::mutex> Lock(State->Mutex);
+    return State->Value.has_value();
+  }
+
+  /// Blocks until the value is available.
+  void wait() const {
+    assert(valid() && "wait() on an invalid future");
+    std::unique_lock<std::mutex> Lock(State->Mutex);
+    State->Ready.wait(Lock, [&] { return State->Value.has_value(); });
+  }
+
+  /// Blocks up to \p Ns nanoseconds; returns true when the value became
+  /// available within the budget.
+  bool waitFor(uint64_t Ns) const {
+    assert(valid() && "waitFor() on an invalid future");
+    std::unique_lock<std::mutex> Lock(State->Mutex);
+    return State->Ready.wait_for(Lock, std::chrono::nanoseconds(Ns), [&] {
+      return State->Value.has_value();
+    });
+  }
+
+  /// Blocks and returns a reference to the value. The reference is valid
+  /// while any future/promise sharing the state is alive and `take` has
+  /// not been called.
+  const T &get() const {
+    wait();
+    std::lock_guard<std::mutex> Lock(State->Mutex);
+    return *State->Value;
+  }
+
+  /// Blocks and moves the value out. Call at most once across all copies
+  /// of this future.
+  T take() {
+    wait();
+    std::lock_guard<std::mutex> Lock(State->Mutex);
+    T Result = std::move(*State->Value);
+    return Result;
+  }
+
+private:
+  std::shared_ptr<detail::FutureState<T>> State;
+};
+
+/// Producer half: publishes the value exactly once.
+template <typename T>
+class Promise {
+public:
+  Promise() : State(std::make_shared<detail::FutureState<T>>()) {}
+
+  Promise(Promise &&) = default;
+  Promise &operator=(Promise &&) = default;
+  Promise(const Promise &) = delete;
+  Promise &operator=(const Promise &) = delete;
+
+  /// The future observing this promise. May be called multiple times;
+  /// all returned futures share the state.
+  Future<T> getFuture() const { return Future<T>(State); }
+
+  /// Publishes \p Value and wakes every waiter. Must be called at most
+  /// once.
+  void set(T Value) {
+    assert(State && "set() on a moved-from promise");
+    {
+      std::lock_guard<std::mutex> Lock(State->Mutex);
+      assert(!State->Value.has_value() && "promise set twice");
+      State->Value.emplace(std::move(Value));
+    }
+    State->Ready.notify_all();
+  }
+
+  /// True once set() has been called.
+  bool isSet() const {
+    assert(State && "isSet() on a moved-from promise");
+    std::lock_guard<std::mutex> Lock(State->Mutex);
+    return State->Value.has_value();
+  }
+
+private:
+  std::shared_ptr<detail::FutureState<T>> State;
+};
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_FUTURE_H

@@ -1,0 +1,130 @@
+//===- Histogram.h - Log-bucketed value histogram with quantiles -------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-memory histogram over non-negative 64-bit values (request
+/// latencies in nanoseconds, micro-batch sizes), in the HdrHistogram
+/// style: values below 16 are recorded exactly, larger values fall into
+/// geometric buckets refined by 8 linear sub-buckets, bounding the
+/// relative quantile error at 12.5% while covering the full uint64
+/// range in ~500 counters. Count/sum/min/max are tracked exactly, so
+/// `mean()` is precise and only `quantile()` is approximate.
+///
+/// Not internally synchronized — callers that record from several
+/// threads (the serving layer) hold their own lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_SUPPORT_HISTOGRAM_H
+#define SPNC_SUPPORT_HISTOGRAM_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace spnc {
+
+/// Fixed-size log-bucketed histogram. Cheap to copy (snapshot-friendly).
+class Histogram {
+public:
+  /// Linear sub-buckets per power of two (the resolution knob).
+  static constexpr size_t kSubBuckets = 8;
+  /// Values in [0, 2*kSubBuckets) are recorded exactly; 8 sub-buckets
+  /// per remaining power of two cover the rest of the uint64 range.
+  static constexpr size_t kNumBuckets =
+      2 * kSubBuckets + (64 - 4) * kSubBuckets;
+
+  /// Bucket index of \p Value.
+  static size_t bucketIndex(uint64_t Value) {
+    if (Value < 2 * kSubBuckets)
+      return static_cast<size_t>(Value);
+    unsigned Msb = 63u - static_cast<unsigned>(std::countl_zero(Value));
+    unsigned Shift = Msb - 3;
+    return (Msb - 3) * kSubBuckets +
+           static_cast<size_t>((Value >> Shift) & (kSubBuckets - 1)) +
+           kSubBuckets;
+  }
+
+  /// Representative (midpoint) value of bucket \p Index, the value
+  /// `quantile` reports for hits landing in it.
+  static uint64_t bucketValue(size_t Index) {
+    if (Index < 2 * kSubBuckets)
+      return static_cast<uint64_t>(Index);
+    unsigned Msb = static_cast<unsigned>((Index - kSubBuckets) /
+                                         kSubBuckets) + 3;
+    uint64_t Sub = (Index - kSubBuckets) % kSubBuckets;
+    uint64_t Lower = (kSubBuckets + Sub) << (Msb - 3);
+    return Lower + (uint64_t(1) << (Msb - 3)) / 2;
+  }
+
+  void record(uint64_t Value) {
+    ++Buckets[bucketIndex(Value)];
+    ++Count;
+    Sum += Value;
+    MinValue = Count == 1 ? Value : std::min(MinValue, Value);
+    MaxValue = std::max(MaxValue, Value);
+  }
+
+  uint64_t getCount() const { return Count; }
+  /// 0 when empty.
+  uint64_t getMin() const { return Count ? MinValue : 0; }
+  uint64_t getMax() const { return MaxValue; }
+  uint64_t getSum() const { return Sum; }
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
+                 : 0.0;
+  }
+
+  /// Approximate \p Q-quantile (Q in [0, 1]): the representative value of
+  /// the first bucket whose cumulative count reaches Q * Count, clamped
+  /// to the exact observed [min, max]. 0 when empty.
+  uint64_t quantile(double Q) const {
+    if (Count == 0)
+      return 0;
+    Q = std::clamp(Q, 0.0, 1.0);
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+    if (Rank >= Count)
+      Rank = Count - 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < kNumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen > Rank)
+        return std::clamp(bucketValue(I), getMin(), getMax());
+    }
+    return MaxValue;
+  }
+
+  /// Adds every recorded value of \p Other into this histogram.
+  void merge(const Histogram &Other) {
+    for (size_t I = 0; I < kNumBuckets; ++I)
+      Buckets[I] += Other.Buckets[I];
+    if (Other.Count) {
+      MinValue = Count ? std::min(MinValue, Other.MinValue)
+                       : Other.MinValue;
+      MaxValue = std::max(MaxValue, Other.MaxValue);
+    }
+    Count += Other.Count;
+    Sum += Other.Sum;
+  }
+
+  const std::array<uint64_t, kNumBuckets> &getBuckets() const {
+    return Buckets;
+  }
+
+private:
+  std::array<uint64_t, kNumBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t MinValue = 0;
+  uint64_t MaxValue = 0;
+};
+
+} // namespace spnc
+
+#endif // SPNC_SUPPORT_HISTOGRAM_H

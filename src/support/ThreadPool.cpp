@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 using namespace spnc;
 
@@ -40,8 +41,14 @@ void ThreadPool::submit(std::function<void()> Task) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  AllDone.wait(Lock, [this] { return PendingTasks == 0; });
+  std::exception_ptr Pending;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return PendingTasks == 0; });
+    Pending = std::exchange(FirstException, nullptr);
+  }
+  if (Pending)
+    std::rethrow_exception(Pending);
 }
 
 void ThreadPool::parallelFor(size_t NumItems,
@@ -73,9 +80,18 @@ void ThreadPool::workerLoop() {
       Task = std::move(Tasks.front());
       Tasks.pop();
     }
-    Task();
+    // A throwing task must still count as finished, or wait() would
+    // block forever on PendingTasks.
+    std::exception_ptr Thrown;
+    try {
+      Task();
+    } catch (...) {
+      Thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
+      if (Thrown && !FirstException)
+        FirstException = Thrown;
       if (--PendingTasks == 0)
         AllDone.notify_all();
     }

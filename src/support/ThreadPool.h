@@ -16,6 +16,7 @@
 #define SPNC_SUPPORT_THREADPOOL_H
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,6 +28,11 @@ namespace spnc {
 /// A fixed-size thread pool. Tasks are arbitrary callables; wait() blocks
 /// until all submitted tasks have completed. The pool is not reentrant:
 /// tasks must not submit further tasks.
+///
+/// A task that throws does not take down the worker or deadlock wait():
+/// the exception is captured, the task still counts as finished, and the
+/// first captured exception is rethrown from the next wait() (later ones
+/// are dropped, mirroring parallel-runtime convention).
 class ThreadPool {
 public:
   /// Creates a pool with \p NumThreads workers (at least one).
@@ -39,7 +45,8 @@ public:
   /// Enqueues a task for asynchronous execution.
   void submit(std::function<void()> Task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task raised since the last wait().
   void wait();
 
   unsigned getNumThreads() const {
@@ -47,7 +54,11 @@ public:
   }
 
   /// Runs Fn(I) for I in [0, NumItems) across the pool and waits for
-  /// completion. Items are distributed in contiguous chunks.
+  /// completion. Items are distributed in contiguous chunks; with fewer
+  /// items than workers each item gets its own chunk, and zero items
+  /// return immediately without touching the pool. A throwing Fn aborts
+  /// only its own chunk; the wait still completes and the first
+  /// exception is rethrown to the caller.
   void parallelFor(size_t NumItems, const std::function<void(size_t)> &Fn);
 
 private:
@@ -60,6 +71,9 @@ private:
   std::condition_variable AllDone;
   size_t PendingTasks = 0;
   bool ShuttingDown = false;
+  /// First exception thrown by a task since the last wait(); guarded by
+  /// Mutex.
+  std::exception_ptr FirstException;
 };
 
 } // namespace spnc

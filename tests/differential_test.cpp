@@ -11,9 +11,11 @@
 /// generated SPNs, the compiled CPU executor must reproduce the
 /// SPFlow-style reference interpreter (InterpreterEngine) to within
 /// 1e-9 on log-likelihoods — for joint and marginal queries, with and
-/// without task partitioning. Everything computes in f64 (the query
-/// pins the compute type), so the bound is a genuine
-/// few-ulps-of-reassociation budget, not an f32 allowance.
+/// without task partitioning. The CPU legs compute in f64 (the query
+/// pins the compute type), so their bound is a genuine
+/// few-ulps-of-reassociation budget, not an f32 allowance. The GPU
+/// legs run the same population through the simulated-GPU executor in
+/// f32 with a matching relative tolerance.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -116,6 +118,46 @@ uint32_t partitionBudget(const Scenario &S) {
   return static_cast<uint32_t>(NumNodes / 4 + 16);
 }
 
+/// Compiles \p Model for the simulated GPU and checks it against the
+/// reference interpreter on \p Data. The GPU path computes in f32 (the
+/// paper's device precision), so the bound is the f32-appropriate
+/// relative+absolute allowance used by gpusim_test, not the f64 ulps
+/// budget of the CPU legs.
+void expectGpuMatchesInterpreter(const Scenario &S,
+                                 const std::vector<double> &Data,
+                                 bool Marginal,
+                                 uint32_t MaxPartitionSize,
+                                 size_t Index) {
+  CompilerOptions Options;
+  Options.TheTarget = Target::GPU;
+  Options.OptLevel = static_cast<unsigned>(Index % 4);
+  Options.MaxPartitionSize = MaxPartitionSize;
+
+  spn::QueryConfig Query;
+  Query.LogSpace = true;
+  Query.SupportMarginal = Marginal;
+  Query.DataType = spn::ComputeType::F32;
+
+  Expected<CompiledKernel> Kernel =
+      compileModel(S.Model, Query, Options);
+  ASSERT_TRUE(static_cast<bool>(Kernel)) << Kernel.getError().message();
+
+  baselines::InterpreterEngine Interpreter(S.Model);
+  std::vector<double> Reference = runEngine(Interpreter, Data);
+  std::vector<double> Compiled = runEngine(Kernel->getEngine(), Data);
+
+  for (size_t I = 0; I < kNumSamples; ++I) {
+    ASSERT_TRUE(std::isfinite(Reference[I]))
+        << "model " << Index << " sample " << I
+        << ": reference not finite";
+    double Bound = std::abs(Reference[I]) * 1e-4 + 1e-4;
+    EXPECT_NEAR(Compiled[I], Reference[I], Bound)
+        << "gpu model " << Index << " sample " << I
+        << (Marginal ? " (marginal" : " (joint")
+        << (MaxPartitionSize ? ", partitioned)" : ", unpartitioned)");
+  }
+}
+
 TEST(DifferentialTest, JointUnpartitioned) {
   for (size_t I = 0; I < kNumModels; ++I) {
     Scenario S = makeScenario(I);
@@ -145,6 +187,26 @@ TEST(DifferentialTest, MarginalPartitioned) {
     Scenario S = makeScenario(I);
     expectMatchesInterpreter(S, S.MarginalData, /*Marginal=*/true,
                              partitionBudget(S), I);
+  }
+}
+
+// The GPU legs cover both query kinds and both partitioning regimes
+// across the same 50-model population without quadrupling the suite's
+// runtime: joint/unpartitioned and marginal/partitioned span the two
+// axes.
+TEST(DifferentialTest, GpuJointUnpartitioned) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    expectGpuMatchesInterpreter(S, S.JointData, /*Marginal=*/false,
+                                /*MaxPartitionSize=*/0, I);
+  }
+}
+
+TEST(DifferentialTest, GpuMarginalPartitioned) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    expectGpuMatchesInterpreter(S, S.MarginalData, /*Marginal=*/true,
+                                partitionBudget(S), I);
   }
 }
 

@@ -544,4 +544,95 @@ TEST_F(KernelCacheTest, ClearDropsEnginesButKeepsDisk) {
   EXPECT_EQ(CacheStats.Recompiles, 1u);
 }
 
+/// A ConfigurePipeline hook registering one no-op custom stage named
+/// \p Name.
+KernelCache::Config customStageConfig(const std::string &Directory,
+                                      const std::string &Name) {
+  KernelCache::Config Config;
+  Config.Directory = Directory;
+  Config.ConfigurePipeline =
+      [Name](CompilationPipeline &P) -> std::optional<Error> {
+    return P.registerStage(
+        PipelineStage{Name, "test stage", /*Diagnostic=*/true},
+        [](detail::StageContext &) { return std::nullopt; });
+  };
+  return Config;
+}
+
+TEST_F(KernelCacheTest, StageFingerprintSeparatesConfiguredPipelines) {
+  CompilerOptions Options;
+
+  // Seed the disk tier with a default-pipeline entry.
+  {
+    KernelCache Default(TempDir.string());
+    ASSERT_TRUE(static_cast<bool>(
+        Default.getOrCompile(*Model, spn::QueryConfig(), Options)));
+    EXPECT_EQ(Default.getStats().Recompiles, 1u);
+  }
+
+  // A cache whose pipelines carry a custom stage must not pick up the
+  // default pipeline's entry: the stage fingerprint is part of the key.
+  {
+    KernelCache Custom(
+        customStageConfig(TempDir.string(), "custom:checkpoint"));
+    ASSERT_TRUE(static_cast<bool>(
+        Custom.getOrCompile(*Model, spn::QueryConfig(), Options)));
+    KernelCache::Stats Stats = Custom.getStats();
+    EXPECT_EQ(Stats.DiskHits, 0u);
+    EXPECT_EQ(Stats.Recompiles, 1u);
+  }
+
+  // A second cache with the identical hook shares the custom entry.
+  {
+    KernelCache Again(
+        customStageConfig(TempDir.string(), "custom:checkpoint"));
+    ASSERT_TRUE(static_cast<bool>(
+        Again.getOrCompile(*Model, spn::QueryConfig(), Options)));
+    KernelCache::Stats Stats = Again.getStats();
+    EXPECT_EQ(Stats.DiskHits, 1u);
+    EXPECT_EQ(Stats.Recompiles, 0u);
+  }
+
+  // A differently named stage is a different pipeline again.
+  {
+    KernelCache Other(
+        customStageConfig(TempDir.string(), "custom:other"));
+    ASSERT_TRUE(static_cast<bool>(
+        Other.getOrCompile(*Model, spn::QueryConfig(), Options)));
+    KernelCache::Stats Stats = Other.getStats();
+    EXPECT_EQ(Stats.DiskHits, 0u);
+    EXPECT_EQ(Stats.Recompiles, 1u);
+  }
+}
+
+TEST_F(KernelCacheTest, DefaultKeyMatchesUnconfiguredGetOrCompile) {
+  // The three-argument makeKey must keep predicting the disk location
+  // getOrCompile uses when no ConfigurePipeline hook is installed —
+  // the contract external tooling relies on to prewarm cache dirs.
+  CompilerOptions Options;
+  KernelCache Cache(TempDir.string());
+  ASSERT_TRUE(static_cast<bool>(
+      Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+  uint64_t Key = keyFor(*Model, spn::QueryConfig(), Options);
+  EXPECT_TRUE(std::filesystem::exists(Cache.entryPath(Key)));
+
+  // And the four-argument overload agrees when handed the default
+  // pipeline's own fingerprint.
+  Expected<PipelineConfig> Config = PipelineConfig::create(Options);
+  ASSERT_TRUE(static_cast<bool>(Config));
+  CompilationPipeline Default(*Config);
+  EXPECT_EQ(Key,
+            KernelCache::makeKey(*Model, spn::QueryConfig(), *Config,
+                                 KernelCache::stageFingerprint(Default)));
+
+  // Registering a stage changes the fingerprint, and with it the key.
+  ASSERT_FALSE(Default.registerStage(
+      PipelineStage{"custom:checkpoint", "test stage",
+                    /*Diagnostic=*/true},
+      [](detail::StageContext &) { return std::nullopt; }));
+  EXPECT_NE(Key,
+            KernelCache::makeKey(*Model, spn::QueryConfig(), *Config,
+                                 KernelCache::stageFingerprint(Default)));
+}
+
 } // namespace

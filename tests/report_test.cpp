@@ -149,6 +149,58 @@ TEST(PipelineReportTest, OneEntryPerRegisteredStageInOrder) {
   }
 }
 
+TEST(PipelineReportTest, MultiModelReportIsGoldenArray) {
+  Expected<CompilationPipeline> Pipeline =
+      CompilationPipeline::create(CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(Pipeline));
+
+  workloads::SpeakerModelOptions OtherOptions;
+  OtherOptions.TargetOperations = 350;
+  OtherOptions.Seed = 29;
+  std::vector<spn::Model> Models;
+  Models.push_back(makeModel());
+  Models.push_back(workloads::generateSpeakerModel(OtherOptions));
+
+  std::vector<ModelPipelineReport> Reports;
+  for (size_t I = 0; I < Models.size(); ++I) {
+    ModelPipelineReport Report;
+    Report.Model = "model-" + std::to_string(I) + ".spnb";
+    Report.Stages = &Pipeline->getStages();
+    Expected<vm::KernelProgram> Program =
+        Pipeline->compile(Models[I], spn::QueryConfig(), &Report.Stats);
+    ASSERT_TRUE(static_cast<bool>(Program));
+    Reports.push_back(std::move(Report));
+  }
+
+  std::string Text;
+  {
+    StringOStream OS(Text);
+    writePipelineReports(Reports, OS);
+  }
+  Expected<json::Value> Doc = json::parse(Text);
+  ASSERT_TRUE(static_cast<bool>(Doc)) << Doc.getError().message();
+  // The multi-model report is a top-level array: one document per
+  // model, each the single-model shape prefixed with "model".
+  ASSERT_TRUE(Doc->isArray());
+  ASSERT_EQ(Doc->getArray().size(), 2u);
+  for (size_t I = 0; I < 2; ++I) {
+    const json::Value &Entry = Doc->getArray()[I];
+    ASSERT_TRUE(Entry.isObject());
+    EXPECT_EQ(memberKeys(Entry),
+              (std::vector<std::string>{
+                  "model", "stages", "op_counts", "passes", "codegen",
+                  "translation_ns", "binary_encode_ns", "total_ns",
+                  "num_tasks", "num_instructions"}));
+    EXPECT_EQ(Entry.find("model")->getString(),
+              "model-" + std::to_string(I) + ".spnb");
+    EXPECT_GT(Entry.find("total_ns")->getNumber(), 0.0);
+  }
+  // The two models differ in size, so the documents must carry
+  // per-model (not shared) statistics.
+  EXPECT_NE(Doc->getArray()[0].find("num_instructions")->getNumber(),
+            Doc->getArray()[1].find("num_instructions")->getNumber());
+}
+
 TEST(PipelineReportTest, RepeatEmissionIsIdentical) {
   Expected<CompilationPipeline> Pipeline =
       CompilationPipeline::create(CompilerOptions());

@@ -1,0 +1,324 @@
+//===- serving_test.cpp - Tests for the in-process serving layer ------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/InferenceServer.h"
+#include "serving/ServingReports.h"
+#include "support/JSON.h"
+#include "support/RawOStream.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::runtime;
+using namespace spnc::serving;
+
+namespace {
+
+class ServingTest : public ::testing::Test {
+protected:
+  static constexpr size_t kNumSamples = 64;
+
+  void SetUp() override {
+    workloads::SpeakerModelOptions Options;
+    Options.TargetOperations = 300;
+    Options.Seed = 91;
+    Model = std::make_unique<spn::Model>(
+        workloads::generateSpeakerModel(Options));
+    NumFeatures = Model->getNumFeatures();
+    Data = workloads::generateSpeechData(Options, kNumSamples, 7);
+  }
+
+  /// Reference probabilities via the same cached engine the server
+  /// uses (the cache is shared, so the key collides by construction).
+  std::vector<double> directResults(KernelCache &Cache,
+                                    const spn::QueryConfig &Query,
+                                    const CompilerOptions &Options) {
+    Expected<CompiledKernel> Kernel =
+        Cache.getOrCompile(*Model, Query, Options);
+    EXPECT_TRUE(static_cast<bool>(Kernel));
+    std::vector<double> Expected(kNumSamples);
+    Kernel->execute(Data.data(), Expected.data(), kNumSamples);
+    return Expected;
+  }
+
+  const double *sampleRow(size_t Index) const {
+    return Data.data() + (Index % kNumSamples) * NumFeatures;
+  }
+
+  std::unique_ptr<spn::Model> Model;
+  unsigned NumFeatures = 0;
+  std::vector<double> Data;
+  spn::QueryConfig Query;
+  CompilerOptions Compile;
+};
+
+TEST_F(ServingTest, ConcurrentRequestsMatchDirectExecutionAndBatch) {
+  KernelCache Cache;
+  std::vector<double> Expected = directResults(Cache, Query, Compile);
+
+  ServerConfig Config;
+  Config.MaxBatchSamples = 64;
+  Config.MaxQueueDelayUs = 10000; // generous co-batching window
+  Config.NumWorkers = 2;
+  InferenceServer Server(Config, &Cache);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+  EXPECT_TRUE(Server.hasModel("speaker"));
+  EXPECT_EQ(Server.getNumFeatures("speaker"), NumFeatures);
+
+  constexpr unsigned kClients = 8;
+  constexpr unsigned kPerClient = 20;
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C < kClients; ++C)
+    Clients.emplace_back([&, C] {
+      for (unsigned R = 0; R < kPerClient; ++R) {
+        size_t Index = (C * kPerClient + R) % kNumSamples;
+        ResultFuture Future =
+            Server.submit("speaker", sampleRow(Index), 1);
+        InferenceResult Result = Future.take();
+        if (Result.Status != RequestStatus::Ok ||
+            Result.LogLikelihoods.size() != 1 ||
+            Result.LogLikelihoods[0] != Expected[Index])
+          ++Mismatches;
+      }
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+
+  ServerStats Stats = Server.getStats();
+  EXPECT_EQ(Stats.CompletedRequests, uint64_t(kClients) * kPerClient);
+  EXPECT_EQ(Stats.CompletedSamples, uint64_t(kClients) * kPerClient);
+  EXPECT_EQ(Stats.RejectedRequests, 0u);
+  EXPECT_EQ(Stats.TimedOutRequests, 0u);
+  // The point of the layer: micro-batches actually form under
+  // concurrent single-sample load.
+  EXPECT_GT(Stats.meanBatchSize(), 1.0);
+  EXPECT_LT(Stats.BatchesDispatched, uint64_t(kClients) * kPerClient);
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, RejectPolicyBoundsOutstandingSamples) {
+  ServerConfig Config;
+  Config.MaxBatchSamples = 256;
+  Config.MaxQueueDelayUs = 50000; // keep admitted requests queued
+  Config.MaxQueueDepth = 4;
+  Config.Admission = ServerConfig::AdmissionPolicy::Reject;
+  InferenceServer Server(Config);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+
+  constexpr unsigned kBurst = 20;
+  std::vector<ResultFuture> Futures;
+  for (unsigned I = 0; I < kBurst; ++I)
+    Futures.push_back(Server.submit("speaker", sampleRow(I), 1));
+
+  unsigned Ok = 0, Rejected = 0;
+  for (ResultFuture &Future : Futures) {
+    InferenceResult Result = Future.take();
+    if (Result.Status == RequestStatus::Ok)
+      ++Ok;
+    else if (Result.Status == RequestStatus::Rejected) {
+      ++Rejected;
+      EXPECT_FALSE(Result.Message.empty());
+    }
+  }
+  EXPECT_EQ(Ok, 4u);
+  EXPECT_EQ(Rejected, kBurst - 4);
+
+  ServerStats Stats = Server.getStats();
+  EXPECT_EQ(Stats.RejectedRequests, uint64_t(kBurst - 4));
+  EXPECT_LE(Stats.PeakQueueDepth, 4u);
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, BlockPolicyAppliesBackpressureWithoutLoss) {
+  ServerConfig Config;
+  Config.MaxBatchSamples = 256;
+  Config.MaxQueueDelayUs = 20000;
+  Config.MaxQueueDepth = 2;
+  Config.Admission = ServerConfig::AdmissionPolicy::Block;
+  InferenceServer Server(Config);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+
+  constexpr unsigned kBurst = 10;
+  std::vector<ResultFuture> Futures;
+  for (unsigned I = 0; I < kBurst; ++I)
+    Futures.push_back(Server.submit("speaker", sampleRow(I), 1));
+  for (ResultFuture &Future : Futures)
+    EXPECT_EQ(Future.take().Status, RequestStatus::Ok);
+
+  ServerStats Stats = Server.getStats();
+  EXPECT_EQ(Stats.CompletedRequests, uint64_t(kBurst));
+  EXPECT_EQ(Stats.RejectedRequests, 0u);
+  // The submitting thread outpaces the 20ms batching window, so at
+  // least one submit must have waited for space.
+  EXPECT_GE(Stats.BlockedSubmits, 1u);
+  EXPECT_LE(Stats.PeakQueueDepth, 2u);
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, ExpiredDeadlinesTimeOutInsteadOfExecuting) {
+  ServerConfig Config;
+  Config.MaxBatchSamples = 256;
+  Config.MaxQueueDelayUs = 100000; // longer than every deadline below
+  InferenceServer Server(Config);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+
+  std::vector<ResultFuture> Futures;
+  for (unsigned I = 0; I < 3; ++I)
+    Futures.push_back(
+        Server.submit("speaker", sampleRow(I), 1, /*DeadlineUs=*/1000));
+  for (ResultFuture &Future : Futures) {
+    InferenceResult Result = Future.take();
+    EXPECT_EQ(Result.Status, RequestStatus::TimedOut);
+    EXPECT_TRUE(Result.LogLikelihoods.empty());
+    EXPECT_FALSE(Result.Message.empty());
+  }
+  ServerStats Stats = Server.getStats();
+  EXPECT_EQ(Stats.TimedOutRequests, 3u);
+  EXPECT_EQ(Stats.CompletedRequests, 0u);
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, ShutdownDrainsEveryAcceptedRequest) {
+  ServerConfig Config;
+  Config.MaxBatchSamples = 8;
+  // A window far beyond the test duration: only the shutdown drain can
+  // dispatch these.
+  Config.MaxQueueDelayUs = 60000000;
+  InferenceServer Server(Config);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+
+  constexpr unsigned kQueued = 30;
+  std::vector<ResultFuture> Futures;
+  for (unsigned I = 0; I < kQueued; ++I)
+    Futures.push_back(Server.submit("speaker", sampleRow(I), 1));
+  Server.shutdown();
+
+  for (ResultFuture &Future : Futures) {
+    ASSERT_TRUE(Future.ready());
+    EXPECT_EQ(Future.get().Status, RequestStatus::Ok);
+  }
+  ServerStats Stats = Server.getStats();
+  EXPECT_EQ(Stats.CompletedRequests, uint64_t(kQueued));
+  EXPECT_EQ(Stats.QueueDepth, 0u);
+
+  // Post-shutdown submits resolve immediately with ShutDown.
+  InferenceResult Late =
+      Server.submit("speaker", sampleRow(0), 1).take();
+  EXPECT_EQ(Late.Status, RequestStatus::ShutDown);
+}
+
+TEST_F(ServingTest, MultiModelMultiSampleScatterIsExact) {
+  workloads::SpeakerModelOptions OtherOptions;
+  OtherOptions.TargetOperations = 450;
+  OtherOptions.Seed = 17;
+  spn::Model Other = workloads::generateSpeakerModel(OtherOptions);
+  std::vector<double> OtherData =
+      workloads::generateSpeechData(OtherOptions, kNumSamples, 3);
+
+  KernelCache Cache;
+  std::vector<double> ExpectedA = directResults(Cache, Query, Compile);
+  Expected<CompiledKernel> OtherKernel =
+      Cache.getOrCompile(Other, Query, Compile);
+  ASSERT_TRUE(static_cast<bool>(OtherKernel));
+  std::vector<double> ExpectedB(kNumSamples);
+  OtherKernel->execute(OtherData.data(), ExpectedB.data(), kNumSamples);
+
+  ServerConfig Config;
+  Config.MaxQueueDelayUs = 2000;
+  InferenceServer Server(Config, &Cache);
+  ASSERT_FALSE(Server.addModel("a", *Model, Query, Compile));
+  ASSERT_FALSE(Server.addModel("b", Other, Query, Compile));
+  // Registering the same name twice fails.
+  EXPECT_TRUE(Server.addModel("a", Other, Query, Compile));
+
+  std::vector<ResultFuture> FuturesA, FuturesB;
+  constexpr size_t kChunk = 4;
+  for (size_t I = 0; I + kChunk <= kNumSamples; I += kChunk) {
+    FuturesA.push_back(Server.submit(
+        "a", Data.data() + I * NumFeatures, kChunk));
+    FuturesB.push_back(Server.submit(
+        "b", OtherData.data() + I * Other.getNumFeatures(), kChunk));
+  }
+  for (size_t Request = 0; Request < FuturesA.size(); ++Request) {
+    InferenceResult A = FuturesA[Request].take();
+    InferenceResult B = FuturesB[Request].take();
+    ASSERT_EQ(A.Status, RequestStatus::Ok);
+    ASSERT_EQ(B.Status, RequestStatus::Ok);
+    ASSERT_EQ(A.LogLikelihoods.size(), kChunk);
+    ASSERT_EQ(B.LogLikelihoods.size(), kChunk);
+    EXPECT_GE(A.BatchSamples, kChunk);
+    for (size_t S = 0; S < kChunk; ++S) {
+      EXPECT_EQ(A.LogLikelihoods[S], ExpectedA[Request * kChunk + S]);
+      EXPECT_EQ(B.LogLikelihoods[S], ExpectedB[Request * kChunk + S]);
+    }
+  }
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, UnknownModelAndEmptyRequestsAreRejected) {
+  InferenceServer Server;
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+  InferenceResult Unknown =
+      Server.submit("nope", sampleRow(0), 1).take();
+  EXPECT_EQ(Unknown.Status, RequestStatus::Rejected);
+  EXPECT_NE(Unknown.Message.find("nope"), std::string::npos);
+  InferenceResult Empty =
+      Server.submit("speaker", sampleRow(0), 0).take();
+  EXPECT_EQ(Empty.Status, RequestStatus::Rejected);
+  EXPECT_EQ(std::string("rejected"),
+            requestStatusName(RequestStatus::Rejected));
+}
+
+/// Member names of \p Value in document order.
+std::vector<std::string> memberKeys(const json::Value &Value) {
+  std::vector<std::string> Keys;
+  for (const auto &Member : Value.getMembers())
+    Keys.push_back(Member.first);
+  return Keys;
+}
+
+TEST_F(ServingTest, StatsReportHasGoldenKeyOrder) {
+  ServerConfig Config;
+  Config.MaxQueueDelayUs = 500;
+  InferenceServer Server(Config);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+  for (unsigned I = 0; I < 10; ++I)
+    Server.submit("speaker", sampleRow(I), 1).wait();
+  ServerStats Stats = Server.getStats();
+  Server.shutdown();
+
+  std::string Text;
+  {
+    StringOStream OS(Text);
+    writeServerStatsReport(Stats, OS);
+  }
+  Expected<json::Value> Doc = json::parse(Text);
+  ASSERT_TRUE(static_cast<bool>(Doc));
+  const std::vector<std::string> Golden = {
+      "submitted_requests", "submitted_samples", "completed_requests",
+      "completed_samples", "rejected_requests", "blocked_submits",
+      "timed_out_requests", "batches_dispatched", "mean_batch_size",
+      "queue_depth", "peak_queue_depth", "execution_ns", "elapsed_ns",
+      "throughput_samples_per_s", "batch_size", "latency_ns"};
+  EXPECT_EQ(memberKeys(*Doc), Golden);
+  const std::vector<std::string> HistogramGolden = {
+      "count", "min", "max", "mean", "p50", "p95", "p99"};
+  EXPECT_EQ(memberKeys(*Doc->find("batch_size")), HistogramGolden);
+  EXPECT_EQ(memberKeys(*Doc->find("latency_ns")), HistogramGolden);
+  EXPECT_EQ(Doc->find("completed_requests")->getNumber(), 10.0);
+  EXPECT_EQ(Doc->find("latency_ns")->find("count")->getNumber(), 10.0);
+}
+
+} // namespace

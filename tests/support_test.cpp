@@ -7,7 +7,9 @@
 
 #include "support/Casting.h"
 #include "support/Expected.h"
+#include "support/Future.h"
 #include "support/Hashing.h"
+#include "support/Histogram.h"
 #include "support/LogicalResult.h"
 #include "support/Random.h"
 #include "support/RawOStream.h"
@@ -20,6 +22,8 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 using namespace spnc;
 
@@ -191,6 +195,137 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   for (const auto &Hit : Hits)
     EXPECT_EQ(Hit.load(), 1);
   Pool.parallelFor(0, [&](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsReturnsImmediately) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+  // The pool stays usable afterwards.
+  Pool.parallelFor(3, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanWorkers) {
+  ThreadPool Pool(8);
+  std::vector<std::atomic<int>> Hits(3);
+  Pool.parallelFor(3, [&](size_t I) { ++Hits[I]; });
+  // Each item runs exactly once even though most workers get no chunk.
+  for (const auto &Hit : Hits)
+    EXPECT_EQ(Hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotDeadlockWait) {
+  ThreadPool Pool(4);
+  std::atomic<int> Completed{0};
+  for (int I = 0; I < 16; ++I)
+    Pool.submit([&Completed, I] {
+      if (I == 5)
+        throw std::runtime_error("task failure");
+      ++Completed;
+    });
+  // wait() must return (not hang on the never-decremented counter a
+  // naive pool would leak) and surface the first task exception.
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Completed.load(), 15);
+  // The failure is consumed: the pool keeps working and the next wait
+  // is clean.
+  Pool.submit([&Completed] { ++Completed; });
+  Pool.wait();
+  EXPECT_EQ(Completed.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I) {
+                                  if (I == 50)
+                                    throw std::runtime_error("boom");
+                                  ++Ran;
+                                }),
+               std::runtime_error);
+  // Other chunks still completed; only the throwing chunk aborted.
+  EXPECT_GT(Ran.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Future
+//===----------------------------------------------------------------------===//
+
+TEST(FutureTest, DeliversValueAcrossThreads) {
+  Promise<int> ThePromise;
+  Future<int> TheFuture = ThePromise.getFuture();
+  EXPECT_TRUE(TheFuture.valid());
+  EXPECT_FALSE(TheFuture.ready());
+  EXPECT_FALSE(ThePromise.isSet());
+  // A bounded wait on a pending future times out instead of hanging.
+  EXPECT_FALSE(TheFuture.waitFor(1000));
+
+  std::thread Producer([P = std::move(ThePromise)]() mutable {
+    P.set(42);
+  });
+  EXPECT_EQ(TheFuture.get(), 42);
+  EXPECT_TRUE(TheFuture.ready());
+  // Copies observe the same state.
+  Future<int> Copy = TheFuture;
+  EXPECT_EQ(Copy.take(), 42);
+  Producer.join();
+}
+
+TEST(FutureTest, DefaultConstructedIsInvalid) {
+  Future<int> TheFuture;
+  EXPECT_FALSE(TheFuture.valid());
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram H;
+  for (uint64_t V = 0; V < 16; ++V)
+    H.record(V);
+  EXPECT_EQ(H.getCount(), 16u);
+  EXPECT_EQ(H.getMin(), 0u);
+  EXPECT_EQ(H.getMax(), 15u);
+  EXPECT_DOUBLE_EQ(H.mean(), 7.5);
+  EXPECT_EQ(H.quantile(0.0), 0u);
+  EXPECT_EQ(H.quantile(0.5), 8u);
+  EXPECT_EQ(H.quantile(1.0), 15u);
+}
+
+TEST(HistogramTest, QuantilesBoundedRelativeError) {
+  Histogram H;
+  // A latency-like distribution spanning several decades.
+  for (uint64_t V = 1000; V <= 1000000; V += 997)
+    H.record(V);
+  uint64_t P50 = H.quantile(0.5);
+  // The true median is ~500500; the log-bucketed estimate must land
+  // within the documented 12.5% relative error.
+  EXPECT_GT(P50, 500500ull * 7 / 8);
+  EXPECT_LT(P50, 500500ull * 9 / 8);
+  EXPECT_GE(H.quantile(0.99), P50);
+  EXPECT_GE(H.getMax(), H.quantile(0.999));
+  EXPECT_LE(H.getMin(), H.quantile(0.001));
+}
+
+TEST(HistogramTest, MergeCombinesPopulations) {
+  Histogram A, B;
+  A.record(10);
+  A.record(20);
+  B.record(30);
+  A.merge(B);
+  EXPECT_EQ(A.getCount(), 3u);
+  EXPECT_EQ(A.getSum(), 60u);
+  EXPECT_EQ(A.getMin(), 10u);
+  EXPECT_EQ(A.getMax(), 30u);
+  // Empty histograms merge as no-ops.
+  Histogram Empty;
+  A.merge(Empty);
+  EXPECT_EQ(A.getCount(), 3u);
+  EXPECT_EQ(Empty.quantile(0.5), 0u);
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

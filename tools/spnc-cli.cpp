@@ -46,7 +46,10 @@ using namespace spnc::runtime;
 namespace {
 
 struct CliOptions {
-  std::string ModelPath;
+  /// Positional model paths. One model gives the full compile/run CLI;
+  /// several switch to batch-compile mode, where --pipeline-report
+  /// emits a top-level JSON array with one document per model.
+  std::vector<std::string> ModelPaths;
   std::string InputPath;
   std::string SaveKernelPath;
   std::string KernelCacheDir;
@@ -75,7 +78,12 @@ struct CliOptions {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: spnc-cli MODEL.spnb [options]\n"
+      "usage: spnc-cli MODEL.spnb [MODEL2.spnb ...] [options]\n"
+      "  With several models, each is compiled in turn (batch-compile "
+      "mode)\n"
+      "  and --pipeline-report emits a JSON array, one document per "
+      "model;\n"
+      "  --input/--dump-ir/--save-kernel then do not apply.\n"
       "  --input FILE       samples, one per line (whitespace/comma "
       "separated;\n"
       "                     'nan' marginalizes a feature)\n"
@@ -125,12 +133,9 @@ void printUsage() {
 }
 
 bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
-  if (Argc < 2)
-    return false;
-  Options.ModelPath = Argv[1];
   Options.Compile.OptLevel = 2;
   Options.Compile.Execution.VectorWidth = 8;
-  for (int I = 2; I < Argc; ++I) {
+  for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto NextValue = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
@@ -233,12 +238,14 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.KernelCacheReportPath = V;
-    } else {
+    } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
+    } else {
+      Options.ModelPaths.push_back(Arg);
     }
   }
-  return true;
+  return !Options.ModelPaths.empty();
 }
 
 /// Reads samples (one line each, numbers separated by whitespace or
@@ -301,12 +308,14 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  const std::string &ModelPath = Options.ModelPaths.front();
+
   // A .spnk model path is a cached compiled kernel: load and run it
   // without recompiling.
-  if (Options.ModelPath.size() > 5 &&
-      Options.ModelPath.substr(Options.ModelPath.size() - 5) == ".spnk") {
+  if (Options.ModelPaths.size() == 1 && ModelPath.size() > 5 &&
+      ModelPath.substr(ModelPath.size() - 5) == ".spnk") {
     Expected<CompiledKernel> Kernel = loadCompiledKernel(
-        Options.ModelPath,
+        ModelPath,
         Options.TargetExplicit ? Options.Compile.TheTarget
                                : Target::Auto,
         Options.Compile.Execution, Options.Compile.Device,
@@ -332,31 +341,6 @@ int main(int Argc, char **Argv) {
     Kernel->execute(Data.data(), Output.data(), NumSamples);
     for (size_t S = 0; S < NumSamples; ++S)
       std::printf("%.10g\n", Output[S]);
-    return 0;
-  }
-
-  Expected<spn::Model> Model = spn::loadModel(Options.ModelPath);
-  if (!Model) {
-    std::fprintf(stderr, "failed to load model: %s\n",
-                 Model.getError().message().c_str());
-    return 1;
-  }
-  spn::ModelStats Stats = Model->computeStats();
-  std::fprintf(stderr,
-               "loaded '%s': %u features, %zu nodes (%zu sums, %zu "
-               "products, %zu leaves)\n",
-               Model->getName().c_str(), Model->getNumFeatures(),
-               Stats.NumNodes, Stats.NumSums, Stats.NumProducts,
-               Stats.NumLeaves);
-
-  if (Options.DumpIr) {
-    ir::Context Ctx;
-    ir::OwningOpRef<ir::ModuleOp> Module =
-        spn::translateToHiSPN(Ctx, *Model, Options.Query);
-    if (!Module)
-      return 1;
-    FileOStream OS(stdout);
-    ir::printOperation(Module.get().getOperation(), OS);
     return 0;
   }
 
@@ -391,6 +375,83 @@ int main(int Argc, char **Argv) {
     for (const PipelineStage &Stage : Pipeline->getStages())
       std::fprintf(stderr, "  %s\n", Stage.Name.c_str());
     return 1;
+  }
+
+  // Batch-compile mode: compile every model in turn, then emit one
+  // top-level report array (one document per model).
+  if (Options.ModelPaths.size() > 1) {
+    if (!Options.InputPath.empty() || Options.DumpIr ||
+        !Options.SaveKernelPath.empty()) {
+      std::fprintf(stderr, "--input, --dump-ir and --save-kernel "
+                           "require a single MODEL\n");
+      return 2;
+    }
+    std::vector<ModelPipelineReport> Reports;
+    for (const std::string &Path : Options.ModelPaths) {
+      Expected<spn::Model> Model = spn::loadModel(Path);
+      if (!Model) {
+        std::fprintf(stderr, "failed to load model '%s': %s\n",
+                     Path.c_str(), Model.getError().message().c_str());
+        return 1;
+      }
+      ModelPipelineReport Report;
+      Report.Model = Path;
+      Report.Stages = &Pipeline->getStages();
+      Expected<vm::KernelProgram> Program =
+          Pipeline->compile(*Model, Options.Query, &Report.Stats);
+      if (!Program) {
+        std::fprintf(stderr, "compilation of '%s' failed: %s\n",
+                     Path.c_str(),
+                     Program.getError().message().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "compiled '%s' in %.2f ms: %zu task(s), %zu "
+                   "instructions\n",
+                   Path.c_str(),
+                   static_cast<double>(Report.Stats.TotalNs) * 1e-6,
+                   Report.Stats.NumTasks, Report.Stats.NumInstructions);
+      Reports.push_back(std::move(Report));
+    }
+    if (!Options.PipelineReportPath.empty()) {
+      std::string ReportError;
+      if (failed(writePipelineReports(Reports,
+                                      Options.PipelineReportPath,
+                                      &ReportError))) {
+        std::fprintf(stderr, "failed to write pipeline report: %s\n",
+                     ReportError.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "wrote pipeline report (%zu models) to '%s'\n",
+                   Reports.size(), Options.PipelineReportPath.c_str());
+    }
+    return 0;
+  }
+
+  Expected<spn::Model> Model = spn::loadModel(ModelPath);
+  if (!Model) {
+    std::fprintf(stderr, "failed to load model: %s\n",
+                 Model.getError().message().c_str());
+    return 1;
+  }
+  spn::ModelStats Stats = Model->computeStats();
+  std::fprintf(stderr,
+               "loaded '%s': %u features, %zu nodes (%zu sums, %zu "
+               "products, %zu leaves)\n",
+               Model->getName().c_str(), Model->getNumFeatures(),
+               Stats.NumNodes, Stats.NumSums, Stats.NumProducts,
+               Stats.NumLeaves);
+
+  if (Options.DumpIr) {
+    ir::Context Ctx;
+    ir::OwningOpRef<ir::ModuleOp> Module =
+        spn::translateToHiSPN(Ctx, *Model, Options.Query);
+    if (!Module)
+      return 1;
+    FileOStream OS(stdout);
+    ir::printOperation(Module.get().getOperation(), OS);
+    return 0;
   }
 
   bool UseCache = !Options.KernelCacheDir.empty() ||

@@ -1,0 +1,373 @@
+//===- spnc-serve.cpp - Serving-layer load driver -------------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the in-process `serving::InferenceServer` against one or more
+/// serialized models: either a synthetic closed-loop arrival process
+/// (N client threads issuing R requests each, round-robin over the
+/// models) or a recorded request trace. Prints a human summary to
+/// stderr and, with --stats-report, the `ServerStats` snapshot as JSON.
+///
+/// Trace format: one request per line,
+///   MODEL_INDEX DELAY_US [NUM_SAMPLES]
+/// where MODEL_INDEX selects the Nth positional model (0-based),
+/// DELAY_US is the inter-arrival sleep before submitting, and
+/// NUM_SAMPLES defaults to --samples. '#' starts a comment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Serializer.h"
+#include "serving/InferenceServer.h"
+#include "serving/ServingReports.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::serving;
+
+namespace {
+
+struct ServeOptions {
+  std::vector<std::string> ModelPaths;
+  runtime::CompilerOptions Compile;
+  spn::QueryConfig Query;
+  ServerConfig Server;
+  /// Client threads in the synthetic closed loop.
+  unsigned Clients = 4;
+  /// Requests per client thread.
+  unsigned Requests = 256;
+  /// Samples per request.
+  size_t Samples = 1;
+  /// Per-client inter-request think time (microseconds).
+  uint64_t ThinkUs = 0;
+  /// Deadline attached to every request (0 = none).
+  uint64_t DeadlineUs = 0;
+  std::string TracePath;
+  std::string StatsReportPath;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: spnc-serve MODEL.spnb [MODEL2.spnb ...] [options]\n"
+      "  --target cpu|gpu     compilation target (default cpu)\n"
+      "  --opt N              optimization level 0-3 (default 2)\n"
+      "  --vector-width N     SIMD lanes 1/4/8/16 (default 8)\n"
+      "  --clients N          client threads (default 4)\n"
+      "  --requests N         requests per client (default 256)\n"
+      "  --samples N          samples per request (default 1)\n"
+      "  --think-us N         per-client delay between requests "
+      "(default 0)\n"
+      "  --deadline-us N      per-request queue deadline (default: "
+      "none)\n"
+      "  --max-batch N        micro-batch sample cap (default 256)\n"
+      "  --max-delay-us N     batching window (default 1000)\n"
+      "  --queue-depth N      outstanding-sample bound, 0 = unbounded "
+      "(default 4096)\n"
+      "  --block              block on a full queue instead of "
+      "rejecting\n"
+      "  --workers N          batch-executing worker threads (default "
+      "2)\n"
+      "  --trace FILE         replay 'MODEL_INDEX DELAY_US "
+      "[NUM_SAMPLES]' lines\n"
+      "                       instead of the synthetic closed loop\n"
+      "  --stats-report FILE.json\n"
+      "                       write the ServerStats snapshot as JSON\n"
+      "  --help, -h           print this message and exit\n");
+}
+
+bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
+  Options.Compile.OptLevel = 2;
+  Options.Compile.Execution.VectorWidth = 8;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    auto NextUnsigned = [&](auto &Out) -> bool {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Out = static_cast<std::remove_reference_t<decltype(Out)>>(
+          std::strtoull(V, nullptr, 10));
+      return true;
+    };
+    if (Arg == "--target") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "gpu") == 0)
+        Options.Compile.TheTarget = runtime::Target::GPU;
+      else if (std::strcmp(V, "cpu") != 0)
+        return false;
+    } else if (Arg == "--opt") {
+      if (!NextUnsigned(Options.Compile.OptLevel))
+        return false;
+    } else if (Arg == "--vector-width") {
+      if (!NextUnsigned(Options.Compile.Execution.VectorWidth))
+        return false;
+    } else if (Arg == "--clients") {
+      if (!NextUnsigned(Options.Clients))
+        return false;
+    } else if (Arg == "--requests") {
+      if (!NextUnsigned(Options.Requests))
+        return false;
+    } else if (Arg == "--samples") {
+      if (!NextUnsigned(Options.Samples))
+        return false;
+    } else if (Arg == "--think-us") {
+      if (!NextUnsigned(Options.ThinkUs))
+        return false;
+    } else if (Arg == "--deadline-us") {
+      if (!NextUnsigned(Options.DeadlineUs))
+        return false;
+    } else if (Arg == "--max-batch") {
+      if (!NextUnsigned(Options.Server.MaxBatchSamples))
+        return false;
+    } else if (Arg == "--max-delay-us") {
+      if (!NextUnsigned(Options.Server.MaxQueueDelayUs))
+        return false;
+    } else if (Arg == "--queue-depth") {
+      if (!NextUnsigned(Options.Server.MaxQueueDepth))
+        return false;
+    } else if (Arg == "--block") {
+      Options.Server.Admission = ServerConfig::AdmissionPolicy::Block;
+    } else if (Arg == "--workers") {
+      if (!NextUnsigned(Options.Server.NumWorkers))
+        return false;
+    } else if (Arg == "--trace") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.TracePath = V;
+    } else if (Arg == "--stats-report") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.StatsReportPath = V;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Options.ModelPaths.push_back(Arg);
+    }
+  }
+  return !Options.ModelPaths.empty();
+}
+
+/// Synthetic feature rows: uniform values in a small range — the tool
+/// measures serving behavior, not model accuracy.
+std::vector<double> makeSyntheticRows(unsigned NumFeatures,
+                                      size_t NumSamples, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> Dist(0.0, 4.0);
+  std::vector<double> Rows(NumSamples * NumFeatures);
+  for (double &V : Rows)
+    V = Dist(Rng);
+  return Rows;
+}
+
+struct Outcome {
+  std::atomic<uint64_t> Ok{0};
+  std::atomic<uint64_t> Rejected{0};
+  std::atomic<uint64_t> TimedOut{0};
+  std::atomic<uint64_t> Other{0};
+
+  void count(const InferenceResult &Result) {
+    switch (Result.Status) {
+    case RequestStatus::Ok:
+      ++Ok;
+      break;
+    case RequestStatus::Rejected:
+      ++Rejected;
+      break;
+    case RequestStatus::TimedOut:
+      ++TimedOut;
+      break;
+    case RequestStatus::ShutDown:
+      ++Other;
+      break;
+    }
+  }
+};
+
+/// One parsed trace line.
+struct TraceRequest {
+  size_t ModelIndex = 0;
+  uint64_t DelayUs = 0;
+  size_t NumSamples = 0;
+};
+
+bool loadTrace(const std::string &Path, size_t NumModels,
+               size_t DefaultSamples,
+               std::vector<TraceRequest> &Trace) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File) {
+    std::fprintf(stderr, "cannot open trace '%s'\n", Path.c_str());
+    return false;
+  }
+  char Line[256];
+  size_t LineNo = 0;
+  while (std::fgets(Line, sizeof(Line), File)) {
+    ++LineNo;
+    const char *Cursor = Line;
+    while (*Cursor == ' ' || *Cursor == '\t')
+      ++Cursor;
+    if (*Cursor == '\0' || *Cursor == '\n' || *Cursor == '#')
+      continue;
+    TraceRequest Request;
+    Request.NumSamples = DefaultSamples;
+    int Parsed = std::sscanf(Cursor, "%zu %llu %zu", &Request.ModelIndex,
+                             reinterpret_cast<unsigned long long *>(
+                                 &Request.DelayUs),
+                             &Request.NumSamples);
+    if (Parsed < 2 || Request.ModelIndex >= NumModels ||
+        Request.NumSamples == 0) {
+      std::fprintf(stderr, "bad trace line %zu in '%s'\n", LineNo,
+                   Path.c_str());
+      std::fclose(File);
+      return false;
+    }
+    Trace.push_back(Request);
+  }
+  std::fclose(File);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--help") == 0 ||
+        std::strcmp(Argv[I], "-h") == 0) {
+      printUsage();
+      return 0;
+    }
+  ServeOptions Options;
+  if (!parseArguments(Argc, Argv, Options)) {
+    printUsage();
+    return 2;
+  }
+  if (Options.Samples == 0)
+    Options.Samples = 1;
+
+  InferenceServer Server(Options.Server);
+  std::vector<std::string> ModelNames;
+  for (const std::string &Path : Options.ModelPaths) {
+    Expected<spn::Model> Model = spn::loadModel(Path);
+    if (!Model) {
+      std::fprintf(stderr, "failed to load model '%s': %s\n",
+                   Path.c_str(), Model.getError().message().c_str());
+      return 1;
+    }
+    if (std::optional<Error> Err = Server.addModel(
+            Path, *Model, Options.Query, Options.Compile)) {
+      std::fprintf(stderr, "failed to register model '%s': %s\n",
+                   Path.c_str(), Err->message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "registered '%s': %u features\n", Path.c_str(),
+                 Model->getNumFeatures());
+    ModelNames.push_back(Path);
+  }
+
+  Outcome Counts;
+  if (!Options.TracePath.empty()) {
+    // Trace replay: a single open-loop submitter sleeping the recorded
+    // inter-arrival gaps; futures drain after the last submit.
+    std::vector<TraceRequest> Trace;
+    if (!loadTrace(Options.TracePath, ModelNames.size(),
+                   Options.Samples, Trace))
+      return 1;
+    std::vector<ResultFuture> Futures;
+    Futures.reserve(Trace.size());
+    for (size_t I = 0; I < Trace.size(); ++I) {
+      const TraceRequest &Request = Trace[I];
+      if (Request.DelayUs)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(Request.DelayUs));
+      std::vector<double> Rows = makeSyntheticRows(
+          Server.getNumFeatures(ModelNames[Request.ModelIndex]),
+          Request.NumSamples, /*Seed=*/I);
+      Futures.push_back(Server.submit(ModelNames[Request.ModelIndex],
+                                      Rows.data(), Request.NumSamples,
+                                      Options.DeadlineUs));
+    }
+    for (ResultFuture &Future : Futures)
+      Counts.count(Future.get());
+    std::fprintf(stderr, "replayed %zu trace request(s)\n",
+                 Trace.size());
+  } else {
+    // Synthetic closed loop: each client thread issues its requests
+    // back-to-back (plus optional think time), models round-robin.
+    std::vector<std::thread> Clients;
+    Clients.reserve(Options.Clients);
+    for (unsigned C = 0; C < Options.Clients; ++C)
+      Clients.emplace_back([&, C] {
+        for (unsigned R = 0; R < Options.Requests; ++R) {
+          const std::string &Name =
+              ModelNames[(C + R) % ModelNames.size()];
+          std::vector<double> Rows = makeSyntheticRows(
+              Server.getNumFeatures(Name), Options.Samples,
+              /*Seed=*/uint64_t(C) << 32 | R);
+          ResultFuture Future =
+              Server.submit(Name, Rows.data(), Options.Samples,
+                            Options.DeadlineUs);
+          Counts.count(Future.get());
+          if (Options.ThinkUs)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(Options.ThinkUs));
+        }
+      });
+    for (std::thread &Client : Clients)
+      Client.join();
+  }
+
+  ServerStats Stats = Server.getStats();
+  Server.shutdown();
+  std::fprintf(
+      stderr,
+      "served %llu request(s) (%llu sample(s)) in %llu batch(es): "
+      "ok=%llu rejected=%llu timed-out=%llu shut-down=%llu\n"
+      "mean batch %.2f samples, peak queue %zu, throughput %.0f "
+      "samples/s, latency p50/p95/p99 = %llu/%llu/%llu us\n",
+      static_cast<unsigned long long>(Stats.CompletedRequests),
+      static_cast<unsigned long long>(Stats.CompletedSamples),
+      static_cast<unsigned long long>(Stats.BatchesDispatched),
+      static_cast<unsigned long long>(Counts.Ok.load()),
+      static_cast<unsigned long long>(Counts.Rejected.load()),
+      static_cast<unsigned long long>(Counts.TimedOut.load()),
+      static_cast<unsigned long long>(Counts.Other.load()),
+      Stats.meanBatchSize(), Stats.PeakQueueDepth,
+      Stats.throughputSamplesPerSec(),
+      static_cast<unsigned long long>(Stats.LatencyNs.quantile(0.50) /
+                                      1000),
+      static_cast<unsigned long long>(Stats.LatencyNs.quantile(0.95) /
+                                      1000),
+      static_cast<unsigned long long>(Stats.LatencyNs.quantile(0.99) /
+                                      1000));
+
+  if (!Options.StatsReportPath.empty()) {
+    std::string ReportError;
+    if (failed(writeServerStatsReport(Stats, Options.StatsReportPath,
+                                      &ReportError))) {
+      std::fprintf(stderr, "failed to write stats report: %s\n",
+                   ReportError.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote stats report to '%s'\n",
+                 Options.StatsReportPath.c_str());
+  }
+  return 0;
+}
