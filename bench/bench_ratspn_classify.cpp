@@ -20,9 +20,12 @@
 
 #include "BenchCommon.h"
 
+#include "backend/BackendRegistry.h"
 #include "runtime/KernelCache.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 using namespace spnc;
 using namespace spnc::bench;
@@ -116,6 +119,33 @@ static void BM_ClassifySpncCpu(benchmark::State &State) {
 BENCHMARK(BM_ClassifySpncCpu)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char **argv) {
+  // Strip --backend[=]NAME before google-benchmark rejects the flag.
+  // A non-VM backend adds a native leg to the report below.
+  std::string BackendName = "vm";
+  {
+    int Out = 1;
+    for (int I = 1; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg.rfind("--backend=", 0) == 0) {
+        BackendName = Arg.substr(std::strlen("--backend="));
+        continue;
+      }
+      if (Arg == "--backend" && I + 1 < argc) {
+        BackendName = argv[++I];
+        continue;
+      }
+      argv[Out++] = argv[I];
+    }
+    argc = Out;
+  }
+  Expected<std::shared_ptr<backend::Backend>> ExtraBackend =
+      backend::BackendRegistry::global().lookup(BackendName);
+  if (!ExtraBackend) {
+    std::fprintf(stderr, "%s\n",
+                 ExtraBackend.getError().message().c_str());
+    return 2;
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -184,6 +214,51 @@ int main(int argc, char **argv) {
   });
   (void)GpuWallSeconds;
 
+  // Optional native leg (--backend=cpp): the same ten CPU kernels,
+  // AOT-compiled to shared objects through a backend-configured cache,
+  // reported alongside the VM numbers.
+  bool HaveNative = false;
+  double NativeSeconds = 0, NativeAccuracy = 0, NativeCompileSeconds = 0;
+  std::string NativeSkipReason;
+  if (BackendName != "vm") {
+    std::shared_ptr<backend::Backend> Native = *ExtraBackend;
+    if (!Native->isAvailable(&NativeSkipReason)) {
+      // Reported below; the VM comparison still runs.
+    } else {
+      KernelCache::Config NativeConfig;
+      NativeConfig.TheBackend = Native;
+      KernelCache NativeCache(NativeConfig);
+      std::vector<CompiledKernel> NativeKernels;
+      for (const spn::Model &Model : W.Classes) {
+        CompilerOptions Options;
+        Options.OptLevel = 1;
+        Options.MaxPartitionSize = fullScale() ? 25000 : 5000;
+        Options.Execution.VectorWidth = 8;
+        CompileStats Stats;
+        Expected<CompiledKernel> Kernel = NativeCache.getOrCompile(
+            Model, spn::QueryConfig(), Options, &Stats);
+        if (!Kernel) {
+          NativeSkipReason = Kernel.getError().message();
+          NativeKernels.clear();
+          break;
+        }
+        NativeCompileSeconds +=
+            static_cast<double>(Stats.TotalNs) * 1e-9;
+        NativeKernels.push_back(Kernel.takeValue());
+      }
+      if (NativeKernels.size() == W.Classes.size()) {
+        auto [Seconds, Accuracy] = classify([&](unsigned Class,
+                                                double *Out) {
+          NativeKernels[Class].execute(W.Data.data(), Out,
+                                       W.NumSamples);
+        });
+        NativeSeconds = Seconds;
+        NativeAccuracy = Accuracy;
+        HaveNative = true;
+      }
+    }
+  }
+
   std::printf("TF CPU (op-at-a-time) : %8.3f s   accuracy %5.1f%%\n",
               TfSeconds, TfAccuracy * 100);
   std::printf("SPNC CPU (vectorized) : %8.3f s   accuracy %5.1f%%   "
@@ -192,6 +267,14 @@ int main(int argc, char **argv) {
   std::printf("SPNC GPU (simulated)  : %8.3f s   accuracy %5.1f%%   "
               "(compile %.2f s total)\n",
               GpuSimSeconds, GpuAccuracy * 100, GpuCompileSeconds);
+  if (HaveNative)
+    std::printf("SPNC %-4s (native .so): %8.3f s   accuracy %5.1f%%   "
+                "(compile %.2f s total)\n",
+                BackendName.c_str(), NativeSeconds,
+                NativeAccuracy * 100, NativeCompileSeconds);
+  else if (BackendName != "vm")
+    std::printf("SPNC %s backend leg skipped: %s\n", BackendName.c_str(),
+                NativeSkipReason.c_str());
   std::printf("paper shape: SPNC CPU beats TF CPU; SPNC GPU trails SPNC "
               "CPU (ten input transfers + launches); accuracies match "
               "across implementations\n");

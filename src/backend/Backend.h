@@ -1,0 +1,147 @@
+//===- Backend.h - Abstract compilation backend interface ---------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between the target-independent compilation pipeline and the
+/// ways a compiled kernel can actually run. A `Backend` turns the
+/// pipeline's portable `vm::KernelProgram` into a loaded
+/// `ExecutionEngine` — the bytecode interpreters (`VmBackend`), or a
+/// natively compiled shared object (`CppBackend`) — and contributes an
+/// `artifactFingerprint()` to the kernel-cache key so kernels produced
+/// by different backends never alias.
+///
+/// Like runtime/ExecutionEngine.h, this header is deliberately
+/// header-only and link-free: the interface lives above the runtime
+/// pipeline it consumes, while concrete backends (and the registry) are
+/// free to pull in whatever execution machinery they need. Target
+/// validation is part of the interface — `validateTarget` turns a
+/// request for an unsupported target into a clear diagnostic instead of
+/// a silent fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_BACKEND_BACKEND_H
+#define SPNC_BACKEND_BACKEND_H
+
+#include "runtime/ExecutionEngine.h"
+#include "runtime/Pipeline.h"
+#include "support/Expected.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spnc {
+namespace backend {
+
+/// The result of backend compilation: a loaded, executable engine plus
+/// the identity of the backend that produced it. The name/fingerprint
+/// pair is what the kernel cache folds into its keys (see
+/// KernelCache::makeKey), so artifacts from different backends — or
+/// from incompatible versions of one backend — never collide.
+struct CompiledArtifact {
+  std::shared_ptr<runtime::ExecutionEngine> Engine;
+  /// Name of the producing backend ("vm", "cpp", ...).
+  std::string BackendName;
+  /// The producing backend's artifactFingerprint() at compile time.
+  uint64_t Fingerprint = 0;
+};
+
+/// Abstract compilation backend. Implementations must be immutable
+/// after construction: `compile` and `materialize` may be called
+/// concurrently from many threads (the kernel cache does exactly that).
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  /// Stable, unique backend name; the registry key and the user-facing
+  /// `--backend` spelling. Thread-safe.
+  virtual std::string getName() const = 0;
+
+  /// The targets this backend can produce engines for. Thread-safe;
+  /// constant for the backend's lifetime.
+  virtual std::vector<runtime::Target> supportedTargets() const = 0;
+
+  /// True when \p TheTarget is in supportedTargets().
+  bool supportsTarget(runtime::Target TheTarget) const {
+    for (runtime::Target T : supportedTargets())
+      if (T == TheTarget)
+        return true;
+    return false;
+  }
+
+  /// Checks \p TheTarget against supportedTargets(); on mismatch
+  /// returns a diagnostic naming the backend, the requested target and
+  /// the supported set — requesting Target::GPU from a CPU-only
+  /// backend fails loudly instead of silently falling back.
+  std::optional<Error> validateTarget(runtime::Target TheTarget) const {
+    if (supportsTarget(TheTarget))
+      return std::nullopt;
+    std::string Supported;
+    for (runtime::Target T : supportedTargets()) {
+      if (!Supported.empty())
+        Supported += ", ";
+      Supported += runtime::targetName(T);
+    }
+    return makeError("backend '" + getName() + "' does not support target '" +
+                     runtime::targetName(TheTarget) +
+                     "'; supported targets: " + Supported);
+  }
+
+  /// Stable fingerprint over everything that changes the produced
+  /// artifact beyond the (model, query, pipeline-config) key: the
+  /// backend identity, its code-emission version, host-toolchain
+  /// flags, ... Folded into kernel-cache keys. Thread-safe.
+  virtual uint64_t artifactFingerprint() const = 0;
+
+  /// True when the backend can run on this host. Backends with external
+  /// requirements (a host compiler, dlopen) override this; \p Reason,
+  /// when non-null, receives a human-readable explanation on false.
+  /// Thread-safe.
+  virtual bool isAvailable(std::string *Reason = nullptr) const {
+    (void)Reason;
+    return true;
+  }
+
+  /// Compiles \p Model for \p Query by running \p Pipeline and lowering
+  /// the resulting program into a loaded engine. The pipeline is
+  /// caller-prepared (validated config, custom stages already
+  /// registered) so cache keying over the configured stage set stays in
+  /// the caller's hands. Fails on unsupported targets (validateTarget
+  /// diagnostics), pipeline failures, or backend-specific lowering
+  /// errors. Thread-safe.
+  virtual Expected<CompiledArtifact>
+  compile(const runtime::CompilationPipeline &Pipeline,
+          const spn::Model &Model, const spn::QueryConfig &Query,
+          runtime::CompileStats *Stats = nullptr) const = 0;
+
+  /// Convenience overload building a default pipeline from \p Options.
+  Expected<CompiledArtifact> compile(const spn::Model &Model,
+                                     const spn::QueryConfig &Query,
+                                     const runtime::CompilerOptions &Options,
+                                     runtime::CompileStats *Stats = nullptr) const {
+    Expected<runtime::CompilationPipeline> Pipeline =
+        runtime::CompilationPipeline::create(Options);
+    if (!Pipeline)
+      return Pipeline.getError();
+    return compile(*Pipeline, Model, Query, Stats);
+  }
+
+  /// Turns an already-compiled portable program (e.g. a `.spnk`
+  /// disk-cache hit) into a loaded engine under \p Config, skipping the
+  /// pipeline. May fail for backends that re-lower the program on the
+  /// host (missing toolchain); the kernel cache treats such failures
+  /// like disk corruption and recompiles. Thread-safe.
+  virtual Expected<CompiledArtifact>
+  materialize(vm::KernelProgram Program,
+              const runtime::PipelineConfig &Config) const = 0;
+};
+
+} // namespace backend
+} // namespace spnc
+
+#endif // SPNC_BACKEND_BACKEND_H

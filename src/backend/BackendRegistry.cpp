@@ -1,0 +1,79 @@
+//===- BackendRegistry.cpp - Named backend factory registry -------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/BackendRegistry.h"
+
+#include "backend/CppBackend.h"
+#include "backend/VmBackend.h"
+
+using namespace spnc;
+using namespace spnc::backend;
+
+std::optional<Error>
+BackendRegistry::registerBackend(const std::string &Name,
+                                 Factory TheFactory) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!TheFactory)
+    return makeError("cannot register backend '" + Name +
+                     "' with a null factory");
+  if (Factories.count(Name))
+    return makeError("backend '" + Name +
+                     "' is already registered; backend names must be "
+                     "unique");
+  Names.push_back(Name);
+  Factories.emplace(Name, std::move(TheFactory));
+  return std::nullopt;
+}
+
+Expected<std::shared_ptr<Backend>>
+BackendRegistry::lookup(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto Cached = Instances.find(Name);
+  if (Cached != Instances.end())
+    return Cached->second;
+  auto It = Factories.find(Name);
+  if (It == Factories.end()) {
+    std::string Known;
+    for (const std::string &N : Names) {
+      if (!Known.empty())
+        Known += ", ";
+      Known += N;
+    }
+    return makeError("unknown backend '" + Name + "'; registered backends: " +
+                     (Known.empty() ? std::string("<none>") : Known));
+  }
+  std::shared_ptr<Backend> Instance = It->second();
+  if (!Instance)
+    return makeError("backend factory for '" + Name + "' returned null");
+  Instances.emplace(Name, Instance);
+  return Instance;
+}
+
+bool BackendRegistry::contains(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Factories.count(Name) != 0;
+}
+
+std::vector<std::string> BackendRegistry::getNames() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Names;
+}
+
+BackendRegistry &BackendRegistry::global() {
+  // Lazily constructed and populated: a static-initializer-based
+  // auto-registration scheme would be dropped by the linker for static
+  // libraries whose objects are otherwise unreferenced.
+  static BackendRegistry *Registry = [] {
+    auto *R = new BackendRegistry();
+    (void)R->registerBackend("vm",
+                             [] { return std::make_shared<VmBackend>(); });
+    (void)R->registerBackend("cpp",
+                             [] { return std::make_shared<CppBackend>(); });
+    return R;
+  }();
+  return *Registry;
+}

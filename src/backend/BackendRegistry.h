@@ -1,0 +1,79 @@
+//===- BackendRegistry.h - Named backend factory registry ---------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps backend names to factories and lazily constructed, shared
+/// backend instances. The process-wide `global()` registry comes
+/// pre-populated with the built-in backends ("vm", "cpp") on first use
+/// — lazy registration instead of static initializers, which are
+/// silently dropped when a static library's object files go unused.
+/// Registration and lookup diagnose duplicates and unknown names (the
+/// latter listing what is registered, so a `--backend` typo is
+/// self-explaining).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_BACKEND_BACKENDREGISTRY_H
+#define SPNC_BACKEND_BACKENDREGISTRY_H
+
+#include "backend/Backend.h"
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+namespace spnc {
+namespace backend {
+
+/// Thread-safe name -> backend registry. Instances constructed through
+/// lookup() are cached and shared between callers (backends are
+/// immutable, so sharing is safe).
+class BackendRegistry {
+public:
+  using Factory = std::function<std::shared_ptr<Backend>()>;
+
+  /// An empty registry (no built-ins); use global() for the shared,
+  /// pre-populated one.
+  BackendRegistry() = default;
+
+  BackendRegistry(const BackendRegistry &) = delete;
+  BackendRegistry &operator=(const BackendRegistry &) = delete;
+
+  /// Registers \p TheFactory under \p Name. Fails with a diagnostic
+  /// when \p Name is already registered (the registry is unchanged).
+  /// Thread-safe.
+  std::optional<Error> registerBackend(const std::string &Name,
+                                       Factory TheFactory);
+
+  /// The shared instance of the backend registered as \p Name,
+  /// constructing it on first lookup. Fails with a diagnostic listing
+  /// every registered name when \p Name is unknown, and when the
+  /// factory returns null. Thread-safe.
+  Expected<std::shared_ptr<Backend>> lookup(const std::string &Name);
+
+  /// True when \p Name is registered. Thread-safe.
+  bool contains(const std::string &Name) const;
+
+  /// Every registered name, in registration order. Thread-safe.
+  std::vector<std::string> getNames() const;
+
+  /// The process-wide registry, with the built-in backends ("vm",
+  /// "cpp") registered on first use. Thread-safe.
+  static BackendRegistry &global();
+
+private:
+  mutable std::mutex Mutex;
+  /// Registration order kept for deterministic diagnostics/listings.
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, Factory> Factories;
+  std::unordered_map<std::string, std::shared_ptr<Backend>> Instances;
+};
+
+} // namespace backend
+} // namespace spnc
+
+#endif // SPNC_BACKEND_BACKENDREGISTRY_H

@@ -1,0 +1,281 @@
+//===- CppBackend.cpp - AOT native backend via C++ source emission ------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/CppBackend.h"
+
+#include "backend/CppEmitter.h"
+#include "support/Hashing.h"
+#include "support/Timer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPNC_CPP_BACKEND_POSIX 1
+#include <dlfcn.h>
+#include <unistd.h>
+#endif
+
+using namespace spnc;
+using namespace spnc::backend;
+
+namespace {
+
+/// Tail of the host compiler's log, for diagnostics.
+std::string readLogTail(const std::string &Path, size_t MaxBytes = 2000) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::string();
+  std::string Content;
+  char Chunk[1024];
+  size_t Read;
+  while ((Read = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+    Content.append(Chunk, Read);
+  std::fclose(File);
+  if (Content.size() > MaxBytes)
+    Content = "..." + Content.substr(Content.size() - MaxBytes);
+  return Content;
+}
+
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Content.data(), 1, Content.size(), File);
+  return std::fclose(File) == 0 && Written == Content.size();
+}
+
+#ifdef SPNC_CPP_BACKEND_POSIX
+
+/// Signature of the emitted entry point (see CppEmitter.h).
+using KernelFn = void (*)(const double *, double *, size_t);
+
+/// ExecutionEngine over a dlopen'ed native kernel. Retains the portable
+/// program so `getProgram`-based consumers (saveCompiledKernel, work
+/// accounting) behave exactly as with the VM engines. Owns the shared
+/// object handle and, unless artifacts are kept, the on-disk build
+/// directory.
+class NativeEngine : public runtime::ExecutionEngine {
+public:
+  NativeEngine(vm::KernelProgram TheProgram, void *Handle, KernelFn Fn,
+               std::string ArtifactDir, bool KeepArtifacts,
+               std::string Description)
+      : Program(std::move(TheProgram)), Handle(Handle), Fn(Fn),
+        ArtifactDir(std::move(ArtifactDir)),
+        KeepArtifacts(KeepArtifacts),
+        Description(std::move(Description)) {}
+
+  ~NativeEngine() override {
+    if (Handle)
+      dlclose(Handle);
+    if (!KeepArtifacts && !ArtifactDir.empty()) {
+      std::error_code EC;
+      std::filesystem::remove_all(ArtifactDir, EC);
+    }
+  }
+
+  NativeEngine(const NativeEngine &) = delete;
+  NativeEngine &operator=(const NativeEngine &) = delete;
+
+  void execute(const double *Input, double *Output, size_t NumSamples,
+               runtime::ExecutionStats *Stats = nullptr) const override {
+    Timer WallTimer;
+    Fn(Input, Output, NumSamples);
+    if (Stats) {
+      *Stats = runtime::ExecutionStats();
+      Stats->WallNs = WallTimer.elapsedNs();
+      Stats->NumSamples = NumSamples;
+    }
+  }
+
+  const vm::KernelProgram *getProgram() const override { return &Program; }
+
+  runtime::Target getTarget() const override {
+    return runtime::Target::CPU;
+  }
+
+  std::string describe() const override { return Description; }
+
+private:
+  vm::KernelProgram Program;
+  void *Handle;
+  KernelFn Fn;
+  std::string ArtifactDir;
+  bool KeepArtifacts;
+  std::string Description;
+};
+
+#endif // SPNC_CPP_BACKEND_POSIX
+
+} // namespace
+
+std::string CppBackend::resolveCompiler() const {
+  if (!Options.CompilerPath.empty())
+    return Options.CompilerPath;
+  if (const char *Env = std::getenv("CXX"))
+    if (Env[0] != '\0')
+      return Env;
+  return "c++";
+}
+
+uint64_t CppBackend::artifactFingerprint() const {
+  // Everything that changes the produced .so for a fixed program:
+  // emitter semantics, toolchain identity, codegen flags.
+  size_t Seed = fnv1a64("cpp", 3);
+  hashCombineSeed(Seed, kCppEmitterVersion);
+  std::string Compiler = resolveCompiler();
+  hashCombineSeed(Seed, fnv1a64(Compiler.data(), Compiler.size()));
+  for (const std::string &Flag : Options.ExtraFlags)
+    hashCombineSeed(Seed, fnv1a64(Flag.data(), Flag.size()));
+  return Seed;
+}
+
+bool CppBackend::isAvailable(std::string *Reason) const {
+#ifndef SPNC_CPP_BACKEND_POSIX
+  if (Reason)
+    *Reason = "cpp backend requires a POSIX host (dlopen)";
+  return false;
+#else
+  std::lock_guard<std::mutex> Lock(ProbeMutex);
+  if (!Probed) {
+    Probed = true;
+    std::string Command = "\"";
+    Command += resolveCompiler();
+    Command += "\" --version > /dev/null 2>&1";
+    if (std::system(Command.c_str()) != 0) {
+      std::string Message = "host compiler '";
+      Message += resolveCompiler();
+      Message += "' not found or not runnable";
+      ProbeFailure = std::move(Message);
+    }
+  }
+  if (ProbeFailure && Reason)
+    *Reason = *ProbeFailure;
+  return !ProbeFailure;
+#endif
+}
+
+Expected<CompiledArtifact>
+CppBackend::compile(const runtime::CompilationPipeline &Pipeline,
+                    const spn::Model &Model,
+                    const spn::QueryConfig &Query,
+                    runtime::CompileStats *Stats) const {
+  // Validate the target before spending pipeline time: a GPU request
+  // must fail with the backend diagnostic, not a lowering artifact.
+  if (std::optional<Error> Err =
+          validateTarget(Pipeline.getConfig().getOptions().TheTarget))
+    return *Err;
+  std::string Reason;
+  if (!isAvailable(&Reason))
+    return makeError("cpp backend unavailable: " + Reason);
+  Expected<vm::KernelProgram> Program =
+      Pipeline.compile(Model, Query, Stats);
+  if (!Program)
+    return Program.getError();
+  Timer NativeTimer;
+  Expected<CompiledArtifact> Artifact =
+      materialize(Program.takeValue(), Pipeline.getConfig());
+  if (Artifact && Stats) {
+    // Account the emit+host-compile+load work as an extra stage of the
+    // §V-B1 breakdown.
+    Stats->Stages.push_back({"cpp-native", NativeTimer.elapsedNs()});
+    Stats->TotalNs += NativeTimer.elapsedNs();
+  }
+  return Artifact;
+}
+
+Expected<CompiledArtifact>
+CppBackend::materialize(vm::KernelProgram Program,
+                        const runtime::PipelineConfig &Config) const {
+#ifndef SPNC_CPP_BACKEND_POSIX
+  (void)Config;
+  return makeError("cpp backend unavailable: requires a POSIX host");
+#else
+  if (std::optional<Error> Err =
+          validateTarget(Config.getOptions().TheTarget))
+    return *Err;
+  std::string Reason;
+  if (!isAvailable(&Reason))
+    return makeError("cpp backend unavailable: " + Reason);
+
+  Expected<std::string> Source = emitCppKernel(Program);
+  if (!Source)
+    return Source.getError();
+
+  // Build directory: a fresh mkdtemp under WorkDir (or $TMPDIR/tmp).
+  std::string Base = Options.WorkDir;
+  if (Base.empty()) {
+    const char *Tmp = std::getenv("TMPDIR");
+    Base = Tmp && Tmp[0] ? Tmp : "/tmp";
+  } else {
+    std::error_code EC;
+    std::filesystem::create_directories(Base, EC);
+  }
+  std::string Template = Base + "/spnc-cpp-XXXXXX";
+  std::vector<char> DirBuf(Template.begin(), Template.end());
+  DirBuf.push_back('\0');
+  if (!mkdtemp(DirBuf.data()))
+    return makeError("cpp backend: cannot create build directory under '" +
+                     Base + "': " + std::strerror(errno));
+  std::string Dir = DirBuf.data();
+  bool Keep = Options.KeepArtifacts || !Options.WorkDir.empty();
+  auto FailAndCleanup = [&](const std::string &Message) -> Error {
+    if (!Keep) {
+      std::error_code EC;
+      std::filesystem::remove_all(Dir, EC);
+    }
+    return makeError(Message);
+  };
+
+  std::string SourcePath = Dir + "/kernel.cpp";
+  std::string SoPath = Dir + "/kernel.so";
+  std::string LogPath = Dir + "/compile.log";
+  if (!writeFile(SourcePath, *Source))
+    return FailAndCleanup("cpp backend: cannot write '" + SourcePath +
+                          "': " + std::strerror(errno));
+
+  std::string Compiler = resolveCompiler();
+  std::string Command = "\"" + Compiler + "\" -std=c++17";
+  for (const std::string &Flag : Options.ExtraFlags)
+    Command += " " + Flag;
+  Command += " -fPIC -shared \"" + SourcePath + "\" -o \"" + SoPath +
+             "\" > \"" + LogPath + "\" 2>&1";
+  if (std::system(Command.c_str()) != 0)
+    return FailAndCleanup("cpp backend: host compilation failed "
+                          "(command: " +
+                          Command + "): " + readLogTail(LogPath));
+
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *DlError = dlerror();
+    return FailAndCleanup("cpp backend: cannot load '" + SoPath +
+                          "': " + (DlError ? DlError : "unknown error"));
+  }
+  auto Fn = reinterpret_cast<KernelFn>(dlsym(Handle, kCppKernelSymbol));
+  if (!Fn) {
+    dlclose(Handle);
+    return FailAndCleanup("cpp backend: '" + SoPath + "' has no '" +
+                          std::string(kCppKernelSymbol) + "' symbol");
+  }
+
+  std::string Description = "cpp native (" + Compiler;
+  for (const std::string &Flag : Options.ExtraFlags)
+    Description += " " + Flag;
+  Description += ")";
+
+  CompiledArtifact Artifact;
+  Artifact.Engine = std::make_shared<NativeEngine>(
+      std::move(Program), Handle, Fn, Dir, Keep, std::move(Description));
+  Artifact.BackendName = getName();
+  Artifact.Fingerprint = artifactFingerprint();
+  return Artifact;
+#endif
+}

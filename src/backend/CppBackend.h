@@ -1,0 +1,93 @@
+//===- CppBackend.h - AOT native backend via C++ source emission --------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "true native" backend the paper's LLVM pipeline corresponds to:
+/// the compiled `vm::KernelProgram` is emitted as a standalone C++
+/// evaluation function (CppEmitter.h), built into a shared object by
+/// the host toolchain, and `dlopen`ed behind the standard
+/// `ExecutionEngine` interface — so the serving layer, the CLI and
+/// every bench run native kernels unmodified. CPU only; requesting the
+/// GPU target fails with a validateTarget diagnostic. Unavailable hosts
+/// (no compiler on PATH, non-POSIX) are reported through isAvailable()
+/// so callers can skip gracefully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_BACKEND_CPPBACKEND_H
+#define SPNC_BACKEND_CPPBACKEND_H
+
+#include "backend/Backend.h"
+
+#include <mutex>
+#include <optional>
+
+namespace spnc {
+namespace backend {
+
+/// Host-toolchain configuration of the CppBackend.
+struct CppBackendOptions {
+  /// Host C++ compiler; empty selects $CXX, falling back to "c++".
+  std::string CompilerPath;
+  /// Optimization/codegen flags appended to the fixed
+  /// "-std=c++17 -fPIC -shared" invocation. Part of the artifact
+  /// fingerprint.
+  std::vector<std::string> ExtraFlags = {"-O2", "-march=native"};
+  /// Directory for emitted sources and shared objects; empty uses a
+  /// fresh mkdtemp directory per kernel, removed when the engine dies.
+  std::string WorkDir;
+  /// Keep the generated .cpp/.so/compile log instead of cleaning up
+  /// (debugging aid; implied for kernels built under WorkDir).
+  bool KeepArtifacts = false;
+};
+
+/// Compiles kernels ahead-of-time into native shared objects.
+class CppBackend : public Backend {
+public:
+  CppBackend() = default;
+  explicit CppBackend(CppBackendOptions TheOptions)
+      : Options(std::move(TheOptions)) {}
+
+  std::string getName() const override { return "cpp"; }
+
+  std::vector<runtime::Target> supportedTargets() const override {
+    return {runtime::Target::CPU};
+  }
+
+  uint64_t artifactFingerprint() const override;
+
+  /// Probes the host toolchain once (result cached): a POSIX host with
+  /// a working compiler on PATH.
+  bool isAvailable(std::string *Reason = nullptr) const override;
+
+  Expected<CompiledArtifact>
+  compile(const runtime::CompilationPipeline &Pipeline,
+          const spn::Model &Model, const spn::QueryConfig &Query,
+          runtime::CompileStats *Stats = nullptr) const override;
+
+  Expected<CompiledArtifact>
+  materialize(vm::KernelProgram Program,
+              const runtime::PipelineConfig &Config) const override;
+
+  const CppBackendOptions &getOptions() const { return Options; }
+
+  /// The compiler command actually invoked ($CXX / "c++" resolution
+  /// applied).
+  std::string resolveCompiler() const;
+
+private:
+  CppBackendOptions Options;
+  /// Availability probe result, filled on first isAvailable() call.
+  mutable std::mutex ProbeMutex;
+  mutable std::optional<std::string> ProbeFailure;
+  mutable bool Probed = false;
+};
+
+} // namespace backend
+} // namespace spnc
+
+#endif // SPNC_BACKEND_CPPBACKEND_H

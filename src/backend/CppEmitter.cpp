@@ -1,0 +1,379 @@
+//===- CppEmitter.cpp - KernelProgram -> standalone C++ source ----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+//
+// The emitted translation unit is structured like the scalar
+// interpreter's execution of one chunk covering the whole batch:
+//
+//   * one std::vector per intermediate buffer ([slot][sample] layout),
+//   * one sample loop per kernel step, with a fresh register file per
+//     iteration — a straight-line basic block the host compiler's
+//     auto-vectorizer can work on,
+//   * arithmetic copied cast-for-cast from vm::executeSample, with all
+//     constants spelled as hexadecimal float literals so no precision
+//     is lost in the round trip through source text.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/CppEmitter.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace spnc;
+using namespace spnc::backend;
+using namespace spnc::vm;
+
+namespace {
+
+/// printf-append onto \p Out.
+void appendf(std::string &Out, const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  char Buffer[512];
+  int Length = std::vsnprintf(Buffer, sizeof(Buffer), Format, Args);
+  va_end(Args);
+  if (Length > 0)
+    Out.append(Buffer, static_cast<size_t>(Length));
+}
+
+/// Renders \p Value as a C++17 expression of type double that
+/// round-trips exactly: hexadecimal float literals for finite values,
+/// numeric_limits spellings for the specials.
+std::string formatDouble(double Value) {
+  if (std::isnan(Value))
+    return "std::numeric_limits<double>::quiet_NaN()";
+  if (std::isinf(Value))
+    return Value > 0 ? "std::numeric_limits<double>::infinity()"
+                     : "-std::numeric_limits<double>::infinity()";
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%a", Value);
+  return Buffer;
+}
+
+/// The same, pre-cast to the kernel's compute type.
+std::string formatValue(double Value) {
+  return "(value_t)" + formatDouble(Value);
+}
+
+/// Element-index expression for buffer \p BufIdx at compile-time column
+/// \p Col and loop variable "i". One chunk covers the whole batch, so
+/// Offset is 0 and the transposed stride is the sample count "n"
+/// (matching the CPU executor's binding of a single full chunk).
+std::string indexExpr(const KernelProgram &Program, uint32_t BufIdx,
+                      uint32_t Col) {
+  const BufferInfo &Info = Program.Buffers[BufIdx];
+  std::string Out;
+  if (Info.Transposed) {
+    if (Col == 0)
+      return "i";
+    appendf(Out, "(size_t)%u * n + i", Col);
+  } else {
+    if (Info.Columns == 1)
+      return "i";
+    appendf(Out, "i * %u + %u", Info.Columns, Col);
+  }
+  return Out;
+}
+
+/// Name of the emitted storage for buffer \p BufIdx.
+std::string bufferName(const KernelProgram &Program, uint32_t BufIdx) {
+  switch (Program.Buffers[BufIdx].Role) {
+  case BufferInfo::Kind::Input:
+    return "in";
+  case BufferInfo::Kind::Output:
+    return "out";
+  case BufferInfo::Kind::Intermediate:
+    break;
+  }
+  std::string Name = "b";
+  Name += std::to_string(BufIdx);
+  return Name;
+}
+
+/// Expression loading one element of \p BufIdx as value_t (external
+/// buffers are double and narrowed on load, like the interpreter).
+std::string loadExpr(const KernelProgram &Program, uint32_t BufIdx,
+                     uint32_t Col) {
+  std::string Element =
+      bufferName(Program, BufIdx) + "[" + indexExpr(Program, BufIdx, Col) + "]";
+  if (Program.Buffers[BufIdx].Role == BufferInfo::Kind::Intermediate)
+    return Element;
+  return "(value_t)" + Element;
+}
+
+/// Statement storing \p Value into one element of \p BufIdx (external
+/// buffers widen back to double, like the interpreter).
+std::string storeStmt(const KernelProgram &Program, uint32_t BufIdx,
+                      uint32_t Col, const std::string &Value) {
+  std::string Element =
+      bufferName(Program, BufIdx) + "[" + indexExpr(Program, BufIdx, Col) + "]";
+  if (Program.Buffers[BufIdx].Role == BufferInfo::Kind::Intermediate)
+    return Element + " = " + Value + ";";
+  return Element + " = (double)(" + Value + ");";
+}
+
+std::string reg(uint32_t Index) {
+  return "r[" + std::to_string(Index) + "]";
+}
+
+/// Emits the body of one instruction at indentation \p Indent. The
+/// arithmetic mirrors vm::executeSample cast for cast; see that
+/// function for the semantics being reproduced.
+void emitInstruction(std::string &Out, const KernelProgram &Program,
+                     const TaskProgram &Task, size_t TaskIdx,
+                     const Instruction &I, const char *Indent) {
+  switch (I.Op) {
+  case OpCode::Const:
+    appendf(Out, "%s%s = %s;\n", Indent, reg(I.Dst).c_str(),
+            formatValue(Task.ConstPool[I.A]).c_str());
+    break;
+  case OpCode::Load: {
+    const BufferAccess &Access = Task.Loads[I.A];
+    appendf(Out, "%s%s = %s;\n", Indent, reg(I.Dst).c_str(),
+            loadExpr(Program, Access.Buffer, Access.Index).c_str());
+    break;
+  }
+  case OpCode::Store: {
+    const BufferAccess &Access = Task.Stores[I.A];
+    appendf(Out, "%s%s\n", Indent,
+            storeStmt(Program, Access.Buffer, Access.Index, reg(I.Dst))
+                .c_str());
+    break;
+  }
+  case OpCode::Add:
+    appendf(Out, "%s%s = %s + %s;\n", Indent, reg(I.Dst).c_str(),
+            reg(I.A).c_str(), reg(I.B).c_str());
+    break;
+  case OpCode::Mul:
+    appendf(Out, "%s%s = %s * %s;\n", Indent, reg(I.Dst).c_str(),
+            reg(I.A).c_str(), reg(I.B).c_str());
+    break;
+  case OpCode::FusedMulAdd:
+    appendf(Out, "%s%s = %s * %s + %s;\n", Indent, reg(I.Dst).c_str(),
+            reg(I.A).c_str(), reg(I.B).c_str(), reg(I.C).c_str());
+    break;
+  case OpCode::LogSumExp:
+    appendf(Out, "%s%s = spnc_log_sum_exp(%s, %s);\n", Indent,
+            reg(I.Dst).c_str(), reg(I.A).c_str(), reg(I.B).c_str());
+    break;
+  case OpCode::Gaussian:
+  case OpCode::GaussianLog: {
+    const GaussianParams &P = Task.Gaussians[I.B];
+    appendf(Out, "%s{\n%s  value_t x = %s;\n", Indent, Indent,
+            reg(I.A).c_str());
+    const char *Body = Indent;
+    std::string Deeper = std::string(Indent) + "  ";
+    if (P.SupportMarginal) {
+      appendf(Out, "%s  if (std::isnan(x)) {\n%s    %s = %s;\n%s  } else {\n",
+              Indent, Indent, reg(I.Dst).c_str(),
+              formatValue(P.MarginalValue).c_str(), Indent);
+      Deeper += "  ";
+      Body = Deeper.c_str();
+    } else {
+      Body = Deeper.c_str();
+    }
+    appendf(Out, "%svalue_t norm = (x - %s) * %s;\n", Body,
+            formatValue(P.Mean).c_str(), formatValue(P.InvStdDev).c_str());
+    if (I.Op == OpCode::Gaussian)
+      appendf(Out,
+              "%s%s = %s * "
+              "(value_t)std::exp((double)((value_t)-0.5 * norm * norm));\n",
+              Body, reg(I.Dst).c_str(), formatValue(P.Coefficient).c_str());
+    else
+      appendf(Out, "%s%s = %s - (value_t)0.5 * norm * norm;\n", Body,
+              reg(I.Dst).c_str(), formatValue(P.Coefficient).c_str());
+    if (P.SupportMarginal)
+      appendf(Out, "%s  }\n", Indent);
+    appendf(Out, "%s}\n", Indent);
+    break;
+  }
+  case OpCode::TableLookup: {
+    const LookupTable &Table = Task.Tables[I.B];
+    std::string TableName =
+        "kTable_t" + std::to_string(TaskIdx) + "_" + std::to_string(I.B);
+    appendf(Out, "%s{\n%s  value_t x = %s;\n", Indent, Indent,
+            reg(I.A).c_str());
+    std::string Deeper = std::string(Indent) + "  ";
+    const char *Body = Deeper.c_str();
+    if (Table.SupportMarginal) {
+      appendf(Out, "%s  if (std::isnan(x)) {\n%s    %s = %s;\n%s  } else {\n",
+              Indent, Indent, reg(I.Dst).c_str(),
+              formatValue(Table.MarginalValue).c_str(), Indent);
+      Deeper += "  ";
+      Body = Deeper.c_str();
+    }
+    appendf(Out,
+            "%slong long idx = (long long)std::floor((double)x - %s);\n",
+            Body, formatDouble(Table.Lo).c_str());
+    appendf(Out,
+            "%s%s = (idx >= 0 && idx < (long long)%zu) ? "
+            "(value_t)%s[idx] : %s;\n",
+            Body, reg(I.Dst).c_str(), Table.Values.size(),
+            TableName.c_str(), formatValue(Table.DefaultValue).c_str());
+    if (Table.SupportMarginal)
+      appendf(Out, "%s  }\n", Indent);
+    appendf(Out, "%s}\n", Indent);
+    break;
+  }
+  case OpCode::SelectInRange: {
+    const SelectRange &Range = Task.Selects[I.B];
+    // NaN compares false, so marginalized evidence keeps the previous
+    // register value — same as the interpreter.
+    appendf(Out, "%sif (%s >= %s && %s < %s) %s = %s;\n", Indent,
+            reg(I.A).c_str(), formatValue(Range.Lo).c_str(),
+            reg(I.A).c_str(), formatValue(Range.Hi).c_str(),
+            reg(I.Dst).c_str(), formatValue(Range.Value).c_str());
+    break;
+  }
+  case OpCode::NanBlend:
+    appendf(Out, "%sif (std::isnan(%s)) %s = %s;\n", Indent,
+            reg(I.A).c_str(), reg(I.Dst).c_str(),
+            formatValue(Task.ConstPool[I.B]).c_str());
+    break;
+  case OpCode::AddN:
+  case OpCode::MulN: {
+    // Accumulate in Args order from the identity, exactly like the
+    // interpreter's scalar loop.
+    bool IsAdd = I.Op == OpCode::AddN;
+    appendf(Out, "%s{\n%s  value_t acc = (value_t)%d;\n", Indent, Indent,
+            IsAdd ? 0 : 1);
+    for (uint32_t N = 0; N < I.B; ++N)
+      appendf(Out, "%s  acc %s= %s;\n", Indent, IsAdd ? "+" : "*",
+              reg(Task.Args[I.A + N]).c_str());
+    appendf(Out, "%s  %s = acc;\n%s}\n", Indent, reg(I.Dst).c_str(),
+            Indent);
+    break;
+  }
+  case OpCode::LogSumExpN: {
+    appendf(Out, "%s{\n%s  value_t max = kNegInf;\n", Indent, Indent);
+    for (uint32_t N = 0; N < I.B; ++N) {
+      std::string Operand = reg(Task.Args[I.A + N]);
+      appendf(Out, "%s  max = %s > max ? %s : max;\n", Indent,
+              Operand.c_str(), Operand.c_str());
+    }
+    appendf(Out,
+            "%s  if (max == kNegInf) {\n%s    %s = max;\n%s  } else {\n",
+            Indent, Indent, reg(I.Dst).c_str(), Indent);
+    appendf(Out, "%s    value_t sum = (value_t)0;\n", Indent);
+    for (uint32_t N = 0; N < I.B; ++N)
+      appendf(Out, "%s    sum += (value_t)std::exp((double)(%s - max));\n",
+              Indent, reg(Task.Args[I.A + N]).c_str());
+    appendf(Out,
+            "%s    %s = max + (value_t)std::log((double)sum);\n%s  }\n%s}\n",
+            Indent, reg(I.Dst).c_str(), Indent, Indent);
+    break;
+  }
+  }
+}
+
+} // namespace
+
+Expected<std::string>
+spnc::backend::emitCppKernel(const KernelProgram &Program) {
+  if (Program.NumInputs != 1 || Program.NumOutputs != 1)
+    return makeError(
+        "cpp emitter supports kernels with one input and one output "
+        "buffer (got " +
+        std::to_string(Program.NumInputs) + " inputs, " +
+        std::to_string(Program.NumOutputs) + " outputs)");
+
+  std::string Out;
+  appendf(Out,
+          "// Generated by the SPNC cpp backend (emitter v%u) from "
+          "kernel '%s'.\n"
+          "// compute type: %s; %s space; lowering: %s.\n",
+          kCppEmitterVersion, Program.Name.c_str(),
+          Program.UseF32 ? "f32" : "f64",
+          Program.LogSpace ? "log" : "linear",
+          Program.Lowering == LoweringKind::SelectCascade
+              ? "select-cascade"
+              : "table-lookup");
+  Out += "#include <cmath>\n"
+         "#include <cstddef>\n"
+         "#include <limits>\n"
+         "#include <vector>\n"
+         "\n"
+         "namespace {\n";
+  appendf(Out, "typedef %s value_t;\n",
+          Program.UseF32 ? "float" : "double");
+  Out += "const value_t kNegInf = "
+         "-std::numeric_limits<value_t>::infinity();\n"
+         "\n"
+         "// Mirrors the interpreter's scalarLogSumExp: max + "
+         "log1p(exp(min - max)),\n"
+         "// with the exp/log1p round trip through double.\n"
+         "inline value_t spnc_log_sum_exp(value_t a, value_t b) {\n"
+         "  value_t max = a > b ? a : b;\n"
+         "  if (max == kNegInf)\n"
+         "    return max;\n"
+         "  value_t diff = (a > b ? b : a) - max;\n"
+         "  return max + (value_t)std::log1p(std::exp((double)diff));\n"
+         "}\n";
+
+  // Dense lookup tables, one static array per (task, table).
+  for (size_t T = 0; T < Program.Tasks.size(); ++T) {
+    const TaskProgram &Task = Program.Tasks[T];
+    for (size_t J = 0; J < Task.Tables.size(); ++J) {
+      const LookupTable &Table = Task.Tables[J];
+      // A zero-length array is ill-formed; an empty table (never
+      // indexed: the bounds check rejects everything) gets one dummy
+      // element.
+      appendf(Out, "\nstatic const double kTable_t%zu_%zu[%zu] = {\n", T,
+              J, Table.Values.empty() ? size_t(1) : Table.Values.size());
+      if (Table.Values.empty())
+        Out += "  0.0,\n";
+      for (size_t V = 0; V < Table.Values.size(); ++V) {
+        appendf(Out, "  %s,", formatDouble(Table.Values[V]).c_str());
+        Out += (V % 4 == 3 || V + 1 == Table.Values.size()) ? "\n" : "";
+      }
+      Out += "};\n";
+    }
+  }
+  Out += "\n} // namespace\n\n";
+
+  appendf(Out,
+          "extern \"C\" void %s(const double *__restrict in, "
+          "double *__restrict out, size_t n) {\n",
+          kCppKernelSymbol);
+
+  // Intermediate buffers, [slot][sample] like the executor's scratch.
+  for (size_t B = 0; B < Program.Buffers.size(); ++B)
+    if (Program.Buffers[B].Role == BufferInfo::Kind::Intermediate)
+      appendf(Out, "  std::vector<value_t> b%zu((size_t)%u * n);\n", B,
+              Program.Buffers[B].Columns);
+
+  for (size_t S = 0; S < Program.Steps.size(); ++S) {
+    const KernelStep &Step = Program.Steps[S];
+    if (Step.Task < 0) {
+      // Buffer-to-buffer copy (copy avoidance disabled).
+      uint32_t Src = static_cast<uint32_t>(Step.CopySrc);
+      uint32_t Dst = static_cast<uint32_t>(Step.CopyDst);
+      appendf(Out, "  // step %zu: copy buffer %u -> %u\n", S, Src, Dst);
+      for (uint32_t Col = 0; Col < Program.Buffers[Src].Columns; ++Col) {
+        appendf(Out, "  for (size_t i = 0; i < n; ++i)\n    %s\n",
+                storeStmt(Program, Dst, Col, loadExpr(Program, Src, Col))
+                    .c_str());
+      }
+      continue;
+    }
+    const TaskProgram &Task = Program.Tasks[Step.Task];
+    appendf(Out,
+            "  // step %zu: task %d (%zu instructions, %u registers)\n"
+            "  for (size_t i = 0; i < n; ++i) {\n"
+            "    value_t r[%u] = {};\n",
+            S, Step.Task, Task.Code.size(), Task.NumRegisters,
+            Task.NumRegisters ? Task.NumRegisters : 1u);
+    for (const Instruction &I : Task.Code)
+      emitInstruction(Out, Program, Task, static_cast<size_t>(Step.Task),
+                      I, "    ");
+    Out += "  }\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- CppEmitter.h - KernelProgram -> standalone C++ source ------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a compiled `vm::KernelProgram` as a standalone, vectorizable
+/// C++ translation unit exposing one `extern "C"` evaluation function —
+/// the source-emission half of the CppBackend (a host compiler turns
+/// the source into a `.so`). The emitted code mirrors the scalar
+/// interpreter's arithmetic exactly, operation for operation and cast
+/// for cast (constants are spelled as hexadecimal float literals), so
+/// the native kernel reproduces the VM bit-for-bit up to the compiler's
+/// freedom over expression reassociation — which the emitter never
+/// grants (-ffast-math is never passed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_BACKEND_CPPEMITTER_H
+#define SPNC_BACKEND_CPPEMITTER_H
+
+#include "support/Expected.h"
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace spnc {
+namespace backend {
+
+/// Bumped whenever the emitted code's semantics or ABI change; folded
+/// into the CppBackend's artifact fingerprint so cached native kernels
+/// from older emitters are never reused.
+inline constexpr unsigned kCppEmitterVersion = 1;
+
+/// Name of the emitted `extern "C"` entry point:
+///   void spnc_kernel_run(const double *in, double *out, size_t n);
+/// `in` is row-major [sample][feature]; `out` receives one value per
+/// sample and output slot.
+inline constexpr const char *kCppKernelSymbol = "spnc_kernel_run";
+
+/// Renders \p Program as a complete C++17 translation unit. Fails on
+/// programs the emitter cannot express (more than one external input or
+/// output buffer — the same restriction the CPU executor imposes).
+Expected<std::string> emitCppKernel(const vm::KernelProgram &Program);
+
+} // namespace backend
+} // namespace spnc
+
+#endif // SPNC_BACKEND_CPPEMITTER_H

@@ -7,6 +7,7 @@
 
 #include "runtime/Compiler.h"
 
+#include "backend/VmBackend.h"
 #include "vm/ProgramBinary.h"
 
 #include <cerrno>
@@ -25,11 +26,12 @@ spnc::runtime::compileModel(const spn::Model &TheModel,
       CompilationPipeline::create(Options);
   if (!Pipeline)
     return Pipeline.getError();
-  Expected<vm::KernelProgram> Program =
-      Pipeline->compile(TheModel, Config, Stats);
-  if (!Program)
-    return Program.getError();
-  return CompiledKernel(Pipeline->makeEngine(Program.takeValue()));
+  backend::VmBackend Vm;
+  Expected<backend::CompiledArtifact> Artifact =
+      Vm.compile(*Pipeline, TheModel, Config, Stats);
+  if (!Artifact)
+    return Artifact.getError();
+  return CompiledKernel(std::move(Artifact->Engine));
 }
 
 LogicalResult
@@ -117,12 +119,18 @@ Expected<CompiledKernel> spnc::runtime::loadCompiledKernel(
                  Path.c_str(), targetName(Recorded),
                  targetName(TheTarget));
 
-  std::shared_ptr<ExecutionEngine> Engine;
-  if (TheTarget == Target::GPU)
-    Engine = std::make_shared<gpusim::GpuExecutor>(Program.takeValue(),
-                                                   Device, GpuBlockSize);
-  else
-    Engine = std::make_shared<vm::CpuExecutor>(Program.takeValue(),
-                                               Execution);
-  return CompiledKernel(std::move(Engine));
+  CompilerOptions Options;
+  Options.TheTarget = TheTarget;
+  Options.Execution = Execution;
+  Options.Device = Device;
+  Options.GpuBlockSize = GpuBlockSize;
+  Expected<PipelineConfig> Config = PipelineConfig::create(Options);
+  if (!Config)
+    return Config.getError();
+  backend::VmBackend Vm;
+  Expected<backend::CompiledArtifact> Artifact =
+      Vm.materialize(Program.takeValue(), *Config);
+  if (!Artifact)
+    return Artifact.getError();
+  return CompiledKernel(std::move(Artifact->Engine));
 }

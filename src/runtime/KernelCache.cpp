@@ -7,6 +7,7 @@
 
 #include "runtime/KernelCache.h"
 
+#include "backend/VmBackend.h"
 #include "support/Casting.h"
 #include "support/Hashing.h"
 #include "vm/ProgramBinary.h"
@@ -19,6 +20,19 @@
 
 using namespace spnc;
 using namespace spnc::runtime;
+
+namespace {
+
+/// The backend a cache without an explicit `Config::TheBackend` uses —
+/// the bytecode VM path, matching the pre-registry behavior (and the
+/// pre-registry cache keys: the VM backend's identity is folded into
+/// every key, including those of legacy makeKey callers).
+const backend::Backend &defaultBackend() {
+  static const backend::VmBackend Vm;
+  return Vm;
+}
+
+} // namespace
 
 uint64_t KernelCache::hashModel(const spn::Model &Model) {
   size_t Seed = hashCombine(Model.getNumFeatures());
@@ -71,6 +85,15 @@ uint64_t KernelCache::makeKey(const spn::Model &Model,
                               const spn::QueryConfig &Query,
                               const PipelineConfig &Config,
                               uint64_t StageFingerprint) {
+  return makeKey(Model, Query, Config, StageFingerprint,
+                 defaultBackend());
+}
+
+uint64_t KernelCache::makeKey(const spn::Model &Model,
+                              const spn::QueryConfig &Query,
+                              const PipelineConfig &Config,
+                              uint64_t StageFingerprint,
+                              const backend::Backend &TheBackend) {
   size_t Seed = hashModel(Model);
   hashCombineSeed(Seed,
                   hashCombine(Query.BatchSize, Query.LogSpace,
@@ -78,6 +101,9 @@ uint64_t KernelCache::makeKey(const spn::Model &Model,
                               static_cast<unsigned>(Query.DataType)));
   hashCombineSeed(Seed, Config.hash());
   hashCombineSeed(Seed, StageFingerprint);
+  const std::string &Name = TheBackend.getName();
+  hashCombineSeed(Seed, fnv1a64(Name.data(), Name.size()));
+  hashCombineSeed(Seed, TheBackend.artifactFingerprint());
   return Seed;
 }
 
@@ -219,8 +245,10 @@ KernelCache::getOrCompile(const spn::Model &Model,
   if (TheConfig.ConfigurePipeline)
     if (std::optional<Error> Err = TheConfig.ConfigurePipeline(*Pipeline))
       return *Err;
+  const backend::Backend &TheBackend =
+      TheConfig.TheBackend ? *TheConfig.TheBackend : defaultBackend();
   uint64_t Key = makeKey(Model, Query, Pipeline->getConfig(),
-                         stageFingerprint(*Pipeline));
+                         stageFingerprint(*Pipeline), TheBackend);
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -244,8 +272,23 @@ KernelCache::getOrCompile(const spn::Model &Model,
   if (!Path.empty()) {
     Expected<vm::KernelProgram> Cached = loadCachedProgram(Path, Probe);
     if (Cached) {
-      Engine = Pipeline->makeEngine(Cached.takeValue());
-      FromDisk = true;
+      // A `.spnk` stores only the portable program; the backend turns
+      // it back into a live engine (for the native backend that means
+      // re-emitting and re-linking the shared object). A materialize
+      // failure is handled like corruption: warn and recompile.
+      Expected<backend::CompiledArtifact> Artifact =
+          TheBackend.materialize(Cached.takeValue(),
+                                 Pipeline->getConfig());
+      if (Artifact) {
+        Engine = std::move(Artifact->Engine);
+        FromDisk = true;
+      } else {
+        std::fprintf(stderr,
+                     "warning: rejecting kernel cache entry '%s': %s "
+                     "(recompiling)\n",
+                     Path.c_str(),
+                     Artifact.getError().message().c_str());
+      }
     } else if (Probe.Existed) {
       std::fprintf(stderr,
                    "warning: rejecting kernel cache entry '%s': %s "
@@ -254,21 +297,18 @@ KernelCache::getOrCompile(const spn::Model &Model,
     }
   }
   if (!Engine) {
-    Expected<vm::KernelProgram> Program =
-        Pipeline->compile(Model, Query, CompStats);
-    if (!Program)
-      return Program.getError();
-    if (!Path.empty()) {
+    Expected<backend::CompiledArtifact> Artifact =
+        TheBackend.compile(*Pipeline, Model, Query, CompStats);
+    if (!Artifact)
+      return Artifact.getError();
+    Engine = std::move(Artifact->Engine);
+    if (!Path.empty() && Engine->getProgram()) {
       // Persist for future processes; failures (e.g. unwritable
       // directory) only cost the next process a recompile.
       std::error_code EC;
       std::filesystem::create_directories(TheConfig.Directory, EC);
-      CompiledKernel Staging(Pipeline->makeEngine(Program.takeValue()));
-      if (succeeded(saveCompiledKernel(Staging, Path)))
+      if (succeeded(saveCompiledKernel(CompiledKernel(Engine), Path)))
         pruneDiskTier(Path, PrunedFiles, PrunedBytes);
-      Engine = Staging.getEngineShared();
-    } else {
-      Engine = Pipeline->makeEngine(Program.takeValue());
     }
   }
 

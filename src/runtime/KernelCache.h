@@ -11,9 +11,11 @@
 /// compile-once/run-many regime the paper's §V-B compile-time
 /// measurements motivate). Kernels are keyed by (model
 /// structure+parameters, query configuration, pipeline configuration,
-/// registered-stage fingerprint); a second request with the same key
-/// returns the already-constructed ExecutionEngine instead of
-/// recompiling.
+/// registered-stage fingerprint, backend identity); a second request
+/// with the same key returns the already-constructed ExecutionEngine
+/// instead of recompiling. The backend component (name + artifact
+/// fingerprint, see backend/Backend.h) means switching `--backend` or
+/// the native toolchain never serves a stale kernel.
 ///
 /// Two tiers:
 ///
@@ -51,11 +53,16 @@
 #include <unordered_map>
 
 namespace spnc {
+
+namespace backend {
+class Backend;
+} // namespace backend
+
 namespace runtime {
 
-/// Thread-safe map from (model, query, pipeline config, stage set) to a
-/// shared ExecutionEngine. All public members may be called
-/// concurrently.
+/// Thread-safe map from (model, query, pipeline config, stage set,
+/// backend) to a shared ExecutionEngine. All public members may be
+/// called concurrently.
 class KernelCache {
 public:
   /// Default in-memory capacity: generous for a per-process model set,
@@ -89,6 +96,13 @@ public:
     /// deterministically (the same stages every invocation).
     std::function<std::optional<Error>(CompilationPipeline &)>
         ConfigurePipeline;
+    /// The backend that turns compiled programs into engines on this
+    /// cache's paths (both the compile miss and the `.spnk` disk hit);
+    /// null selects the default VM backend. The cache key covers the
+    /// backend's name and artifact fingerprint, so caches configured
+    /// with different backends — or the same native backend after a
+    /// toolchain/flag change — never share entries.
+    std::shared_ptr<const backend::Backend> TheBackend;
   };
 
   /// Cache observability counters. `getStats()` returns a consistent
@@ -163,6 +177,18 @@ public:
                           const spn::QueryConfig &Query,
                           const PipelineConfig &Config,
                           uint64_t StageFingerprint);
+
+  /// The cache key additionally covering \p TheBackend's identity (its
+  /// name and artifact fingerprint). This is what getOrCompile uses on
+  /// a backend-configured cache; the four-argument overload delegates
+  /// here with the default VM backend, so legacy callers and
+  /// default-configured caches keep computing identical keys.
+  /// Thread-safe; never fails.
+  static uint64_t makeKey(const spn::Model &Model,
+                          const spn::QueryConfig &Query,
+                          const PipelineConfig &Config,
+                          uint64_t StageFingerprint,
+                          const backend::Backend &TheBackend);
 
   /// Returns the kernel for (\p Model, \p Query, \p Options), compiling
   /// at most once per key. Compilation and disk I/O run outside the

@@ -405,13 +405,3 @@ CompilationPipeline::compile(const spn::Model &Model,
   S.TotalNs = TotalTimer.elapsedNs();
   return std::move(C.Program);
 }
-
-std::shared_ptr<ExecutionEngine>
-CompilationPipeline::makeEngine(vm::KernelProgram Program) const {
-  const CompilerOptions &O = Config.getOptions();
-  if (O.TheTarget == Target::GPU)
-    return std::make_shared<gpusim::GpuExecutor>(std::move(Program),
-                                                 O.Device, O.GpuBlockSize);
-  return std::make_shared<vm::CpuExecutor>(std::move(Program),
-                                           O.Execution);
-}

@@ -14,10 +14,12 @@
 /// `registerStage`, anchored before/after any existing stage; three
 /// built-in diagnostic stages (verify-after-each, ir-dump, stage-report)
 /// exercise that hook. The pipeline runs its stages with per-stage
-/// wall-clock timing feeding `CompileStats`, and constructs the matching
-/// `ExecutionEngine` for the produced program. Benchmarks, the CLI and
-/// the kernel cache all drive this one object instead of re-assembling
-/// pass lists and options by hand.
+/// wall-clock timing feeding `CompileStats` and produces a portable
+/// `vm::KernelProgram`; turning that program into a loaded
+/// `ExecutionEngine` is the job of a `backend::Backend`
+/// (backend/Backend.h). Benchmarks, the CLI and the kernel cache all
+/// drive this one object instead of re-assembling pass lists and
+/// options by hand.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -289,11 +291,6 @@ public:
   Expected<vm::KernelProgram> compile(const spn::Model &Model,
                                       const spn::QueryConfig &Query,
                                       CompileStats *Stats = nullptr) const;
-
-  /// Constructs the execution engine this pipeline's target configuration
-  /// selects for \p Program. Never fails (the config was validated);
-  /// thread-safe.
-  std::shared_ptr<ExecutionEngine> makeEngine(vm::KernelProgram Program) const;
 
 private:
   void buildStages();

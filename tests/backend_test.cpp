@@ -1,0 +1,522 @@
+//===- backend_test.cpp - Backend registry and CppBackend tests ----------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the backend layer: registry diagnostics (duplicate and
+/// unknown names), the re-homed VM backend, target validation on a
+/// CPU-only backend, backend-aware kernel-cache keys, and the
+/// C++-emission backend — including a 50-model differential leg
+/// against the reference interpreter at the same 1e-9 f64 bound the
+/// VM differential suite uses. Native-compilation tests skip
+/// gracefully when the host has no working C++ compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/BackendRegistry.h"
+#include "backend/CppBackend.h"
+#include "backend/VmBackend.h"
+#include "baselines/Baselines.h"
+#include "runtime/Compiler.h"
+#include "runtime/KernelCache.h"
+#include "support/Random.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace spnc;
+using namespace spnc::runtime;
+
+namespace {
+
+constexpr double kTolerance = 1e-9;
+constexpr size_t kNumModels = 50;
+constexpr size_t kNumSamples = 16;
+
+/// Cheap host flags: the differential suite performs one host compile
+/// per model, and -O0 keeps that tractable without changing semantics.
+backend::CppBackendOptions fastCppOptions() {
+  backend::CppBackendOptions Options;
+  Options.ExtraFlags = {"-O0"};
+  return Options;
+}
+
+/// Skips the enclosing test when the host cannot build native kernels.
+#define SKIP_WITHOUT_HOST_COMPILER(Backend)                                  \
+  do {                                                                       \
+    std::string SkipReason;                                                  \
+    if (!(Backend).isAvailable(&SkipReason))                                 \
+      GTEST_SKIP() << SkipReason;                                            \
+  } while (0)
+
+/// Compiles \p Model through \p TheBackend with a fresh default-stage
+/// pipeline.
+Expected<backend::CompiledArtifact>
+compileWith(const backend::Backend &TheBackend, const spn::Model &Model,
+            const spn::QueryConfig &Query,
+            const CompilerOptions &Options) {
+  Expected<CompilationPipeline> Pipeline =
+      CompilationPipeline::create(Options);
+  if (!Pipeline)
+    return Pipeline.getError();
+  return TheBackend.compile(*Pipeline, Model, Query);
+}
+
+std::vector<double> runEngine(const ExecutionEngine &Engine,
+                              const std::vector<double> &Data,
+                              size_t NumSamples) {
+  std::vector<double> Output(NumSamples, 0.0);
+  Engine.execute(Data.data(), Output.data(), NumSamples);
+  return Output;
+}
+
+/// The same random population the VM differential suite draws
+/// (differential_test.cpp): speaker-shaped graphs of varying size and
+/// leaf mix, with joint and marginalized (NaN-bearing) sample data.
+struct Scenario {
+  spn::Model Model;
+  std::vector<double> JointData;
+  std::vector<double> MarginalData;
+};
+
+Scenario makeScenario(size_t Index) {
+  Rng SizeRng(0x5eed5eedULL + Index);
+  workloads::SpeakerModelOptions Options;
+  Options.Seed = 1000 + Index;
+  Options.TargetOperations =
+      static_cast<unsigned>(120 + (SizeRng.next() % 600));
+  Options.ContinuousFeatureFraction =
+      0.3 + 0.5 * static_cast<double>(SizeRng.next() % 100) / 100.0;
+  Scenario S{workloads::generateSpeakerModel(Options),
+             workloads::generateSpeechData(Options, kNumSamples,
+                                           9000 + Index),
+             workloads::generateNoisySpeechData(Options, kNumSamples,
+                                                9500 + Index,
+                                                /*DropProbability=*/0.3)};
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(BackendRegistryTest, GlobalHasBuiltins) {
+  backend::BackendRegistry &Registry = backend::BackendRegistry::global();
+  EXPECT_TRUE(Registry.contains("vm"));
+  EXPECT_TRUE(Registry.contains("cpp"));
+
+  Expected<std::shared_ptr<backend::Backend>> Vm = Registry.lookup("vm");
+  ASSERT_TRUE(static_cast<bool>(Vm)) << Vm.getError().message();
+  EXPECT_EQ((*Vm)->getName(), "vm");
+
+  Expected<std::shared_ptr<backend::Backend>> Cpp =
+      Registry.lookup("cpp");
+  ASSERT_TRUE(static_cast<bool>(Cpp)) << Cpp.getError().message();
+  EXPECT_EQ((*Cpp)->getName(), "cpp");
+}
+
+TEST(BackendRegistryTest, LookupReturnsSharedInstance) {
+  backend::BackendRegistry &Registry = backend::BackendRegistry::global();
+  Expected<std::shared_ptr<backend::Backend>> First =
+      Registry.lookup("vm");
+  Expected<std::shared_ptr<backend::Backend>> Second =
+      Registry.lookup("vm");
+  ASSERT_TRUE(static_cast<bool>(First));
+  ASSERT_TRUE(static_cast<bool>(Second));
+  EXPECT_EQ(First->get(), Second->get());
+}
+
+TEST(BackendRegistryTest, DuplicateRegistrationDiagnosed) {
+  backend::BackendRegistry Registry;
+  std::optional<Error> First = Registry.registerBackend(
+      "custom", [] { return std::make_shared<backend::VmBackend>(); });
+  EXPECT_FALSE(First.has_value());
+
+  std::optional<Error> Second = Registry.registerBackend(
+      "custom", [] { return std::make_shared<backend::VmBackend>(); });
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_NE(Second->message().find("'custom'"), std::string::npos)
+      << Second->message();
+  EXPECT_NE(Second->message().find("already registered"),
+            std::string::npos)
+      << Second->message();
+}
+
+TEST(BackendRegistryTest, UnknownNameListsRegisteredBackends) {
+  backend::BackendRegistry Registry;
+  ASSERT_FALSE(Registry
+                   .registerBackend("vm",
+                                    [] {
+                                      return std::make_shared<
+                                          backend::VmBackend>();
+                                    })
+                   .has_value());
+
+  Expected<std::shared_ptr<backend::Backend>> Result =
+      Registry.lookup("cppp");
+  ASSERT_FALSE(static_cast<bool>(Result));
+  std::string Message = Result.getError().message();
+  EXPECT_NE(Message.find("unknown backend 'cppp'"), std::string::npos)
+      << Message;
+  EXPECT_NE(Message.find("vm"), std::string::npos) << Message;
+}
+
+TEST(BackendRegistryTest, EmptyRegistryDiagnosesNoBackends) {
+  backend::BackendRegistry Registry;
+  Expected<std::shared_ptr<backend::Backend>> Result =
+      Registry.lookup("vm");
+  ASSERT_FALSE(static_cast<bool>(Result));
+  EXPECT_NE(Result.getError().message().find("<none>"),
+            std::string::npos)
+      << Result.getError().message();
+}
+
+TEST(BackendRegistryTest, NullFactoryDiagnosed) {
+  backend::BackendRegistry Registry;
+  std::optional<Error> Err =
+      Registry.registerBackend("broken", backend::BackendRegistry::Factory());
+  ASSERT_TRUE(Err.has_value());
+}
+
+TEST(BackendRegistryTest, NamesInRegistrationOrder) {
+  backend::BackendRegistry Registry;
+  ASSERT_FALSE(Registry
+                   .registerBackend("b",
+                                    [] {
+                                      return std::make_shared<
+                                          backend::VmBackend>();
+                                    })
+                   .has_value());
+  ASSERT_FALSE(Registry
+                   .registerBackend("a",
+                                    [] {
+                                      return std::make_shared<
+                                          backend::VmBackend>();
+                                    })
+                   .has_value());
+  EXPECT_EQ(Registry.getNames(),
+            (std::vector<std::string>{"b", "a"}));
+}
+
+//===----------------------------------------------------------------------===//
+// VmBackend (the re-homed bytecode path)
+//===----------------------------------------------------------------------===//
+
+TEST(VmBackendTest, MatchesCompileModel) {
+  Scenario S = makeScenario(0);
+  spn::QueryConfig Query;
+  Query.LogSpace = true;
+  Query.DataType = spn::ComputeType::F64;
+  CompilerOptions Options;
+  Options.Execution.VectorWidth = 8;
+
+  Expected<CompiledKernel> Reference =
+      compileModel(S.Model, Query, Options);
+  ASSERT_TRUE(static_cast<bool>(Reference))
+      << Reference.getError().message();
+
+  backend::VmBackend Vm;
+  Expected<backend::CompiledArtifact> Artifact =
+      compileWith(Vm, S.Model, Query, Options);
+  ASSERT_TRUE(static_cast<bool>(Artifact))
+      << Artifact.getError().message();
+  EXPECT_EQ(Artifact->BackendName, "vm");
+  EXPECT_EQ(Artifact->Fingerprint, Vm.artifactFingerprint());
+
+  std::vector<double> Expected =
+      runEngine(Reference->getEngine(), S.JointData, kNumSamples);
+  std::vector<double> Actual =
+      runEngine(*Artifact->Engine, S.JointData, kNumSamples);
+  for (size_t I = 0; I < kNumSamples; ++I)
+    EXPECT_EQ(Actual[I], Expected[I]) << "sample " << I;
+}
+
+TEST(VmBackendTest, SupportsBothTargets) {
+  backend::VmBackend Vm;
+  EXPECT_TRUE(Vm.supportsTarget(Target::CPU));
+  EXPECT_TRUE(Vm.supportsTarget(Target::GPU));
+  EXPECT_TRUE(Vm.isAvailable());
+}
+
+//===----------------------------------------------------------------------===//
+// Target validation (CPU-only backend asked for the GPU)
+//===----------------------------------------------------------------------===//
+
+TEST(BackendTargetValidationTest, CppBackendRejectsGpuTarget) {
+  // validateTarget runs before pipeline or toolchain work, so this
+  // needs neither a host compiler nor a compiled model.
+  backend::CppBackend Cpp;
+  EXPECT_FALSE(Cpp.supportsTarget(Target::GPU));
+
+  Scenario S = makeScenario(1);
+  CompilerOptions Options;
+  Options.TheTarget = Target::GPU;
+  Expected<backend::CompiledArtifact> Artifact =
+      compileWith(Cpp, S.Model, spn::QueryConfig(), Options);
+  ASSERT_FALSE(static_cast<bool>(Artifact));
+  std::string Message = Artifact.getError().message();
+  EXPECT_NE(Message.find("backend 'cpp' does not support target 'gpu"),
+            std::string::npos)
+      << Message;
+  EXPECT_NE(Message.find("supported targets"), std::string::npos)
+      << Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Backend-aware cache keys
+//===----------------------------------------------------------------------===//
+
+TEST(BackendCacheKeyTest, BackendIdentityChangesKey) {
+  Scenario S = makeScenario(2);
+  spn::QueryConfig Query;
+  CompilerOptions Options;
+  Expected<PipelineConfig> Config = PipelineConfig::create(Options);
+  ASSERT_TRUE(static_cast<bool>(Config));
+
+  backend::VmBackend Vm;
+  backend::CppBackend Cpp;
+  uint64_t Fingerprint = 0;
+  uint64_t VmKey = KernelCache::makeKey(S.Model, Query, *Config,
+                                        Fingerprint, Vm);
+  uint64_t CppKey = KernelCache::makeKey(S.Model, Query, *Config,
+                                         Fingerprint, Cpp);
+  EXPECT_NE(VmKey, CppKey);
+
+  // The legacy overload folds in the default VM backend, so existing
+  // callers and backend-less caches keep computing VM keys.
+  uint64_t LegacyKey = KernelCache::makeKey(S.Model, Query, *Config);
+  uint64_t ExplicitVmKey = KernelCache::makeKey(
+      S.Model, Query, *Config,
+      KernelCache::stageFingerprint(CompilationPipeline(*Config)), Vm);
+  EXPECT_EQ(LegacyKey, ExplicitVmKey);
+}
+
+TEST(BackendCacheKeyTest, ToolchainFlagsChangeCppKey) {
+  Scenario S = makeScenario(3);
+  spn::QueryConfig Query;
+  Expected<PipelineConfig> Config =
+      PipelineConfig::create(CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(Config));
+
+  backend::CppBackend Default;
+  backend::CppBackend Fast(fastCppOptions());
+  EXPECT_NE(
+      KernelCache::makeKey(S.Model, Query, *Config, 0, Default),
+      KernelCache::makeKey(S.Model, Query, *Config, 0, Fast));
+}
+
+//===----------------------------------------------------------------------===//
+// CppBackend
+//===----------------------------------------------------------------------===//
+
+TEST(CppBackendTest, MissingCompilerReportsReason) {
+  backend::CppBackendOptions Options;
+  Options.CompilerPath = "/nonexistent/spnc-no-such-compiler";
+  backend::CppBackend Cpp(Options);
+  std::string Reason;
+  EXPECT_FALSE(Cpp.isAvailable(&Reason));
+  EXPECT_NE(Reason.find("/nonexistent/spnc-no-such-compiler"),
+            std::string::npos)
+      << Reason;
+
+  Scenario S = makeScenario(4);
+  Expected<backend::CompiledArtifact> Artifact =
+      compileWith(Cpp, S.Model, spn::QueryConfig(), CompilerOptions());
+  ASSERT_FALSE(static_cast<bool>(Artifact));
+  EXPECT_NE(Artifact.getError().message().find("unavailable"),
+            std::string::npos)
+      << Artifact.getError().message();
+}
+
+TEST(CppBackendTest, DifferentialSuiteVsInterpreter) {
+  backend::CppBackend Cpp(fastCppOptions());
+  SKIP_WITHOUT_HOST_COMPILER(Cpp);
+
+  for (size_t Index = 0; Index < kNumModels; ++Index) {
+    Scenario S = makeScenario(Index);
+
+    // One marginal-capable f64 kernel per model serves both the joint
+    // and the marginalized data (one host compile per model).
+    spn::QueryConfig Query;
+    Query.LogSpace = true;
+    Query.SupportMarginal = true;
+    Query.DataType = spn::ComputeType::F64;
+    CompilerOptions Options;
+    Options.OptLevel = static_cast<unsigned>(Index % 4);
+    // Partition half the population so multi-task programs (buffer
+    // copies, intermediate buffers) are covered too.
+    if (Index % 2 == 1)
+      Options.MaxPartitionSize = static_cast<uint32_t>(
+          S.Model.computeStats().NumNodes / 4 + 16);
+
+    Expected<backend::CompiledArtifact> Artifact =
+        compileWith(Cpp, S.Model, Query, Options);
+    ASSERT_TRUE(static_cast<bool>(Artifact))
+        << "model " << Index << ": "
+        << Artifact.getError().message();
+
+    baselines::InterpreterEngine Interpreter(S.Model);
+    for (const std::vector<double> *Data :
+         {&S.JointData, &S.MarginalData}) {
+      std::vector<double> Reference =
+          runEngine(Interpreter, *Data, kNumSamples);
+      std::vector<double> Native =
+          runEngine(*Artifact->Engine, *Data, kNumSamples);
+      for (size_t I = 0; I < kNumSamples; ++I) {
+        ASSERT_TRUE(std::isfinite(Reference[I]))
+            << "model " << Index << " sample " << I
+            << ": reference not finite";
+        EXPECT_NEAR(Native[I], Reference[I], kTolerance)
+            << "model " << Index << " sample " << I
+            << (Data == &S.JointData ? " (joint)" : " (marginal)");
+      }
+    }
+  }
+}
+
+TEST(CppBackendTest, SelectCascadeLoweringMatchesInterpreter) {
+  backend::CppBackend Cpp(fastCppOptions());
+  SKIP_WITHOUT_HOST_COMPILER(Cpp);
+
+  // The GPU pipeline lowers leaves to select cascades instead of dense
+  // tables; materializing that program through the CPU-only native
+  // backend covers the SelectInRange emission.
+  Scenario S = makeScenario(5);
+  spn::QueryConfig Query;
+  Query.LogSpace = true;
+  Query.DataType = spn::ComputeType::F64;
+  CompilerOptions GpuOptions;
+  GpuOptions.TheTarget = Target::GPU;
+  Expected<CompilationPipeline> GpuPipeline =
+      CompilationPipeline::create(GpuOptions);
+  ASSERT_TRUE(static_cast<bool>(GpuPipeline));
+  Expected<vm::KernelProgram> Program =
+      GpuPipeline->compile(S.Model, Query);
+  ASSERT_TRUE(static_cast<bool>(Program))
+      << Program.getError().message();
+  ASSERT_EQ(Program->Lowering, vm::LoweringKind::SelectCascade);
+
+  Expected<PipelineConfig> CpuConfig =
+      PipelineConfig::create(CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(CpuConfig));
+  Expected<backend::CompiledArtifact> Artifact =
+      Cpp.materialize(Program.takeValue(), *CpuConfig);
+  ASSERT_TRUE(static_cast<bool>(Artifact))
+      << Artifact.getError().message();
+
+  baselines::InterpreterEngine Interpreter(S.Model);
+  std::vector<double> Reference =
+      runEngine(Interpreter, S.JointData, kNumSamples);
+  std::vector<double> Native =
+      runEngine(*Artifact->Engine, S.JointData, kNumSamples);
+  for (size_t I = 0; I < kNumSamples; ++I)
+    EXPECT_NEAR(Native[I], Reference[I], kTolerance) << "sample " << I;
+}
+
+TEST(CppBackendTest, LinearSpaceMatchesVmBackend) {
+  backend::CppBackend Cpp(fastCppOptions());
+  SKIP_WITHOUT_HOST_COMPILER(Cpp);
+
+  Scenario S = makeScenario(6);
+  spn::QueryConfig Query;
+  Query.LogSpace = false;
+  Query.DataType = spn::ComputeType::F64;
+  CompilerOptions Options;
+
+  backend::VmBackend Vm;
+  Expected<backend::CompiledArtifact> VmArtifact =
+      compileWith(Vm, S.Model, Query, Options);
+  ASSERT_TRUE(static_cast<bool>(VmArtifact))
+      << VmArtifact.getError().message();
+  Expected<backend::CompiledArtifact> CppArtifact =
+      compileWith(Cpp, S.Model, Query, Options);
+  ASSERT_TRUE(static_cast<bool>(CppArtifact))
+      << CppArtifact.getError().message();
+
+  std::vector<double> VmOut =
+      runEngine(*VmArtifact->Engine, S.JointData, kNumSamples);
+  std::vector<double> CppOut =
+      runEngine(*CppArtifact->Engine, S.JointData, kNumSamples);
+  for (size_t I = 0; I < kNumSamples; ++I) {
+    EXPECT_GE(VmOut[I], 0.0);
+    EXPECT_NEAR(CppOut[I], VmOut[I],
+                kTolerance * std::max(1.0, std::abs(VmOut[I])))
+        << "sample " << I;
+  }
+}
+
+TEST(CppBackendTest, DiskTierRoundTripThroughCache) {
+  auto Backend = std::make_shared<backend::CppBackend>(fastCppOptions());
+  SKIP_WITHOUT_HOST_COMPILER(*Backend);
+
+  Scenario S = makeScenario(7);
+  spn::QueryConfig Query;
+  Query.DataType = spn::ComputeType::F64;
+  CompilerOptions Options;
+
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "spnc-backend-test-cache")
+          .string();
+  std::filesystem::remove_all(Dir);
+
+  std::vector<double> FirstOut, SecondOut;
+  {
+    KernelCache::Config Config;
+    Config.Directory = Dir;
+    Config.TheBackend = Backend;
+    KernelCache Cache(Config);
+    Expected<CompiledKernel> Kernel =
+        Cache.getOrCompile(S.Model, Query, Options);
+    ASSERT_TRUE(static_cast<bool>(Kernel))
+        << Kernel.getError().message();
+    EXPECT_EQ(Cache.getStats().Recompiles, 1u);
+    FirstOut = runEngine(Kernel->getEngine(), S.JointData, kNumSamples);
+  }
+  {
+    // A fresh cache over the same directory: the .spnk disk hit is
+    // re-materialized (re-emitted and re-linked) by the backend.
+    KernelCache::Config Config;
+    Config.Directory = Dir;
+    Config.TheBackend = Backend;
+    KernelCache Cache(Config);
+    Expected<CompiledKernel> Kernel =
+        Cache.getOrCompile(S.Model, Query, Options);
+    ASSERT_TRUE(static_cast<bool>(Kernel))
+        << Kernel.getError().message();
+    EXPECT_EQ(Cache.getStats().DiskHits, 1u);
+    EXPECT_EQ(Cache.getStats().Recompiles, 0u);
+    SecondOut = runEngine(Kernel->getEngine(), S.JointData, kNumSamples);
+  }
+  EXPECT_EQ(FirstOut, SecondOut);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CppBackendTest, EngineDescribesNativeKernel) {
+  backend::CppBackend Cpp(fastCppOptions());
+  SKIP_WITHOUT_HOST_COMPILER(Cpp);
+
+  Scenario S = makeScenario(8);
+  Expected<backend::CompiledArtifact> Artifact = compileWith(
+      Cpp, S.Model, spn::QueryConfig(), CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(Artifact))
+      << Artifact.getError().message();
+  EXPECT_EQ(Artifact->BackendName, "cpp");
+  EXPECT_EQ(Artifact->Fingerprint, Cpp.artifactFingerprint());
+  EXPECT_NE(Artifact->Engine->describe().find("cpp native"),
+            std::string::npos);
+  // The native engine retains the portable program, so .spnk saving
+  // and work accounting behave exactly as with the VM engines.
+  ASSERT_NE(Artifact->Engine->getProgram(), nullptr);
+  EXPECT_FALSE(Artifact->Engine->getProgram()->Tasks.empty());
+}

@@ -14,6 +14,7 @@
 ///
 /// Usage:
 ///   spnc-cli MODEL.spnb [--input DATA.txt] [--target cpu|gpu]
+///            [--backend vm|cpp]
 ///            [--opt N] [--vector-width N] [--partition N]
 ///            [--marginal] [--no-log-space] [--stats] [--dump-ir]
 ///            [--verify-each-stage] [--dump-ir-after=STAGE]
@@ -22,6 +23,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/BackendRegistry.h"
 #include "frontend/HiSPNTranslation.h"
 #include "frontend/Serializer.h"
 #include "ir/Printer.h"
@@ -30,6 +32,7 @@
 #include "runtime/Reports.h"
 #include "support/RawOStream.h"
 #include "support/StringUtils.h"
+#include "vm/ProgramBinary.h"
 
 #include <cmath>
 #include <cstdio>
@@ -59,6 +62,9 @@ struct CliOptions {
   uint64_t KernelCacheDiskBudget = 0;
   CompilerOptions Compile;
   spn::QueryConfig Query;
+  /// Registered backend that materializes the engine (see
+  /// backend/BackendRegistry.h).
+  std::string BackendName = "vm";
   /// True when --target was given; a loaded .spnk then keeps that
   /// engine instead of deferring to the recorded lowering.
   bool TargetExplicit = false;
@@ -88,12 +94,19 @@ void printUsage() {
       "separated;\n"
       "                     'nan' marginalizes a feature)\n"
       "  --target cpu|gpu   compilation target (default cpu)\n"
+      "  --backend NAME     execution backend: 'vm' (bytecode "
+      "interpreter,\n"
+      "                     default) or 'cpp' (emit C++, compile with "
+      "the host\n"
+      "                     toolchain, run the native .so)\n"
       "  --opt N            optimization level 0-3 (default 2)\n"
       "  --vector-width N   SIMD lanes 1/4/8/16 (default 8)\n"
       "  --partition N      max operations per task (default: no "
       "partitioning)\n"
       "  --marginal         enable marginalized (NaN) evidence\n"
       "  --no-log-space     compute linear probabilities\n"
+      "  --f32, --f64       force the compute precision (default: the\n"
+      "                     lowering decides, typically f32)\n"
       "  --save-kernel FILE cache the compiled kernel (skips "
       "recompilation\n"
       "                     when the same file is passed as MODEL with "
@@ -153,7 +166,8 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
     if (EqualsValue("--dump-ir-after", Options.DumpIrAfter) ||
         EqualsValue("--pipeline-report", Options.PipelineReportPath) ||
         EqualsValue("--kernel-cache-report",
-                    Options.KernelCacheReportPath))
+                    Options.KernelCacheReportPath) ||
+        EqualsValue("--backend", Options.BackendName))
       continue;
     if (Arg == "--input") {
       const char *V = NextValue();
@@ -211,12 +225,21 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.KernelCacheDiskBudget = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--backend") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.BackendName = V;
     } else if (Arg == "--kernel-cache-stats") {
       Options.KernelCacheStats = true;
     } else if (Arg == "--marginal") {
       Options.Query.SupportMarginal = true;
     } else if (Arg == "--no-log-space") {
       Options.Query.LogSpace = false;
+    } else if (Arg == "--f32") {
+      Options.Query.DataType = spn::ComputeType::F32;
+    } else if (Arg == "--f64") {
+      Options.Query.DataType = spn::ComputeType::F64;
     } else if (Arg == "--stats") {
       Options.Stats = true;
     } else if (Arg == "--dump-ir") {
@@ -310,16 +333,54 @@ int main(int Argc, char **Argv) {
 
   const std::string &ModelPath = Options.ModelPaths.front();
 
+  Expected<std::shared_ptr<backend::Backend>> BackendOrErr =
+      backend::BackendRegistry::global().lookup(Options.BackendName);
+  if (!BackendOrErr) {
+    std::fprintf(stderr, "%s\n",
+                 BackendOrErr.getError().message().c_str());
+    return 2;
+  }
+  std::shared_ptr<backend::Backend> TheBackend =
+      BackendOrErr.takeValue();
+
   // A .spnk model path is a cached compiled kernel: load and run it
   // without recompiling.
   if (Options.ModelPaths.size() == 1 && ModelPath.size() > 5 &&
       ModelPath.substr(ModelPath.size() - 5) == ".spnk") {
-    Expected<CompiledKernel> Kernel = loadCompiledKernel(
-        ModelPath,
-        Options.TargetExplicit ? Options.Compile.TheTarget
-                               : Target::Auto,
-        Options.Compile.Execution, Options.Compile.Device,
-        Options.Compile.GpuBlockSize);
+    Expected<CompiledKernel> Kernel =
+        Options.BackendName == "vm"
+            ? loadCompiledKernel(
+                  ModelPath,
+                  Options.TargetExplicit ? Options.Compile.TheTarget
+                                         : Target::Auto,
+                  Options.Compile.Execution, Options.Compile.Device,
+                  Options.Compile.GpuBlockSize)
+            : [&]() -> Expected<CompiledKernel> {
+        // Non-VM backends re-materialize the portable program (for the
+        // cpp backend: re-emit, host-compile and dlopen).
+        std::FILE *File = std::fopen(ModelPath.c_str(), "rb");
+        if (!File)
+          return makeError("cannot open '" + ModelPath + "'");
+        std::vector<uint8_t> Blob;
+        uint8_t Chunk[4096];
+        size_t Read;
+        while ((Read = std::fread(Chunk, 1, sizeof(Chunk), File)) > 0)
+          Blob.insert(Blob.end(), Chunk, Chunk + Read);
+        std::fclose(File);
+        Expected<vm::KernelProgram> Program = vm::decodeProgram(Blob);
+        if (!Program)
+          return makeError("cannot load '" + ModelPath +
+                           "': " + Program.getError().message());
+        Expected<PipelineConfig> Config =
+            PipelineConfig::create(Options.Compile);
+        if (!Config)
+          return Config.getError();
+        Expected<backend::CompiledArtifact> Artifact =
+            TheBackend->materialize(Program.takeValue(), *Config);
+        if (!Artifact)
+          return Artifact.getError();
+        return CompiledKernel(std::move(Artifact->Engine));
+      }();
     if (!Kernel) {
       std::fprintf(stderr, "failed to load kernel: %s\n",
                    Kernel.getError().message().c_str());
@@ -466,6 +527,7 @@ int main(int Argc, char **Argv) {
     CacheConfig.MaxEntries = Options.KernelCacheCapacity;
     CacheConfig.DiskBudgetBytes = Options.KernelCacheDiskBudget;
     CacheConfig.ConfigurePipeline = ConfigureDiagnostics;
+    CacheConfig.TheBackend = TheBackend;
     Cache = std::make_unique<KernelCache>(CacheConfig);
     Expected<CompiledKernel> Cached = Cache->getOrCompile(
         *Model, Options.Query, Options.Compile, &CStats);
@@ -500,22 +562,23 @@ int main(int Argc, char **Argv) {
                    static_cast<unsigned long long>(
                        CacheStats.LegacyDiskEntries));
   } else {
-    Expected<vm::KernelProgram> Program =
-        Pipeline->compile(*Model, Options.Query, &CStats);
-    if (!Program) {
+    Expected<backend::CompiledArtifact> Artifact =
+        TheBackend->compile(*Pipeline, *Model, Options.Query, &CStats);
+    if (!Artifact) {
       std::fprintf(stderr, "compilation failed: %s\n",
-                   Program.getError().message().c_str());
+                   Artifact.getError().message().c_str());
       return 1;
     }
-    Kernel = CompiledKernel(Pipeline->makeEngine(Program.takeValue()));
+    Kernel = CompiledKernel(std::move(Artifact->Engine));
   }
   if (CStats.TotalNs > 0)
     std::fprintf(stderr,
-                 "compiled for %s in %.2f ms: %zu task(s), %zu "
-                 "instructions\n",
+                 "compiled for %s via backend '%s' in %.2f ms: %zu "
+                 "task(s), %zu instructions\n",
                  Options.Compile.TheTarget == Target::GPU
                      ? "gpu (simulated)"
                      : "cpu",
+                 Options.BackendName.c_str(),
                  static_cast<double>(CStats.TotalNs) * 1e-6,
                  CStats.NumTasks, CStats.NumInstructions);
   if (!Options.SaveKernelPath.empty()) {

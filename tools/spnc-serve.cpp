@@ -11,6 +11,9 @@
 /// (N client threads issuing R requests each, round-robin over the
 /// models) or a recorded request trace. Prints a human summary to
 /// stderr and, with --stats-report, the `ServerStats` snapshot as JSON.
+/// With --record-trace, live submissions are logged in the replayable
+/// trace format below; --backend selects the registered compilation
+/// backend ('vm' bytecode interpreter or 'cpp' AOT native kernels).
 ///
 /// Trace format: one request per line,
 ///   MODEL_INDEX DELAY_US [NUM_SAMPLES]
@@ -20,14 +23,18 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/BackendRegistry.h"
 #include "frontend/Serializer.h"
+#include "runtime/KernelCache.h"
 #include "serving/InferenceServer.h"
 #include "serving/ServingReports.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
@@ -54,7 +61,11 @@ struct ServeOptions {
   /// Deadline attached to every request (0 = none).
   uint64_t DeadlineUs = 0;
   std::string TracePath;
+  /// Log live submissions here in the --trace line format (empty = off).
+  std::string RecordTracePath;
   std::string StatsReportPath;
+  /// Registered backend compiling the served kernels.
+  std::string BackendName = "vm";
 };
 
 void printUsage() {
@@ -79,9 +90,14 @@ void printUsage() {
       "rejecting\n"
       "  --workers N          batch-executing worker threads (default "
       "2)\n"
+      "  --backend NAME       execution backend: 'vm' (default) or "
+      "'cpp'\n"
+      "                       (AOT-compiled native kernels)\n"
       "  --trace FILE         replay 'MODEL_INDEX DELAY_US "
       "[NUM_SAMPLES]' lines\n"
       "                       instead of the synthetic closed loop\n"
+      "  --record-trace FILE  log live submit timestamps in the --trace\n"
+      "                       format (replayable with --trace FILE)\n"
       "  --stats-report FILE.json\n"
       "                       write the ServerStats snapshot as JSON\n"
       "  --help, -h           print this message and exit\n");
@@ -103,6 +119,19 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
           std::strtoull(V, nullptr, 10));
       return true;
     };
+    // "--flag=value" spelling.
+    auto EqualsValue = [&](const char *Flag, std::string &Out) -> bool {
+      std::string Prefix = std::string(Flag) + "=";
+      if (Arg.rfind(Prefix, 0) != 0)
+        return false;
+      Out = Arg.substr(Prefix.size());
+      return true;
+    };
+    if (EqualsValue("--trace", Options.TracePath) ||
+        EqualsValue("--record-trace", Options.RecordTracePath) ||
+        EqualsValue("--stats-report", Options.StatsReportPath) ||
+        EqualsValue("--backend", Options.BackendName))
+      continue;
     if (Arg == "--target") {
       const char *V = NextValue();
       if (!V)
@@ -151,6 +180,16 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
       if (!V)
         return false;
       Options.TracePath = V;
+    } else if (Arg == "--record-trace") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.RecordTracePath = V;
+    } else if (Arg == "--backend") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.BackendName = V;
     } else if (Arg == "--stats-report") {
       const char *V = NextValue();
       if (!V)
@@ -245,6 +284,50 @@ bool loadTrace(const std::string &Path, size_t NumModels,
   return true;
 }
 
+/// Logs live submissions in the exact line format loadTrace parses, so
+/// a recorded run replays with `--trace FILE`. Delays are the measured
+/// inter-submit gaps of the merged arrival sequence (the first line
+/// gets delay 0); concurrent closed-loop clients serialize through the
+/// recorder's lock, which is also what makes the written order match
+/// the recorded delays.
+class TraceRecorder {
+public:
+  explicit TraceRecorder(std::FILE *File) : File(File) {
+    std::fprintf(File,
+                 "# spnc-serve --record-trace: MODEL_INDEX DELAY_US "
+                 "NUM_SAMPLES\n");
+  }
+
+  ~TraceRecorder() {
+    if (File)
+      std::fclose(File);
+  }
+
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  void record(size_t ModelIndex, size_t NumSamples) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto Now = std::chrono::steady_clock::now();
+    uint64_t DelayUs = 0;
+    if (HaveLast)
+      DelayUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Now -
+                                                                Last)
+              .count());
+    HaveLast = true;
+    Last = Now;
+    std::fprintf(File, "%zu %llu %zu\n", ModelIndex,
+                 static_cast<unsigned long long>(DelayUs), NumSamples);
+  }
+
+private:
+  std::FILE *File;
+  std::mutex Mutex;
+  bool HaveLast = false;
+  std::chrono::steady_clock::time_point Last;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -262,7 +345,31 @@ int main(int Argc, char **Argv) {
   if (Options.Samples == 0)
     Options.Samples = 1;
 
-  InferenceServer Server(Options.Server);
+  Expected<std::shared_ptr<backend::Backend>> BackendOrErr =
+      backend::BackendRegistry::global().lookup(Options.BackendName);
+  if (!BackendOrErr) {
+    std::fprintf(stderr, "%s\n",
+                 BackendOrErr.getError().message().c_str());
+    return 2;
+  }
+
+  std::unique_ptr<TraceRecorder> Recorder;
+  if (!Options.RecordTracePath.empty()) {
+    std::FILE *File = std::fopen(Options.RecordTracePath.c_str(), "w");
+    if (!File) {
+      std::fprintf(stderr, "cannot open '%s' for trace recording\n",
+                   Options.RecordTracePath.c_str());
+      return 1;
+    }
+    Recorder = std::make_unique<TraceRecorder>(File);
+  }
+
+  // The server compiles through this backend-configured cache; the
+  // serving layer itself stays backend-agnostic.
+  runtime::KernelCache::Config CacheConfig;
+  CacheConfig.TheBackend = BackendOrErr.takeValue();
+  runtime::KernelCache Cache(CacheConfig);
+  InferenceServer Server(Options.Server, &Cache);
   std::vector<std::string> ModelNames;
   for (const std::string &Path : Options.ModelPaths) {
     Expected<spn::Model> Model = spn::loadModel(Path);
@@ -300,6 +407,8 @@ int main(int Argc, char **Argv) {
       std::vector<double> Rows = makeSyntheticRows(
           Server.getNumFeatures(ModelNames[Request.ModelIndex]),
           Request.NumSamples, /*Seed=*/I);
+      if (Recorder)
+        Recorder->record(Request.ModelIndex, Request.NumSamples);
       Futures.push_back(Server.submit(ModelNames[Request.ModelIndex],
                                       Rows.data(), Request.NumSamples,
                                       Options.DeadlineUs));
@@ -316,11 +425,13 @@ int main(int Argc, char **Argv) {
     for (unsigned C = 0; C < Options.Clients; ++C)
       Clients.emplace_back([&, C] {
         for (unsigned R = 0; R < Options.Requests; ++R) {
-          const std::string &Name =
-              ModelNames[(C + R) % ModelNames.size()];
+          size_t ModelIndex = (C + R) % ModelNames.size();
+          const std::string &Name = ModelNames[ModelIndex];
           std::vector<double> Rows = makeSyntheticRows(
               Server.getNumFeatures(Name), Options.Samples,
               /*Seed=*/uint64_t(C) << 32 | R);
+          if (Recorder)
+            Recorder->record(ModelIndex, Options.Samples);
           ResultFuture Future =
               Server.submit(Name, Rows.data(), Options.Samples,
                             Options.DeadlineUs);
@@ -336,6 +447,11 @@ int main(int Argc, char **Argv) {
 
   ServerStats Stats = Server.getStats();
   Server.shutdown();
+  if (Recorder) {
+    Recorder.reset();
+    std::fprintf(stderr, "recorded submit trace to '%s'\n",
+                 Options.RecordTracePath.c_str());
+  }
   std::fprintf(
       stderr,
       "served %llu request(s) (%llu sample(s)) in %llu batch(es): "
