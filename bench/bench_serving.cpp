@@ -20,6 +20,7 @@
 
 #include "BenchCommon.h"
 #include "serving/InferenceServer.h"
+#include "tuning/Tuner.h"
 
 #include <benchmark/benchmark.h>
 
@@ -106,6 +107,38 @@ void BM_PerRequestExecution(benchmark::State &State) {
   State.counters["clients"] = Clients;
 }
 
+/// The spnc-tune result for the serving workload, searched once per
+/// process with a small budget (the EXPERIMENTS.md tuned-vs-default
+/// numbers come from this leg vs BM_BatchedServing). Falls back to the
+/// defaults if the search fails.
+const tuning::TunedConfig &tunedConfig() {
+  static tuning::TunedConfig Config = [] {
+    workloads::SpeakerModelOptions Options;
+    Options.Seed = 3;
+    Options.TargetOperations = 8000;
+    tuning::ServingEvaluatorOptions EvalOptions;
+    EvalOptions.Clients = 8;
+    EvalOptions.RequestsPerClient = fullScale() ? 64 : 16;
+    tuning::ServingEvaluator Eval(
+        workloads::generateSpeakerModel(Options), spn::QueryConfig(),
+        EvalOptions);
+    tuning::SearchSpace Space = tuning::SearchSpace::makeDefault();
+    tuning::TunerOptions TunerOptions;
+    // 12 evaluations cover the full serving-knob sweep (the leading
+    // knobs of the default space); full scale also reaches the compile
+    // knobs.
+    TunerOptions.MaxEvaluations = fullScale() ? 32 : 12;
+    TunerOptions.RandomRestarts = 0;
+    tuning::Tuner TheTuner(Space, Eval, tuning::Objective{},
+                           TunerOptions);
+    Expected<tuning::TunerResult> Result = TheTuner.run();
+    if (!Result)
+      return tuning::TunedConfig{};
+    return Space.materialize(Result->Best.Candidate);
+  }();
+  return Config;
+}
+
 /// Batched serving: the same client load submitted through the
 /// InferenceServer, which coalesces concurrent arrivals into
 /// micro-batches before touching the engine.
@@ -162,6 +195,61 @@ void BM_BatchedServing(benchmark::State &State) {
   Server.shutdown();
 }
 
+/// Batched serving under the autotuned configuration: server knobs and
+/// compile options both come from a small spnc-tune search instead of
+/// the hand-picked constants above.
+void BM_TunedBatchedServing(benchmark::State &State) {
+  const ServingWorkload &W = workload();
+  unsigned Clients = static_cast<unsigned>(State.range(0));
+  const tuning::TunedConfig &Tuned = tunedConfig();
+  ServerConfig Config = Tuned.Server;
+  Config.MaxQueueDepth = 0; // closed loop; no admission pressure
+  InferenceServer Server(Config);
+  if (std::optional<Error> Err = Server.addModel(
+          "speaker", W.Model, spn::QueryConfig(), Tuned.Compile)) {
+    State.SkipWithError(Err->message().c_str());
+    return;
+  }
+  size_t PerClient = requestsPerClient();
+  std::atomic<uint64_t> Failures{0};
+  for (auto _ : State) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        for (size_t R = 0; R < PerClient; ++R) {
+          size_t Index = (C * PerClient + R) % W.NumSamples;
+          InferenceResult Result =
+              Server
+                  .submit("speaker",
+                          W.Data.data() + Index * W.NumFeatures, 1)
+                  .take();
+          if (Result.Status != RequestStatus::Ok)
+            ++Failures;
+          benchmark::DoNotOptimize(Result.LogLikelihoods);
+        }
+      });
+    for (std::thread &Thread : Threads)
+      Thread.join();
+  }
+  if (Failures.load() > 0)
+    State.SkipWithError("serving requests failed");
+  ServerStats Stats = Server.getStats();
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Clients) *
+                          static_cast<int64_t>(PerClient));
+  State.counters["clients"] = Clients;
+  State.counters["mean_batch"] = Stats.meanBatchSize();
+  State.counters["tuned_workers"] = Tuned.Server.NumWorkers;
+  State.counters["tuned_vector_width"] =
+      Tuned.Compile.Execution.VectorWidth;
+  State.counters["tuned_max_batch"] =
+      static_cast<double>(Tuned.Server.MaxBatchSamples);
+  State.counters["tuned_max_delay_us"] =
+      static_cast<double>(Tuned.Server.MaxQueueDelayUs);
+  Server.shutdown();
+}
+
 BENCHMARK(BM_PerRequestExecution)
     ->Arg(1)
     ->Arg(4)
@@ -170,6 +258,13 @@ BENCHMARK(BM_PerRequestExecution)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(BM_BatchedServing)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_TunedBatchedServing)
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)

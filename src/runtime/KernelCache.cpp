@@ -116,6 +116,15 @@ std::string KernelCache::entryPath(uint64_t Key) const {
   return TheConfig.Directory + "/" + Name;
 }
 
+std::string KernelCache::tuningRecordPath(uint64_t ModelHash) const {
+  if (TheConfig.Directory.empty())
+    return std::string();
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.tune.json",
+                static_cast<unsigned long long>(ModelHash));
+  return TheConfig.Directory + "/" + Name;
+}
+
 namespace {
 
 /// Outcome of probing the disk tier for one key.

@@ -225,6 +225,15 @@ public:
   /// is in-memory only). Thread-safe.
   std::string entryPath(uint64_t Key) const;
 
+  /// Path of the per-model tuning-record sidecar
+  /// (`<dir>/<hashModel hex>.tune.json`, empty when the cache is
+  /// in-memory only). Keyed on the model hash alone — unlike `.spnk`
+  /// entries, a record *selects* the compile options rather than being
+  /// keyed by them — and the `.tune.json` extension keeps records
+  /// exempt from the `.spnk` disk-budget pruning. `spnc-tune` writes
+  /// here; `spnc-cli`/`spnc-serve --tuned` read. Thread-safe.
+  std::string tuningRecordPath(uint64_t ModelHash) const;
+
 private:
   struct Entry {
     std::shared_ptr<ExecutionEngine> Engine;

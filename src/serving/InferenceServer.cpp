@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <limits>
 
 using namespace spnc;
@@ -72,7 +73,15 @@ struct InferenceServer::Batch {
 InferenceServer::InferenceServer(ServerConfig TheConfig,
                                  runtime::KernelCache *SharedCache)
     : Config(TheConfig) {
-  Config.MaxBatchSamples = std::max<size_t>(1, Config.MaxBatchSamples);
+  // Clamps are warned about, not silent: a tuner (or operator) that
+  // asked for an illegal value should see the knob it actually got.
+  if (Config.MaxBatchSamples < 1) {
+    std::fprintf(stderr,
+                 "warning: InferenceServer clamped MaxBatchSamples "
+                 "from %zu to 1\n",
+                 Config.MaxBatchSamples);
+    Config.MaxBatchSamples = 1;
+  }
   if (SharedCache) {
     Cache = SharedCache;
   } else {
@@ -80,8 +89,14 @@ InferenceServer::InferenceServer(ServerConfig TheConfig,
     Cache = OwnedCache.get();
   }
   StartTime = Clock::now();
-  Workers =
-      std::make_unique<ThreadPool>(std::max(1u, Config.NumWorkers));
+  if (Config.NumWorkers < 1) {
+    std::fprintf(stderr,
+                 "warning: InferenceServer clamped NumWorkers from %u "
+                 "to 1\n",
+                 Config.NumWorkers);
+    Config.NumWorkers = 1;
+  }
+  Workers = std::make_unique<ThreadPool>(Config.NumWorkers);
   Batcher = std::thread([this] { batcherLoop(); });
 }
 

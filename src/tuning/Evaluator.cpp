@@ -1,0 +1,278 @@
+//===- Evaluator.cpp - Measuring one tuning candidate -------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/Evaluator.h"
+
+#include "backend/BackendRegistry.h"
+#include "serving/InferenceServer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <thread>
+
+using namespace spnc;
+using namespace spnc::tuning;
+
+double Objective::score(const Measurement &M) const {
+  switch (TheKind) {
+  case Kind::Throughput:
+    return M.ThroughputSamplesPerSec;
+  case Kind::P99Latency:
+    return -M.P99LatencyNs;
+  case Kind::Blend: {
+    // Log scales keep the two terms comparable: the weight trades
+    // relative improvements, not nanoseconds against samples/s.
+    double Throughput = std::max(M.ThroughputSamplesPerSec, 1e-9);
+    double P99 = std::max(M.P99LatencyNs, 1.0);
+    return (1.0 - LatencyWeight) * std::log(Throughput) -
+           LatencyWeight * std::log(P99);
+  }
+  }
+  return 0.0;
+}
+
+std::string Objective::describe() const {
+  switch (TheKind) {
+  case Kind::Throughput:
+    return "throughput";
+  case Kind::P99Latency:
+    return "p99-latency";
+  case Kind::Blend: {
+    char Buffer[48];
+    std::snprintf(Buffer, sizeof(Buffer), "blend(latency-weight=%g)",
+                  LatencyWeight);
+    return Buffer;
+  }
+  }
+  return "unknown";
+}
+
+Expected<std::vector<TraceEvent>>
+spnc::tuning::loadSubmitTrace(const std::string &Path,
+                              size_t DefaultSamples) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return makeError("cannot open trace '" + Path +
+                     "': " + std::strerror(errno));
+  std::vector<TraceEvent> Trace;
+  char Line[256];
+  size_t LineNo = 0;
+  while (std::fgets(Line, sizeof(Line), File)) {
+    ++LineNo;
+    const char *Cursor = Line;
+    while (*Cursor == ' ' || *Cursor == '\t')
+      ++Cursor;
+    if (*Cursor == '\0' || *Cursor == '\n' || *Cursor == '#')
+      continue;
+    TraceEvent Event;
+    Event.NumSamples = DefaultSamples;
+    unsigned long long Model = 0, Delay = 0;
+    unsigned long long Samples = DefaultSamples;
+    int Parsed =
+        std::sscanf(Cursor, "%llu %llu %llu", &Model, &Delay, &Samples);
+    if (Parsed < 2 || Samples == 0) {
+      std::fclose(File);
+      return makeError("bad trace line " + std::to_string(LineNo) +
+                       " in '" + Path +
+                       "' (expected MODEL_INDEX DELAY_US "
+                       "[NUM_SAMPLES])");
+    }
+    Event.ModelIndex = static_cast<size_t>(Model);
+    Event.DelayUs = Delay;
+    Event.NumSamples = static_cast<size_t>(Samples);
+    Trace.push_back(Event);
+  }
+  bool ReadError = std::ferror(File) != 0;
+  std::fclose(File);
+  if (ReadError)
+    return makeError("cannot read trace '" + Path +
+                     "': " + std::strerror(errno));
+  if (Trace.empty())
+    return makeError("trace '" + Path + "' contains no requests");
+  return Trace;
+}
+
+ServingEvaluator::ServingEvaluator(spn::Model Model,
+                                   spn::QueryConfig Query,
+                                   ServingEvaluatorOptions Options)
+    : Model(std::move(Model)), Query(Query),
+      Options(std::move(Options)) {}
+
+ServingEvaluator::~ServingEvaluator() = default;
+
+Expected<runtime::KernelCache *>
+ServingEvaluator::cacheFor(const std::string &BackendName) {
+  auto It = Caches.find(BackendName);
+  if (It != Caches.end())
+    return It->second.get();
+  Expected<std::shared_ptr<backend::Backend>> Backend =
+      backend::BackendRegistry::global().lookup(BackendName);
+  if (!Backend)
+    return Backend.getError();
+  runtime::KernelCache::Config Config;
+  Config.Directory = Options.CacheDirectory;
+  Config.TheBackend = Backend.takeValue();
+  auto Cache = std::make_unique<runtime::KernelCache>(Config);
+  runtime::KernelCache *Raw = Cache.get();
+  Caches.emplace(BackendName, std::move(Cache));
+  return Raw;
+}
+
+namespace {
+
+/// Deterministic synthetic feature rows (same generator as spnc-serve).
+std::vector<double> makeSyntheticRows(unsigned NumFeatures,
+                                      size_t NumSamples, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> Dist(0.0, 4.0);
+  std::vector<double> Rows(NumSamples * NumFeatures);
+  for (double &V : Rows)
+    V = Dist(Rng);
+  return Rows;
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+Expected<Measurement>
+ServingEvaluator::evaluate(const TunedConfig &Config) {
+  Expected<runtime::KernelCache *> Cache =
+      cacheFor(Config.BackendName);
+  if (!Cache)
+    return Cache.getError();
+
+  serving::InferenceServer Server(Config.Server, Cache.get());
+  const char *Name = "tuned-model";
+  uint64_t CompileStart = nowNs();
+  if (std::optional<Error> Err =
+          Server.addModel(Name, Model, Query, Config.Compile))
+    return makeError("candidate failed to compile: " +
+                     Err->message());
+  Measurement M;
+  M.CompileNs = nowNs() - CompileStart;
+
+  unsigned NumFeatures = Model.getNumFeatures();
+  uint64_t ServeStart = nowNs();
+  uint64_t Ok = 0, Failed = 0;
+  if (!Options.Trace.empty()) {
+    // Trace replay: keep the events of the tuned model, fold the
+    // delays of dropped (other-model) events into the next kept one so
+    // the arrival timeline survives the filter.
+    std::vector<TraceEvent> Replay;
+    uint64_t CarriedDelayUs = 0;
+    for (const TraceEvent &Event : Options.Trace) {
+      if (Event.ModelIndex != Options.TraceModelIndex) {
+        CarriedDelayUs += Event.DelayUs;
+        continue;
+      }
+      TraceEvent Kept = Event;
+      Kept.DelayUs += CarriedDelayUs;
+      CarriedDelayUs = 0;
+      Replay.push_back(Kept);
+    }
+    if (Replay.empty())
+      return makeError(
+          "trace has no requests for model index " +
+          std::to_string(Options.TraceModelIndex));
+    double Speedup = Options.TraceSpeedup > 0 ? Options.TraceSpeedup
+                                              : 1.0;
+    std::vector<serving::ResultFuture> Futures;
+    Futures.reserve(Replay.size());
+    for (size_t I = 0; I < Replay.size(); ++I) {
+      const TraceEvent &Event = Replay[I];
+      uint64_t DelayUs = static_cast<uint64_t>(
+          static_cast<double>(Event.DelayUs) / Speedup);
+      if (DelayUs)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(DelayUs));
+      std::vector<double> Rows = makeSyntheticRows(
+          NumFeatures, Event.NumSamples, Options.Seed + I);
+      Futures.push_back(
+          Server.submit(Name, Rows.data(), Event.NumSamples));
+    }
+    for (serving::ResultFuture &Future : Futures) {
+      serving::InferenceResult Result = Future.take();
+      (Result.Status == serving::RequestStatus::Ok ? Ok : Failed) += 1;
+    }
+  } else {
+    // Synthetic closed loop.
+    std::atomic<uint64_t> OkCount{0}, FailedCount{0};
+    std::vector<std::thread> Clients;
+    Clients.reserve(Options.Clients);
+    for (unsigned C = 0; C < Options.Clients; ++C)
+      Clients.emplace_back([&, C] {
+        for (unsigned R = 0; R < Options.RequestsPerClient; ++R) {
+          std::vector<double> Rows = makeSyntheticRows(
+              NumFeatures, Options.SamplesPerRequest,
+              Options.Seed + (uint64_t(C) << 32 | R));
+          serving::InferenceResult Result =
+              Server
+                  .submit(Name, Rows.data(),
+                          Options.SamplesPerRequest)
+                  .take();
+          if (Result.Status == serving::RequestStatus::Ok)
+            ++OkCount;
+          else
+            ++FailedCount;
+        }
+      });
+    for (std::thread &Client : Clients)
+      Client.join();
+    Ok = OkCount.load();
+    Failed = FailedCount.load();
+  }
+  uint64_t ServeEnd = nowNs();
+
+  serving::ServerStats Stats = Server.getStats();
+  Server.shutdown();
+
+  M.WallNs = ServeEnd - ServeStart;
+  M.OkRequests = Ok;
+  M.FailedRequests = Failed;
+  M.MeanBatchSamples = Stats.meanBatchSize();
+  M.P99LatencyNs =
+      static_cast<double>(Stats.LatencyNs.quantile(0.99));
+  // Our own serving-phase wall clock, not Stats.ElapsedNs — the latter
+  // starts at server construction and would charge compile time to the
+  // candidate.
+  M.ThroughputSamplesPerSec =
+      M.WallNs ? static_cast<double>(Stats.CompletedSamples) * 1e9 /
+                     static_cast<double>(M.WallNs)
+               : 0.0;
+  if (Ok == 0)
+    return makeError("candidate completed no requests successfully (" +
+                     std::to_string(Failed) + " failed)");
+  return M;
+}
+
+std::string ServingEvaluator::describe() const {
+  char Buffer[128];
+  if (!Options.Trace.empty()) {
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "trace-replay events=%zu model-index=%zu speedup=%g",
+                  Options.Trace.size(), Options.TraceModelIndex,
+                  Options.TraceSpeedup);
+    return Buffer;
+  }
+  std::snprintf(Buffer, sizeof(Buffer),
+                "closed-loop clients=%u requests=%u samples=%zu",
+                Options.Clients, Options.RequestsPerClient,
+                Options.SamplesPerRequest);
+  return Buffer;
+}

@@ -1,0 +1,191 @@
+//===- SearchSpace.cpp - Typed knob space for the autotuner -------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/SearchSpace.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace spnc;
+using namespace spnc::tuning;
+
+std::string KnobValue::text() const {
+  switch (TheKind) {
+  case Kind::UInt:
+    return std::to_string(UInt);
+  case Kind::Real: {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%g", Real);
+    return Buffer;
+  }
+  case Kind::Text:
+    return Text;
+  }
+  return std::string();
+}
+
+bool spnc::tuning::applyKnobByName(TunedConfig &Config,
+                                   const std::string &Name,
+                                   const KnobValue &Value) {
+  if (Name == "opt-level") {
+    Config.Compile.OptLevel = static_cast<unsigned>(Value.getUInt());
+    return true;
+  }
+  if (Name == "vector-width") {
+    Config.Compile.Execution.VectorWidth =
+        static_cast<unsigned>(Value.getUInt());
+    return true;
+  }
+  if (Name == "partition-size") {
+    Config.Compile.MaxPartitionSize =
+        static_cast<uint32_t>(Value.getUInt());
+    return true;
+  }
+  if (Name == "partition-slack") {
+    Config.Compile.Partitioning.Slack = Value.getReal();
+    return true;
+  }
+  if (Name == "gpu-block-size") {
+    Config.Compile.GpuBlockSize = static_cast<unsigned>(Value.getUInt());
+    return true;
+  }
+  if (Name == "backend") {
+    Config.BackendName = Value.getText();
+    return true;
+  }
+  if (Name == "max-batch-samples") {
+    Config.Server.MaxBatchSamples =
+        static_cast<size_t>(Value.getUInt());
+    return true;
+  }
+  if (Name == "max-queue-delay-us") {
+    Config.Server.MaxQueueDelayUs = Value.getUInt();
+    return true;
+  }
+  if (Name == "num-workers") {
+    Config.Server.NumWorkers = static_cast<unsigned>(Value.getUInt());
+    return true;
+  }
+  return false;
+}
+
+Knob::Knob(std::string Name, std::vector<KnobValue> Values,
+           size_t DefaultIndex)
+    : Name(std::move(Name)), Values(std::move(Values)),
+      DefaultIndex(DefaultIndex) {
+  assert(!this->Values.empty() && "knob needs at least one value");
+  assert(DefaultIndex < this->Values.size() &&
+         "default index out of range");
+}
+
+void Knob::apply(TunedConfig &Config, size_t ValueIndex) const {
+  assert(ValueIndex < Values.size() && "value index out of range");
+  bool Known = applyKnobByName(Config, Name, Values[ValueIndex]);
+  assert(Known && "search-space knob has no applyKnobByName mapping");
+  (void)Known;
+}
+
+uint64_t SearchSpace::getNumCandidates() const {
+  uint64_t Product = 1;
+  for (const Knob &TheKnob : Knobs)
+    Product *= TheKnob.getValues().size();
+  return Product;
+}
+
+SearchSpace::Candidate SearchSpace::defaultCandidate() const {
+  Candidate Default;
+  Default.reserve(Knobs.size());
+  for (const Knob &TheKnob : Knobs)
+    Default.push_back(TheKnob.getDefaultIndex());
+  return Default;
+}
+
+SearchSpace::Candidate SearchSpace::randomCandidate(Rng &TheRng) const {
+  Candidate Random;
+  Random.reserve(Knobs.size());
+  for (const Knob &TheKnob : Knobs)
+    Random.push_back(static_cast<size_t>(
+        TheRng.uniformInt(TheKnob.getValues().size())));
+  return Random;
+}
+
+TunedConfig SearchSpace::materialize(const Candidate &TheCandidate,
+                                     const TunedConfig &Base) const {
+  assert(TheCandidate.size() == Knobs.size() &&
+         "candidate does not match the space");
+  TunedConfig Config = Base;
+  for (size_t I = 0; I < Knobs.size(); ++I)
+    Knobs[I].apply(Config, TheCandidate[I]);
+  return Config;
+}
+
+std::string SearchSpace::describe(const Candidate &TheCandidate) const {
+  assert(TheCandidate.size() == Knobs.size() &&
+         "candidate does not match the space");
+  std::string Text;
+  for (size_t I = 0; I < Knobs.size(); ++I) {
+    if (!Text.empty())
+      Text += ' ';
+    Text += Knobs[I].getName();
+    Text += '=';
+    Text += Knobs[I].getValues()[TheCandidate[I]].text();
+  }
+  return Text;
+}
+
+SearchSpace
+SearchSpace::makeDefault(const DefaultSpaceOptions &Options) {
+  auto UInts = [](std::initializer_list<uint64_t> Values) {
+    std::vector<KnobValue> List;
+    for (uint64_t V : Values)
+      List.push_back(KnobValue::ofUInt(V));
+    return List;
+  };
+  auto Reals = [](std::initializer_list<double> Values) {
+    std::vector<KnobValue> List;
+    for (double V : Values)
+      List.push_back(KnobValue::ofReal(V));
+    return List;
+  };
+
+  SearchSpace Space;
+  // Knob order matters to coordinate descent: early knobs get swept
+  // first, so small budgets explore them and large budgets converge
+  // faster. The serving knobs lead — under micro-batching they are the
+  // highest-leverage dimension, and sweeping them is cheap (the compile
+  // config is unchanged, so every candidate hits the kernel cache).
+  // Compile knobs follow; each fresh value pays a compilation. Defaults
+  // mirror the ServerConfig/CompilerOptions defaults so the
+  // all-defaults candidate measures the out-of-the-box configuration
+  // (indices below reference the value lists).
+  Space.addKnob(Knob("max-batch-samples",
+                     UInts({32, 64, 128, 256, 512}), /*Default=*/3));
+  Space.addKnob(Knob("max-queue-delay-us",
+                     UInts({100, 500, 1000, 5000}), /*Default=*/2));
+  Space.addKnob(Knob("num-workers", UInts({1, 2, 4, 8}), /*Default=*/1));
+
+  Space.addKnob(
+      Knob("vector-width", UInts({1, 4, 8, 16}), /*Default=*/0));
+  Space.addKnob(Knob("opt-level", UInts({0, 1, 2, 3}), /*Default=*/1));
+  // 0 disables partitioning (the CompilerOptions default); the non-zero
+  // values bracket the sweet spot of the paper's Figs. 10/12 sweeps.
+  Space.addKnob(Knob("partition-size", UInts({0, 2000, 10000, 50000}),
+                     /*Default=*/0));
+  Space.addKnob(Knob("partition-slack", Reals({0.01, 0.05, 0.1}),
+                     /*Default=*/0));
+  if (Options.Target == runtime::Target::GPU)
+    Space.addKnob(Knob("gpu-block-size", UInts({32, 64, 128, 256}),
+                       /*Default=*/1));
+
+  std::vector<KnobValue> Backends;
+  for (const std::string &Name : Options.Backends)
+    Backends.push_back(KnobValue::ofText(Name));
+  if (Backends.empty())
+    Backends.push_back(KnobValue::ofText("vm"));
+  Space.addKnob(Knob("backend", std::move(Backends), /*Default=*/0));
+  return Space;
+}

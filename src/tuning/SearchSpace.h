@@ -1,0 +1,189 @@
+//===- SearchSpace.h - Typed knob space for the autotuner ---------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The configuration space `spnc-tune` searches. A `TunedConfig` bundles
+/// everything a candidate decides — the compiler options, the serving
+/// knobs, and the backend name. A `Knob` is one named, typed dimension
+/// of that space with a finite candidate-value list (the paper sweeps
+/// the same dimensions by hand in Figs. 6 and 10-13); a `SearchSpace`
+/// is an ordered set of knobs, and a candidate is one value index per
+/// knob. `SearchSpace::makeDefault` builds the standard space:
+///
+///   compile:  opt-level, vector-width, partition-size, partition-slack,
+///             gpu-block-size (GPU target only), backend
+///   serving:  max-batch-samples, max-queue-delay-us, num-workers
+///
+/// Knob names are a stable contract: `TuningRecord`s store them, and
+/// `applyKnobByName` is the single mapping from a name+value back onto
+/// a `TunedConfig` (used both by the knobs themselves and by
+/// `applyTuningRecord`, so a persisted record always applies exactly
+/// like the candidate the tuner measured).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_TUNING_SEARCHSPACE_H
+#define SPNC_TUNING_SEARCHSPACE_H
+
+#include "runtime/Pipeline.h"
+#include "serving/InferenceServer.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spnc {
+namespace tuning {
+
+/// Everything one tuning candidate decides. The evaluator compiles with
+/// `Compile` through the backend named `BackendName` and serves through
+/// an `InferenceServer` configured with `Server`.
+struct TunedConfig {
+  runtime::CompilerOptions Compile;
+  serving::ServerConfig Server;
+  std::string BackendName = "vm";
+};
+
+/// One concrete value a knob can take: an unsigned integer, a real, or a
+/// short text (backend names). Comparable and printable, so candidates
+/// can be memoized and logged.
+class KnobValue {
+public:
+  enum class Kind : uint8_t { UInt, Real, Text };
+
+  static KnobValue ofUInt(uint64_t Value) {
+    KnobValue V;
+    V.TheKind = Kind::UInt;
+    V.UInt = Value;
+    return V;
+  }
+  static KnobValue ofReal(double Value) {
+    KnobValue V;
+    V.TheKind = Kind::Real;
+    V.Real = Value;
+    return V;
+  }
+  static KnobValue ofText(std::string Value) {
+    KnobValue V;
+    V.TheKind = Kind::Text;
+    V.Text = std::move(Value);
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  uint64_t getUInt() const { return UInt; }
+  double getReal() const { return Real; }
+  const std::string &getText() const { return Text; }
+
+  /// Printable form ("3", "0.05", "cpp").
+  std::string text() const;
+
+  bool operator==(const KnobValue &Other) const {
+    if (TheKind != Other.TheKind)
+      return false;
+    switch (TheKind) {
+    case Kind::UInt:
+      return UInt == Other.UInt;
+    case Kind::Real:
+      return Real == Other.Real;
+    case Kind::Text:
+      return Text == Other.Text;
+    }
+    return false;
+  }
+  bool operator!=(const KnobValue &Other) const {
+    return !(*this == Other);
+  }
+
+private:
+  Kind TheKind = Kind::UInt;
+  uint64_t UInt = 0;
+  double Real = 0.0;
+  std::string Text;
+};
+
+/// Applies the knob named \p Name with \p Value onto \p Config. Returns
+/// false (and leaves \p Config untouched) for unknown knob names — the
+/// forward-compatibility path when a newer record carries knobs this
+/// build does not know. This is the one name -> config mapping; the
+/// default search space and `applyTuningRecord` both go through it.
+bool applyKnobByName(TunedConfig &Config, const std::string &Name,
+                     const KnobValue &Value);
+
+/// One typed tuning knob: a stable name plus its finite candidate-value
+/// list and the index of the all-defaults value.
+class Knob {
+public:
+  Knob(std::string Name, std::vector<KnobValue> Values,
+       size_t DefaultIndex);
+
+  const std::string &getName() const { return Name; }
+  const std::vector<KnobValue> &getValues() const { return Values; }
+  size_t getDefaultIndex() const { return DefaultIndex; }
+
+  /// Applies the \p ValueIndex-th candidate value to \p Config.
+  void apply(TunedConfig &Config, size_t ValueIndex) const;
+
+private:
+  std::string Name;
+  std::vector<KnobValue> Values;
+  size_t DefaultIndex;
+};
+
+/// Shape of the default knob space.
+struct DefaultSpaceOptions {
+  /// Candidate values of the "backend" knob. Defaults to the VM backend
+  /// only: the cpp backend pays a host-compiler invocation per fresh
+  /// cache key, which a caller opts into explicitly (spnc-tune
+  /// --backends vm,cpp).
+  std::vector<std::string> Backends = {"vm"};
+  /// Compilation target; Target::GPU adds the "gpu-block-size" knob.
+  runtime::Target Target = runtime::Target::CPU;
+};
+
+/// The ordered knob set the tuner searches. A candidate assigns one
+/// value index per knob, in knob order.
+class SearchSpace {
+public:
+  using Candidate = std::vector<size_t>;
+
+  void addKnob(Knob TheKnob) { Knobs.push_back(std::move(TheKnob)); }
+
+  const std::vector<Knob> &getKnobs() const { return Knobs; }
+  size_t getNumKnobs() const { return Knobs.size(); }
+
+  /// Total number of distinct candidates (the product of the knobs'
+  /// value counts; 1 for an empty space).
+  uint64_t getNumCandidates() const;
+
+  /// The all-defaults candidate (every knob at its default index).
+  Candidate defaultCandidate() const;
+
+  /// A uniformly random candidate drawn from \p TheRng (deterministic
+  /// for a fixed seed — the restart path of the tuner).
+  Candidate randomCandidate(Rng &TheRng) const;
+
+  /// Materializes \p TheCandidate into a config, starting from \p Base
+  /// (knobs outside the space keep their Base values).
+  TunedConfig materialize(const Candidate &TheCandidate,
+                          const TunedConfig &Base = {}) const;
+
+  /// Printable "name=value name=value ..." form of \p TheCandidate.
+  std::string describe(const Candidate &TheCandidate) const;
+
+  /// The standard compile + serving knob space (see file comment).
+  static SearchSpace makeDefault(const DefaultSpaceOptions &Options = {});
+
+private:
+  std::vector<Knob> Knobs;
+};
+
+} // namespace tuning
+} // namespace spnc
+
+#endif // SPNC_TUNING_SEARCHSPACE_H

@@ -1,0 +1,185 @@
+//===- Tuner.cpp - Coordinate-descent search driver ---------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/Tuner.h"
+
+#include "support/RawOStream.h"
+#include "support/Random.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+using namespace spnc;
+using namespace spnc::tuning;
+
+Tuner::Tuner(const SearchSpace &Space, Evaluator &TheEvaluator,
+             Objective TheObjective, TunerOptions Options)
+    : Space(Space), TheEvaluator(TheEvaluator),
+      TheObjective(TheObjective), Options(Options) {}
+
+namespace {
+
+/// The search state one run() owns: budget accounting, the memo table,
+/// and the best-so-far.
+struct SearchState {
+  SearchState(const SearchSpace &Space, Evaluator &TheEvaluator,
+              Objective TheObjective, const TunerOptions &Options)
+      : Space(Space), TheEvaluator(TheEvaluator),
+        TheObjective(TheObjective), Options(Options) {}
+
+  const SearchSpace &Space;
+  Evaluator &TheEvaluator;
+  Objective TheObjective;
+  const TunerOptions &Options;
+
+  uint64_t Evaluations = 0;
+  bool BudgetExhausted = false;
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
+  /// Candidate -> score for successful evaluations, nullopt for
+  /// candidates that failed to evaluate (also memoized, so a broken
+  /// candidate is not retried).
+  std::map<SearchSpace::Candidate, std::optional<double>> Memo;
+  std::optional<EvaluatedCandidate> Best;
+  std::vector<EvaluatedCandidate> History;
+
+  bool budgetLeft() const {
+    if (Evaluations >= Options.MaxEvaluations)
+      return false;
+    if (HasDeadline &&
+        std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    return true;
+  }
+
+  void log(const std::string &Line) {
+    if (Options.Log)
+      *Options.Log << Line << '\n';
+  }
+
+  /// Evaluates (or recalls) \p Candidate; returns its score, nullopt
+  /// when the candidate fails or the budget is exhausted. Updates the
+  /// best-so-far.
+  std::optional<double>
+  evaluate(const SearchSpace::Candidate &Candidate) {
+    auto It = Memo.find(Candidate);
+    if (It != Memo.end())
+      return It->second;
+    if (!budgetLeft()) {
+      BudgetExhausted = true;
+      return std::nullopt;
+    }
+    ++Evaluations;
+    Expected<Measurement> M = TheEvaluator.evaluate(
+        Space.materialize(Candidate, Options.BaseConfig));
+    if (!M) {
+      log("  candidate {" + Space.describe(Candidate) +
+          "} failed: " + M.getError().message());
+      Memo.emplace(Candidate, std::nullopt);
+      return std::nullopt;
+    }
+    double Score = TheObjective.score(*M);
+    Memo.emplace(Candidate, Score);
+    EvaluatedCandidate Evaluated{Candidate, *M, Score};
+    History.push_back(Evaluated);
+    // Strictly-better replacement: on a tie the earlier candidate
+    // (closer to the defaults) wins.
+    if (!Best || Score > Best->Score) {
+      Best = Evaluated;
+      char Line[160];
+      std::snprintf(Line, sizeof(Line),
+                    "[%llu/%llu] new best score %.6g (%.0f samples/s, "
+                    "p99 %.0f us)",
+                    static_cast<unsigned long long>(Evaluations),
+                    static_cast<unsigned long long>(
+                        Options.MaxEvaluations),
+                    Score, M->ThroughputSamplesPerSec,
+                    M->P99LatencyNs / 1000.0);
+      log(Line);
+      log("  " + Space.describe(Candidate));
+    }
+    return Score;
+  }
+
+  /// Coordinate descent from \p Start until a full sweep improves
+  /// nothing or the budget runs out.
+  void descend(SearchSpace::Candidate Current) {
+    std::optional<double> CurrentScore = evaluate(Current);
+    bool Improved = true;
+    while (Improved && budgetLeft()) {
+      Improved = false;
+      for (size_t K = 0; K < Space.getNumKnobs(); ++K) {
+        const Knob &TheKnob = Space.getKnobs()[K];
+        size_t BestIndex = Current[K];
+        for (size_t V = 0; V < TheKnob.getValues().size(); ++V) {
+          if (V == Current[K])
+            continue;
+          SearchSpace::Candidate Neighbor = Current;
+          Neighbor[K] = V;
+          std::optional<double> Score = evaluate(Neighbor);
+          if (BudgetExhausted)
+            return;
+          if (Score && (!CurrentScore || *Score > *CurrentScore)) {
+            CurrentScore = Score;
+            BestIndex = V;
+            Improved = true;
+          }
+        }
+        Current[K] = BestIndex;
+      }
+    }
+  }
+};
+
+} // namespace
+
+Expected<TunerResult> Tuner::run() {
+  SearchState State(Space, TheEvaluator, TheObjective, Options);
+  if (Options.TimeBudgetMs) {
+    State.Deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(Options.TimeBudgetMs);
+    State.HasDeadline = true;
+  }
+
+  // The all-defaults candidate always goes first: it anchors the
+  // best-so-far, so the final result can never score below the
+  // out-of-the-box configuration on this evaluator.
+  SearchSpace::Candidate Default = Space.defaultCandidate();
+  State.log("evaluating default configuration {" +
+            Space.describe(Default) + "}");
+  State.evaluate(Default);
+  State.descend(Default);
+
+  Rng RestartRng(Options.Seed);
+  for (unsigned Restart = 0;
+       Restart < Options.RandomRestarts && State.budgetLeft();
+       ++Restart) {
+    SearchSpace::Candidate Start = Space.randomCandidate(RestartRng);
+    State.log("restart " + std::to_string(Restart + 1) + "/" +
+              std::to_string(Options.RandomRestarts) + " from {" +
+              Space.describe(Start) + "}");
+    State.descend(Start);
+  }
+  if (!State.budgetLeft() && State.Evaluations)
+    State.BudgetExhausted =
+        State.BudgetExhausted ||
+        State.Evaluations >= Options.MaxEvaluations;
+
+  if (!State.Best)
+    return makeError(
+        "tuning failed: no candidate evaluated successfully (" +
+        std::to_string(State.Evaluations) + " attempted)");
+
+  TunerResult Result;
+  Result.Best = *State.Best;
+  Result.Evaluations = State.Evaluations;
+  Result.History = std::move(State.History);
+  Result.BudgetExhausted = State.BudgetExhausted;
+  return Result;
+}

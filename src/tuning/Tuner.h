@@ -1,0 +1,111 @@
+//===- Tuner.h - Coordinate-descent search driver -----------------------------===//
+//
+// Part of the SPNC-Repro project.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search driver of `spnc-tune`. The strategy is coordinate descent
+/// with random restarts (the shape bistra's `Optimizer` uses for tile
+/// sizes, applied here to the whole compile + serving knob space):
+///
+///  1. measure the all-defaults candidate first — it is the baseline
+///     every improvement is judged against, and guarantees the reported
+///     best is never worse than the defaults on this evaluator;
+///  2. sweep the knobs in order; for each knob try every alternative
+///     value (other knobs held fixed) and greedily keep strict
+///     improvements; repeat until a full sweep improves nothing (a
+///     local optimum of the one-knob-at-a-time neighborhood);
+///  3. restart from a seeded-random candidate and descend again, up to
+///     `RandomRestarts` times, keeping the global best.
+///
+/// Evaluations are memoized on the candidate, so revisits (common once
+/// descent converges) are free and do not count against the budget.
+/// The budget (`MaxEvaluations`, optionally `TimeBudgetMs`) bounds real
+/// evaluator calls; when it runs out mid-descent the tuner returns the
+/// best seen so far with `BudgetExhausted` set. With a fixed seed and a
+/// deterministic evaluator the whole search is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPNC_TUNING_TUNER_H
+#define SPNC_TUNING_TUNER_H
+
+#include "tuning/Evaluator.h"
+#include "tuning/SearchSpace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spnc {
+
+class RawOStream;
+
+namespace tuning {
+
+/// Search-driver knobs.
+struct TunerOptions {
+  /// Evaluator-call budget (memo hits are free); 0 means "evaluate the
+  /// default candidate only".
+  uint64_t MaxEvaluations = 48;
+  /// Wall-clock budget in milliseconds; 0 disables the time bound.
+  uint64_t TimeBudgetMs = 0;
+  /// Random restarts after the initial descent from the defaults.
+  unsigned RandomRestarts = 1;
+  /// Seed of the restart candidates.
+  uint64_t Seed = 1;
+  /// Best-so-far progress log (null = silent).
+  RawOStream *Log = nullptr;
+  /// Candidates are materialized on top of this config, so settings
+  /// outside the knob space (e.g. the compilation target) carry into
+  /// every evaluation.
+  TunedConfig BaseConfig;
+};
+
+/// One measured candidate.
+struct EvaluatedCandidate {
+  SearchSpace::Candidate Candidate;
+  Measurement TheMeasurement;
+  double Score = 0.0;
+};
+
+/// What a tuning run produced.
+struct TunerResult {
+  /// Best candidate seen (never scored worse than the all-defaults
+  /// candidate — that one is always evaluated first).
+  EvaluatedCandidate Best;
+  /// Real evaluator calls spent (excluding memo hits and failed
+  /// candidates).
+  uint64_t Evaluations = 0;
+  /// Every successful evaluation, in evaluation order.
+  std::vector<EvaluatedCandidate> History;
+  /// The search stopped on the evaluation/time budget rather than
+  /// convergence.
+  bool BudgetExhausted = false;
+};
+
+/// Runs the search (see file comment). The tuner borrows the space and
+/// evaluator; both must outlive run().
+class Tuner {
+public:
+  Tuner(const SearchSpace &Space, Evaluator &TheEvaluator,
+        Objective TheObjective, TunerOptions Options = {});
+
+  /// Runs the search. Fails only when no candidate evaluates
+  /// successfully at all (e.g. the model compiles under no
+  /// configuration); individual candidate failures are logged and
+  /// skipped.
+  Expected<TunerResult> run();
+
+private:
+  const SearchSpace &Space;
+  Evaluator &TheEvaluator;
+  Objective TheObjective;
+  TunerOptions Options;
+};
+
+} // namespace tuning
+} // namespace spnc
+
+#endif // SPNC_TUNING_TUNER_H

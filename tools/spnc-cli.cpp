@@ -32,6 +32,7 @@
 #include "runtime/Reports.h"
 #include "support/RawOStream.h"
 #include "support/StringUtils.h"
+#include "tuning/TuningRecord.h"
 #include "vm/ProgramBinary.h"
 
 #include <cmath>
@@ -79,6 +80,14 @@ struct CliOptions {
   std::string PipelineReportPath;
   /// Write the kernel-cache counters as JSON here (empty = off).
   std::string KernelCacheReportPath;
+  /// Apply a spnc-tune TuningRecord to the compile-side knobs.
+  bool Tuned = false;
+  /// Explicit record path (--tuned=FILE); empty = derive from
+  /// --kernel-cache and the first model's hash.
+  std::string TunedPath;
+  /// Knobs pinned on the command line; a tuning record never overrides
+  /// these.
+  std::vector<std::string> ExplicitKnobs;
 };
 
 void printUsage() {
@@ -142,6 +151,12 @@ void printUsage() {
       "JSON\n"
       "  --kernel-cache-report=FILE.json\n"
       "                     write the kernel cache counters as JSON\n"
+      "  --tuned[=FILE]     apply the compile-side knobs of a "
+      "spnc-tune\n"
+      "                     TuningRecord: FILE, or\n"
+      "                     <kernel-cache>/<model-hash>.tune.json when "
+      "bare;\n"
+      "                     explicit flags still override\n"
       "  --help, -h         print this message and exit\n");
 }
 
@@ -166,10 +181,19 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
     if (EqualsValue("--dump-ir-after", Options.DumpIrAfter) ||
         EqualsValue("--pipeline-report", Options.PipelineReportPath) ||
         EqualsValue("--kernel-cache-report",
-                    Options.KernelCacheReportPath) ||
-        EqualsValue("--backend", Options.BackendName))
+                    Options.KernelCacheReportPath))
       continue;
-    if (Arg == "--input") {
+    if (EqualsValue("--backend", Options.BackendName)) {
+      Options.ExplicitKnobs.push_back("backend");
+      continue;
+    }
+    if (EqualsValue("--tuned", Options.TunedPath)) {
+      Options.Tuned = true;
+      continue;
+    }
+    if (Arg == "--tuned") {
+      Options.Tuned = true;
+    } else if (Arg == "--input") {
       const char *V = NextValue();
       if (!V)
         return false;
@@ -192,18 +216,21 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
         return false;
       Options.Compile.OptLevel =
           static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      Options.ExplicitKnobs.push_back("opt-level");
     } else if (Arg == "--vector-width") {
       const char *V = NextValue();
       if (!V)
         return false;
       Options.Compile.Execution.VectorWidth =
           static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      Options.ExplicitKnobs.push_back("vector-width");
     } else if (Arg == "--partition") {
       const char *V = NextValue();
       if (!V)
         return false;
       Options.Compile.MaxPartitionSize =
           static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
+      Options.ExplicitKnobs.push_back("partition-size");
     } else if (Arg == "--save-kernel") {
       const char *V = NextValue();
       if (!V)
@@ -230,6 +257,7 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.BackendName = V;
+      Options.ExplicitKnobs.push_back("backend");
     } else if (Arg == "--kernel-cache-stats") {
       Options.KernelCacheStats = true;
     } else if (Arg == "--marginal") {
@@ -332,6 +360,70 @@ int main(int Argc, char **Argv) {
   }
 
   const std::string &ModelPath = Options.ModelPaths.front();
+
+  if (Options.Tuned) {
+    std::string RecordPath = Options.TunedPath;
+    if (RecordPath.empty()) {
+      if (Options.KernelCacheDir.empty()) {
+        std::fprintf(stderr,
+                     "--tuned needs --kernel-cache DIR (or "
+                     "--tuned=FILE) to locate the tuning record\n");
+        return 2;
+      }
+      // Bare --tuned keys the record off the first model's hash, so
+      // the model must be a serialized SPN, not a .spnk kernel.
+      Expected<spn::Model> Model = spn::loadModel(ModelPath);
+      if (!Model) {
+        std::fprintf(stderr,
+                     "--tuned: failed to load model '%s' for record "
+                     "lookup: %s\n",
+                     ModelPath.c_str(),
+                     Model.getError().message().c_str());
+        return 1;
+      }
+      KernelCache::Config PathConfig;
+      PathConfig.Directory = Options.KernelCacheDir;
+      KernelCache PathCache(PathConfig);
+      RecordPath =
+          PathCache.tuningRecordPath(KernelCache::hashModel(*Model));
+    }
+    Expected<tuning::TuningRecord> Record =
+        tuning::loadTuningRecord(RecordPath);
+    if (!Record) {
+      std::fprintf(stderr, "%s\n",
+                   Record.getError().message().c_str());
+      return 1;
+    }
+    tuning::TunedConfig Tuned;
+    Tuned.Compile = Options.Compile;
+    Tuned.BackendName = Options.BackendName;
+    std::vector<tuning::AppliedKnob> Applied =
+        tuning::applyTuningRecord(*Record, Tuned,
+                                  Options.ExplicitKnobs);
+    // Only the compile side carries over — spnc-cli has no server, so
+    // the record's serving knobs are inert here.
+    Options.Compile = Tuned.Compile;
+    Options.BackendName = Tuned.BackendName;
+    std::string Summary;
+    for (const tuning::AppliedKnob &Knob : Applied) {
+      bool ServingOnly = Knob.Name == "max-batch-samples" ||
+                         Knob.Name == "max-queue-delay-us" ||
+                         Knob.Name == "num-workers";
+      if (!Summary.empty())
+        Summary += ' ';
+      Summary += Knob.Name + "=" + Knob.Value;
+      if (Knob.Overridden)
+        Summary += " (overridden by flag)";
+      else if (Knob.Unknown)
+        Summary += " (unknown, skipped)";
+      else if (ServingOnly)
+        Summary += " (serving-only, inert)";
+    }
+    std::fprintf(stderr,
+                 "applied tuning record '%s' (objective %s): %s\n",
+                 RecordPath.c_str(), Record->Objective.c_str(),
+                 Summary.c_str());
+  }
 
   Expected<std::shared_ptr<backend::Backend>> BackendOrErr =
       backend::BackendRegistry::global().lookup(Options.BackendName);

@@ -13,7 +13,9 @@
 /// stderr and, with --stats-report, the `ServerStats` snapshot as JSON.
 /// With --record-trace, live submissions are logged in the replayable
 /// trace format below; --backend selects the registered compilation
-/// backend ('vm' bytecode interpreter or 'cpp' AOT native kernels).
+/// backend ('vm' bytecode interpreter or 'cpp' AOT native kernels);
+/// --tuned applies a `spnc-tune` TuningRecord (explicit flags still
+/// win) and logs every knob it set.
 ///
 /// Trace format: one request per line,
 ///   MODEL_INDEX DELAY_US [NUM_SAMPLES]
@@ -28,6 +30,7 @@
 #include "runtime/KernelCache.h"
 #include "serving/InferenceServer.h"
 #include "serving/ServingReports.h"
+#include "tuning/TuningRecord.h"
 
 #include <atomic>
 #include <chrono>
@@ -66,6 +69,17 @@ struct ServeOptions {
   std::string StatsReportPath;
   /// Registered backend compiling the served kernels.
   std::string BackendName = "vm";
+  /// Disk tier of the kernel cache (also where bare --tuned looks for
+  /// the tuning record).
+  std::string KernelCacheDir;
+  /// Apply a spnc-tune TuningRecord before serving.
+  bool Tuned = false;
+  /// Explicit record path (--tuned=FILE); empty = derive from
+  /// --kernel-cache and the first model's hash.
+  std::string TunedPath;
+  /// Knobs the user pinned on the command line; a tuning record never
+  /// overrides these.
+  std::vector<std::string> ExplicitKnobs;
 };
 
 void printUsage() {
@@ -93,6 +107,11 @@ void printUsage() {
       "  --backend NAME       execution backend: 'vm' (default) or "
       "'cpp'\n"
       "                       (AOT-compiled native kernels)\n"
+      "  --kernel-cache DIR   persistent kernel cache directory\n"
+      "  --tuned[=FILE]       apply a spnc-tune TuningRecord: FILE, or\n"
+      "                       <kernel-cache>/<model-hash>.tune.json "
+      "when\n"
+      "                       bare; explicit flags still override\n"
       "  --trace FILE         replay 'MODEL_INDEX DELAY_US "
       "[NUM_SAMPLES]' lines\n"
       "                       instead of the synthetic closed loop\n"
@@ -130,9 +149,24 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
     if (EqualsValue("--trace", Options.TracePath) ||
         EqualsValue("--record-trace", Options.RecordTracePath) ||
         EqualsValue("--stats-report", Options.StatsReportPath) ||
-        EqualsValue("--backend", Options.BackendName))
+        EqualsValue("--kernel-cache", Options.KernelCacheDir))
       continue;
-    if (Arg == "--target") {
+    if (EqualsValue("--backend", Options.BackendName)) {
+      Options.ExplicitKnobs.push_back("backend");
+      continue;
+    }
+    if (EqualsValue("--tuned", Options.TunedPath)) {
+      Options.Tuned = true;
+      continue;
+    }
+    if (Arg == "--tuned") {
+      Options.Tuned = true;
+    } else if (Arg == "--kernel-cache") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.KernelCacheDir = V;
+    } else if (Arg == "--target") {
       const char *V = NextValue();
       if (!V)
         return false;
@@ -143,9 +177,11 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
     } else if (Arg == "--opt") {
       if (!NextUnsigned(Options.Compile.OptLevel))
         return false;
+      Options.ExplicitKnobs.push_back("opt-level");
     } else if (Arg == "--vector-width") {
       if (!NextUnsigned(Options.Compile.Execution.VectorWidth))
         return false;
+      Options.ExplicitKnobs.push_back("vector-width");
     } else if (Arg == "--clients") {
       if (!NextUnsigned(Options.Clients))
         return false;
@@ -164,9 +200,11 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
     } else if (Arg == "--max-batch") {
       if (!NextUnsigned(Options.Server.MaxBatchSamples))
         return false;
+      Options.ExplicitKnobs.push_back("max-batch-samples");
     } else if (Arg == "--max-delay-us") {
       if (!NextUnsigned(Options.Server.MaxQueueDelayUs))
         return false;
+      Options.ExplicitKnobs.push_back("max-queue-delay-us");
     } else if (Arg == "--queue-depth") {
       if (!NextUnsigned(Options.Server.MaxQueueDepth))
         return false;
@@ -175,6 +213,7 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
     } else if (Arg == "--workers") {
       if (!NextUnsigned(Options.Server.NumWorkers))
         return false;
+      Options.ExplicitKnobs.push_back("num-workers");
     } else if (Arg == "--trace") {
       const char *V = NextValue();
       if (!V)
@@ -190,6 +229,7 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
       if (!V)
         return false;
       Options.BackendName = V;
+      Options.ExplicitKnobs.push_back("backend");
     } else if (Arg == "--stats-report") {
       const char *V = NextValue();
       if (!V)
@@ -345,6 +385,66 @@ int main(int Argc, char **Argv) {
   if (Options.Samples == 0)
     Options.Samples = 1;
 
+  // Models load before the server exists: bare --tuned needs the first
+  // model's hash to find its record, and the record decides the server
+  // configuration.
+  std::vector<std::pair<std::string, spn::Model>> Models;
+  for (const std::string &Path : Options.ModelPaths) {
+    Expected<spn::Model> Model = spn::loadModel(Path);
+    if (!Model) {
+      std::fprintf(stderr, "failed to load model '%s': %s\n",
+                   Path.c_str(), Model.getError().message().c_str());
+      return 1;
+    }
+    Models.emplace_back(Path, Model.takeValue());
+  }
+
+  if (Options.Tuned) {
+    std::string RecordPath = Options.TunedPath;
+    if (RecordPath.empty()) {
+      if (Options.KernelCacheDir.empty()) {
+        std::fprintf(stderr,
+                     "--tuned needs --kernel-cache DIR (or "
+                     "--tuned=FILE) to locate the tuning record\n");
+        return 2;
+      }
+      runtime::KernelCache::Config PathConfig;
+      PathConfig.Directory = Options.KernelCacheDir;
+      runtime::KernelCache PathCache(PathConfig);
+      RecordPath = PathCache.tuningRecordPath(
+          runtime::KernelCache::hashModel(Models.front().second));
+    }
+    Expected<tuning::TuningRecord> Record =
+        tuning::loadTuningRecord(RecordPath);
+    if (!Record) {
+      std::fprintf(stderr, "%s\n", Record.getError().message().c_str());
+      return 1;
+    }
+    tuning::TunedConfig Tuned;
+    Tuned.Compile = Options.Compile;
+    Tuned.Server = Options.Server;
+    Tuned.BackendName = Options.BackendName;
+    std::vector<tuning::AppliedKnob> Applied = tuning::applyTuningRecord(
+        *Record, Tuned, Options.ExplicitKnobs);
+    Options.Compile = Tuned.Compile;
+    Options.Server = Tuned.Server;
+    Options.BackendName = Tuned.BackendName;
+    std::string Summary;
+    for (const tuning::AppliedKnob &Knob : Applied) {
+      if (!Summary.empty())
+        Summary += ' ';
+      Summary += Knob.Name + "=" + Knob.Value;
+      if (Knob.Overridden)
+        Summary += " (overridden by flag)";
+      else if (Knob.Unknown)
+        Summary += " (unknown, skipped)";
+    }
+    std::fprintf(stderr,
+                 "applied tuning record '%s' (objective %s): %s\n",
+                 RecordPath.c_str(), Record->Objective.c_str(),
+                 Summary.c_str());
+  }
+
   Expected<std::shared_ptr<backend::Backend>> BackendOrErr =
       backend::BackendRegistry::global().lookup(Options.BackendName);
   if (!BackendOrErr) {
@@ -367,25 +467,20 @@ int main(int Argc, char **Argv) {
   // The server compiles through this backend-configured cache; the
   // serving layer itself stays backend-agnostic.
   runtime::KernelCache::Config CacheConfig;
+  CacheConfig.Directory = Options.KernelCacheDir;
   CacheConfig.TheBackend = BackendOrErr.takeValue();
   runtime::KernelCache Cache(CacheConfig);
   InferenceServer Server(Options.Server, &Cache);
   std::vector<std::string> ModelNames;
-  for (const std::string &Path : Options.ModelPaths) {
-    Expected<spn::Model> Model = spn::loadModel(Path);
-    if (!Model) {
-      std::fprintf(stderr, "failed to load model '%s': %s\n",
-                   Path.c_str(), Model.getError().message().c_str());
-      return 1;
-    }
+  for (const auto &[Path, Model] : Models) {
     if (std::optional<Error> Err = Server.addModel(
-            Path, *Model, Options.Query, Options.Compile)) {
+            Path, Model, Options.Query, Options.Compile)) {
       std::fprintf(stderr, "failed to register model '%s': %s\n",
                    Path.c_str(), Err->message().c_str());
       return 1;
     }
     std::fprintf(stderr, "registered '%s': %u features\n", Path.c_str(),
-                 Model->getNumFeatures());
+                 Model.getNumFeatures());
     ModelNames.push_back(Path);
   }
 
