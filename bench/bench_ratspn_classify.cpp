@@ -214,6 +214,69 @@ int main(int argc, char **argv) {
   });
   (void)GpuWallSeconds;
 
+  // MPE-as-classifier leg (docs/queries.md): score every image by each
+  // class's max-product log-probability (executeMpe under full
+  // evidence, so the traceback completes nothing and the score is the
+  // best single explanation) and argmax over classes. On this data the
+  // best explanation tracks the full likelihood, so the decision must
+  // agree with the per-class joint argmax — the agreement is computed
+  // and reported below.
+  std::vector<CompiledKernel> MpeKernels;
+  double MpeCompileSeconds = 0;
+  for (const spn::Model &Model : W.Classes) {
+    CompilerOptions Options;
+    Options.OptLevel = 1;
+    Options.Execution.VectorWidth = 8;
+    // No partition budget: traceback queries require (and the pipeline
+    // enforces) a single unpartitioned task.
+    spn::QueryConfig Query;
+    Query.Kind = spn::QueryKind::Mpe;
+    CompileStats Stats;
+    Expected<CompiledKernel> Kernel =
+        kernelCache().getOrCompile(Model, Query, Options, &Stats);
+    if (!Kernel)
+      return 1;
+    MpeCompileSeconds += static_cast<double>(Stats.TotalNs) * 1e-9;
+    MpeKernels.push_back(Kernel.takeValue());
+  }
+  std::vector<double> MpeAssignments(W.NumSamples * W.NumFeatures);
+  auto [MpeSeconds, MpeAccuracy] = classify([&](unsigned Class,
+                                                double *Out) {
+    MpeKernels[Class].executeMpe(W.Data.data(), MpeAssignments.data(),
+                                 Out, W.NumSamples);
+  });
+
+  // Decision agreement between the two classifiers over all images.
+  size_t Agree = 0;
+  {
+    std::vector<std::vector<double>> JointScores(
+        10, std::vector<double>(W.NumSamples));
+    std::vector<std::vector<double>> MpeScores(
+        10, std::vector<double>(W.NumSamples));
+    for (unsigned Class = 0; Class < 10; ++Class) {
+      CpuKernels[Class].execute(W.Data.data(),
+                                JointScores[Class].data(),
+                                W.NumSamples);
+      MpeKernels[Class].executeMpe(W.Data.data(),
+                                   MpeAssignments.data(),
+                                   MpeScores[Class].data(),
+                                   W.NumSamples);
+    }
+    for (size_t S = 0; S < W.NumSamples; ++S) {
+      unsigned BestJoint = 0, BestMpe = 0;
+      for (unsigned Class = 1; Class < 10; ++Class) {
+        if (JointScores[Class][S] > JointScores[BestJoint][S])
+          BestJoint = Class;
+        if (MpeScores[Class][S] > MpeScores[BestMpe][S])
+          BestMpe = Class;
+      }
+      if (BestJoint == BestMpe)
+        ++Agree;
+    }
+  }
+  double Agreement =
+      static_cast<double>(Agree) / static_cast<double>(W.NumSamples);
+
   // Optional native leg (--backend=cpp): the same ten CPU kernels,
   // AOT-compiled to shared objects through a backend-configured cache,
   // reported alongside the VM numbers.
@@ -267,6 +330,12 @@ int main(int argc, char **argv) {
   std::printf("SPNC GPU (simulated)  : %8.3f s   accuracy %5.1f%%   "
               "(compile %.2f s total)\n",
               GpuSimSeconds, GpuAccuracy * 100, GpuCompileSeconds);
+  std::printf("SPNC CPU (MPE query)  : %8.3f s   accuracy %5.1f%%   "
+              "(compile %.2f s total, %5.1f%% decision agreement "
+              "with joint argmax%s)\n",
+              MpeSeconds, MpeAccuracy * 100, MpeCompileSeconds,
+              Agreement * 100,
+              Agreement == 1.0 ? "" : " -- EXPECTED 100%");
   if (HaveNative)
     std::printf("SPNC %-4s (native .so): %8.3f s   accuracy %5.1f%%   "
                 "(compile %.2f s total)\n",

@@ -55,8 +55,11 @@ bool writeFile(const std::string &Path, const std::string &Content) {
 
 #ifdef SPNC_CPP_BACKEND_POSIX
 
-/// Signature of the emitted entry point (see CppEmitter.h).
+/// Signatures of the emitted entry points (see CppEmitter.h).
 using KernelFn = void (*)(const double *, double *, size_t);
+using MpeFn = void (*)(const double *, double *, double *, size_t);
+using SampleFn = void (*)(const double *, double *, size_t,
+                          unsigned long long);
 
 /// ExecutionEngine over a dlopen'ed native kernel. Retains the portable
 /// program so `getProgram`-based consumers (saveCompiledKernel, work
@@ -66,10 +69,10 @@ using KernelFn = void (*)(const double *, double *, size_t);
 class NativeEngine : public runtime::ExecutionEngine {
 public:
   NativeEngine(vm::KernelProgram TheProgram, void *Handle, KernelFn Fn,
-               std::string ArtifactDir, bool KeepArtifacts,
-               std::string Description)
-      : Program(std::move(TheProgram)), Handle(Handle), Fn(Fn),
-        ArtifactDir(std::move(ArtifactDir)),
+               MpeFn Mpe, SampleFn Sample, std::string ArtifactDir,
+               bool KeepArtifacts, std::string Description)
+      : Program(std::move(TheProgram)), Handle(Handle), Fn(Fn), Mpe(Mpe),
+        Sample(Sample), ArtifactDir(std::move(ArtifactDir)),
         KeepArtifacts(KeepArtifacts),
         Description(std::move(Description)) {}
 
@@ -96,6 +99,36 @@ public:
     }
   }
 
+  bool executeMpe(const double *Evidence, double *Assignments,
+                  double *LogProbs, size_t NumSamples,
+                  runtime::ExecutionStats *Stats = nullptr) const override {
+    if (!Mpe)
+      return false;
+    Timer WallTimer;
+    Mpe(Evidence, Assignments, LogProbs, NumSamples);
+    if (Stats) {
+      *Stats = runtime::ExecutionStats();
+      Stats->WallNs = WallTimer.elapsedNs();
+      Stats->NumSamples = NumSamples;
+    }
+    return true;
+  }
+
+  bool executeSample(const double *Evidence, double *Samples,
+                     size_t NumSamples, uint64_t Seed,
+                     runtime::ExecutionStats *Stats = nullptr) const override {
+    if (!Sample)
+      return false;
+    Timer WallTimer;
+    Sample(Evidence, Samples, NumSamples, Seed);
+    if (Stats) {
+      *Stats = runtime::ExecutionStats();
+      Stats->WallNs = WallTimer.elapsedNs();
+      Stats->NumSamples = NumSamples;
+    }
+    return true;
+  }
+
   const vm::KernelProgram *getProgram() const override { return &Program; }
 
   runtime::Target getTarget() const override {
@@ -108,6 +141,10 @@ private:
   vm::KernelProgram Program;
   void *Handle;
   KernelFn Fn;
+  /// Optional query entry points; null unless the program was compiled
+  /// for the matching query kind.
+  MpeFn Mpe;
+  SampleFn Sample;
   std::string ArtifactDir;
   bool KeepArtifacts;
   std::string Description;
@@ -265,6 +302,9 @@ CppBackend::materialize(vm::KernelProgram Program,
     return FailAndCleanup("cpp backend: '" + SoPath + "' has no '" +
                           std::string(kCppKernelSymbol) + "' symbol");
   }
+  // Query entry points are emitted only for MPE/sampling programs.
+  auto Mpe = reinterpret_cast<MpeFn>(dlsym(Handle, kCppMpeSymbol));
+  auto Sample = reinterpret_cast<SampleFn>(dlsym(Handle, kCppSampleSymbol));
 
   std::string Description = "cpp native (" + Compiler;
   for (const std::string &Flag : Options.ExtraFlags)
@@ -273,7 +313,8 @@ CppBackend::materialize(vm::KernelProgram Program,
 
   CompiledArtifact Artifact;
   Artifact.Engine = std::make_shared<NativeEngine>(
-      std::move(Program), Handle, Fn, Dir, Keep, std::move(Description));
+      std::move(Program), Handle, Fn, Mpe, Sample, Dir, Keep,
+      std::move(Description));
   Artifact.BackendName = getName();
   Artifact.Fingerprint = artifactFingerprint();
   return Artifact;

@@ -31,14 +31,29 @@ namespace backend {
 
 /// Bumped whenever the emitted code's semantics or ABI change; folded
 /// into the CppBackend's artifact fingerprint so cached native kernels
-/// from older emitters are never reused.
-inline constexpr unsigned kCppEmitterVersion = 1;
+/// from older emitters are never reused. v2 added the Max opcode and
+/// the MPE / ancestral-sampling entry points.
+inline constexpr unsigned kCppEmitterVersion = 2;
 
 /// Name of the emitted `extern "C"` entry point:
 ///   void spnc_kernel_run(const double *in, double *out, size_t n);
 /// `in` is row-major [sample][feature]; `out` receives one value per
 /// sample and output slot.
 inline constexpr const char *kCppKernelSymbol = "spnc_kernel_run";
+
+/// MPE entry point, emitted only for QueryKind::Mpe programs:
+///   void spnc_kernel_mpe(const double *in, double *assign,
+///                        double *logp, size_t n);
+/// `assign` receives one completed row per sample; `logp` (nullable)
+/// one log-probability per sample.
+inline constexpr const char *kCppMpeSymbol = "spnc_kernel_mpe";
+
+/// Sampling entry point, emitted only for QueryKind::Sample programs:
+///   void spnc_kernel_sample(const double *in, double *samples,
+///                           size_t n, unsigned long long seed);
+/// Replicates the vm/Traceback.h RNG contract, so a fixed seed yields
+/// the same rows as the VM engine's executeSample.
+inline constexpr const char *kCppSampleSymbol = "spnc_kernel_sample";
 
 /// Renders \p Program as a complete C++17 translation unit. Fails on
 /// programs the emitter cannot express (more than one external input or

@@ -9,7 +9,9 @@
 
 #include "dialects/lospn/LoSPNOps.h"
 #include "support/Compiler.h"
+#include "support/Random.h"
 #include "support/Timer.h"
+#include "vm/Traceback.h"
 
 #include <algorithm>
 #include <cassert>
@@ -222,6 +224,47 @@ void InterpreterEngine::execute(const double *Input, double *Output,
     Stats->WallNs = WallTimer.elapsedNs();
     Stats->NumSamples = NumSamples;
   }
+}
+
+bool InterpreterEngine::executeMpe(const double *Evidence,
+                                   double *Assignments, double *LogProbs,
+                                   size_t NumSamples,
+                                   runtime::ExecutionStats *Stats) const {
+  Timer WallTimer;
+  unsigned NumFeatures = TheModel.getNumFeatures();
+  for (size_t S = 0; S < NumSamples; ++S) {
+    double LogProb = TheModel.evalMpe(
+        std::span<const double>(Evidence + S * NumFeatures, NumFeatures),
+        std::span<double>(Assignments + S * NumFeatures, NumFeatures));
+    if (LogProbs)
+      LogProbs[S] = LogProb;
+  }
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+  }
+  return true;
+}
+
+bool InterpreterEngine::executeSample(const double *Evidence,
+                                      double *Samples, size_t NumSamples,
+                                      uint64_t Seed,
+                                      runtime::ExecutionStats *Stats) const {
+  Timer WallTimer;
+  unsigned NumFeatures = TheModel.getNumFeatures();
+  for (size_t S = 0; S < NumSamples; ++S) {
+    Rng R(vm::perSampleSeed(Seed, S));
+    TheModel.sampleAncestral(
+        std::span<const double>(Evidence + S * NumFeatures, NumFeatures),
+        std::span<double>(Samples + S * NumFeatures, NumFeatures), R);
+  }
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+  }
+  return true;
 }
 
 void TfGraphEngine::execute(const double *Input, double *Output,

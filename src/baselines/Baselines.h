@@ -80,11 +80,22 @@ private:
 class InterpreterEngine : public runtime::ExecutionEngine {
 public:
   explicit InterpreterEngine(const spn::Model &TheModel)
-      : Interpreter(TheModel),
+      : TheModel(TheModel), Interpreter(TheModel),
         NumNodes(TheModel.computeStats().NumNodes) {}
 
   void execute(const double *Input, double *Output, size_t NumSamples,
                runtime::ExecutionStats *Stats = nullptr) const override;
+  /// MPE via the model's reference traceback (Model::evalMpe). This is
+  /// the oracle every compiled MPE path is differential-tested against.
+  bool executeMpe(const double *Evidence, double *Assignments,
+                  double *LogProbs, size_t NumSamples,
+                  runtime::ExecutionStats *Stats = nullptr) const override;
+  /// Ancestral sampling via Model::sampleAncestral, using the shared
+  /// per-sample seeding contract (vm::perSampleSeed) so sample I depends
+  /// only on (Seed, I).
+  bool executeSample(const double *Evidence, double *Samples,
+                     size_t NumSamples, uint64_t Seed,
+                     runtime::ExecutionStats *Stats = nullptr) const override;
   /// Model-derived accounting: one work unit per SPN node evaluated
   /// per sample (there is no compiled program to count instructions
   /// from).
@@ -102,6 +113,7 @@ public:
   }
 
 private:
+  const spn::Model &TheModel;
   SPFlowInterpreter Interpreter;
   size_t NumNodes;
 };

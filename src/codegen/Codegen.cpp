@@ -38,11 +38,21 @@ static bool bucketsAreIntegral(const std::vector<double> &Flat) {
 }
 
 /// Emits instructions for one task.
+///
+/// For MPE/sampling queries the emitter additionally builds the
+/// downward `TracebackPlan` alongside the upward-pass instructions. The
+/// plan references upward-pass registers (Choice nodes compare/weigh the
+/// two combined operands), which is only sound under direct -O0-style
+/// emission where every SSA value owns a distinct register for the whole
+/// program; `emitKernelProgram` enforces that.
 class TaskEmitter {
 public:
   TaskEmitter(const CodegenOptions &Options, bool LogSpace,
-              const std::unordered_map<ValueImpl *, uint32_t> &BufferIds)
-      : Options(Options), Log(LogSpace), BufferIds(BufferIds) {}
+              const std::unordered_map<ValueImpl *, uint32_t> &BufferIds,
+              const std::vector<BufferInfo> &KernelBuffers,
+              TracebackPlan *Plan)
+      : Options(Options), Log(LogSpace), BufferIds(BufferIds),
+        KernelBuffers(KernelBuffers), Plan(Plan) {}
 
   Expected<TaskProgram> emit(TaskOp Task) {
     // Kernel-level buffer for each task operand.
@@ -55,12 +65,15 @@ public:
     for (Operation *Op : TaskBlock) {
       if (BatchReadOp Read = dyn_cast_op<BatchReadOp>(Op)) {
         uint32_t Reg = newReg();
-        Program.Loads.push_back(BufferAccess{
-            OperandBuffers[Op->getOperand(0).getIndex() - 1],
-            Read.getStaticIndex()});
+        uint32_t Buffer = OperandBuffers[Op->getOperand(0).getIndex() - 1];
+        Program.Loads.push_back(
+            BufferAccess{Buffer, Read.getStaticIndex()});
         push(OpCode::Load, Reg,
              static_cast<uint32_t>(Program.Loads.size() - 1));
         RegOf[Op->getResult(0).getImpl()] = Reg;
+        if (Plan &&
+            KernelBuffers[Buffer].Role == BufferInfo::Kind::Input)
+          FeatureOf[Op->getResult(0).getImpl()] = Read.getStaticIndex();
         continue;
       }
       if (BodyOp Body = dyn_cast_op<BodyOp>(Op)) {
@@ -92,15 +105,24 @@ public:
 private:
   LogicalResult emitBody(BodyOp Body) {
     Block &Inner = Body.getBody();
-    for (unsigned I = 0; I < Body->getNumOperands(); ++I)
+    for (unsigned I = 0; I < Body->getNumOperands(); ++I) {
       RegOf[Inner.getArgument(I).getImpl()] =
           RegOf.at(Body->getOperand(I).getImpl());
+      if (Plan) {
+        auto It = FeatureOf.find(Body->getOperand(I).getImpl());
+        if (It != FeatureOf.end())
+          FeatureOf[Inner.getArgument(I).getImpl()] = It->second;
+      }
+    }
 
     for (Operation *Op : Inner) {
       if (isa_op<YieldOp>(Op)) {
         for (unsigned I = 0; I < Op->getNumOperands(); ++I)
           RegOf[Body->getResult(I).getImpl()] =
               RegOf.at(Op->getOperand(I).getImpl());
+        // The yielded root probability is where the traceback starts.
+        if (Plan && Op->getNumOperands() > 0)
+          Plan->Root = PlanOf.at(Op->getOperand(0).getImpl());
         continue;
       }
       if (ConstantOp Const = dyn_cast_op<ConstantOp>(Op)) {
@@ -114,13 +136,49 @@ private:
         push(Log ? OpCode::Add : OpCode::Mul, Reg, regOfOperand(Op, 0),
              regOfOperand(Op, 1));
         RegOf[Op->getResult(0).getImpl()] = Reg;
+        if (Plan) {
+          // A multiply with a constant factor is a weight application
+          // (sum-child term): the traceback passes straight through to
+          // the child. A multiply of two graph values is a product node:
+          // both branches are part of the completion.
+          Operation *DefA = Op->getOperand(0).getDefiningOp();
+          Operation *DefB = Op->getOperand(1).getDefiningOp();
+          bool ConstA = DefA && isa_op<ConstantOp>(DefA);
+          bool ConstB = DefB && isa_op<ConstantOp>(DefB);
+          PlanNode Node;
+          if (ConstA != ConstB) {
+            Node.Kind = PlanNodeKind::Pass;
+            Node.A = PlanOf.at(Op->getOperand(ConstA ? 1 : 0).getImpl());
+          } else {
+            Node.Kind = PlanNodeKind::Both;
+            Node.A = PlanOf.at(Op->getOperand(0).getImpl());
+            Node.B = PlanOf.at(Op->getOperand(1).getImpl());
+          }
+          PlanOf[Op->getResult(0).getImpl()] = addPlanNode(Node);
+        }
         continue;
       }
-      if (isa_op<AddOp>(Op)) {
+      if (isa_op<AddOp>(Op) || isa_op<MaxOp>(Op)) {
+        // Sum-combine: lo_spn.add for joint/marginal/sampling queries,
+        // lo_spn.max for MPE (max is monotonic under log, so OpCode::Max
+        // serves both spaces). Left-associative chains plus the
+        // "descend B only on a strictly greater value" traceback rule
+        // give ties-to-lowest-child-index determinism.
+        bool IsMax = isa_op<MaxOp>(Op);
         uint32_t Reg = newReg();
-        push(Log ? OpCode::LogSumExp : OpCode::Add, Reg,
-             regOfOperand(Op, 0), regOfOperand(Op, 1));
+        push(IsMax ? OpCode::Max
+                   : (Log ? OpCode::LogSumExp : OpCode::Add),
+             Reg, regOfOperand(Op, 0), regOfOperand(Op, 1));
         RegOf[Op->getResult(0).getImpl()] = Reg;
+        if (Plan) {
+          PlanNode Node;
+          Node.Kind = PlanNodeKind::Choice;
+          Node.A = PlanOf.at(Op->getOperand(0).getImpl());
+          Node.B = PlanOf.at(Op->getOperand(1).getImpl());
+          Node.RegA = regOfOperand(Op, 0);
+          Node.RegB = regOfOperand(Op, 1);
+          PlanOf[Op->getResult(0).getImpl()] = addPlanNode(Node);
+        }
         continue;
       }
       if (GaussianOp Gauss = dyn_cast_op<GaussianOp>(Op)) {
@@ -131,13 +189,28 @@ private:
             Log ? -std::log(Gauss.getStdDev()) - kLogSqrt2Pi
                 : kInvSqrt2Pi / Gauss.getStdDev();
         Params.SupportMarginal = Gauss.getSupportMarginal();
-        Params.MarginalValue = Log ? 0.0 : 1.0;
+        // For MPE, a marginalized (NaN) leaf contributes the density at
+        // its mode (the mean) — the value the traceback will fill in —
+        // instead of the marginal's 1.
+        Params.MarginalValue =
+            Options.Query == vm::QueryKind::Mpe
+                ? Params.Coefficient
+                : (Log ? 0.0 : 1.0);
         Program.Gaussians.push_back(Params);
         uint32_t Reg = newReg();
         push(Log ? OpCode::GaussianLog : OpCode::Gaussian, Reg,
              regOfOperand(Op, 0),
              static_cast<uint32_t>(Program.Gaussians.size() - 1));
         RegOf[Op->getResult(0).getImpl()] = Reg;
+        if (Plan) {
+          PlanNode Node;
+          Node.Kind = PlanNodeKind::LeafGaussian;
+          Node.Feature = FeatureOf.at(Op->getOperand(0).getImpl());
+          Node.Mean = Gauss.getMean();
+          Node.StdDev = Gauss.getStdDev();
+          Node.Mode = Gauss.getMean();
+          PlanOf[Op->getResult(0).getImpl()] = addPlanNode(Node);
+        }
         continue;
       }
       if (HistogramOp Hist = dyn_cast_op<HistogramOp>(Op)) {
@@ -169,9 +242,34 @@ private:
                         bool Marginal) {
     double Default =
         Log ? -std::numeric_limits<double>::infinity() : 0.0;
-    double MarginalValue = Log ? 0.0 : 1.0;
+    // Mode of the leaf distribution: the highest-mass bucket; ties
+    // resolve to the lowest bucket index (docs/queries.md).
+    double ModeValue = 0.0, ModeMass = 0.0;
+    for (size_t I = 0; I < Flat.size(); I += 3)
+      if (Flat[I + 2] > ModeMass) {
+        ModeMass = Flat[I + 2];
+        ModeValue = Flat[I];
+      }
+    // For MPE, a marginalized (NaN) leaf contributes its mode mass (the
+    // bucket the traceback will select) instead of the marginal's 1.
+    double MarginalValue =
+        Options.Query == vm::QueryKind::Mpe
+            ? (Log ? std::log(ModeMass) : ModeMass)
+            : (Log ? 0.0 : 1.0);
     uint32_t Evidence = regOfOperand(Op, 0);
     uint32_t Reg = newReg();
+
+    if (Plan) {
+      PlanNode Node;
+      Node.Kind = PlanNodeKind::LeafTable;
+      Node.Feature = FeatureOf.at(Op->getOperand(0).getImpl());
+      Node.Mode = ModeValue;
+      Node.TableBegin = static_cast<uint32_t>(Plan->Buckets.size());
+      Node.TableCount = static_cast<uint32_t>(Flat.size() / 3);
+      Plan->Buckets.insert(Plan->Buckets.end(), Flat.begin(),
+                           Flat.end());
+      PlanOf[Op->getResult(0).getImpl()] = addPlanNode(Node);
+    }
 
     bool Dense = !Options.EmitSelectCascades && !Flat.empty() &&
                  bucketsAreIntegral(Flat);
@@ -229,6 +327,11 @@ private:
 
   uint32_t newReg() { return NextReg++; }
 
+  int32_t addPlanNode(const PlanNode &Node) {
+    Plan->Nodes.push_back(Node);
+    return static_cast<int32_t>(Plan->Nodes.size() - 1);
+  }
+
   uint32_t poolConstant(double Value) {
     for (size_t I = 0; I < Program.ConstPool.size(); ++I) {
       double Existing = Program.ConstPool[I];
@@ -254,8 +357,15 @@ private:
   const CodegenOptions &Options;
   bool Log;
   const std::unordered_map<ValueImpl *, uint32_t> &BufferIds;
+  const std::vector<BufferInfo> &KernelBuffers;
+  /// Traceback plan under construction (null for joint/marginal).
+  TracebackPlan *Plan;
   TaskProgram Program;
   std::unordered_map<ValueImpl *, uint32_t> RegOf;
+  /// Input feature index a value carries (plan building only).
+  std::unordered_map<ValueImpl *, uint32_t> FeatureOf;
+  /// Plan node index per SSA value (plan building only).
+  std::unordered_map<ValueImpl *, int32_t> PlanOf;
   uint32_t NextReg = 0;
 };
 
@@ -298,6 +408,7 @@ static void collectUses(const TaskProgram &Program,
   case OpCode::Add:
   case OpCode::Mul:
   case OpCode::LogSumExp:
+  case OpCode::Max:
     Uses.push_back(Inst.A);
     Uses.push_back(Inst.B);
     break;
@@ -339,6 +450,7 @@ static void rewriteRegs(TaskProgram &Program, Instruction &Inst,
   case OpCode::Add:
   case OpCode::Mul:
   case OpCode::LogSumExp:
+  case OpCode::Max:
     Inst.A = Map(Inst.A);
     Inst.B = Map(Inst.B);
     break;
@@ -806,6 +918,15 @@ spnc::codegen::emitKernelProgram(KernelOp Kernel,
   Program.Lowering = Options.EmitSelectCascades
                          ? LoweringKind::SelectCascade
                          : LoweringKind::TableLookup;
+  Program.Query = Options.Query;
+
+  // MPE and sampling build a traceback plan that references upward-pass
+  // registers by index, so every SSA value must keep its own register:
+  // force direct emission regardless of the requested level (the
+  // pipeline also skips task partitioning for these queries).
+  bool NeedsPlan = Options.Query == QueryKind::Mpe ||
+                   Options.Query == QueryKind::Sample;
+  unsigned OptLevel = NeedsPlan ? 0 : Options.OptLevel;
 
   // Buffer plan from the kernel signature and allocs.
   std::unordered_map<ValueImpl *, uint32_t> BufferIds;
@@ -877,25 +998,31 @@ spnc::codegen::emitKernelProgram(KernelOp Kernel,
           "unsupported op '%s' in kernel body", Op->getName().c_str()));
     Program.BatchSize = Task.getBatchSize();
 
+    if (NeedsPlan && !Program.Tasks.empty())
+      return makeError(
+          "MPE/sampling codegen requires a single unpartitioned task");
+
     Timer IselTimer;
-    TaskEmitter Emitter(Options, Program.LogSpace, BufferIds);
+    TaskEmitter Emitter(Options, Program.LogSpace, BufferIds,
+                        Program.Buffers,
+                        NeedsPlan ? &Program.Plan : nullptr);
     Expected<TaskProgram> TaskProg = Emitter.emit(Task);
     T.IselNs += IselTimer.elapsedNs();
     if (!TaskProg)
       return TaskProg.getError();
 
-    if (Options.OptLevel >= 2) {
+    if (OptLevel >= 2) {
       Timer PeepholeTimer;
       runPeephole(*TaskProg, Program.LogSpace);
       runChainCollapse(*TaskProg);
       T.PeepholeNs += PeepholeTimer.elapsedNs();
     }
-    if (Options.OptLevel >= 3) {
+    if (OptLevel >= 3) {
       Timer SchedulingTimer;
       runScheduling(*TaskProg);
       T.SchedulingNs += SchedulingTimer.elapsedNs();
     }
-    if (Options.OptLevel >= 1) {
+    if (OptLevel >= 1) {
       Timer RegAllocTimer;
       runRegisterAllocation(*TaskProg);
       T.RegAllocNs += RegAllocTimer.elapsedNs();

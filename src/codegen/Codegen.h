@@ -43,6 +43,12 @@ struct CodegenOptions {
   /// Largest dense lookup table generated for histogram leaves; wider
   /// value ranges fall back to select cascades.
   unsigned MaxDenseTableSize = 4096;
+  /// The query kind the program serves. For Mpe/Sample the emitter also
+  /// builds the downward `TracebackPlan`, which pins register/value
+  /// identity: codegen then forces direct (-O0 style) emission — the
+  /// optimization passes would reallocate registers and dissolve the
+  /// sum-combine chains the plan references.
+  vm::QueryKind Query = vm::QueryKind::Joint;
 };
 
 /// Wall-clock time of the codegen stages (nanoseconds); the analog of the

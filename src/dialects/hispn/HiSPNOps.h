@@ -87,6 +87,75 @@ public:
   LogicalResult verify();
 };
 
+/// Top-level MPE (max-product) query over one SPN graph: the lowering
+/// replaces sum-combines with maxes, and the compiled kernel returns an
+/// argmax-completed assignment plus its max-product (log-)probability.
+/// NaN evidence marks the features to complete (docs/queries.md).
+class MpeQueryOp : public ir::OpView {
+public:
+  using OpView::OpView;
+  static const char *getOperationName() { return "hi_spn.mpe_query"; }
+  static constexpr bool kIsPure = false;
+  static constexpr bool kIsTerminator = false;
+
+  static void build(ir::OpBuilder &Builder, ir::OperationState &State,
+                    unsigned NumFeatures, ir::Type InputType,
+                    unsigned BatchSize, bool SupportMarginal, bool LogSpace);
+
+  unsigned getNumFeatures() const {
+    return static_cast<unsigned>(TheOp->getIntAttr("numFeatures"));
+  }
+  unsigned getBatchSize() const {
+    return static_cast<unsigned>(TheOp->getIntAttr("batchSize"));
+  }
+  ir::Type getInputType() const {
+    return TheOp->getAttr("inputType").cast<ir::TypeAttr>().getValue();
+  }
+  bool getSupportMarginal() const {
+    return TheOp->getBoolAttr("supportMarginal");
+  }
+  bool getLogSpace() const { return TheOp->getBoolAttr("logSpace"); }
+
+  /// The single hi_spn.graph op nested in the query region.
+  ir::Operation *getGraph() const;
+
+  LogicalResult verify();
+};
+
+/// Top-level ancestral-sampling query over one SPN graph: the upward
+/// pass is the marginal evidence program, and the compiled kernel draws
+/// seeded i.i.d. samples conditioned on the non-NaN evidence.
+class SampleQueryOp : public ir::OpView {
+public:
+  using OpView::OpView;
+  static const char *getOperationName() { return "hi_spn.sample_query"; }
+  static constexpr bool kIsPure = false;
+  static constexpr bool kIsTerminator = false;
+
+  static void build(ir::OpBuilder &Builder, ir::OperationState &State,
+                    unsigned NumFeatures, ir::Type InputType,
+                    unsigned BatchSize, bool SupportMarginal, bool LogSpace);
+
+  unsigned getNumFeatures() const {
+    return static_cast<unsigned>(TheOp->getIntAttr("numFeatures"));
+  }
+  unsigned getBatchSize() const {
+    return static_cast<unsigned>(TheOp->getIntAttr("batchSize"));
+  }
+  ir::Type getInputType() const {
+    return TheOp->getAttr("inputType").cast<ir::TypeAttr>().getValue();
+  }
+  bool getSupportMarginal() const {
+    return TheOp->getBoolAttr("supportMarginal");
+  }
+  bool getLogSpace() const { return TheOp->getBoolAttr("logSpace"); }
+
+  /// The single hi_spn.graph op nested in the query region.
+  ir::Operation *getGraph() const;
+
+  LogicalResult verify();
+};
+
 /// Container for the SPN DAG. Block arguments are the feature values.
 class GraphOp : public ir::OpView {
 public:

@@ -440,6 +440,24 @@ void AddOp::getCanonicalizationPatterns(PatternList &Patterns, Context &) {
   Patterns.push_back(std::make_unique<AddIdentity>());
 }
 
+void MaxOp::build(OpBuilder &, OperationState &State, Value Lhs,
+                  Value Rhs) {
+  State.addOperand(Lhs);
+  State.addOperand(Rhs);
+  State.addResultType(Lhs.getType());
+}
+
+LogicalResult MaxOp::verify() { return verifyBinaryArith(*this); }
+
+Attribute MaxOp::fold(std::span<const Attribute> Operands) {
+  if (!Operands[0] || !Operands[1])
+    return Attribute();
+  double Lhs = Operands[0].cast<FloatAttr>().getValue();
+  double Rhs = Operands[1].cast<FloatAttr>().getValue();
+  // Max is monotonic under log, so both spaces fold identically.
+  return FloatAttr::get(getContext(), Lhs >= Rhs ? Lhs : Rhs);
+}
+
 void ConstantOp::build(OpBuilder &Builder, OperationState &State,
                        double TheValue, Type ResultType) {
   State.addAttribute("value",
@@ -561,6 +579,7 @@ void spnc::lospn::registerLoSPNDialect(Context &Ctx) {
   registerOperation<CopyOp>(Ctx);
   registerOperation<MulOp>(Ctx);
   registerOperation<AddOp>(Ctx);
+  registerOperation<MaxOp>(Ctx);
   registerOperation<ConstantOp>(Ctx);
   registerOperation<HistogramOp>(Ctx);
   registerOperation<CategoricalOp>(Ctx);

@@ -344,6 +344,23 @@ public:
                                           ir::Context &Ctx);
 };
 
+/// SPN maximum, the sum-combine of max-product (MPE) queries. Because
+/// max is monotonic under log, the generated code is the same plain
+/// float max in linear and log space.
+class MaxOp : public ir::OpView {
+public:
+  using OpView::OpView;
+  static const char *getOperationName() { return "lo_spn.max"; }
+  static constexpr bool kIsPure = true;
+  static constexpr bool kIsTerminator = false;
+
+  static void build(ir::OpBuilder &Builder, ir::OperationState &State,
+                    ir::Value Lhs, ir::Value Rhs);
+
+  LogicalResult verify();
+  ir::Attribute fold(std::span<const ir::Attribute> Operands);
+};
+
 /// Compile-time constant of a computation type. For log-space result
 /// types the value attribute already stores the log of the probability.
 class ConstantOp : public ir::OpView {

@@ -32,11 +32,40 @@ spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
 
   // Features arrive as f64 evidence values (SPFlow uses float64 numpy
   // arrays); the abstract probability type defers the compute type.
+  // MPE and sampling always support marginalized (NaN) evidence: that
+  // is how features are marked as to-be-completed (docs/queries.md).
   Type InputType = FloatType::getF64(Ctx);
-  auto Query = Builder.create<hispn::JointQueryOp>(
-      TheModel.getNumFeatures(), InputType, Config.BatchSize,
-      Config.SupportMarginal, Config.LogSpace);
-  Block &QueryBlock = Query->getRegion(0).emplaceBlock();
+  unsigned NumFeatures = TheModel.getNumFeatures();
+  bool Marginal = Config.SupportMarginal ||
+                  Config.Kind == QueryKind::Marginal ||
+                  Config.Kind == QueryKind::Mpe ||
+                  Config.Kind == QueryKind::Sample;
+  Operation *QueryOp = nullptr;
+  switch (Config.Kind) {
+  case QueryKind::Joint:
+  case QueryKind::Marginal:
+    QueryOp = Builder
+                  .create<hispn::JointQueryOp>(NumFeatures, InputType,
+                                               Config.BatchSize, Marginal,
+                                               Config.LogSpace)
+                  .getOperation();
+    break;
+  case QueryKind::Mpe:
+    QueryOp = Builder
+                  .create<hispn::MpeQueryOp>(NumFeatures, InputType,
+                                             Config.BatchSize, Marginal,
+                                             Config.LogSpace)
+                  .getOperation();
+    break;
+  case QueryKind::Sample:
+    QueryOp = Builder
+                  .create<hispn::SampleQueryOp>(NumFeatures, InputType,
+                                                Config.BatchSize, Marginal,
+                                                Config.LogSpace)
+                  .getOperation();
+    break;
+  }
+  Block &QueryBlock = QueryOp->getRegion(0).emplaceBlock();
   Builder.setInsertionPointToEnd(&QueryBlock);
 
   auto Graph =

@@ -10,6 +10,7 @@
 #include "dialects/lospn/LoSPNOps.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
+#include "vm/Traceback.h"
 
 #include <algorithm>
 #include <cmath>
@@ -328,4 +329,237 @@ double Model::evalLogLikelihood(std::span<const double> Sample) const {
     LogValues[Current] = LogValue;
   }
   return LogValues[Root];
+}
+
+//===----------------------------------------------------------------------===//
+// Reference MPE and ancestral sampling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mode of a discrete leaf's flat (lb, ub, mass) table: the lowest entry
+/// with maximal mass, matching codegen's emitDiscreteLeaf tie-breaking.
+struct DiscreteMode {
+  double Value = 0.0;
+  double Mass = 0.0;
+};
+
+DiscreteMode discreteMode(const std::vector<double> &Flat) {
+  DiscreteMode Mode;
+  bool First = true;
+  for (size_t I = 0; I + 2 < Flat.size(); I += 3) {
+    if (First || Flat[I + 2] > Mode.Mass) {
+      Mode.Value = Flat[I];
+      Mode.Mass = Flat[I + 2];
+      First = false;
+    }
+  }
+  return Mode;
+}
+
+/// Flattens a discrete leaf to the (lb, ub, mass) triple layout shared
+/// with the IR attributes and the compiled traceback plans. Categorical
+/// category I becomes the unit bucket [I, I+1).
+std::vector<double> flatTable(const LeafNode *Leaf) {
+  if (const auto *Hist = dyn_cast<HistogramLeaf>(Leaf))
+    return Hist->getFlatBuckets();
+  const auto *Cat = cast<CategoricalLeaf>(Leaf);
+  const std::vector<double> &P = Cat->getProbabilities();
+  std::vector<double> Flat;
+  Flat.reserve(P.size() * 3);
+  for (size_t I = 0; I < P.size(); ++I) {
+    Flat.push_back(static_cast<double>(I));
+    Flat.push_back(static_cast<double>(I + 1));
+    Flat.push_back(P[I]);
+  }
+  return Flat;
+}
+
+/// Upward log-value of a leaf. NaN evidence contributes the log mode
+/// mass under max-product and log 1 under the marginal semantics used
+/// for sampling.
+double leafLogValue(const LeafNode *Leaf, double Evidence,
+                    bool MaxProduct) {
+  if (std::isnan(Evidence)) {
+    if (!MaxProduct)
+      return 0.0;
+    if (const auto *Gauss = dyn_cast<GaussianLeaf>(Leaf))
+      return lospn::evalGaussianLogPdf(Gauss->getMean(),
+                                       Gauss->getStdDev(),
+                                       Gauss->getMean());
+    return std::log(discreteMode(flatTable(Leaf)).Mass);
+  }
+  switch (Leaf->getKind()) {
+  case NodeKind::Histogram:
+    return std::log(lospn::evalHistogram(
+        cast<HistogramLeaf>(Leaf)->getFlatBuckets(), Evidence));
+  case NodeKind::Categorical:
+    return std::log(lospn::evalCategorical(
+        cast<CategoricalLeaf>(Leaf)->getProbabilities(), Evidence));
+  default: {
+    const auto *Gauss = cast<GaussianLeaf>(Leaf);
+    return lospn::evalGaussianLogPdf(Gauss->getMean(),
+                                     Gauss->getStdDev(), Evidence);
+  }
+  }
+}
+
+} // namespace
+
+double Model::evalMpe(std::span<const double> Evidence,
+                      std::span<double> Assignment) const {
+  assert(Evidence.size() == NumFeatures && "evidence size mismatch");
+  assert(Assignment.size() == NumFeatures && "assignment size mismatch");
+  assert(Root && "model has no root");
+  // Upward max-product pass in log-space. Sums mirror the compiled
+  // lowering exactly: every child contributes log(weight) + child (a
+  // zero weight yields -inf), combined left-associatively so ties keep
+  // the earlier term and argmax resolves to the lowest child index.
+  std::unordered_map<const Node *, double> LogValues;
+  for (Node *Current : topologicalOrder()) {
+    double LogValue = 0.0;
+    if (const auto *Sum = dyn_cast<SumNode>(Current)) {
+      for (size_t I = 0; I < Sum->getNumChildren(); ++I) {
+        double Term = std::log(Sum->getWeights()[I]) +
+                      LogValues.at(Sum->getChild(I));
+        if (I == 0 || Term > LogValue)
+          LogValue = Term;
+      }
+    } else if (const auto *Product = dyn_cast<ProductNode>(Current)) {
+      for (Node *Child : Product->getChildren())
+        LogValue += LogValues.at(Child);
+    } else {
+      const auto *Leaf = cast<LeafNode>(Current);
+      LogValue = leafLogValue(Leaf, Evidence[Leaf->getFeatureIndex()],
+                              /*MaxProduct=*/true);
+    }
+    LogValues[Current] = LogValue;
+  }
+
+  // Downward argmax traceback. Pre-fill with the evidence so observed
+  // features (and features outside the model's scope) are echoed.
+  for (size_t I = 0; I < Assignment.size(); ++I)
+    Assignment[I] = Evidence[I];
+  std::vector<const Node *> Stack{Root};
+  while (!Stack.empty()) {
+    const Node *Current = Stack.back();
+    Stack.pop_back();
+    if (const auto *Sum = dyn_cast<SumNode>(Current)) {
+      size_t BestChild = 0;
+      double Best = 0.0;
+      for (size_t I = 0; I < Sum->getNumChildren(); ++I) {
+        double Term = std::log(Sum->getWeights()[I]) +
+                      LogValues.at(Sum->getChild(I));
+        if (I == 0 || Term > Best) {
+          Best = Term;
+          BestChild = I;
+        }
+      }
+      Stack.push_back(Sum->getChild(BestChild));
+    } else if (const auto *Product = dyn_cast<ProductNode>(Current)) {
+      for (Node *Child : Product->getChildren())
+        Stack.push_back(Child);
+    } else {
+      const auto *Leaf = cast<LeafNode>(Current);
+      if (!std::isnan(Evidence[Leaf->getFeatureIndex()]))
+        continue;
+      if (const auto *Gauss = dyn_cast<GaussianLeaf>(Leaf))
+        Assignment[Leaf->getFeatureIndex()] = Gauss->getMean();
+      else
+        Assignment[Leaf->getFeatureIndex()] =
+            discreteMode(flatTable(Leaf)).Value;
+    }
+  }
+  return LogValues.at(Root);
+}
+
+void Model::sampleAncestral(std::span<const double> Evidence,
+                            std::span<double> Out, Rng &R) const {
+  assert(Evidence.size() == NumFeatures && "evidence size mismatch");
+  assert(Out.size() == NumFeatures && "output size mismatch");
+  assert(Root && "model has no root");
+  // Upward marginal pass under the evidence (NaN contributes log 1).
+  // Zero-weight children stay in the chain as -inf terms so the downward
+  // walk below consumes exactly one uniform per binary combine, like the
+  // compiled traceback (vm/Traceback.h RNG contract).
+  std::unordered_map<const Node *, double> LogValues;
+  for (Node *Current : topologicalOrder()) {
+    double LogValue = 0.0;
+    if (const auto *Sum = dyn_cast<SumNode>(Current)) {
+      for (size_t I = 0; I < Sum->getNumChildren(); ++I) {
+        double Term = std::log(Sum->getWeights()[I]) +
+                      LogValues.at(Sum->getChild(I));
+        LogValue = I == 0 ? Term : lospn::logSumExp(LogValue, Term);
+      }
+    } else if (const auto *Product = dyn_cast<ProductNode>(Current)) {
+      for (Node *Child : Product->getChildren())
+        LogValue += LogValues.at(Child);
+    } else {
+      const auto *Leaf = cast<LeafNode>(Current);
+      LogValue = leafLogValue(Leaf, Evidence[Leaf->getFeatureIndex()],
+                              /*MaxProduct=*/false);
+    }
+    LogValues[Current] = LogValue;
+  }
+
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] = Evidence[I];
+
+  // Downward pass. The compiled engines lower an N-ary sum to a
+  // left-associative binary chain and walk it outermost-first, so the
+  // oracle draws its uniforms in the same order: one per combine from
+  // child N-1 downward, each with the posterior probability of taking
+  // that child over the combined prefix before it.
+  std::vector<double> Terms, Prefix;
+  std::vector<const Node *> Stack{Root};
+  while (!Stack.empty()) {
+    const Node *Current = Stack.back();
+    Stack.pop_back();
+    if (const auto *Sum = dyn_cast<SumNode>(Current)) {
+      size_t N = Sum->getNumChildren();
+      Terms.resize(N);
+      Prefix.resize(N);
+      for (size_t I = 0; I < N; ++I) {
+        Terms[I] = std::log(Sum->getWeights()[I]) +
+                   LogValues.at(Sum->getChild(I));
+        Prefix[I] =
+            I == 0 ? Terms[0] : lospn::logSumExp(Prefix[I - 1], Terms[I]);
+      }
+      size_t Chosen = 0;
+      for (size_t I = N; I-- > 1;) {
+        double VA = Prefix[I - 1];
+        double VB = Terms[I];
+        // Identical branch-probability computation to runTraceback's
+        // Choice case, including the unconditional uniform draw.
+        double PB = -1.0;
+        double Hi = VA >= VB ? VA : VB;
+        double Lo = VA >= VB ? VB : VA;
+        if (!(std::isinf(Hi) && Hi < 0.0))
+          PB = std::exp(VB - (Hi + std::log1p(std::exp(Lo - Hi))));
+        if (R.uniform() < PB) {
+          Chosen = I;
+          break;
+        }
+      }
+      Stack.push_back(Sum->getChild(Chosen));
+    } else if (const auto *Product = dyn_cast<ProductNode>(Current)) {
+      // Reverse push so child 0's subtree is visited (and draws) first,
+      // the visit order of the compiled traceback's Both nodes.
+      for (size_t I = Product->getNumChildren(); I-- > 0;)
+        Stack.push_back(Product->getChild(I));
+    } else {
+      const auto *Leaf = cast<LeafNode>(Current);
+      if (!std::isnan(Evidence[Leaf->getFeatureIndex()]))
+        continue;
+      if (const auto *Gauss = dyn_cast<GaussianLeaf>(Leaf)) {
+        Out[Leaf->getFeatureIndex()] =
+            Gauss->getMean() +
+            Gauss->getStdDev() * vm::drawStandardNormal(R);
+      } else {
+        std::vector<double> Flat = flatTable(Leaf);
+        Out[Leaf->getFeatureIndex()] = vm::drawTableBucket(
+            Flat.data(), static_cast<uint32_t>(Flat.size() / 3), R);
+      }
+    }
+  }
 }

@@ -28,6 +28,9 @@
 #include <vector>
 
 namespace spnc {
+
+class Rng;
+
 namespace spn {
 
 class Model;
@@ -305,6 +308,29 @@ public:
   /// one sample, returning the log-probability. \p Sample must hold
   /// getNumFeatures() values; NaN marks a marginalized feature.
   double evalLogLikelihood(std::span<const double> Sample) const;
+
+  /// Most-probable-explanation query: a max-product upward pass followed
+  /// by an argmax downward traceback. NaN entries of \p Evidence are
+  /// completed with the most probable values; observed entries are echoed
+  /// into \p Assignment unchanged. Argmax ties resolve to the lowest
+  /// child index (and the lowest bucket for discrete leaf modes), the
+  /// same contract every compiled engine follows (docs/queries.md).
+  /// Returns the max-product log-probability of the winning branch —
+  /// for non-selective SPNs an approximation of the assignment's true
+  /// log-likelihood. Both spans must hold getNumFeatures() values.
+  double evalMpe(std::span<const double> Evidence,
+                 std::span<double> Assignment) const;
+
+  /// Draws one ancestral sample conditioned on the non-NaN entries of
+  /// \p Evidence: a marginal upward pass, then a downward walk choosing
+  /// sum children with their posterior probability and drawing unobserved
+  /// leaves from their distributions. The RNG draw order replicates the
+  /// compiled traceback contract (vm/Traceback.h): sums consume one
+  /// uniform per binary combine of their left-associative lowering chain,
+  /// table leaves one uniform, Gaussian leaves two. Observed features are
+  /// echoed into \p Out; both spans must hold getNumFeatures() values.
+  void sampleAncestral(std::span<const double> Evidence,
+                       std::span<double> Out, Rng &R) const;
 
 private:
   template <typename NodeTy, typename... Args>

@@ -9,6 +9,7 @@
 
 #include "support/Timer.h"
 #include "vm/Executor.h"
+#include "vm/Traceback.h"
 
 #include <algorithm>
 #include <cassert>
@@ -268,6 +269,154 @@ void GpuExecutor::execute(const double *Input, double *Output,
     Stats->HasGpuStats = true;
     Stats->Gpu = GpuStats;
   }
+}
+
+namespace {
+
+/// Upward pass + traceback per sample on the simulated device. Register
+/// values use the program's width T (f32 for UseF32 programs), so MPE
+/// argmax decisions reflect device precision; assignments and samples
+/// are produced in f64 like the host engines.
+template <typename T>
+void runQueryOnDevice(const KernelProgram &Program,
+                      const GpuDeviceConfig &Config, unsigned BlockSize,
+                      QueryKind Kind, const double *Evidence,
+                      double *Rows, double *UpOut, size_t NumSamples,
+                      uint64_t Seed, GpuExecutionStats &Stats) {
+  const auto TransferNs = [&](uint64_t Bytes) {
+    return static_cast<uint64_t>(
+        Config.TransferLatencyUs * 1000.0 +
+        static_cast<double>(Bytes) / Config.PcieBandwidthGBs);
+  };
+
+  const TaskProgram &Task = Program.Tasks[0];
+  std::vector<BufferBinding<T>> Bindings(Program.Buffers.size());
+  uint32_t NumFeatures = 1;
+  for (size_t I = 0; I < Program.Buffers.size(); ++I) {
+    const BufferInfo &Info = Program.Buffers[I];
+    BufferBinding<T> &B = Bindings[I];
+    B.Columns = Info.Columns;
+    B.Transposed = Info.Transposed;
+    B.Stride = NumSamples;
+    B.Offset = 0;
+    if (Info.Role == BufferInfo::Kind::Input) {
+      B.ExternalIn = Evidence;
+      NumFeatures = Info.Columns;
+    } else {
+      B.ExternalOut = UpOut;
+    }
+  }
+
+  // Evidence upload.
+  uint64_t InBytes =
+      static_cast<uint64_t>(NumFeatures) * NumSamples * sizeof(T);
+  Stats.TransferNs += TransferNs(InBytes);
+  Stats.BytesHostToDevice += InBytes;
+  ++Stats.NumTransfers;
+
+  // One launch covering the upward pass and the traceback.
+  Stats.LaunchNs +=
+      static_cast<uint64_t>(Config.KernelLaunchOverheadUs * 1000.0);
+  ++Stats.NumLaunches;
+
+  Timer HostTimer;
+  std::vector<T> Registers(Task.NumRegisters);
+  std::vector<int32_t> Stack;
+  for (size_t S = 0; S < NumSamples; ++S) {
+    executeSample(Task, Bindings.data(), S, Registers.data());
+    const double *Row = Evidence + S * NumFeatures;
+    double *OutRow = Rows + S * NumFeatures;
+    for (uint32_t F = 0; F < NumFeatures; ++F)
+      OutRow[F] = Row[F];
+    Rng R(perSampleSeed(Seed, S));
+    runTraceback(Program.Plan, Registers.data(), Row, OutRow,
+                 Program.LogSpace, Kind, R, Stack);
+  }
+  uint64_t HostNs = HostTimer.elapsedNs();
+
+  double Occupancy =
+      computeOccupancy(Config, BlockSize, Task.NumRegisters);
+  double Spill =
+      computeSpillSlowdown(Config, BlockSize, Task.NumRegisters);
+  size_t NumBlocks = (NumSamples + BlockSize - 1) / BlockSize;
+  Stats.ComputeNs += static_cast<uint64_t>(
+      static_cast<double>(HostNs) * Spill /
+          (Config.PeakSpeedup * Occupancy) +
+      static_cast<double>(NumBlocks) * Config.BlockScheduleOverheadNs /
+          static_cast<double>(Config.NumSMs));
+
+  // Download: the completed rows plus the root values.
+  uint64_t OutBytes =
+      static_cast<uint64_t>(NumFeatures) * NumSamples * sizeof(T) +
+      NumSamples * sizeof(T);
+  Stats.TransferNs += TransferNs(OutBytes);
+  Stats.BytesDeviceToHost += OutBytes;
+  ++Stats.NumTransfers;
+}
+
+} // namespace
+
+bool GpuExecutor::executeMpe(const double *Evidence, double *Assignments,
+                             double *LogProbs, size_t NumSamples,
+                             runtime::ExecutionStats *Stats) const {
+  if (Program.Query != QueryKind::Mpe || Program.Plan.empty() ||
+      Program.Tasks.size() != 1)
+    return false;
+  Timer WallTimer;
+  GpuExecutionStats GpuStats;
+  std::vector<double> UpStorage;
+  double *Up = LogProbs;
+  if (!Up) {
+    UpStorage.resize(NumSamples);
+    Up = UpStorage.data();
+  }
+  if (Program.UseF32)
+    runQueryOnDevice<float>(Program, Config, BlockSize, QueryKind::Mpe,
+                            Evidence, Assignments, Up, NumSamples, 0,
+                            GpuStats);
+  else
+    runQueryOnDevice<double>(Program, Config, BlockSize, QueryKind::Mpe,
+                             Evidence, Assignments, Up, NumSamples, 0,
+                             GpuStats);
+  if (LogProbs && !Program.LogSpace)
+    for (size_t I = 0; I < NumSamples; ++I)
+      LogProbs[I] = std::log(LogProbs[I]);
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+    Stats->HasGpuStats = true;
+    Stats->Gpu = GpuStats;
+  }
+  return true;
+}
+
+bool GpuExecutor::executeSample(const double *Evidence, double *Samples,
+                                size_t NumSamples, uint64_t Seed,
+                                runtime::ExecutionStats *Stats) const {
+  if (Program.Query != QueryKind::Sample || Program.Plan.empty() ||
+      Program.Tasks.size() != 1)
+    return false;
+  Timer WallTimer;
+  GpuExecutionStats GpuStats;
+  std::vector<double> UpStorage(NumSamples);
+  if (Program.UseF32)
+    runQueryOnDevice<float>(Program, Config, BlockSize,
+                            QueryKind::Sample, Evidence, Samples,
+                            UpStorage.data(), NumSamples, Seed, GpuStats);
+  else
+    runQueryOnDevice<double>(Program, Config, BlockSize,
+                             QueryKind::Sample, Evidence, Samples,
+                             UpStorage.data(), NumSamples, Seed,
+                             GpuStats);
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+    Stats->HasGpuStats = true;
+    Stats->Gpu = GpuStats;
+  }
+  return true;
 }
 
 std::string GpuExecutor::describe() const {

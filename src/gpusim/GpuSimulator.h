@@ -132,6 +132,21 @@ public:
   void execute(const double *Input, double *Output, size_t NumSamples,
                runtime::ExecutionStats *Stats = nullptr) const override;
 
+  /// MPE completion on the simulated device. The upward pass runs with
+  /// the program's register width (f32 for UseF32 programs — near-tie
+  /// argmax decisions can differ from f64 engines), the traceback on the
+  /// device per sample; evidence upload and assignment download are
+  /// accounted like execute()'s transfers.
+  bool executeMpe(const double *Evidence, double *Assignments,
+                  double *LogProbs, size_t NumSamples,
+                  runtime::ExecutionStats *Stats = nullptr) const override;
+
+  /// Ancestral sampling on the simulated device; same per-sample-index
+  /// seeding contract as the CPU engines (docs/queries.md).
+  bool executeSample(const double *Evidence, double *Samples,
+                     size_t NumSamples, uint64_t Seed,
+                     runtime::ExecutionStats *Stats = nullptr) const override;
+
 private:
   vm::KernelProgram Program;
   GpuDeviceConfig Config;

@@ -50,6 +50,25 @@ public:
     Engine->execute(Input, Output, NumSamples, Stats);
   }
 
+  /// MPE completion; forwards to ExecutionEngine::executeMpe. Returns
+  /// false when the kernel was not compiled for QueryKind::Mpe.
+  bool executeMpe(const double *Evidence, double *Assignments,
+                  double *LogProbs, size_t NumSamples,
+                  ExecutionStats *Stats = nullptr) const {
+    return Engine->executeMpe(Evidence, Assignments, LogProbs, NumSamples,
+                              Stats);
+  }
+
+  /// Ancestral sampling; forwards to ExecutionEngine::executeSample.
+  /// Returns false when the kernel was not compiled for
+  /// QueryKind::Sample.
+  bool executeSample(const double *Evidence, double *Samples,
+                     size_t NumSamples, uint64_t Seed,
+                     ExecutionStats *Stats = nullptr) const {
+    return Engine->executeSample(Evidence, Samples, NumSamples, Seed,
+                                 Stats);
+  }
+
   Target getTarget() const { return Engine->getTarget(); }
 
   /// The compiled program; only valid for kernels backed by a compiled
@@ -80,7 +99,8 @@ Expected<CompiledKernel> compileModel(const spn::Model &TheModel,
                                       CompileStats *Stats = nullptr);
 
 /// Saves the kernel's compiled program to \p Path in the current
-/// (checksummed v3) `.spnk` format — see docs/spnk-format.md (the
+/// (checksummed, query-tagged v4) `.spnk` format — see
+/// docs/spnk-format.md (the
 /// analog of keeping the emitted object file around, enabling
 /// compile-once/run-many). The write is atomic: the blob goes to a
 /// temporary file that is renamed over \p Path only after a complete

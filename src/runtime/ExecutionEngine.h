@@ -99,6 +99,43 @@ public:
                        size_t NumSamples,
                        ExecutionStats *Stats = nullptr) const = 0;
 
+  /// Runs MPE (most probable explanation) completion on \p NumSamples
+  /// evidence rows (row-major [sample][feature] doubles, NaN =
+  /// unobserved). \p Assignments receives the completed rows in the same
+  /// layout; \p LogProbs (optional) one log-probability of the completed
+  /// assignment per sample. Returns false when this engine does not
+  /// serve MPE (it was not compiled for QueryKind::Mpe, or the engine
+  /// kind has no traceback support); no output is written then.
+  /// Thread-safe like execute().
+  virtual bool executeMpe(const double *Evidence, double *Assignments,
+                          double *LogProbs, size_t NumSamples,
+                          ExecutionStats *Stats = nullptr) const {
+    (void)Evidence;
+    (void)Assignments;
+    (void)LogProbs;
+    (void)NumSamples;
+    (void)Stats;
+    return false;
+  }
+
+  /// Draws \p NumSamples ancestral samples conditioned on the evidence
+  /// rows (NaN = unobserved/to-be-sampled; pass all-NaN rows for
+  /// unconditional sampling). \p Samples receives the completed rows.
+  /// Sample I depends only on \p Seed and I (docs/queries.md), so a
+  /// fixed seed is reproducible per engine regardless of batching.
+  /// Returns false when this engine does not serve sampling. Thread-safe
+  /// like execute().
+  virtual bool executeSample(const double *Evidence, double *Samples,
+                             size_t NumSamples, uint64_t Seed,
+                             ExecutionStats *Stats = nullptr) const {
+    (void)Evidence;
+    (void)Samples;
+    (void)NumSamples;
+    (void)Seed;
+    (void)Stats;
+    return false;
+  }
+
   /// The compiled program backing this engine, or null for engines that
   /// evaluate a model directly (the baseline adapters). The returned
   /// pointer is owned by the engine and valid for its lifetime.

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -95,10 +96,14 @@ uint64_t KernelCache::makeKey(const spn::Model &Model,
                               uint64_t StageFingerprint,
                               const backend::Backend &TheBackend) {
   size_t Seed = hashModel(Model);
+  // Query.Kind participates in the key, so a cache populated with
+  // joint/marginal kernels (or old query-less keys) never serves an MPE
+  // or sampling request — it misses and recompiles transparently.
   hashCombineSeed(Seed,
                   hashCombine(Query.BatchSize, Query.LogSpace,
                               Query.SupportMarginal,
-                              static_cast<unsigned>(Query.DataType)));
+                              static_cast<unsigned>(Query.DataType),
+                              static_cast<unsigned>(Query.Kind)));
   hashCombineSeed(Seed, Config.hash());
   hashCombineSeed(Seed, StageFingerprint);
   const std::string &Name = TheBackend.getName();
@@ -280,6 +285,18 @@ KernelCache::getOrCompile(const spn::Model &Model,
   uint64_t PrunedFiles = 0, PrunedBytes = 0;
   if (!Path.empty()) {
     Expected<vm::KernelProgram> Cached = loadCachedProgram(Path, Probe);
+    if (Cached &&
+        Cached->Query != static_cast<vm::QueryKind>(Query.Kind)) {
+      // Defense in depth: the query kind participates in the cache key,
+      // so this only triggers when an entry written before query
+      // tagging (or a hand-copied file) occupies the slot. Serving it
+      // would answer the wrong inference task — recompile instead.
+      Cached = makeError(
+          "compiled for query kind " +
+          std::to_string(static_cast<unsigned>(Cached->Query)) +
+          ", requested " +
+          std::to_string(static_cast<unsigned>(Query.Kind)));
+    }
     if (Cached) {
       // A `.spnk` stores only the portable program; the backend turns
       // it back into a live engine (for the native backend that means

@@ -118,7 +118,19 @@ spn::QueryConfig resolveQuery(const spn::QueryConfig &Query,
     Resolved.DataType = Options.Lowering.ComputeWidth == 64
                             ? spn::ComputeType::F64
                             : spn::ComputeType::F32;
+  // MPE and sampling mark to-be-completed features with NaN evidence,
+  // so their kernels always support marginalized evidence.
+  if (Resolved.Kind == spn::QueryKind::Mpe ||
+      Resolved.Kind == spn::QueryKind::Sample)
+    Resolved.SupportMarginal = true;
   return Resolved;
+}
+
+/// MPE/sampling programs carry a traceback plan whose register
+/// references require a single unpartitioned task (see Codegen.h).
+bool queryNeedsTraceback(const spn::QueryConfig &Query) {
+  return Query.Kind == spn::QueryKind::Mpe ||
+         Query.Kind == spn::QueryKind::Sample;
 }
 
 /// The pass list of the target-independent IR pipeline (paper §IV-A),
@@ -317,7 +329,9 @@ void CompilationPipeline::buildStages() {
     if (O.OptLevel >= 1)
       PM.addPass(createCanonicalizerPass()); // HiSPN-level early opts
     PM.addPass(transforms::createHiSPNToLoSPNLoweringPass(Lowering));
-    if (O.MaxPartitionSize > 0) {
+    // Task partitioning would split the kernel; MPE/sampling tracebacks
+    // need the whole graph in one task's register file.
+    if (O.MaxPartitionSize > 0 && !queryNeedsTraceback(C.Query)) {
       partition::PartitionOptions PartOptions = O.Partitioning;
       PartOptions.MaxPartitionSize = O.MaxPartitionSize;
       PM.addPass(transforms::createTaskPartitioningPass(PartOptions));
@@ -353,6 +367,8 @@ void CompilationPipeline::buildStages() {
     codegen::CodegenOptions CGOptions;
     CGOptions.OptLevel = O.OptLevel;
     CGOptions.EmitSelectCascades = O.TheTarget == Target::GPU;
+    // spn::QueryKind and vm::QueryKind share numeric values by contract.
+    CGOptions.Query = static_cast<vm::QueryKind>(C.Query.Kind);
     Expected<vm::KernelProgram> Program =
         codegen::emitKernelProgram(C.Kernel, CGOptions, &C.Stats.Codegen);
     if (!Program)

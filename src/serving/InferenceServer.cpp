@@ -27,6 +27,8 @@ const char *spnc::serving::requestStatusName(RequestStatus Status) {
     return "timed-out";
   case RequestStatus::ShutDown:
     return "shut-down";
+  case RequestStatus::Failed:
+    return "failed";
   }
   return "<invalid>";
 }
@@ -52,6 +54,9 @@ struct InferenceServer::Request {
 struct InferenceServer::ModelEntry {
   std::string Name;
   runtime::CompiledKernel Kernel;
+  /// The query the engine was compiled for; runBatch dispatches on its
+  /// Kind (likelihood vs MPE vs sampling entry point).
+  spn::QueryConfig Query;
   unsigned NumFeatures = 0;
   std::deque<Request> Queue;
   /// Samples queued (not yet formed into a batch) for this model.
@@ -126,6 +131,7 @@ InferenceServer::addModel(const std::string &Name,
   auto Entry = std::make_unique<ModelEntry>();
   Entry->Name = Name;
   Entry->Kernel = Kernel.takeValue();
+  Entry->Query = Query;
   Entry->NumFeatures = Model.getNumFeatures();
 
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -386,9 +392,36 @@ void InferenceServer::runBatch(Batch TheBatch) {
     Offset += TheRequest.NumSamples;
   }
 
+  // Dispatch on the query kind the model was compiled for. Likelihood
+  // queries fill Output only; MPE fills Rows (assignments) and Output
+  // (log-probabilities); sampling fills Rows only, seeded from the
+  // configured base seed decorrelated per dispatched batch.
+  std::vector<double> Rows;
+  bool Executed = true;
   runtime::ExecutionStats ExecStats;
-  Model.Kernel.execute(Input.data(), Output.data(),
-                       TheBatch.TotalSamples, &ExecStats);
+  switch (Model.Query.Kind) {
+  case spn::QueryKind::Joint:
+  case spn::QueryKind::Marginal:
+    Model.Kernel.execute(Input.data(), Output.data(),
+                         TheBatch.TotalSamples, &ExecStats);
+    break;
+  case spn::QueryKind::Mpe:
+    Rows.resize(TheBatch.TotalSamples * NumFeatures);
+    Executed = Model.Kernel.executeMpe(Input.data(), Rows.data(),
+                                       Output.data(),
+                                       TheBatch.TotalSamples, &ExecStats);
+    break;
+  case spn::QueryKind::Sample: {
+    Rows.resize(TheBatch.TotalSamples * NumFeatures);
+    uint64_t BatchSeed =
+        Config.SampleSeed ^
+        (0x9e3779b97f4a7c15ULL * (SampleBatchCounter.fetch_add(1) + 1));
+    Executed = Model.Kernel.executeSample(Input.data(), Rows.data(),
+                                          TheBatch.TotalSamples,
+                                          BatchSeed, &ExecStats);
+    break;
+  }
+  }
   Clock::time_point Done = Clock::now();
 
   // Account first, then complete the promises: a submitter that
@@ -402,24 +435,48 @@ void InferenceServer::runBatch(Batch TheBatch) {
             .count()));
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Stats.CompletedRequests += TheBatch.Requests.size();
-    Stats.CompletedSamples += TheBatch.TotalSamples;
-    Stats.ExecutionNs += ExecStats.WallNs;
-    for (uint64_t Latency : Latencies)
-      Stats.LatencyNs.record(Latency);
+    if (Executed) {
+      Stats.CompletedRequests += TheBatch.Requests.size();
+      Stats.CompletedSamples += TheBatch.TotalSamples;
+      Stats.ExecutionNs += ExecStats.WallNs;
+      for (uint64_t Latency : Latencies)
+        Stats.LatencyNs.record(Latency);
+    }
     OutstandingSamples -= TheBatch.TotalSamples;
     SpaceAvailable.notify_all();
   }
 
+  if (!Executed) {
+    // The engine refused the batch (it cannot serve this query kind,
+    // or execution failed outright). Every rider fails; the samples
+    // were already released from admission accounting above.
+    for (Request &TheRequest : TheBatch.Requests)
+      failRequest(TheRequest, RequestStatus::Failed,
+                  "engine failed to execute the batch for model '" +
+                      Model.Name + "'");
+    return;
+  }
+
+  bool WantRows = Model.Query.Kind == spn::QueryKind::Mpe ||
+                  Model.Query.Kind == spn::QueryKind::Sample;
+  bool WantLogLikelihoods = Model.Query.Kind != spn::QueryKind::Sample;
   Offset = 0;
   for (size_t I = 0; I < TheBatch.Requests.size(); ++I) {
     Request &TheRequest = TheBatch.Requests[I];
     InferenceResult Result;
     Result.Status = RequestStatus::Ok;
-    Result.LogLikelihoods.assign(
-        Output.begin() + static_cast<ptrdiff_t>(Offset),
-        Output.begin() +
-            static_cast<ptrdiff_t>(Offset + TheRequest.NumSamples));
+    if (WantLogLikelihoods)
+      Result.LogLikelihoods.assign(
+          Output.begin() + static_cast<ptrdiff_t>(Offset),
+          Output.begin() +
+              static_cast<ptrdiff_t>(Offset + TheRequest.NumSamples));
+    if (WantRows)
+      Result.Rows.assign(
+          Rows.begin() +
+              static_cast<ptrdiff_t>(Offset * NumFeatures),
+          Rows.begin() +
+              static_cast<ptrdiff_t>(
+                  (Offset + TheRequest.NumSamples) * NumFeatures));
     Result.LatencyNs = Latencies[I];
     Result.BatchSamples = TheBatch.TotalSamples;
     Offset += TheRequest.NumSamples;

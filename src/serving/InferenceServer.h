@@ -43,6 +43,7 @@
 #include "support/Future.h"
 #include "support/Histogram.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -71,6 +72,9 @@ enum class RequestStatus : uint8_t {
   TimedOut,
   /// The server was shutting down when the request arrived.
   ShutDown,
+  /// The engine refused the batch (e.g. it cannot serve the model's
+  /// query kind).
+  Failed,
 };
 
 /// Human-readable status name ("ok", "rejected", ...).
@@ -80,7 +84,11 @@ const char *requestStatusName(RequestStatus Status);
 struct InferenceResult {
   RequestStatus Status = RequestStatus::Ok;
   /// One (log-)probability per submitted sample; empty unless Ok.
+  /// Absent for sampling queries (a sample has no single probability).
   std::vector<double> LogLikelihoods;
+  /// Completed rows, row-major [sample][feature]; filled only for MPE
+  /// (the argmax assignments) and sampling (the drawn samples) queries.
+  std::vector<double> Rows;
   /// Submit-to-completion wall clock.
   uint64_t LatencyNs = 0;
   /// Samples in the micro-batch this request rode in (Ok only).
@@ -116,6 +124,11 @@ struct ServerConfig {
   unsigned NumWorkers = 2;
   /// Deadline applied to submits that pass DeadlineUs = 0; 0 = none.
   uint64_t DefaultDeadlineUs = 0;
+  /// Base seed for sampling-query models. Each dispatched batch draws
+  /// with SampleSeed decorrelated by a server-wide batch counter, so
+  /// a server run is reproducible given the same arrival order but no
+  /// two batches reuse a stream.
+  uint64_t SampleSeed = 0;
 };
 
 /// A consistent snapshot of the server's observability counters.
@@ -248,6 +261,8 @@ private:
 
   /// Admission-counted samples: queued plus executing.
   size_t OutstandingSamples = 0;
+  /// Server-wide counter decorrelating the sampling seed per batch.
+  std::atomic<uint64_t> SampleBatchCounter{0};
   /// Round-robin cursor into ModelOrder for fair batch formation.
   size_t NextModel = 0;
   bool ShuttingDown = false;

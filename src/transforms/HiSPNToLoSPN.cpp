@@ -6,8 +6,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Lowers hi_spn.joint_query operations to lo_spn.kernel operations in
-/// tensor form (paper §IV-A3). The lowering:
+/// Lowers hi_spn.joint_query / hi_spn.mpe_query / hi_spn.sample_query
+/// operations to lo_spn.kernel operations in tensor form (paper
+/// §IV-A3). The lowering:
 ///  * picks the concrete computation type for the abstract probability
 ///    type (f32/f64, optionally wrapped in !lo_spn.log<>);
 ///  * decomposes variadic weighted sums into binary mul/add chains with
@@ -95,45 +96,82 @@ public:
     lospn::registerLoSPNDialect(Ctx);
     std::vector<Operation *> Queries;
     for (Operation *Op : cast_op<ModuleOp>(Module).getBody())
-      if (isa_op<hispn::JointQueryOp>(Op))
+      if (isa_op<hispn::JointQueryOp>(Op) ||
+          isa_op<hispn::MpeQueryOp>(Op) ||
+          isa_op<hispn::SampleQueryOp>(Op))
         Queries.push_back(Op);
     for (Operation *Query : Queries)
-      if (failed(lowerQuery(hispn::JointQueryOp(Query), Ctx)))
+      if (failed(lowerQuery(makeQueryInfo(Query), Ctx)))
         return failure();
     return success();
   }
 
 private:
+  /// The query-op attributes the lowering needs, extracted uniformly
+  /// from the three HiSPN query op kinds. `MaxProduct` selects the MPE
+  /// sum-combine (lo_spn.max instead of lo_spn.add).
+  struct QueryInfo {
+    Operation *Op = nullptr;
+    Operation *Graph = nullptr;
+    unsigned NumFeatures = 0;
+    unsigned BatchSize = 0;
+    Type InputType;
+    bool SupportMarginal = false;
+    bool LogSpace = true;
+    bool MaxProduct = false;
+  };
+
+  static QueryInfo makeQueryInfo(Operation *Op) {
+    QueryInfo Info;
+    Info.Op = Op;
+    auto Extract = [&](auto Query) {
+      Info.Graph = Query.getGraph();
+      Info.NumFeatures = Query.getNumFeatures();
+      Info.BatchSize = Query.getBatchSize();
+      Info.InputType = Query.getInputType();
+      Info.SupportMarginal = Query.getSupportMarginal();
+      Info.LogSpace = Query.getLogSpace();
+    };
+    if (isa_op<hispn::MpeQueryOp>(Op)) {
+      Extract(hispn::MpeQueryOp(Op));
+      Info.MaxProduct = true;
+    } else if (isa_op<hispn::SampleQueryOp>(Op)) {
+      Extract(hispn::SampleQueryOp(Op));
+    } else {
+      Extract(hispn::JointQueryOp(Op));
+    }
+    return Info;
+  }
   /// Chooses the concrete computation type (paper §III-A: deferred until
   /// lowering, based on characteristics of the SPN). Log-space is
   /// underflow-safe, so the narrow type suffices; linear-space graphs
   /// run the underflow analysis and widen to f64 when f32 could flush
   /// the result to zero.
-  Type selectComputationType(hispn::JointQueryOp Query, Context &Ctx) {
+  Type selectComputationType(const QueryInfo &Query, Context &Ctx) {
     unsigned Width = Options.ComputeWidth;
     if (Width == 0) {
       Width = 32;
-      if (!Query.getLogSpace() &&
-          estimateMinLogProbability(Query.getGraph(), Options) <
+      if (!Query.LogSpace &&
+          estimateMinLogProbability(Query.Graph, Options) <
               Options.F32MinLogThreshold)
         Width = 64;
     }
     Type Storage = Width == 64 ? Type(FloatType::getF64(Ctx))
                                : Type(FloatType::getF32(Ctx));
-    return Query.getLogSpace() ? Type(lospn::LogType::get(Ctx, Storage))
-                               : Storage;
+    return Query.LogSpace ? Type(lospn::LogType::get(Ctx, Storage))
+                          : Storage;
   }
 
-  LogicalResult lowerQuery(hispn::JointQueryOp Query, Context &Ctx) {
-    hispn::GraphOp Graph(Query.getGraph());
+  LogicalResult lowerQuery(const QueryInfo &Query, Context &Ctx) {
+    hispn::GraphOp Graph(Query.Graph);
     Type ComputeTy = selectComputationType(Query, Ctx);
-    Type InputTy = Query.getInputType();
-    bool Marginal = Query.getSupportMarginal();
+    Type InputTy = Query.InputType;
+    bool Marginal = Query.SupportMarginal;
     bool Log = lospn::isLogSpace(ComputeTy);
-    unsigned NumFeatures = Query.getNumFeatures();
+    unsigned NumFeatures = Query.NumFeatures;
 
     OpBuilder Builder(Ctx);
-    Builder.setInsertionPoint(Query.getOperation());
+    Builder.setInsertionPoint(Query.Op);
 
     // Kernel with one input tensor [batch x features].
     auto Kernel = Builder.create<lospn::KernelOp>("spn_kernel", 1u);
@@ -149,7 +187,7 @@ private:
     Type TaskResults[1] = {ResultTensorTy};
     auto Task = Builder.create<lospn::TaskOp>(
         std::span<const Value>(TaskOperands),
-        std::span<const Type>(TaskResults), Query.getBatchSize(), 1u);
+        std::span<const Type>(TaskResults), Query.BatchSize, 1u);
     Block &TaskBlock = Task->getRegion(0).emplaceBlock();
     Value BatchIndex = TaskBlock.addArgument(IndexType::get(Ctx));
     Value TensorArg = TaskBlock.addArgument(InputTensor.getType());
@@ -232,7 +270,10 @@ private:
         }
       } else if (auto Sum = dyn_cast_op<hispn::SumOp>(Op)) {
         // Weighted sum decomposition: sum_i w_i * x_i as a chain of
-        // binary mul/add (paper §III-B).
+        // binary mul/add (paper §III-B). MPE queries combine the
+        // weighted terms with max instead (max-product); the
+        // left-associative chain is what makes argmax ties resolve to
+        // the lowest child index during traceback.
         std::vector<double> Weights = Sum.getWeights();
         Value Acc;
         for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
@@ -244,20 +285,22 @@ private:
           Value Term =
               Builder.create<lospn::MulOp>(Child, WeightConst)
                   ->getResult(0);
-          Acc = Acc
-                    ? Builder.create<lospn::AddOp>(Acc, Term)->getResult(0)
-                    : Term;
+          if (!Acc)
+            Acc = Term;
+          else if (Query.MaxProduct)
+            Acc = Builder.create<lospn::MaxOp>(Acc, Term)->getResult(0);
+          else
+            Acc = Builder.create<lospn::AddOp>(Acc, Term)->getResult(0);
         }
         Result = Acc;
       } else {
-        Query.getContext().emitError("unexpected op in hi_spn.graph: " +
-                                     Op->getName());
+        Ctx.emitError("unexpected op in hi_spn.graph: " + Op->getName());
         return failure();
       }
       Lowered.emplace(Op, Result);
     }
     if (!RootValue) {
-      Query.getContext().emitError("graph has no root value");
+      Ctx.emitError("graph has no root value");
       return failure();
     }
     Value Yielded[1] = {RootValue};
@@ -275,7 +318,7 @@ private:
     Builder.create<lospn::ReturnOp>(std::span<const Value>(Returned));
 
     // The query op is fully lowered; remove it.
-    Query.getOperation()->erase();
+    Query.Op->erase();
     return success();
   }
 

@@ -48,8 +48,10 @@ struct LoweringOptions {
 double estimateMinLogProbability(ir::Operation *GraphOp,
                                  const LoweringOptions &Options);
 
-/// Lowers every hi_spn.joint_query in the module to a lo_spn.kernel with
-/// a single task in tensor form (paper §IV-A3).
+/// Lowers every HiSPN query (hi_spn.joint_query / hi_spn.mpe_query /
+/// hi_spn.sample_query) in the module to a lo_spn.kernel with a single
+/// task in tensor form (paper §IV-A3). MPE queries combine weighted sum
+/// terms with lo_spn.max (max-product) instead of lo_spn.add.
 std::unique_ptr<ir::Pass>
 createHiSPNToLoSPNLoweringPass(LoweringOptions Options = {});
 

@@ -66,6 +66,10 @@ enum class OpCode : uint8_t {
   AddN,
   MulN,
   LogSumExpN,
+  /// dst <- max(a, b). Emitted for sum nodes of MPE (max-product)
+  /// queries; identical in linear and log space (max is monotonic under
+  /// log).
+  Max,
 };
 
 /// One bytecode instruction. Register operands index the per-sample
@@ -155,6 +159,78 @@ enum class LoweringKind : uint8_t {
   SelectCascade = 2,
 };
 
+/// The inference task a program was generated for. Mirrors
+/// `spn::QueryKind` (the vm layer must not depend on the frontend);
+/// numeric values are the on-disk contract of the `.spnk` v4 header.
+enum class QueryKind : uint8_t {
+  Joint = 0,
+  Marginal = 1,
+  Mpe = 2,
+  Sample = 3,
+};
+
+/// Node kinds of the downward-traceback plan attached to MPE/sampling
+/// programs (docs/queries.md).
+enum class PlanNodeKind : uint8_t {
+  /// A binary sum-combine step: for MPE descend into child A iff
+  /// R[RegA] >= R[RegB] (ties -> A, which makes n-ary argmax ties
+  /// resolve to the lowest child index through the left-associative
+  /// chain); for sampling descend into B with probability
+  /// value(B) / (value(A) + value(B)).
+  Choice = 0,
+  /// A product: traceback descends into both children.
+  Both = 1,
+  /// A weighted term (child times constant): descends into the single
+  /// child A.
+  Pass = 2,
+  /// Discrete leaf (histogram / categorical): assigns the evidence when
+  /// observed; otherwise the mode (MPE) or a CDF-walk draw (sampling)
+  /// over Buckets[TableBegin .. TableBegin + 3*TableCount).
+  LeafTable = 3,
+  /// Gaussian leaf: assigns the evidence when observed; otherwise the
+  /// mean (MPE mode) or a Box-Muller draw (sampling).
+  LeafGaussian = 4,
+};
+
+/// One node of the traceback plan. Child references A/B index
+/// TracebackPlan::Nodes; RegA/RegB reference the task's register file
+/// after the upward pass of the same sample.
+struct PlanNode {
+  PlanNodeKind Kind = PlanNodeKind::Pass;
+  /// Child plan-node indices (-1 = absent).
+  int32_t A = -1;
+  int32_t B = -1;
+  /// Upward-pass value registers of the two combine inputs (Choice).
+  uint32_t RegA = 0;
+  uint32_t RegB = 0;
+  /// Feature index assigned by a leaf node.
+  uint32_t Feature = 0;
+  /// Gaussian parameters (LeafGaussian).
+  double Mean = 0.0;
+  double StdDev = 1.0;
+  /// Assignment for an unobserved feature under MPE: the distribution's
+  /// mode (lowest-value mode on tied masses).
+  double Mode = 0.0;
+  /// Bucket triples (lb, ub, linear-space mass) of a LeafTable node,
+  /// stored flattened in TracebackPlan::Buckets.
+  uint32_t TableBegin = 0;
+  uint32_t TableCount = 0;
+};
+
+/// Downward traceback plan for MPE / ancestral-sampling programs. Built
+/// by the code generator at optimization level 0 (one register per
+/// value, single task) so RegA/RegB stay valid; empty (Root == -1) for
+/// joint/marginal programs.
+struct TracebackPlan {
+  std::vector<PlanNode> Nodes;
+  /// Flattened (lb, ub, mass) triples referenced by LeafTable nodes.
+  std::vector<double> Buckets;
+  /// Plan node of the kernel's root value, or -1 when no plan exists.
+  int32_t Root = -1;
+
+  bool empty() const { return Root < 0; }
+};
+
 /// One step of a kernel: either a task execution or a buffer copy (the
 /// latter only occurs with copy avoidance disabled, paper §IV-A5).
 struct KernelStep {
@@ -180,6 +256,11 @@ struct KernelProgram {
   uint32_t BatchSize = 4096;
   /// The discrete-leaf lowering strategy this program was generated with.
   LoweringKind Lowering = LoweringKind::Unknown;
+  /// The inference task this program was generated for. Pre-v4 binaries
+  /// decode as Joint (they were all joint/marginal evidence kernels).
+  QueryKind Query = QueryKind::Joint;
+  /// Downward traceback plan (MPE / sampling programs only).
+  TracebackPlan Plan;
 
   /// Total number of instructions across all tasks.
   size_t totalInstructions() const {

@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "vm/Traceback.h"
 #include "vm/VecMath.h"
 
 #include <algorithm>
@@ -106,7 +107,8 @@ void spnc::vm::executeSample(const TaskProgram &Task,
       &&op_Add,         &&op_Mul,           &&op_FusedMulAdd,
       &&op_LogSumExp,   &&op_Gaussian,      &&op_GaussianLog,
       &&op_TableLookup, &&op_SelectInRange, &&op_NanBlend,
-      &&op_AddN,        &&op_MulN,          &&op_LogSumExpN};
+      &&op_AddN,        &&op_MulN,          &&op_LogSumExpN,
+      &&op_Max};
 #define SPNC_DISPATCH()                                                     \
   do {                                                                      \
     if (Inst == End)                                                        \
@@ -258,6 +260,15 @@ void spnc::vm::executeSample(const TaskProgram &Task,
       Registers[I.Dst] =
           Max + static_cast<T>(std::log(static_cast<double>(Sum)));
     }
+    SPNC_NEXT();
+  }
+  SPNC_CASE(Max) {
+    const Instruction &I = SPNC_INST;
+    // Ties keep A (the earlier chain element) so that MPE argmax ties
+    // resolve to the lowest child index.
+    Registers[I.Dst] = Registers[I.A] >= Registers[I.B]
+                           ? Registers[I.A]
+                           : Registers[I.B];
     SPNC_NEXT();
   }
 
@@ -503,6 +514,13 @@ void runBlock(const TaskProgram &Task, const BufferBinding<T> *Buffers,
       }
       break;
     }
+    case OpCode::Max: {
+      const T *A = &Regs[static_cast<size_t>(Inst.A) * W];
+      const T *B = &Regs[static_cast<size_t>(Inst.B) * W];
+      for (unsigned L = 0; L < W; ++L)
+        D[L] = A[L] >= B[L] ? A[L] : B[L];
+      break;
+    }
     case OpCode::LogSumExpN: {
       const uint32_t *Args = &Task.Args[Inst.A];
       // D accumulates the lane maxima, Tmp1 the exponential sums.
@@ -728,4 +746,108 @@ void CpuExecutor::executeChunk(const double *Input, double *Output,
   else
     runChunkTyped<double>(Program, Config, Input, Output, TotalSamples,
                           Begin, End);
+}
+
+//===----------------------------------------------------------------------===//
+// MPE / ancestral sampling (upward pass + downward traceback)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the upward pass and the downward traceback per sample over the
+/// whole batch. \p UpOut receives the root (log-)probability per sample;
+/// \p Rows the completed feature rows. Single-task programs only (the
+/// pipeline never partitions MPE/sampling kernels).
+template <typename T>
+void runQueryBatch(const KernelProgram &Program, QueryKind Kind,
+                   const double *Evidence, double *Rows, double *UpOut,
+                   size_t NumSamples, uint64_t Seed) {
+  const TaskProgram &Task = Program.Tasks[0];
+  std::vector<BufferBinding<T>> Bindings(Program.Buffers.size());
+  uint32_t NumFeatures = 1;
+  for (size_t I = 0; I < Program.Buffers.size(); ++I) {
+    const BufferInfo &Info = Program.Buffers[I];
+    BufferBinding<T> &B = Bindings[I];
+    B.Columns = Info.Columns;
+    B.Transposed = Info.Transposed;
+    B.Stride = NumSamples;
+    B.Offset = 0;
+    if (Info.Role == BufferInfo::Kind::Input) {
+      B.ExternalIn = Evidence;
+      NumFeatures = Info.Columns;
+    } else {
+      B.ExternalOut = UpOut;
+    }
+  }
+
+  std::vector<T> Registers(Task.NumRegisters);
+  std::vector<int32_t> Stack;
+  for (size_t I = 0; I < NumSamples; ++I) {
+    executeSample(Task, Bindings.data(), I, Registers.data());
+    const double *Row = Evidence + I * NumFeatures;
+    double *OutRow = Rows + I * NumFeatures;
+    // Pre-fill with the evidence so features outside the model's scope
+    // still echo their observed values (NaN when unobserved).
+    for (uint32_t F = 0; F < NumFeatures; ++F)
+      OutRow[F] = Row[F];
+    Rng R(perSampleSeed(Seed, I));
+    runTraceback(Program.Plan, Registers.data(), Row, OutRow,
+                 Program.LogSpace, Kind, R, Stack);
+  }
+}
+
+} // namespace
+
+bool CpuExecutor::executeMpe(const double *Evidence, double *Assignments,
+                             double *LogProbs, size_t NumSamples,
+                             runtime::ExecutionStats *Stats) const {
+  if (Program.Query != QueryKind::Mpe || Program.Plan.empty() ||
+      Program.Tasks.size() != 1)
+    return false;
+  Timer WallTimer;
+  std::vector<double> UpStorage;
+  double *Up = LogProbs;
+  if (!Up) {
+    UpStorage.resize(NumSamples);
+    Up = UpStorage.data();
+  }
+  if (Program.UseF32)
+    runQueryBatch<float>(Program, QueryKind::Mpe, Evidence, Assignments,
+                         Up, NumSamples, 0);
+  else
+    runQueryBatch<double>(Program, QueryKind::Mpe, Evidence, Assignments,
+                          Up, NumSamples, 0);
+  // The engine contract reports log-probabilities even when the program
+  // computes in linear space.
+  if (LogProbs && !Program.LogSpace)
+    for (size_t I = 0; I < NumSamples; ++I)
+      LogProbs[I] = std::log(LogProbs[I]);
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+  }
+  return true;
+}
+
+bool CpuExecutor::executeSample(const double *Evidence, double *Samples,
+                                size_t NumSamples, uint64_t Seed,
+                                runtime::ExecutionStats *Stats) const {
+  if (Program.Query != QueryKind::Sample || Program.Plan.empty() ||
+      Program.Tasks.size() != 1)
+    return false;
+  Timer WallTimer;
+  std::vector<double> UpStorage(NumSamples);
+  if (Program.UseF32)
+    runQueryBatch<float>(Program, QueryKind::Sample, Evidence, Samples,
+                         UpStorage.data(), NumSamples, Seed);
+  else
+    runQueryBatch<double>(Program, QueryKind::Sample, Evidence, Samples,
+                          UpStorage.data(), NumSamples, Seed);
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+  }
+  return true;
 }

@@ -77,6 +77,20 @@ public:
   void execute(const double *Input, double *Output, size_t NumSamples,
                runtime::ExecutionStats *Stats = nullptr) const override;
 
+  /// MPE completion (programs compiled for QueryKind::Mpe): scalar
+  /// upward pass per sample followed by the argmax traceback over the
+  /// program's plan.
+  bool executeMpe(const double *Evidence, double *Assignments,
+                  double *LogProbs, size_t NumSamples,
+                  runtime::ExecutionStats *Stats = nullptr) const override;
+
+  /// Ancestral sampling (programs compiled for QueryKind::Sample):
+  /// scalar upward pass per sample followed by the posterior-weighted
+  /// traceback, seeded per sample index.
+  bool executeSample(const double *Evidence, double *Samples,
+                     size_t NumSamples, uint64_t Seed,
+                     runtime::ExecutionStats *Stats = nullptr) const override;
+
 private:
   void executeChunk(const double *Input, double *Output,
                     size_t TotalSamples, size_t Begin, size_t End) const;

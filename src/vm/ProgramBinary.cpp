@@ -125,6 +125,24 @@ std::vector<uint8_t> spnc::vm::encodeProgram(const KernelProgram &P) {
   W.u8(P.UseF32);
   W.u8(P.LogSpace);
   W.u8(static_cast<uint8_t>(P.Lowering));
+  // v4: query kind + traceback plan.
+  W.u8(static_cast<uint8_t>(P.Query));
+  W.u32(static_cast<uint32_t>(P.Plan.Nodes.size()));
+  for (const PlanNode &N : P.Plan.Nodes) {
+    W.u8(static_cast<uint8_t>(N.Kind));
+    W.u32(static_cast<uint32_t>(N.A));
+    W.u32(static_cast<uint32_t>(N.B));
+    W.u32(N.RegA);
+    W.u32(N.RegB);
+    W.u32(N.Feature);
+    W.f64(N.Mean);
+    W.f64(N.StdDev);
+    W.f64(N.Mode);
+    W.u32(N.TableBegin);
+    W.u32(N.TableCount);
+  }
+  W.f64Vec(P.Plan.Buckets);
+  W.u32(static_cast<uint32_t>(P.Plan.Root));
   W.u32(P.BatchSize);
   W.u32(P.NumInputs);
   W.u32(P.NumOutputs);
@@ -230,6 +248,34 @@ spnc::vm::decodeProgram(std::span<const uint8_t> Blob, BinaryInfo *Info) {
     if (Lowering > static_cast<uint8_t>(LoweringKind::SelectCascade))
       return makeError("invalid lowering kind in program header");
     P.Lowering = static_cast<LoweringKind>(Lowering);
+  }
+  if (Version >= 4) {
+    uint8_t Query = R.u8();
+    if (Query > static_cast<uint8_t>(QueryKind::Sample))
+      return makeError("invalid query kind in program header");
+    P.Query = static_cast<QueryKind>(Query);
+    uint32_t NumNodes = R.u32();
+    if (R.bad() || NumNodes > Blob.size())
+      return makeError("invalid plan node count");
+    P.Plan.Nodes.resize(NumNodes);
+    for (PlanNode &N : P.Plan.Nodes) {
+      uint8_t Kind = R.u8();
+      if (Kind > static_cast<uint8_t>(PlanNodeKind::LeafGaussian))
+        return makeError("invalid plan node kind");
+      N.Kind = static_cast<PlanNodeKind>(Kind);
+      N.A = static_cast<int32_t>(R.u32());
+      N.B = static_cast<int32_t>(R.u32());
+      N.RegA = R.u32();
+      N.RegB = R.u32();
+      N.Feature = R.u32();
+      N.Mean = R.f64();
+      N.StdDev = R.f64();
+      N.Mode = R.f64();
+      N.TableBegin = R.u32();
+      N.TableCount = R.u32();
+    }
+    P.Plan.Buckets = R.f64Vec();
+    P.Plan.Root = static_cast<int32_t>(R.u32());
   }
   P.BatchSize = R.u32();
   P.NumInputs = R.u32();

@@ -35,9 +35,11 @@ namespace vm {
 
 /// The header version `encodeProgram` writes. History (full table in
 /// docs/spnk-format.md): v1 initial format, v2 added the
-/// lowering-strategy byte, v3 added the FNV-1a payload checksum.
-/// `decodeProgram` accepts every version from 1 to this value.
-inline constexpr uint32_t kProgramBinaryVersion = 3;
+/// lowering-strategy byte, v3 added the FNV-1a payload checksum, v4
+/// added the query-kind byte and the traceback plan (MPE / sampling
+/// kernels). `decodeProgram` accepts every version from 1 to this
+/// value; pre-v4 blobs decode as QueryKind::Joint with an empty plan.
+inline constexpr uint32_t kProgramBinaryVersion = 4;
 
 /// Metadata about a decoded blob, reported alongside the program so
 /// callers can warn about (and eventually refuse) legacy entries.

@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/CppBackend.h"
 #include "baselines/Baselines.h"
 #include "runtime/Compiler.h"
 #include "support/Random.h"
@@ -207,6 +208,158 @@ TEST(DifferentialTest, GpuMarginalPartitioned) {
     Scenario S = makeScenario(I);
     expectGpuMatchesInterpreter(S, S.MarginalData, /*Marginal=*/true,
                                 partitionBudget(S), I);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MPE differential legs (docs/queries.md): every compiled path must
+// reproduce the interpreter oracle's completed assignment and
+// max-product log-probability. Full-evidence rows exercise the pure
+// upward max pass; the NaN-bearing marginal rows exercise the argmax
+// traceback that completes the latent features.
+//===----------------------------------------------------------------------===//
+
+struct MpeResult {
+  std::vector<double> Assignments;
+  std::vector<double> LogProbs;
+};
+
+/// executeMpe over \p Data; fails the enclosing test when the engine
+/// cannot serve MPE.
+MpeResult runMpe(const ExecutionEngine &Engine,
+                 const std::vector<double> &Data,
+                 unsigned NumFeatures) {
+  MpeResult R;
+  R.Assignments.resize(kNumSamples * NumFeatures, 0.0);
+  R.LogProbs.resize(kNumSamples, 0.0);
+  EXPECT_TRUE(Engine.executeMpe(Data.data(), R.Assignments.data(),
+                                R.LogProbs.data(), kNumSamples))
+      << "engine refused executeMpe: " << Engine.describe();
+  return R;
+}
+
+/// Exact-match check (f64 paths): assignment and log-probability both
+/// within the few-ulps kTolerance of the interpreter oracle.
+void expectMpeMatchesOracle(const ExecutionEngine &Engine,
+                            const Scenario &S,
+                            const std::vector<double> &Data,
+                            size_t Index, const char *Leg) {
+  unsigned NumFeatures = S.Model.getNumFeatures();
+  baselines::InterpreterEngine Oracle(S.Model);
+  MpeResult Want = runMpe(Oracle, Data, NumFeatures);
+  MpeResult Got = runMpe(Engine, Data, NumFeatures);
+  for (size_t I = 0; I < kNumSamples; ++I) {
+    ASSERT_TRUE(std::isfinite(Want.LogProbs[I]))
+        << Leg << " model " << Index << " sample " << I
+        << ": oracle MPE log-probability not finite";
+    EXPECT_NEAR(Got.LogProbs[I], Want.LogProbs[I], kTolerance)
+        << Leg << " model " << Index << " sample " << I;
+    for (unsigned F = 0; F < NumFeatures; ++F)
+      EXPECT_NEAR(Got.Assignments[I * NumFeatures + F],
+                  Want.Assignments[I * NumFeatures + F], kTolerance)
+          << Leg << " model " << Index << " sample " << I
+          << " feature " << F;
+  }
+}
+
+/// Compiles \p S for the CPU VM with the MPE query in f64.
+CompiledKernel compileVmMpe(const Scenario &S, size_t Index) {
+  CompilerOptions Options;
+  Options.TheTarget = Target::CPU;
+  Options.OptLevel = static_cast<unsigned>(Index % 4);
+  Options.Execution.VectorWidth = Index % 2 == 0 ? 8 : 1;
+  spn::QueryConfig Query;
+  Query.Kind = spn::QueryKind::Mpe;
+  Query.DataType = spn::ComputeType::F64;
+  Expected<CompiledKernel> Kernel =
+      compileModel(S.Model, Query, Options);
+  EXPECT_TRUE(static_cast<bool>(Kernel))
+      << "model " << Index << ": " << Kernel.getError().message();
+  return Kernel ? Kernel.takeValue() : CompiledKernel();
+}
+
+TEST(DifferentialTest, MpeVmFullAndPartialEvidence) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    CompiledKernel Kernel = compileVmMpe(S, I);
+    ASSERT_TRUE(Kernel.getEngineShared() != nullptr);
+    expectMpeMatchesOracle(Kernel.getEngine(), S, S.JointData, I,
+                           "vm/full");
+    expectMpeMatchesOracle(Kernel.getEngine(), S, S.MarginalData, I,
+                           "vm/partial");
+  }
+}
+
+TEST(DifferentialTest, MpeCppBackendFullAndPartialEvidence) {
+  backend::CppBackendOptions CppOptions;
+  CppOptions.ExtraFlags = {"-O0"}; // one host compile per model
+  backend::CppBackend Cpp(CppOptions);
+  std::string SkipReason;
+  if (!Cpp.isAvailable(&SkipReason))
+    GTEST_SKIP() << SkipReason;
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    CompilerOptions Options;
+    Options.TheTarget = Target::CPU;
+    spn::QueryConfig Query;
+    Query.Kind = spn::QueryKind::Mpe;
+    Query.DataType = spn::ComputeType::F64;
+    Expected<CompilationPipeline> Pipeline =
+        CompilationPipeline::create(Options);
+    ASSERT_TRUE(static_cast<bool>(Pipeline));
+    Expected<backend::CompiledArtifact> Artifact =
+        Cpp.compile(*Pipeline, S.Model, Query);
+    ASSERT_TRUE(static_cast<bool>(Artifact))
+        << "model " << I << ": " << Artifact.getError().message();
+    expectMpeMatchesOracle(*Artifact->Engine, S, S.JointData, I,
+                           "cpp/full");
+    expectMpeMatchesOracle(*Artifact->Engine, S, S.MarginalData, I,
+                           "cpp/partial");
+  }
+}
+
+/// GPU leg: the simulated device computes the upward pass in f32, so a
+/// near-tie may legitimately resolve to a different argmax than the f64
+/// oracle. The check is therefore on quality, not identity: the
+/// assignment the GPU returns must score (under the f64 oracle's
+/// max-product evaluator) within the f32 allowance of the true optimum,
+/// and the reported log-probability must match to the same allowance.
+TEST(DifferentialTest, MpeGpuSimulatorNearOracle) {
+  for (size_t I = 0; I < kNumModels; ++I) {
+    Scenario S = makeScenario(I);
+    unsigned NumFeatures = S.Model.getNumFeatures();
+    CompilerOptions Options;
+    Options.TheTarget = Target::GPU;
+    spn::QueryConfig Query;
+    Query.Kind = spn::QueryKind::Mpe;
+    Query.DataType = spn::ComputeType::F32;
+    Expected<CompiledKernel> Kernel =
+        compileModel(S.Model, Query, Options);
+    ASSERT_TRUE(static_cast<bool>(Kernel))
+        << "model " << I << ": " << Kernel.getError().message();
+
+    baselines::InterpreterEngine Oracle(S.Model);
+    for (const std::vector<double> *Data :
+         {&S.JointData, &S.MarginalData}) {
+      MpeResult Want = runMpe(Oracle, *Data, NumFeatures);
+      MpeResult Got = runMpe(Kernel->getEngine(), *Data, NumFeatures);
+      for (size_t Smp = 0; Smp < kNumSamples; ++Smp) {
+        double Bound = std::abs(Want.LogProbs[Smp]) * 1e-4 + 1e-4;
+        EXPECT_NEAR(Got.LogProbs[Smp], Want.LogProbs[Smp], Bound)
+            << "gpu model " << I << " sample " << Smp;
+        // Score the GPU's completed assignment with the oracle: with
+        // full evidence evalMpe is the max-product value of exactly
+        // that assignment.
+        std::vector<double> Scratch(NumFeatures);
+        double GpuScore = S.Model.evalMpe(
+            std::span<const double>(
+                &Got.Assignments[Smp * NumFeatures], NumFeatures),
+            std::span<double>(Scratch));
+        EXPECT_NEAR(GpuScore, Want.LogProbs[Smp], Bound)
+            << "gpu model " << I << " sample " << Smp
+            << ": assignment scores off-optimum";
+      }
+    }
   }
 }
 

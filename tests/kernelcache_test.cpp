@@ -478,10 +478,17 @@ TEST_F(KernelCacheTest, LegacyV2DiskEntryLoadsWithWarning) {
   std::string Path =
       KernelCache(TempDir.string())
           .entryPath(keyFor(*Model, spn::QueryConfig(), Options));
-  // Downgrade the entry to the pre-checksum v2 layout: drop the 8-byte
-  // checksum field and patch the header version word.
+  // Downgrade the entry to the pre-checksum v2 layout: drop the v4
+  // query/plan section (13 bytes for a Joint program with an empty
+  // plan) and the 8-byte checksum field, then patch the header version
+  // word.
   std::vector<uint8_t> Bytes = readFile(Path);
   ASSERT_GT(Bytes.size(), 16u);
+  uint32_t NameLen = 0;
+  std::memcpy(&NameLen, Bytes.data() + 16, sizeof(NameLen));
+  size_t QueryOffset = 16 + 4 + NameLen + 3;
+  Bytes.erase(Bytes.begin() + QueryOffset,
+              Bytes.begin() + QueryOffset + 13);
   Bytes.erase(Bytes.begin() + 8, Bytes.begin() + 16);
   const uint32_t Version = 2;
   std::memcpy(Bytes.data() + 4, &Version, sizeof(Version));

@@ -13,12 +13,17 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "baselines/Baselines.h"
 #include "runtime/Compiler.h"
+#include "support/Random.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
 
 using namespace spnc;
 using namespace spnc::runtime;
@@ -195,6 +200,261 @@ TEST(RatSpnPropertyTest, BatchSizeInvariance) {
       }
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// MPE and sampling properties (docs/queries.md)
+//===----------------------------------------------------------------------===//
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Compiles \p Model for the VM CPU path in f64 with the given query
+/// kind.
+CompiledKernel compileFor(const spn::Model &Model, spn::QueryKind Kind,
+                          Target TheTarget = Target::CPU) {
+  spn::QueryConfig Query;
+  Query.Kind = Kind;
+  Query.DataType = TheTarget == Target::GPU ? spn::ComputeType::F32
+                                            : spn::ComputeType::F64;
+  CompilerOptions Options;
+  Options.TheTarget = TheTarget;
+  Expected<CompiledKernel> Kernel = compileModel(Model, Query, Options);
+  EXPECT_TRUE(static_cast<bool>(Kernel))
+      << Kernel.getError().message();
+  return Kernel ? Kernel.takeValue() : CompiledKernel();
+}
+
+/// MPE optimality: the completed assignment must score, in the
+/// max-product semiring the query optimizes (scoring a full-evidence
+/// row with evalMpe evaluates exactly that completion), at least as
+/// high as 1000 random completions of the same evidence. Max-product
+/// MPE is exact for this objective even on non-selective SPNs, so the
+/// dominance is a hard invariant, not a statistical one.
+TEST(MpePropertyTest, MpeDominatesRandomCompletions) {
+  for (uint64_t Seed : {3u, 17u}) {
+    workloads::SpeakerModelOptions ModelOptions;
+    ModelOptions.TargetOperations = 200;
+    ModelOptions.Seed = Seed;
+    spn::Model Model = workloads::generateSpeakerModel(ModelOptions);
+    unsigned NumFeatures = Model.getNumFeatures();
+    std::vector<double> Data = workloads::generateNoisySpeechData(
+        ModelOptions, 2, Seed + 7, /*DropProbability=*/0.5);
+    for (size_t Row = 0; Row < 2; ++Row) {
+      std::span<const double> Evidence(&Data[Row * NumFeatures],
+                                       NumFeatures);
+      std::vector<double> Best(NumFeatures);
+      double BestScore =
+          Model.evalMpe(Evidence, std::span<double>(Best));
+      ASSERT_TRUE(std::isfinite(BestScore));
+      // Re-scoring the completed assignment as full evidence must
+      // reproduce the traceback's own score.
+      std::vector<double> Scratch(NumFeatures);
+      EXPECT_NEAR(Model.evalMpe(std::span<const double>(Best),
+                                std::span<double>(Scratch)),
+                  BestScore, 1e-9);
+      Rng R(0xabcdef01ULL + Seed * 131 + Row);
+      std::vector<double> Completion(NumFeatures);
+      for (int Try = 0; Try < 1000; ++Try) {
+        Model.sampleAncestral(Evidence, std::span<double>(Completion),
+                              R);
+        double Score =
+            Model.evalMpe(std::span<const double>(Completion),
+                          std::span<double>(Scratch));
+        EXPECT_LE(Score, BestScore + 1e-9)
+            << "seed " << Seed << " row " << Row << " completion "
+            << Try << " beats the MPE assignment";
+      }
+    }
+  }
+}
+
+/// Seeded sampling is bit-reproducible per engine: the same seed yields
+/// byte-identical batches, a different seed yields a different batch.
+TEST(SamplingPropertyTest, FixedSeedIsDeterministic) {
+  workloads::SpeakerModelOptions ModelOptions;
+  ModelOptions.TargetOperations = 200;
+  ModelOptions.Seed = 29;
+  spn::Model Model = workloads::generateSpeakerModel(ModelOptions);
+  unsigned NumFeatures = Model.getNumFeatures();
+  const size_t NumSamples = 32;
+  std::vector<double> Evidence(NumSamples * NumFeatures, kNaN);
+
+  for (Target TheTarget : {Target::CPU, Target::GPU}) {
+    CompiledKernel Kernel =
+        compileFor(Model, spn::QueryKind::Sample, TheTarget);
+    ASSERT_TRUE(Kernel.getEngineShared() != nullptr);
+    std::vector<double> First(NumSamples * NumFeatures);
+    std::vector<double> Second(NumSamples * NumFeatures);
+    std::vector<double> Other(NumSamples * NumFeatures);
+    ASSERT_TRUE(Kernel.executeSample(Evidence.data(), First.data(),
+                                     NumSamples, /*Seed=*/42));
+    ASSERT_TRUE(Kernel.executeSample(Evidence.data(), Second.data(),
+                                     NumSamples, /*Seed=*/42));
+    ASSERT_TRUE(Kernel.executeSample(Evidence.data(), Other.data(),
+                                     NumSamples, /*Seed=*/43));
+    EXPECT_EQ(First, Second)
+        << (TheTarget == Target::GPU ? "gpu" : "cpu")
+        << ": same seed must be bit-reproducible";
+    EXPECT_NE(First, Other)
+        << (TheTarget == Target::GPU ? "gpu" : "cpu")
+        << ": a different seed must change the draw";
+  }
+
+  // The interpreter oracle honours the same contract.
+  baselines::InterpreterEngine Oracle(Model);
+  std::vector<double> First(NumSamples * NumFeatures);
+  std::vector<double> Second(NumSamples * NumFeatures);
+  ASSERT_TRUE(Oracle.executeSample(Evidence.data(), First.data(),
+                                   NumSamples, /*Seed=*/42));
+  ASSERT_TRUE(Oracle.executeSample(Evidence.data(), Second.data(),
+                                   NumSamples, /*Seed=*/42));
+  EXPECT_EQ(First, Second);
+}
+
+/// Empirical marginals of 50k unconditioned draws match the model's
+/// exact marginals: chi-squared over the discrete feature's buckets
+/// (df=1; 16.0 is far beyond the p=1e-4 critical value 15.1) and the
+/// mixture mean of the Gaussian feature.
+TEST(SamplingPropertyTest, EmpiricalMarginalsMatchExact) {
+  spn::Model Model(2, "sampling-mixture");
+  spn::Node *H0a = Model.makeHistogram(
+      0, {spn::HistogramBucket{0, 1, 0.2}, spn::HistogramBucket{1, 2, 0.8}});
+  spn::Node *H0b = Model.makeHistogram(
+      0, {spn::HistogramBucket{0, 1, 0.7}, spn::HistogramBucket{1, 2, 0.3}});
+  spn::Node *G1a = Model.makeGaussian(1, 0.0, 1.0);
+  spn::Node *G1b = Model.makeGaussian(1, 3.0, 0.5);
+  Model.setRoot(Model.makeSum({Model.makeProduct({H0a, G1a}),
+                               Model.makeProduct({H0b, G1b})},
+                              {0.4, 0.6}));
+
+  CompiledKernel Kernel = compileFor(Model, spn::QueryKind::Sample);
+  ASSERT_TRUE(Kernel.getEngineShared() != nullptr);
+  const size_t NumSamples = 50000;
+  std::vector<double> Evidence(NumSamples * 2, kNaN);
+  std::vector<double> Out(NumSamples * 2);
+  ASSERT_TRUE(Kernel.executeSample(Evidence.data(), Out.data(),
+                                   NumSamples, /*Seed=*/1234));
+
+  // Exact bucket masses from the reference evaluator (NaN marginalizes
+  // the Gaussian feature); drawn discrete values are bucket lower
+  // bounds, i.e. 0.0 or 1.0.
+  double Bucket0[2] = {0.5, kNaN};
+  double Bucket1[2] = {1.5, kNaN};
+  double P0 = std::exp(
+      Model.evalLogLikelihood(std::span<const double>(Bucket0, 2)));
+  double P1 = std::exp(
+      Model.evalLogLikelihood(std::span<const double>(Bucket1, 2)));
+  ASSERT_NEAR(P0 + P1, 1.0, 1e-12);
+
+  size_t Counts[2] = {0, 0};
+  double GaussianSum = 0.0;
+  for (size_t S = 0; S < NumSamples; ++S) {
+    double V = Out[S * 2];
+    ASSERT_TRUE(V == 0.0 || V == 1.0) << "sample " << S
+                                      << " outside the support: " << V;
+    ++Counts[V == 0.0 ? 0 : 1];
+    GaussianSum += Out[S * 2 + 1];
+  }
+  double Chi2 = 0.0;
+  double Expected[2] = {P0 * NumSamples, P1 * NumSamples};
+  for (int B = 0; B < 2; ++B)
+    Chi2 += (Counts[B] - Expected[B]) * (Counts[B] - Expected[B]) /
+            Expected[B];
+  EXPECT_LT(Chi2, 16.0) << "counts " << Counts[0] << "/" << Counts[1]
+                        << " vs expected " << Expected[0] << "/"
+                        << Expected[1];
+
+  // Mixture mean 0.4*0 + 0.6*3 = 1.8, sd ~1.65 => SE ~0.0074; 0.05 is
+  // a ~6.7 sigma allowance.
+  EXPECT_NEAR(GaussianSum / NumSamples, 1.8, 0.05);
+}
+
+/// Conditioning on full evidence: sampling draws nothing and every
+/// engine echoes the evidence rows bitwise.
+TEST(SamplingPropertyTest, FullEvidenceEchoesThrough) {
+  workloads::SpeakerModelOptions ModelOptions;
+  ModelOptions.TargetOperations = 200;
+  ModelOptions.Seed = 31;
+  spn::Model Model = workloads::generateSpeakerModel(ModelOptions);
+  unsigned NumFeatures = Model.getNumFeatures();
+  const size_t NumSamples = 16;
+  std::vector<double> Evidence = workloads::generateSpeechData(
+      ModelOptions, NumSamples, 777);
+
+  std::vector<double> Out(NumSamples * NumFeatures);
+  baselines::InterpreterEngine Oracle(Model);
+  ASSERT_TRUE(Oracle.executeSample(Evidence.data(), Out.data(),
+                                   NumSamples, /*Seed=*/5));
+  EXPECT_EQ(Out, Evidence) << "interpreter";
+  for (Target TheTarget : {Target::CPU, Target::GPU}) {
+    CompiledKernel Kernel =
+        compileFor(Model, spn::QueryKind::Sample, TheTarget);
+    ASSERT_TRUE(Kernel.getEngineShared() != nullptr);
+    std::fill(Out.begin(), Out.end(), 0.0);
+    ASSERT_TRUE(Kernel.executeSample(Evidence.data(), Out.data(),
+                                     NumSamples, /*Seed=*/5));
+    EXPECT_EQ(Out, Evidence)
+        << (TheTarget == Target::GPU ? "gpu" : "cpu");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Argmax tie-breaking (docs/queries.md): ties resolve to the lowest
+// child index / lowest bucket in every engine, pinned by constructed
+// exact ties.
+//===----------------------------------------------------------------------===//
+
+TEST(MpeTieBreakTest, SumTieResolvesToLowestChildEverywhere) {
+  // Both children are unit Gaussians under equal weights; with the
+  // feature latent, both max-product terms are bit-identical, so the
+  // argmax is a constructed exact tie. Lowest-child-wins means the
+  // completion must be the first child's mean, -1.
+  spn::Model Model(1, "sum-tie");
+  spn::Node *GA = Model.makeGaussian(0, -1.0, 1.0);
+  spn::Node *GB = Model.makeGaussian(0, 1.0, 1.0);
+  Model.setRoot(Model.makeSum({GA, GB}, {0.5, 0.5}));
+
+  double Evidence = kNaN;
+  std::vector<double> Assignment(1, 0.0);
+  Model.evalMpe(std::span<const double>(&Evidence, 1),
+                std::span<double>(Assignment));
+  EXPECT_EQ(Assignment[0], -1.0) << "reference oracle";
+
+  double LogProb = 0.0;
+  for (Target TheTarget : {Target::CPU, Target::GPU}) {
+    CompiledKernel Kernel =
+        compileFor(Model, spn::QueryKind::Mpe, TheTarget);
+    ASSERT_TRUE(Kernel.getEngineShared() != nullptr);
+    Assignment[0] = 0.0;
+    ASSERT_TRUE(Kernel.executeMpe(&Evidence, Assignment.data(),
+                                  &LogProb, 1));
+    EXPECT_EQ(Assignment[0], -1.0)
+        << (TheTarget == Target::GPU ? "gpu" : "cpu");
+  }
+}
+
+TEST(MpeTieBreakTest, DiscreteModeTieResolvesToLowestBucket) {
+  // Equal-mass histogram buckets: the mode scan must keep the first
+  // (lowest) bucket, completing the latent feature with its lower
+  // bound 0.
+  spn::Model Model(1, "bucket-tie");
+  spn::Node *H = Model.makeHistogram(
+      0, {spn::HistogramBucket{0, 1, 0.5}, spn::HistogramBucket{1, 2, 0.5}});
+  Model.setRoot(Model.makeSum({H}, {1.0}));
+
+  double Evidence = kNaN;
+  std::vector<double> Assignment(1, -1.0);
+  Model.evalMpe(std::span<const double>(&Evidence, 1),
+                std::span<double>(Assignment));
+  EXPECT_EQ(Assignment[0], 0.0) << "reference oracle";
+
+  double LogProb = 0.0;
+  CompiledKernel Kernel = compileFor(Model, spn::QueryKind::Mpe);
+  ASSERT_TRUE(Kernel.getEngineShared() != nullptr);
+  Assignment[0] = -1.0;
+  ASSERT_TRUE(
+      Kernel.executeMpe(&Evidence, Assignment.data(), &LogProb, 1));
+  EXPECT_EQ(Assignment[0], 0.0);
 }
 
 } // namespace

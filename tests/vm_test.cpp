@@ -473,10 +473,16 @@ TEST(ProgramBinaryTest, ChecksumCatchesPayloadBitFlip) {
             std::string::npos);
 }
 
-/// Rewrites a current (v3) blob as a v2 blob: drop the 8-byte checksum
-/// field and patch the version word. The payload layout is identical.
-static std::vector<uint8_t> downgradeToV2(std::span<const uint8_t> V3) {
-  std::vector<uint8_t> V2(V3.begin(), V3.end());
+/// Rewrites a current (v4) blob as a v2 blob: drop the v4 query/plan
+/// section (13 bytes for a Joint program with an empty plan) and the
+/// 8-byte checksum field, then patch the version word. The remaining
+/// payload layout is identical.
+static std::vector<uint8_t> downgradeToV2(std::span<const uint8_t> V4) {
+  std::vector<uint8_t> V2(V4.begin(), V4.end());
+  uint32_t NameLen = 0;
+  std::memcpy(&NameLen, V2.data() + 16, sizeof(NameLen));
+  size_t QueryOffset = 16 + 4 + NameLen + 3;
+  V2.erase(V2.begin() + QueryOffset, V2.begin() + QueryOffset + 13);
   V2.erase(V2.begin() + 8, V2.begin() + 16);
   const uint32_t Version = 2;
   std::memcpy(V2.data() + 4, &Version, sizeof(Version));

@@ -39,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -63,6 +64,13 @@ struct CliOptions {
   uint64_t KernelCacheDiskBudget = 0;
   CompilerOptions Compile;
   spn::QueryConfig Query;
+  /// True when --query was given; a loaded .spnk must then match the
+  /// requested kind instead of adopting the recorded one.
+  bool QueryExplicit = false;
+  /// Base RNG seed for --query=sample.
+  uint64_t Seed = 0;
+  /// Rows synthesized for unconditioned sampling (no --input).
+  size_t NumSynthetic = 1;
   /// Registered backend that materializes the engine (see
   /// backend/BackendRegistry.h).
   std::string BackendName = "vm";
@@ -103,6 +111,17 @@ void printUsage() {
       "separated;\n"
       "                     'nan' marginalizes a feature)\n"
       "  --target cpu|gpu   compilation target (default cpu)\n"
+      "  --query KIND       joint|marginal|mpe|sample (default joint).\n"
+      "                     mpe prints the completed assignment plus "
+      "its\n"
+      "                     log-probability per line; sample prints one "
+      "drawn\n"
+      "                     feature row per line (NaN evidence = "
+      "latent)\n"
+      "  --seed N           RNG seed for --query=sample (default 0)\n"
+      "  --samples N        rows to draw for --query=sample without "
+      "--input\n"
+      "                     (default 1)\n"
       "  --backend NAME     execution backend: 'vm' (bytecode "
       "interpreter,\n"
       "                     default) or 'cpp' (emit C++, compile with "
@@ -210,6 +229,24 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
         return false;
       }
       Options.TargetExplicit = true;
+    } else if (Arg == "--query" || Arg.rfind("--query=", 0) == 0) {
+      const char *V = Arg[7] == '=' ? Arg.c_str() + 8 : NextValue();
+      if (!V || !spn::parseQueryKind(V, Options.Query.Kind))
+        return false;
+      Options.QueryExplicit = true;
+    } else if (Arg == "--seed") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--samples") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.NumSynthetic =
+          static_cast<size_t>(std::strtoull(V, nullptr, 10));
+      if (Options.NumSynthetic == 0)
+        return false;
     } else if (Arg == "--opt") {
       const char *V = NextValue();
       if (!V)
@@ -342,6 +379,76 @@ bool readSamples(const std::string &Path, unsigned NumFeatures,
   }
   std::fclose(File);
   return true;
+}
+
+/// Runs the compiled kernel for \p Kind over the --input rows (or, for
+/// sampling without --input, --samples synthesized all-NaN rows) and
+/// prints one line per sample: the log-likelihood for joint/marginal,
+/// the completed assignment followed by its log-probability for MPE,
+/// the drawn feature row for sampling. Returns the process exit code.
+int runQuery(CompiledKernel &Kernel, spn::QueryKind Kind,
+             unsigned NumFeatures, const CliOptions &Options) {
+  std::vector<double> Data;
+  size_t NumSamples = 0;
+  if (!Options.InputPath.empty()) {
+    if (!readSamples(Options.InputPath, NumFeatures, Data, NumSamples))
+      return 1;
+  } else if (Kind == spn::QueryKind::Sample) {
+    // Unconditioned sampling needs no evidence: every feature latent.
+    NumSamples = Options.NumSynthetic;
+    Data.assign(NumSamples * NumFeatures,
+                std::numeric_limits<double>::quiet_NaN());
+  } else {
+    std::fprintf(stderr, "no --input given; nothing to do\n");
+    return 0;
+  }
+
+  switch (Kind) {
+  case spn::QueryKind::Joint:
+  case spn::QueryKind::Marginal: {
+    std::vector<double> Output(NumSamples);
+    Kernel.execute(Data.data(), Output.data(), NumSamples);
+    for (size_t S = 0; S < NumSamples; ++S)
+      std::printf("%.10g\n", Output[S]);
+    return 0;
+  }
+  case spn::QueryKind::Mpe: {
+    std::vector<double> Rows(NumSamples * NumFeatures);
+    std::vector<double> LogProbs(NumSamples);
+    if (!Kernel.executeMpe(Data.data(), Rows.data(), LogProbs.data(),
+                           NumSamples)) {
+      std::fprintf(stderr,
+                   "engine cannot serve --query=mpe (was the kernel "
+                   "compiled with --query=mpe?)\n");
+      return 1;
+    }
+    for (size_t S = 0; S < NumSamples; ++S) {
+      for (unsigned F = 0; F < NumFeatures; ++F)
+        std::printf("%s%.10g", F ? " " : "",
+                    Rows[S * NumFeatures + F]);
+      std::printf(" %.10g\n", LogProbs[S]);
+    }
+    return 0;
+  }
+  case spn::QueryKind::Sample: {
+    std::vector<double> Rows(NumSamples * NumFeatures);
+    if (!Kernel.executeSample(Data.data(), Rows.data(), NumSamples,
+                              Options.Seed)) {
+      std::fprintf(stderr,
+                   "engine cannot serve --query=sample (was the kernel "
+                   "compiled with --query=sample?)\n");
+      return 1;
+    }
+    for (size_t S = 0; S < NumSamples; ++S) {
+      for (unsigned F = 0; F < NumFeatures; ++F)
+        std::printf("%s%.10g", F ? " " : "",
+                    Rows[S * NumFeatures + F]);
+      std::printf("\n");
+    }
+    return 0;
+  }
+  }
+  return 1;
 }
 
 } // namespace
@@ -479,22 +586,27 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     unsigned NumFeatures = Kernel->getProgram().Buffers[0].Columns;
+    // The .spnk records the query kind it was compiled for (v4 header;
+    // legacy blobs decode as joint). An explicit --query that differs
+    // is an error — the kernel physically lacks the other entry point —
+    // while a bare invocation adopts the recorded kind.
+    spn::QueryKind RecordedKind =
+        static_cast<spn::QueryKind>(Kernel->getProgram().Query);
+    if (Options.QueryExplicit && RecordedKind != Options.Query.Kind) {
+      std::fprintf(stderr,
+                   "kernel '%s' was compiled for --query=%s, not "
+                   "--query=%s; recompile from the .spnb model\n",
+                   ModelPath.c_str(), spn::queryKindName(RecordedKind),
+                   spn::queryKindName(Options.Query.Kind));
+      return 1;
+    }
     std::fprintf(stderr,
                  "loaded cached kernel: %zu task(s), %u features, "
-                 "engine: %s\n",
+                 "query %s, engine: %s\n",
                  Kernel->getProgram().Tasks.size(), NumFeatures,
+                 spn::queryKindName(RecordedKind),
                  Kernel->getEngine().describe().c_str());
-    if (Options.InputPath.empty())
-      return 0;
-    std::vector<double> Data;
-    size_t NumSamples = 0;
-    if (!readSamples(Options.InputPath, NumFeatures, Data, NumSamples))
-      return 1;
-    std::vector<double> Output(NumSamples);
-    Kernel->execute(Data.data(), Output.data(), NumSamples);
-    for (size_t S = 0; S < NumSamples; ++S)
-      std::printf("%.10g\n", Output[S]);
-    return 0;
+    return runQuery(*Kernel, RecordedKind, NumFeatures, Options);
   }
 
   Expected<CompilationPipeline> Pipeline =
@@ -723,18 +835,6 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  if (Options.InputPath.empty()) {
-    std::fprintf(stderr, "no --input given; nothing to do\n");
-    return 0;
-  }
-  std::vector<double> Data;
-  size_t NumSamples = 0;
-  if (!readSamples(Options.InputPath, Model->getNumFeatures(), Data,
-                   NumSamples))
-    return 1;
-  std::vector<double> Output(NumSamples);
-  Kernel.execute(Data.data(), Output.data(), NumSamples);
-  for (size_t S = 0; S < NumSamples; ++S)
-    std::printf("%.10g\n", Output[S]);
-  return 0;
+  return runQuery(Kernel, Options.Query.Kind, Model->getNumFeatures(),
+                  Options);
 }

@@ -87,6 +87,10 @@ void printUsage() {
       stderr,
       "usage: spnc-serve MODEL.spnb [MODEL2.spnb ...] [options]\n"
       "  --target cpu|gpu     compilation target (default cpu)\n"
+      "  --query KIND         joint|marginal|mpe|sample (default "
+      "joint)\n"
+      "  --seed N             base RNG seed for --query=sample "
+      "(default 0)\n"
       "  --opt N              optimization level 0-3 (default 2)\n"
       "  --vector-width N     SIMD lanes 1/4/8/16 (default 8)\n"
       "  --clients N          client threads (default 4)\n"
@@ -173,6 +177,13 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
       if (std::strcmp(V, "gpu") == 0)
         Options.Compile.TheTarget = runtime::Target::GPU;
       else if (std::strcmp(V, "cpu") != 0)
+        return false;
+    } else if (Arg == "--query" || Arg.rfind("--query=", 0) == 0) {
+      const char *V = Arg[7] == '=' ? Arg.c_str() + 8 : NextValue();
+      if (!V || !spn::parseQueryKind(V, Options.Query.Kind))
+        return false;
+    } else if (Arg == "--seed") {
+      if (!NextUnsigned(Options.Server.SampleSeed))
         return false;
     } else if (Arg == "--opt") {
       if (!NextUnsigned(Options.Compile.OptLevel))
@@ -275,6 +286,7 @@ struct Outcome {
       ++TimedOut;
       break;
     case RequestStatus::ShutDown:
+    case RequestStatus::Failed:
       ++Other;
       break;
     }
