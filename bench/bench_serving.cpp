@@ -24,8 +24,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -250,6 +254,229 @@ void BM_TunedBatchedServing(benchmark::State &State) {
   Server.shutdown();
 }
 
+/// The shard-scaling workload: many small models spread over the
+/// consistent-hash ring, so every shard owns a share of the routing
+/// table and the per-shard batcher only scans its own queues. The
+/// models are deliberately tiny — the sweep measures scheduler cost
+/// (the batcher's O(queued-requests) scan per dispatched batch), not
+/// engine time, because that is the term sharding divides by N.
+struct ShardModelInstance {
+  spn::Model Model;
+  std::vector<double> Data;
+  size_t NumSamples = 0;
+  unsigned NumFeatures = 0;
+  std::string Name;
+};
+
+const std::vector<ShardModelInstance> &shardModels() {
+  static std::vector<ShardModelInstance> Models = [] {
+    std::vector<ShardModelInstance> Instances;
+    for (unsigned M = 0; M < 8; ++M) {
+      workloads::SpeakerModelOptions Options;
+      Options.Seed = 100 + M;
+      Options.TargetOperations = 250 + 40 * M;
+      ShardModelInstance Inst{
+          workloads::generateSpeakerModel(Options), {}, 0, 0, {}};
+      Inst.NumSamples = 256;
+      Inst.Data =
+          workloads::generateSpeechData(Options, Inst.NumSamples, 200 + M);
+      Inst.NumFeatures = Inst.Model.getNumFeatures();
+      Inst.Name = "speaker" + std::to_string(M);
+      Instances.push_back(std::move(Inst));
+    }
+    return Instances;
+  }();
+  return Models;
+}
+
+/// One compile per model across every shard/client configuration: the
+/// sweep compares scheduling, so kernels come from a shared cache.
+KernelCache &shardKernelCache() {
+  static KernelCache Cache;
+  return Cache;
+}
+
+/// Shard-scaling sweep: range(0) shards x range(1) clients, each
+/// client keeping a pipeline of single-sample requests in flight
+/// across all eight models. Deep open-loop queues keep every shard's
+/// batcher saturated: N shards run N independent batcher threads over
+/// N-times-shorter queues (the batcher's deadline/wake scans are
+/// O(queued requests) per iteration). On a multi-core host the shards
+/// also run concurrently; on a single hardware thread only the
+/// shorter scans help, so expect modest gains there.
+void BM_ShardScaling(benchmark::State &State) {
+  const std::vector<ShardModelInstance> &Models = shardModels();
+  unsigned Shards = static_cast<unsigned>(State.range(0));
+  unsigned Clients = static_cast<unsigned>(State.range(1));
+  ServerConfig Config;
+  // Small batches force many batcher iterations per client request;
+  // zero delay dispatches as soon as work is queued.
+  Config.MaxBatchSamples = 8;
+  Config.MaxQueueDelayUs = 0;
+  Config.MaxQueueDepth = 0; // open loop; no admission pressure
+  Config.NumWorkers = 1;
+  Config.NumShards = Shards;
+  InferenceServer Server(Config, &shardKernelCache());
+  for (const ShardModelInstance &Inst : Models) {
+    if (std::optional<Error> Err =
+            Server.addModel(Inst.Name, Inst.Model, spn::QueryConfig(),
+                            servingCompilerOptions())) {
+      State.SkipWithError(Err->message().c_str());
+      return;
+    }
+  }
+  const size_t Depth = 128; // in-flight requests per client
+  size_t PerClient = std::max(requestsPerClient(), Depth);
+  std::atomic<uint64_t> Failures{0};
+  for (auto _ : State) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        for (size_t R = 0; R < PerClient; R += Depth) {
+          std::vector<ResultFuture> Inflight;
+          Inflight.reserve(Depth);
+          for (size_t D = 0; D < Depth && R + D < PerClient; ++D) {
+            size_t Seq = C * PerClient + R + D;
+            const ShardModelInstance &Inst =
+                Models[Seq % Models.size()];
+            size_t Index = Seq % Inst.NumSamples;
+            Inflight.push_back(Server.submit(
+                Inst.Name, Inst.Data.data() + Index * Inst.NumFeatures,
+                1));
+          }
+          for (ResultFuture &F : Inflight)
+            if (F.take().Status != RequestStatus::Ok)
+              ++Failures;
+        }
+      });
+    for (std::thread &Thread : Threads)
+      Thread.join();
+  }
+  if (Failures.load() > 0)
+    State.SkipWithError("serving requests failed");
+  ServerStats Stats = Server.getStats();
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Clients) *
+                          static_cast<int64_t>(PerClient));
+  State.counters["shards"] = Shards;
+  State.counters["clients"] = Clients;
+  State.counters["mean_batch"] = Stats.meanBatchSize();
+  Server.shutdown();
+}
+
+/// Mixed-priority scheduling: bulk clients keep a deep backlog of
+/// 64-sample requests queued while latency-sensitive probe clients
+/// submit single samples closed-loop and time each round trip.
+/// range(0) selects the discipline — 0 submits the probes as Bulk too
+/// (single FIFO, the pre-sharding behaviour), 1 submits them as
+/// Interactive so weighted fair queueing drains them ahead of the
+/// backlog. The probe p99 is the headline: under FIFO a probe waits
+/// behind the entire queued backlog, under WFQ behind at most the
+/// batch in flight.
+void BM_PrioritySchedulingP99(benchmark::State &State) {
+  const ServingWorkload &W = workload();
+  bool UseWfq = State.range(0) != 0;
+  const unsigned BulkClients = 6;
+  const unsigned ProbeClients = 2;
+  const size_t BulkRequestSamples = 64;
+  const size_t BulkDepth = 4; // pipelined bulk requests per client
+  ServerConfig Config;
+  Config.MaxBatchSamples = 64;
+  Config.MaxQueueDelayUs = 0;
+  Config.MaxQueueDepth = 0;
+  Config.NumWorkers = 1;
+  Config.NumShards = 1;
+  Config.InteractiveWeight = 4;
+  Config.BulkWeight = 1;
+  InferenceServer Server(Config);
+  if (std::optional<Error> Err =
+          Server.addModel("speaker", W.Model, spn::QueryConfig(),
+                          servingCompilerOptions())) {
+    State.SkipWithError(Err->message().c_str());
+    return;
+  }
+  size_t BulkPerClient = fullScale() ? 128 : 48;
+  std::atomic<uint64_t> Failures{0};
+  std::mutex LatencyMutex;
+  std::vector<double> ProbeLatencyMs;
+  for (auto _ : State) {
+    std::atomic<bool> BulkDone{false};
+    std::vector<std::thread> Threads;
+    Threads.reserve(BulkClients + ProbeClients);
+    for (unsigned C = 0; C < BulkClients; ++C)
+      Threads.emplace_back([&, C] {
+        for (size_t R = 0; R < BulkPerClient; R += BulkDepth) {
+          std::vector<ResultFuture> Inflight;
+          for (size_t D = 0; D < BulkDepth && R + D < BulkPerClient;
+               ++D) {
+            size_t Index = (C * BulkPerClient + R + D) %
+                           (W.NumSamples - BulkRequestSamples);
+            Inflight.push_back(Server.submit(
+                "speaker", W.Data.data() + Index * W.NumFeatures,
+                BulkRequestSamples));
+          }
+          for (ResultFuture &F : Inflight)
+            if (F.take().Status != RequestStatus::Ok)
+              ++Failures;
+        }
+      });
+    // Probes run for exactly as long as the backlog drains, so every
+    // measurement sees the mixed load.
+    for (unsigned C = 0; C < ProbeClients; ++C)
+      Threads.emplace_back([&, C] {
+        std::vector<double> Local;
+        size_t Probe = 0;
+        while (!BulkDone.load(std::memory_order_relaxed)) {
+          size_t Index = (C * 131 + Probe++) % W.NumSamples;
+          auto Start = std::chrono::steady_clock::now();
+          InferenceResult Result =
+              Server
+                  .submit("speaker",
+                          W.Data.data() + Index * W.NumFeatures, 1,
+                          /*DeadlineUs=*/0,
+                          UseWfq ? Priority::Interactive
+                                 : Priority::Bulk)
+                  .take();
+          auto End = std::chrono::steady_clock::now();
+          if (Result.Status != RequestStatus::Ok)
+            ++Failures;
+          Local.push_back(
+              std::chrono::duration<double, std::milli>(End - Start)
+                  .count());
+        }
+        std::lock_guard<std::mutex> Lock(LatencyMutex);
+        ProbeLatencyMs.insert(ProbeLatencyMs.end(), Local.begin(),
+                              Local.end());
+      });
+    for (unsigned T = 0; T < BulkClients; ++T)
+      Threads[T].join();
+    BulkDone.store(true);
+    for (unsigned T = BulkClients; T < Threads.size(); ++T)
+      Threads[T].join();
+  }
+  if (Failures.load() > 0)
+    State.SkipWithError("serving requests failed");
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(BulkClients) *
+                          static_cast<int64_t>(BulkPerClient) *
+                          static_cast<int64_t>(BulkRequestSamples));
+  std::sort(ProbeLatencyMs.begin(), ProbeLatencyMs.end());
+  auto Quantile = [&](double Q) {
+    if (ProbeLatencyMs.empty())
+      return 0.0;
+    size_t Index = static_cast<size_t>(
+        Q * static_cast<double>(ProbeLatencyMs.size() - 1));
+    return ProbeLatencyMs[Index];
+  };
+  State.counters["wfq"] = UseWfq ? 1 : 0;
+  State.counters["probes"] =
+      static_cast<double>(ProbeLatencyMs.size());
+  State.counters["probe_p50_ms"] = Quantile(0.50);
+  State.counters["probe_p99_ms"] = Quantile(0.99);
+  Server.shutdown();
+}
+
 BENCHMARK(BM_PerRequestExecution)
     ->Arg(1)
     ->Arg(4)
@@ -269,6 +496,20 @@ BENCHMARK(BM_TunedBatchedServing)
     ->Arg(4)
     ->Arg(8)
     ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ShardScaling)
+    ->Args({1, 8})
+    ->Args({1, 32})
+    ->Args({2, 8})
+    ->Args({2, 32})
+    ->Args({4, 8})
+    ->Args({4, 32})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_PrioritySchedulingP99)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -12,8 +12,12 @@
 #include "vm/Traceback.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 using namespace spnc;
@@ -74,6 +78,68 @@ double spnc::gpusim::computeSpillSlowdown(const GpuDeviceConfig &Config,
   return PerThread * PerBlock;
 }
 
+//===----------------------------------------------------------------------===//
+// Streams (simulated device contexts)
+//===----------------------------------------------------------------------===//
+
+/// One stream: work issued to it executes in order (Mutex), like a CUDA
+/// stream. Kernels counts retirements for observability.
+struct StreamContext {
+  std::mutex Mutex;
+  std::atomic<uint64_t> Kernels{0};
+};
+
+/// The executor's mutable device state: the stream pool, the sticky
+/// thread-to-stream assignment, and the count of kernels currently
+/// executing on any stream (the SM-sharing factor).
+struct GpuExecutor::DeviceState {
+  mutable std::mutex AssignMutex;
+  std::unordered_map<std::thread::id, unsigned> ThreadStream;
+  unsigned NextStream = 0;
+  std::vector<std::unique_ptr<StreamContext>> Streams;
+  std::atomic<unsigned> ActiveKernels{0};
+};
+
+/// RAII occupancy of the calling thread's stream for one execution:
+/// blocks until earlier work issued to the stream retires (same-stream
+/// serialization), then counts itself active on the device. Records the
+/// wait and the device-wide overlap for the stats.
+struct GpuExecutor::StreamLease {
+  explicit StreamLease(const GpuExecutor &Executor)
+      : Device(*Executor.Device), Id(Executor.streamForCallingThread()),
+        Ctx(*Device.Streams[Id]) {
+    Timer WaitTimer;
+    Ctx.Mutex.lock();
+    WaitNs = WaitTimer.elapsedNs();
+    Concurrency = Device.ActiveKernels.fetch_add(1) + 1;
+    Ctx.Kernels.fetch_add(1);
+  }
+
+  ~StreamLease() {
+    Device.ActiveKernels.fetch_sub(1);
+    Ctx.Mutex.unlock();
+  }
+
+  StreamLease(const StreamLease &) = delete;
+  StreamLease &operator=(const StreamLease &) = delete;
+
+  /// Folds the stream bookkeeping into \p Stats: SMs are shared among
+  /// the kernels active during this execution, so simulated compute
+  /// time stretches by the overlap factor.
+  void account(GpuExecutionStats &Stats) const {
+    Stats.ComputeNs *= Concurrency;
+    Stats.StreamId = Id;
+    Stats.ConcurrentStreams = Concurrency;
+    Stats.StreamWaitNs = WaitNs;
+  }
+
+  DeviceState &Device;
+  unsigned Id;
+  StreamContext &Ctx;
+  uint64_t WaitNs = 0;
+  unsigned Concurrency = 1;
+};
+
 GpuExecutor::GpuExecutor(KernelProgram TheProgram,
                          GpuDeviceConfig TheConfig, unsigned TheBlockSize)
     : Program(std::move(TheProgram)), Config(TheConfig),
@@ -81,6 +147,39 @@ GpuExecutor::GpuExecutor(KernelProgram TheProgram,
   assert(Program.NumInputs == 1 && Program.NumOutputs == 1 &&
          "simulator supports kernels with one input and one output");
   BlockSize = std::max(1u, std::min(BlockSize, Config.MaxThreadsPerBlock));
+  Device = std::make_unique<DeviceState>();
+  // NumStreams == 0 is the default-stream configuration: one stream
+  // (the serving layer resolves 0 to its worker count before compiling;
+  // see InferenceServer::addModel).
+  unsigned NumStreams = std::max(1u, Config.NumStreams);
+  Device->Streams.reserve(NumStreams);
+  for (unsigned I = 0; I < NumStreams; ++I)
+    Device->Streams.push_back(std::make_unique<StreamContext>());
+}
+
+GpuExecutor::~GpuExecutor() = default;
+
+unsigned GpuExecutor::getNumStreams() const {
+  return static_cast<unsigned>(Device->Streams.size());
+}
+
+unsigned GpuExecutor::streamForCallingThread() const {
+  DeviceState &D = *Device;
+  std::lock_guard<std::mutex> Lock(D.AssignMutex);
+  auto [It, Inserted] =
+      D.ThreadStream.try_emplace(std::this_thread::get_id(), D.NextStream);
+  if (Inserted)
+    D.NextStream = (D.NextStream + 1) %
+                   static_cast<unsigned>(D.Streams.size());
+  return It->second;
+}
+
+std::vector<uint64_t> GpuExecutor::getStreamKernelCounts() const {
+  std::vector<uint64_t> Counts;
+  Counts.reserve(Device->Streams.size());
+  for (const auto &Stream : Device->Streams)
+    Counts.push_back(Stream->Kernels.load());
+  return Counts;
 }
 
 namespace {
@@ -248,12 +347,14 @@ void GpuExecutor::execute(const double *Input, double *Output,
   GpuExecutionStats Local;
   GpuExecutionStats &S = Stats ? *Stats : Local;
   S = GpuExecutionStats();
+  StreamLease Lease(*this);
   if (Program.UseF32)
     runOnDevice<float>(Program, Config, BlockSize, Input, Output,
                        NumSamples, S);
   else
     runOnDevice<double>(Program, Config, BlockSize, Input, Output,
                         NumSamples, S);
+  Lease.account(S);
 }
 
 void GpuExecutor::execute(const double *Input, double *Output,
@@ -370,14 +471,18 @@ bool GpuExecutor::executeMpe(const double *Evidence, double *Assignments,
     UpStorage.resize(NumSamples);
     Up = UpStorage.data();
   }
-  if (Program.UseF32)
-    runQueryOnDevice<float>(Program, Config, BlockSize, QueryKind::Mpe,
-                            Evidence, Assignments, Up, NumSamples, 0,
-                            GpuStats);
-  else
-    runQueryOnDevice<double>(Program, Config, BlockSize, QueryKind::Mpe,
-                             Evidence, Assignments, Up, NumSamples, 0,
-                             GpuStats);
+  {
+    StreamLease Lease(*this);
+    if (Program.UseF32)
+      runQueryOnDevice<float>(Program, Config, BlockSize, QueryKind::Mpe,
+                              Evidence, Assignments, Up, NumSamples, 0,
+                              GpuStats);
+    else
+      runQueryOnDevice<double>(Program, Config, BlockSize,
+                               QueryKind::Mpe, Evidence, Assignments, Up,
+                               NumSamples, 0, GpuStats);
+    Lease.account(GpuStats);
+  }
   if (LogProbs && !Program.LogSpace)
     for (size_t I = 0; I < NumSamples; ++I)
       LogProbs[I] = std::log(LogProbs[I]);
@@ -400,15 +505,20 @@ bool GpuExecutor::executeSample(const double *Evidence, double *Samples,
   Timer WallTimer;
   GpuExecutionStats GpuStats;
   std::vector<double> UpStorage(NumSamples);
-  if (Program.UseF32)
-    runQueryOnDevice<float>(Program, Config, BlockSize,
-                            QueryKind::Sample, Evidence, Samples,
-                            UpStorage.data(), NumSamples, Seed, GpuStats);
-  else
-    runQueryOnDevice<double>(Program, Config, BlockSize,
-                             QueryKind::Sample, Evidence, Samples,
-                             UpStorage.data(), NumSamples, Seed,
-                             GpuStats);
+  {
+    StreamLease Lease(*this);
+    if (Program.UseF32)
+      runQueryOnDevice<float>(Program, Config, BlockSize,
+                              QueryKind::Sample, Evidence, Samples,
+                              UpStorage.data(), NumSamples, Seed,
+                              GpuStats);
+    else
+      runQueryOnDevice<double>(Program, Config, BlockSize,
+                               QueryKind::Sample, Evidence, Samples,
+                               UpStorage.data(), NumSamples, Seed,
+                               GpuStats);
+    Lease.account(GpuStats);
+  }
   if (Stats) {
     *Stats = runtime::ExecutionStats();
     Stats->WallNs = WallTimer.elapsedNs();
@@ -422,6 +532,7 @@ bool GpuExecutor::executeSample(const double *Evidence, double *Samples,
 std::string GpuExecutor::describe() const {
   return "gpusim sms=" + std::to_string(Config.NumSMs) +
          ", block=" + std::to_string(BlockSize) +
+         ", streams=" + std::to_string(getNumStreams()) +
          (Program.Lowering == vm::LoweringKind::TableLookup
               ? ", table-lookup kernel"
               : "");

@@ -35,6 +35,8 @@
 #include "vm/Bytecode.h"
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 namespace spnc {
 namespace gpusim {
@@ -73,6 +75,14 @@ struct GpuDeviceConfig {
   /// makes many small partitions expensive on the GPU (paper Fig. 12).
   /// De-rated like PcieBandwidthGBs (see above).
   double DeviceBandwidthGBs = 0.25;
+  /// Simulated device contexts ("streams"). Work issued to one stream
+  /// executes in order (callers sharing a stream serialize, like CUDA's
+  /// default stream); distinct streams overlap, sharing the SMs — the
+  /// simulator scales compute time by the number of concurrently active
+  /// kernels. 0 behaves like 1 (the default stream) but additionally
+  /// tells the serving layer to allocate one stream per worker
+  /// (InferenceServer::addModel for Target::GPU models).
+  unsigned NumStreams = 0;
 };
 
 /// Occupancy achieved by a kernel with the given per-thread register
@@ -90,9 +100,14 @@ double computeSpillSlowdown(const GpuDeviceConfig &Config,
                             unsigned RegistersPerThread);
 
 /// Executes compiled kernels on the simulated device. Implements the
-/// unified runtime::ExecutionEngine interface; the executor is immutable
-/// after construction and `execute` is thread-safe — the simulated device
-/// breakdown is returned per call, never stored on the executor.
+/// unified runtime::ExecutionEngine interface; `execute` is thread-safe —
+/// the simulated device breakdown is returned per call. The program and
+/// device model are immutable after construction; the only mutable state
+/// is the stream pool: each calling thread is stickily assigned one of
+/// the device's `NumStreams` stream contexts (round-robin on first use),
+/// callers sharing a stream serialize, and concurrently active kernels
+/// on distinct streams share the SMs (their simulated compute time
+/// scales with the overlap).
 class GpuExecutor : public runtime::ExecutionEngine {
 public:
   /// Block size used when none is requested: 64 threads, the
@@ -107,9 +122,23 @@ public:
   /// size is clamped to the device's MaxThreadsPerBlock.
   GpuExecutor(vm::KernelProgram Program, GpuDeviceConfig Config = {},
               unsigned BlockSize = 0);
+  ~GpuExecutor() override;
 
   /// The clamped block size every launch of this executor uses.
   unsigned getBlockSize() const { return BlockSize; }
+
+  /// Streams (simulated device contexts) this executor schedules onto;
+  /// at least 1 regardless of the configured NumStreams.
+  unsigned getNumStreams() const;
+
+  /// The stream the calling thread is (stickily) assigned to, assigning
+  /// one round-robin on first use — the same policy every execute() call
+  /// applies.
+  unsigned streamForCallingThread() const;
+
+  /// Kernel executions retired per stream since construction (index =
+  /// stream id). Observability for tests and the serving layer.
+  std::vector<uint64_t> getStreamKernelCounts() const;
 
   const vm::KernelProgram *getProgram() const override {
     return &Program;
@@ -148,9 +177,14 @@ public:
                      runtime::ExecutionStats *Stats = nullptr) const override;
 
 private:
+  struct DeviceState;
+  struct StreamLease;
+
   vm::KernelProgram Program;
   GpuDeviceConfig Config;
   unsigned BlockSize;
+  /// Stream pool: the executor's only mutable state (see class comment).
+  std::unique_ptr<DeviceState> Device;
 };
 
 } // namespace gpusim

@@ -30,6 +30,15 @@ struct GpuExecutionStats {
   uint64_t BytesDeviceToHost = 0;
   unsigned NumLaunches = 0;
   unsigned NumTransfers = 0;
+  /// Stream (simulated device context) this execution was issued to.
+  unsigned StreamId = 0;
+  /// Kernel executions active on the device (any stream, this one
+  /// included) when this execution entered its stream — the SM-sharing
+  /// factor its simulated compute time was scaled by.
+  unsigned ConcurrentStreams = 1;
+  /// Host wall clock spent waiting for the stream to drain earlier work
+  /// issued to it (zero unless two callers share a stream).
+  uint64_t StreamWaitNs = 0;
 
   uint64_t totalNs() const { return ComputeNs + TransferNs + LaunchNs; }
   /// Fraction of the total time spent in data movement.

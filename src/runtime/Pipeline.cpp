@@ -82,7 +82,7 @@ uint64_t PipelineConfig::hash() const {
                   O.Device.PcieBandwidthGBs, O.Device.TransferLatencyUs,
                   O.Device.KernelLaunchOverheadUs,
                   O.Device.BlockScheduleOverheadNs,
-                  O.Device.DeviceBandwidthGBs));
+                  O.Device.DeviceBandwidthGBs, O.Device.NumStreams));
   return Seed;
 }
 

@@ -1,4 +1,4 @@
-//===- InferenceServer.cpp - In-process serving with dynamic micro-batching ----===//
+//===- InferenceServer.cpp - Sharded in-process serving with micro-batching ----===//
 //
 // Part of the SPNC-Repro project.
 // SPDX-License-Identifier: Apache-2.0
@@ -7,11 +7,13 @@
 
 #include "serving/InferenceServer.h"
 
+#include "support/Hashing.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 using namespace spnc;
@@ -33,8 +35,30 @@ const char *spnc::serving::requestStatusName(RequestStatus Status) {
   return "<invalid>";
 }
 
+const char *spnc::serving::priorityName(Priority ThePriority) {
+  switch (ThePriority) {
+  case Priority::Interactive:
+    return "interactive";
+  case Priority::Bulk:
+    return "bulk";
+  }
+  return "<invalid>";
+}
+
+bool spnc::serving::parsePriority(const char *Text, Priority &Out) {
+  if (std::strcmp(Text, "interactive") == 0) {
+    Out = Priority::Interactive;
+    return true;
+  }
+  if (std::strcmp(Text, "bulk") == 0) {
+    Out = Priority::Bulk;
+    return true;
+  }
+  return false;
+}
+
 //===----------------------------------------------------------------------===//
-// Internal request/batch state
+// Internal request/batch/shard state
 //===----------------------------------------------------------------------===//
 
 /// One queued request: the copied input rows, the promise the submitter
@@ -43,14 +67,16 @@ struct InferenceServer::Request {
   ModelEntry *Model = nullptr;
   std::vector<double> Input;
   size_t NumSamples = 0;
+  Priority ThePriority = Priority::Bulk;
   Promise<InferenceResult> ResultPromise;
   Clock::time_point Enqueued;
   /// time_point::max() when the request carries no deadline.
   Clock::time_point Deadline;
 };
 
-/// One registered model: the cache-acquired engine plus its request
-/// queue. Queue and QueuedSamples are guarded by the server mutex.
+/// One registered model: the cache-acquired engine plus one request
+/// queue per priority class. Queues and QueuedSamples are guarded by
+/// the owning shard's mutex.
 struct InferenceServer::ModelEntry {
   std::string Name;
   runtime::CompiledKernel Kernel;
@@ -58,21 +84,60 @@ struct InferenceServer::ModelEntry {
   /// Kind (likelihood vs MPE vs sampling entry point).
   spn::QueryConfig Query;
   unsigned NumFeatures = 0;
-  std::deque<Request> Queue;
-  /// Samples queued (not yet formed into a batch) for this model.
-  size_t QueuedSamples = 0;
+  std::array<std::deque<Request>, kNumPriorities> Queues;
+  /// Samples queued (not yet formed into a batch), per class.
+  std::array<size_t, kNumPriorities> QueuedSamples{};
 };
 
-/// A formed micro-batch: requests of one model, executed as one engine
-/// call.
+/// A formed micro-batch: requests of one model and one priority class,
+/// executed as one engine call.
 struct InferenceServer::Batch {
   ModelEntry *Model = nullptr;
+  Priority ThePriority = Priority::Bulk;
   std::vector<Request> Requests;
   size_t TotalSamples = 0;
 };
 
+/// One shard: an independent batcher + queues + worker pool with its own
+/// mutex, so shards never contend with each other. Everything below
+/// Mutex is guarded by it (the worker pool and batcher thread are
+/// touched only at construction/shutdown).
+struct InferenceServer::Shard {
+  size_t Index = 0;
+  mutable std::mutex Mutex;
+  /// Wakes the shard's batcher on new work or shutdown.
+  std::condition_variable WorkAvailable;
+  /// Wakes submitters blocked on this shard when queue space frees up.
+  std::condition_variable SpaceAvailable;
+
+  /// Models placed on this shard, in registration order (the per-class
+  /// round-robin order).
+  std::vector<ModelEntry *> Models;
+
+  /// Admission-counted samples: queued plus executing.
+  size_t OutstandingSamples = 0;
+  /// Per-class round-robin cursor into Models.
+  std::array<size_t, kNumPriorities> NextModel{};
+  /// Weighted-fair-queueing dispatch credits, refilled from the
+  /// configured weights when both classes are spent.
+  std::array<unsigned, kNumPriorities> Credits{};
+  /// Batches handed to the worker pool but not yet completed. The
+  /// batcher stops dispatching at NumWorkers + 1 (workers busy plus
+  /// one queued) so that under backlog the WFQ decision happens at
+  /// dispatch time — without this cap the whole backlog would sink
+  /// into the pool's FIFO queue and priority order would be decided
+  /// by arrival after all.
+  size_t InFlightBatches = 0;
+  bool ShuttingDown = false;
+
+  ServerStats Stats;
+
+  std::unique_ptr<ThreadPool> Workers;
+  std::thread Batcher;
+};
+
 //===----------------------------------------------------------------------===//
-// Construction / registration
+// Construction / registration / placement
 //===----------------------------------------------------------------------===//
 
 InferenceServer::InferenceServer(ServerConfig TheConfig,
@@ -87,13 +152,6 @@ InferenceServer::InferenceServer(ServerConfig TheConfig,
                  Config.MaxBatchSamples);
     Config.MaxBatchSamples = 1;
   }
-  if (SharedCache) {
-    Cache = SharedCache;
-  } else {
-    OwnedCache = std::make_unique<runtime::KernelCache>();
-    Cache = OwnedCache.get();
-  }
-  StartTime = Clock::now();
   if (Config.NumWorkers < 1) {
     std::fprintf(stderr,
                  "warning: InferenceServer clamped NumWorkers from %u "
@@ -101,59 +159,172 @@ InferenceServer::InferenceServer(ServerConfig TheConfig,
                  Config.NumWorkers);
     Config.NumWorkers = 1;
   }
-  Workers = std::make_unique<ThreadPool>(Config.NumWorkers);
-  Batcher = std::thread([this] { batcherLoop(); });
+  if (Config.NumShards < 1) {
+    std::fprintf(stderr,
+                 "warning: InferenceServer clamped NumShards from %u "
+                 "to 1\n",
+                 Config.NumShards);
+    Config.NumShards = 1;
+  }
+  if (Config.InteractiveWeight < 1) {
+    std::fprintf(stderr,
+                 "warning: InferenceServer clamped InteractiveWeight "
+                 "from %u to 1\n",
+                 Config.InteractiveWeight);
+    Config.InteractiveWeight = 1;
+  }
+  if (Config.BulkWeight < 1) {
+    std::fprintf(stderr,
+                 "warning: InferenceServer clamped BulkWeight from %u "
+                 "to 1\n",
+                 Config.BulkWeight);
+    Config.BulkWeight = 1;
+  }
+  if (SharedCache) {
+    Cache = SharedCache;
+  } else {
+    OwnedCache = std::make_unique<runtime::KernelCache>();
+    Cache = OwnedCache.get();
+  }
+  StartTime = Clock::now();
+  Shards.reserve(Config.NumShards);
+  for (unsigned I = 0; I < Config.NumShards; ++I) {
+    auto TheShard = std::make_unique<Shard>();
+    TheShard->Index = I;
+    TheShard->Credits = {Config.InteractiveWeight, Config.BulkWeight};
+    TheShard->Workers = std::make_unique<ThreadPool>(Config.NumWorkers);
+    Shard *Raw = TheShard.get();
+    TheShard->Batcher = std::thread([this, Raw] { batcherLoop(*Raw); });
+    Shards.push_back(std::move(TheShard));
+  }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
+
+size_t InferenceServer::placeOnShard(uint64_t ModelHash,
+                                     size_t NumShards) {
+  assert(NumShards > 0 && "placement needs at least one shard");
+  if (NumShards == 1)
+    return 0;
+  // Consistent-hash ring with virtual nodes: each shard owns
+  // kVirtualNodes deterministic points; a model lands on the owner of
+  // the first point at or after its hash (wrapping). Points come from
+  // splitmix64 over the (shard, virtual-node) key, so the placement is
+  // stable across runs and processes, and 256 points per shard keep the
+  // per-shard load within ~10% of even. Placement runs once per
+  // addModel, so the O(NumShards * kVirtualNodes) scan is irrelevant.
+  constexpr size_t kVirtualNodes = 256;
+  uint64_t Best = 0;
+  size_t BestShard = 0;
+  bool HaveBest = false;
+  uint64_t WrapBest = 0;
+  size_t WrapShard = 0;
+  bool HaveWrap = false;
+  for (size_t S = 0; S < NumShards; ++S) {
+    for (size_t V = 0; V < kVirtualNodes; ++V) {
+      uint64_t Point =
+          splitmix64(static_cast<uint64_t>(S) * 0x100000001ULL +
+                     static_cast<uint64_t>(V));
+      // Track the smallest point overall (the wrap-around owner) and
+      // the smallest point >= the model hash (the successor owner).
+      if (!HaveWrap || Point < WrapBest) {
+        WrapBest = Point;
+        WrapShard = S;
+        HaveWrap = true;
+      }
+      if (Point >= ModelHash && (!HaveBest || Point < Best)) {
+        Best = Point;
+        BestShard = S;
+        HaveBest = true;
+      }
+    }
+  }
+  return HaveBest ? BestShard : WrapShard;
+}
 
 std::optional<Error>
 InferenceServer::addModel(const std::string &Name,
                           const spn::Model &Model,
                           const spn::QueryConfig &Query,
                           const runtime::CompilerOptions &Options) {
+  if (ShuttingDown.load())
+    return makeError("cannot register model '" + Name +
+                     "': server is shutting down");
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    if (ShuttingDown)
-      return makeError("cannot register model '" + Name +
-                       "': server is shutting down");
-    if (Models.count(Name))
+    std::lock_guard<std::mutex> Lock(RoutingMutex);
+    if (Routing.count(Name))
       return makeError("model '" + Name + "' is already registered");
   }
 
-  // Compile (or fetch) outside the lock: compilation is slow and the
-  // cache serializes same-key work internally.
+  // Per-worker device streams: a GPU model whose device config leaves
+  // NumStreams at 0 (auto) gets one stream per shard worker, so
+  // NumWorkers > 1 overlaps on the simulated device instead of
+  // serializing on the default stream. An explicit NumStreams wins.
+  runtime::CompilerOptions Effective = Options;
+  if (Effective.TheTarget == runtime::Target::GPU &&
+      Effective.Device.NumStreams == 0)
+    Effective.Device.NumStreams = Config.NumWorkers;
+
+  // Compile (or fetch) outside the locks: compilation is slow and the
+  // cache serializes same-key work internally. The cache is shared by
+  // every shard, so two models with the same cache key compile once no
+  // matter where placement puts them.
   Expected<runtime::CompiledKernel> Kernel =
-      Cache->getOrCompile(Model, Query, Options);
+      Cache->getOrCompile(Model, Query, Effective);
   if (!Kernel)
     return Kernel.getError();
+
+  size_t ShardIndex =
+      placeOnShard(runtime::KernelCache::hashModel(Model), Shards.size());
+  Shard &TheShard = *Shards[ShardIndex];
 
   auto Entry = std::make_unique<ModelEntry>();
   Entry->Name = Name;
   Entry->Kernel = Kernel.takeValue();
   Entry->Query = Query;
   Entry->NumFeatures = Model.getNumFeatures();
+  ModelEntry *Raw = Entry.get();
 
-  std::lock_guard<std::mutex> Lock(Mutex);
-  if (ShuttingDown)
-    return makeError("cannot register model '" + Name +
-                     "': server is shutting down");
-  auto [It, Inserted] = Models.emplace(Name, std::move(Entry));
-  if (!Inserted)
-    return makeError("model '" + Name + "' is already registered");
-  ModelOrder.push_back(It->second.get());
+  // Publish: route first under RoutingMutex (re-checking the duplicate
+  // race), then hand the entry to its shard. A name is only routable
+  // once its entry pointer is valid, so ordering here is safe.
+  {
+    std::lock_guard<std::mutex> Lock(RoutingMutex);
+    if (ShuttingDown.load())
+      return makeError("cannot register model '" + Name +
+                       "': server is shutting down");
+    auto [It, Inserted] = Routing.emplace(
+        Name, Route{ShardIndex, Raw, Entry->NumFeatures});
+    (void)It;
+    if (!Inserted)
+      return makeError("model '" + Name + "' is already registered");
+  }
+  {
+    std::lock_guard<std::mutex> Lock(TheShard.Mutex);
+    TheShard.Models.push_back(Raw);
+  }
+  OwnedModels.push_back(std::move(Entry));
   return std::nullopt;
 }
 
 bool InferenceServer::hasModel(const std::string &Name) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Models.count(Name) != 0;
+  std::lock_guard<std::mutex> Lock(RoutingMutex);
+  return Routing.count(Name) != 0;
 }
 
 unsigned InferenceServer::getNumFeatures(const std::string &Name) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Models.find(Name);
-  return It == Models.end() ? 0 : It->second->NumFeatures;
+  std::lock_guard<std::mutex> Lock(RoutingMutex);
+  auto It = Routing.find(Name);
+  return It == Routing.end() ? 0 : It->second.NumFeatures;
+}
+
+std::optional<size_t>
+InferenceServer::getModelShard(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(RoutingMutex);
+  auto It = Routing.find(Name);
+  if (It == Routing.end())
+    return std::nullopt;
+  return It->second.ShardIndex;
 }
 
 //===----------------------------------------------------------------------===//
@@ -178,53 +349,76 @@ ResultFuture immediateResult(RequestStatus Status, std::string Message) {
 ResultFuture InferenceServer::submit(const std::string &Name,
                                      const double *Samples,
                                      size_t NumSamples,
-                                     uint64_t DeadlineUs) {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  ++Stats.SubmittedRequests;
-  Stats.SubmittedSamples += NumSamples;
+                                     uint64_t DeadlineUs,
+                                     Priority ThePriority) {
+  // Route under the (cheap, map-lookup-only) routing lock. Submits that
+  // never reach a shard are counted here so the aggregate stays exact.
+  Route TheRoute;
+  {
+    std::lock_guard<std::mutex> Lock(RoutingMutex);
+    if (ShuttingDown.load()) {
+      ++RoutingSubmittedRequests;
+      RoutingSubmittedSamples += NumSamples;
+      return immediateResult(RequestStatus::ShutDown,
+                             "server is shutting down");
+    }
+    auto It = Routing.find(Name);
+    if (It == Routing.end()) {
+      ++RoutingSubmittedRequests;
+      RoutingSubmittedSamples += NumSamples;
+      ++RoutingRejectedRequests;
+      return immediateResult(RequestStatus::Rejected,
+                             "unknown model '" + Name + "'");
+    }
+    if (NumSamples == 0) {
+      ++RoutingSubmittedRequests;
+      ++RoutingRejectedRequests;
+      return immediateResult(RequestStatus::Rejected,
+                             "request carries no samples");
+    }
+    TheRoute = It->second;
+  }
 
-  if (ShuttingDown)
+  Shard &TheShard = *Shards[TheRoute.ShardIndex];
+  std::unique_lock<std::mutex> Lock(TheShard.Mutex);
+  ++TheShard.Stats.SubmittedRequests;
+  TheShard.Stats.SubmittedSamples += NumSamples;
+
+  if (TheShard.ShuttingDown)
     return immediateResult(RequestStatus::ShutDown,
                            "server is shutting down");
-  auto It = Models.find(Name);
-  if (It == Models.end()) {
-    ++Stats.RejectedRequests;
-    return immediateResult(RequestStatus::Rejected,
-                           "unknown model '" + Name + "'");
-  }
-  if (NumSamples == 0) {
-    ++Stats.RejectedRequests;
-    return immediateResult(RequestStatus::Rejected,
-                           "request carries no samples");
-  }
 
   if (Config.MaxQueueDepth > 0 &&
-      OutstandingSamples + NumSamples > Config.MaxQueueDepth) {
+      TheShard.OutstandingSamples + NumSamples > Config.MaxQueueDepth) {
     if (Config.Admission == ServerConfig::AdmissionPolicy::Reject) {
-      ++Stats.RejectedRequests;
+      ++TheShard.Stats.RejectedRequests;
       return immediateResult(
           RequestStatus::Rejected,
-          "queue full (" + std::to_string(OutstandingSamples) + " of " +
+          "queue full (" +
+              std::to_string(TheShard.OutstandingSamples) + " of " +
               std::to_string(Config.MaxQueueDepth) +
-              " samples outstanding)");
+              " samples outstanding on shard " +
+              std::to_string(TheShard.Index) + ")");
     }
-    ++Stats.BlockedSubmits;
-    SpaceAvailable.wait(Lock, [&] {
-      return ShuttingDown ||
-             OutstandingSamples + NumSamples <= Config.MaxQueueDepth;
+    ++TheShard.Stats.BlockedSubmits;
+    TheShard.SpaceAvailable.wait(Lock, [&] {
+      return TheShard.ShuttingDown ||
+             TheShard.OutstandingSamples + NumSamples <=
+                 Config.MaxQueueDepth;
     });
-    if (ShuttingDown)
+    if (TheShard.ShuttingDown)
       return immediateResult(RequestStatus::ShutDown,
                              "server shut down while waiting for queue "
                              "space");
   }
 
-  ModelEntry &Model = *It->second;
+  ModelEntry &Model = *TheRoute.Model;
   Request TheRequest;
   TheRequest.Model = &Model;
   TheRequest.Input.assign(Samples,
                           Samples + NumSamples * Model.NumFeatures);
   TheRequest.NumSamples = NumSamples;
+  TheRequest.ThePriority = ThePriority;
   TheRequest.Enqueued = Clock::now();
   uint64_t EffectiveDeadlineUs =
       DeadlineUs ? DeadlineUs : Config.DefaultDeadlineUs;
@@ -235,17 +429,18 @@ ResultFuture InferenceServer::submit(const std::string &Name,
           : Clock::time_point::max();
   ResultFuture TheFuture = TheRequest.ResultPromise.getFuture();
 
-  Model.Queue.push_back(std::move(TheRequest));
-  Model.QueuedSamples += NumSamples;
-  OutstandingSamples += NumSamples;
-  Stats.PeakQueueDepth = std::max(Stats.PeakQueueDepth,
-                                  OutstandingSamples);
-  WorkAvailable.notify_one();
+  size_t Class = static_cast<size_t>(ThePriority);
+  Model.Queues[Class].push_back(std::move(TheRequest));
+  Model.QueuedSamples[Class] += NumSamples;
+  TheShard.OutstandingSamples += NumSamples;
+  TheShard.Stats.PeakQueueDepth = std::max(
+      TheShard.Stats.PeakQueueDepth, TheShard.OutstandingSamples);
+  TheShard.WorkAvailable.notify_one();
   return TheFuture;
 }
 
 //===----------------------------------------------------------------------===//
-// Batcher
+// Batcher (per shard)
 //===----------------------------------------------------------------------===//
 
 void InferenceServer::failRequest(Request &TheRequest,
@@ -261,31 +456,90 @@ void InferenceServer::failRequest(Request &TheRequest,
   TheRequest.ResultPromise.set(std::move(Result));
 }
 
-void InferenceServer::collectExpired(Clock::time_point Now,
+void InferenceServer::collectExpired(Shard &TheShard,
+                                     Clock::time_point Now,
                                      std::vector<Request> &Expired) {
-  for (ModelEntry *Model : ModelOrder) {
-    for (auto It = Model->Queue.begin(); It != Model->Queue.end();) {
-      if (It->Deadline > Now) {
-        ++It;
-        continue;
+  for (ModelEntry *Model : TheShard.Models) {
+    for (size_t Class = 0; Class < kNumPriorities; ++Class) {
+      std::deque<Request> &Queue = Model->Queues[Class];
+      for (auto It = Queue.begin(); It != Queue.end();) {
+        if (It->Deadline > Now) {
+          ++It;
+          continue;
+        }
+        Model->QueuedSamples[Class] -= It->NumSamples;
+        TheShard.OutstandingSamples -= It->NumSamples;
+        ++TheShard.Stats.TimedOutRequests;
+        Expired.push_back(std::move(*It));
+        It = Queue.erase(It);
       }
-      Model->QueuedSamples -= It->NumSamples;
-      OutstandingSamples -= It->NumSamples;
-      ++Stats.TimedOutRequests;
-      Expired.push_back(std::move(*It));
-      It = Model->Queue.erase(It);
     }
   }
   if (!Expired.empty())
-    SpaceAvailable.notify_all();
+    TheShard.SpaceAvailable.notify_all();
 }
 
-InferenceServer::Batch InferenceServer::formBatch(ModelEntry &Model,
-                                                  Clock::time_point) {
+bool InferenceServer::selectReady(Shard &TheShard, Clock::time_point Now,
+                                  ModelEntry *&Model,
+                                  Priority &ThePriority) {
+  std::chrono::microseconds Delay(Config.MaxQueueDelayUs);
+  // A (model, class) queue is dispatchable when the sample cap is
+  // reached, the oldest rider has waited out the batching window, or
+  // the shard is draining.
+  auto FindReady = [&](size_t Class) -> ModelEntry * {
+    for (size_t I = 0; I < TheShard.Models.size(); ++I) {
+      ModelEntry *Candidate =
+          TheShard.Models[(TheShard.NextModel[Class] + I) %
+                          TheShard.Models.size()];
+      std::deque<Request> &Queue = Candidate->Queues[Class];
+      if (Queue.empty())
+        continue;
+      if (TheShard.ShuttingDown ||
+          Candidate->QueuedSamples[Class] >= Config.MaxBatchSamples ||
+          Queue.front().Enqueued + Delay <= Now) {
+        TheShard.NextModel[Class] =
+            (TheShard.NextModel[Class] + I + 1) %
+            TheShard.Models.size();
+        return Candidate;
+      }
+    }
+    return nullptr;
+  };
+
+  // Weighted fair queueing over the two classes: a dispatch charges the
+  // class one credit; when both classes are spent, refill from the
+  // configured weights. Pass 0 honors credits; pass 1 is the
+  // work-conserving fallback — if only a spent (or only one) class has
+  // ready work, it dispatches anyway without charge, keeping the other
+  // class's credit for when its traffic returns.
+  if (TheShard.Credits[0] == 0 && TheShard.Credits[1] == 0)
+    TheShard.Credits = {Config.InteractiveWeight, Config.BulkWeight};
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (size_t Class = 0; Class < kNumPriorities; ++Class) {
+      if (Pass == 0 && TheShard.Credits[Class] == 0)
+        continue;
+      if (ModelEntry *Candidate = FindReady(Class)) {
+        if (Pass == 0)
+          --TheShard.Credits[Class];
+        Model = Candidate;
+        ThePriority = static_cast<Priority>(Class);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+InferenceServer::Batch InferenceServer::formBatch(Shard &,
+                                                  ModelEntry &Model,
+                                                  Priority ThePriority) {
+  size_t Class = static_cast<size_t>(ThePriority);
+  std::deque<Request> &Queue = Model.Queues[Class];
   Batch TheBatch;
   TheBatch.Model = &Model;
-  while (!Model.Queue.empty()) {
-    Request &Front = Model.Queue.front();
+  TheBatch.ThePriority = ThePriority;
+  while (!Queue.empty()) {
+    Request &Front = Queue.front();
     // Always take at least one request; a single oversized request
     // becomes its own (over-cap) batch rather than being unservable.
     if (!TheBatch.Requests.empty() &&
@@ -293,22 +547,22 @@ InferenceServer::Batch InferenceServer::formBatch(ModelEntry &Model,
             Config.MaxBatchSamples)
       break;
     TheBatch.TotalSamples += Front.NumSamples;
-    Model.QueuedSamples -= Front.NumSamples;
+    Model.QueuedSamples[Class] -= Front.NumSamples;
     TheBatch.Requests.push_back(std::move(Front));
-    Model.Queue.pop_front();
+    Queue.pop_front();
   }
   return TheBatch;
 }
 
-void InferenceServer::batcherLoop() {
-  std::unique_lock<std::mutex> Lock(Mutex);
+void InferenceServer::batcherLoop(Shard &TheShard) {
+  std::unique_lock<std::mutex> Lock(TheShard.Mutex);
   for (;;) {
     Clock::time_point Now = Clock::now();
 
     // 1. Expired requests leave the queue before they can occupy a
     // batch slot. Their promises are completed outside the lock.
     std::vector<Request> Expired;
-    collectExpired(Now, Expired);
+    collectExpired(TheShard, Now, Expired);
     if (!Expired.empty()) {
       Lock.unlock();
       for (Request &TheRequest : Expired)
@@ -324,60 +578,63 @@ void InferenceServer::batcherLoop() {
       continue;
     }
 
-    // 2. Dispatch a model whose batch is ready: the cap is reached, the
-    // oldest request has waited out the batching window, or the server
-    // is draining. Round-robin keeps one hot model from starving the
-    // others.
-    std::chrono::microseconds Delay(Config.MaxQueueDelayUs);
+    // 2. Dispatch the next ready (model, class) pair per the WFQ
+    // credits; round-robin within the class keeps one hot model from
+    // starving the others. Dispatch is throttled to the workers plus
+    // one queued batch: requests the workers cannot start yet stay in
+    // the class queues, where a later Interactive arrival can still
+    // overtake them.
+    bool Throttled =
+        TheShard.InFlightBatches >= Config.NumWorkers + size_t(1);
     ModelEntry *Ready = nullptr;
-    for (size_t I = 0; I < ModelOrder.size() && !Ready; ++I) {
-      ModelEntry *Model =
-          ModelOrder[(NextModel + I) % ModelOrder.size()];
-      if (Model->Queue.empty())
-        continue;
-      if (ShuttingDown ||
-          Model->QueuedSamples >= Config.MaxBatchSamples ||
-          Model->Queue.front().Enqueued + Delay <= Now) {
-        Ready = Model;
-        NextModel = (NextModel + I + 1) % ModelOrder.size();
-      }
-    }
-    if (Ready) {
-      auto TheBatch =
-          std::make_shared<Batch>(formBatch(*Ready, Now));
-      ++Stats.BatchesDispatched;
-      Stats.BatchSizes.record(TheBatch->TotalSamples);
+    Priority ReadyPriority = Priority::Bulk;
+    if (!Throttled && selectReady(TheShard, Now, Ready, ReadyPriority)) {
+      auto TheBatch = std::make_shared<Batch>(
+          formBatch(TheShard, *Ready, ReadyPriority));
+      ++TheShard.InFlightBatches;
+      ++TheShard.Stats.BatchesDispatched;
+      TheShard.Stats.BatchSizes.record(TheBatch->TotalSamples);
       Lock.unlock();
       // shared_ptr wrapper: std::function requires a copyable callable,
       // and a Batch owns move-only promises.
-      Workers->submit(
-          [this, TheBatch] { runBatch(std::move(*TheBatch)); });
+      TheShard.Workers->submit([this, &TheShard, TheBatch] {
+        runBatch(TheShard, std::move(*TheBatch));
+      });
       Lock.lock();
       continue;
     }
 
-    // 3. Nothing ready. Exit once draining is complete, otherwise sleep
-    // until the earliest batching window or deadline comes due.
+    // 3. Nothing dispatchable. Exit once draining is complete,
+    // otherwise sleep until the earliest batching window or deadline
+    // comes due. While throttled only deadlines matter — batch
+    // completion wakes WorkAvailable, so the batching windows need no
+    // timer (re-arming them here would spin when the window is
+    // already open).
+    std::chrono::microseconds Delay(Config.MaxQueueDelayUs);
     bool AnyQueued = false;
     Clock::time_point WakeAt = Clock::time_point::max();
-    for (ModelEntry *Model : ModelOrder) {
-      if (Model->Queue.empty())
-        continue;
-      AnyQueued = true;
-      WakeAt = std::min(WakeAt, Model->Queue.front().Enqueued + Delay);
-      for (const Request &TheRequest : Model->Queue)
-        WakeAt = std::min(WakeAt, TheRequest.Deadline);
+    for (ModelEntry *Model : TheShard.Models) {
+      for (size_t Class = 0; Class < kNumPriorities; ++Class) {
+        const std::deque<Request> &Queue = Model->Queues[Class];
+        if (Queue.empty())
+          continue;
+        AnyQueued = true;
+        if (!Throttled)
+          WakeAt = std::min(WakeAt, Queue.front().Enqueued + Delay);
+        for (const Request &TheRequest : Queue)
+          WakeAt = std::min(WakeAt, TheRequest.Deadline);
+      }
     }
-    if (ShuttingDown && !AnyQueued)
+    if (TheShard.ShuttingDown && !AnyQueued)
       return;
-    if (!AnyQueued)
-      WorkAvailable.wait(Lock);
+    if (!AnyQueued || WakeAt == Clock::time_point::max())
+      TheShard.WorkAvailable.wait(Lock);
     else
-      WorkAvailable.wait_until(Lock, WakeAt);
+      TheShard.WorkAvailable.wait_until(Lock, WakeAt);
   }
 }
 
-void InferenceServer::runBatch(Batch TheBatch) {
+void InferenceServer::runBatch(Shard &TheShard, Batch TheBatch) {
   ModelEntry &Model = *TheBatch.Model;
   size_t NumFeatures = Model.NumFeatures;
 
@@ -395,7 +652,8 @@ void InferenceServer::runBatch(Batch TheBatch) {
   // Dispatch on the query kind the model was compiled for. Likelihood
   // queries fill Output only; MPE fills Rows (assignments) and Output
   // (log-probabilities); sampling fills Rows only, seeded from the
-  // configured base seed decorrelated per dispatched batch.
+  // configured base seed decorrelated per dispatched batch (the counter
+  // is server-wide, so no two batches of any shard share a stream).
   std::vector<double> Rows;
   bool Executed = true;
   runtime::ExecutionStats ExecStats;
@@ -434,16 +692,22 @@ void InferenceServer::runBatch(Batch TheBatch) {
             Done - TheRequest.Enqueued)
             .count()));
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    std::lock_guard<std::mutex> Lock(TheShard.Mutex);
     if (Executed) {
-      Stats.CompletedRequests += TheBatch.Requests.size();
-      Stats.CompletedSamples += TheBatch.TotalSamples;
-      Stats.ExecutionNs += ExecStats.WallNs;
-      for (uint64_t Latency : Latencies)
-        Stats.LatencyNs.record(Latency);
+      TheShard.Stats.CompletedRequests += TheBatch.Requests.size();
+      TheShard.Stats.CompletedSamples += TheBatch.TotalSamples;
+      TheShard.Stats.ExecutionNs += ExecStats.WallNs;
+      size_t Class = static_cast<size_t>(TheBatch.ThePriority);
+      for (uint64_t Latency : Latencies) {
+        TheShard.Stats.LatencyNs.record(Latency);
+        TheShard.Stats.LatencyNsByPriority[Class].record(Latency);
+      }
     }
-    OutstandingSamples -= TheBatch.TotalSamples;
-    SpaceAvailable.notify_all();
+    TheShard.OutstandingSamples -= TheBatch.TotalSamples;
+    --TheShard.InFlightBatches;
+    TheShard.SpaceAvailable.notify_all();
+    // The batcher may be waiting on the dispatch throttle.
+    TheShard.WorkAvailable.notify_all();
   }
 
   if (!Executed) {
@@ -491,33 +755,87 @@ void InferenceServer::runBatch(Batch TheBatch) {
 void InferenceServer::shutdown() {
   // Serializes concurrent shutdown() calls (user + destructor).
   std::lock_guard<std::mutex> ShutdownLock(ShutdownMutex);
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    if (ShutdownComplete)
-      return;
-    ShuttingDown = true;
+  if (ShutdownComplete)
+    return;
+  ShuttingDown.store(true);
+  // Flag every shard, then wake everyone: the batchers drain, blocked
+  // submitters give up.
+  for (auto &TheShard : Shards) {
+    {
+      std::lock_guard<std::mutex> Lock(TheShard->Mutex);
+      TheShard->ShuttingDown = true;
+    }
+    TheShard->WorkAvailable.notify_all();
+    TheShard->SpaceAvailable.notify_all();
   }
-  // Wake everyone: the batcher drains, blocked submitters give up.
-  WorkAvailable.notify_all();
-  SpaceAvailable.notify_all();
-  if (Batcher.joinable())
-    Batcher.join();
-  // The batcher exited with empty queues; wait for the dispatched
-  // batches to finish so every accepted future is completed.
-  Workers->wait();
-  std::lock_guard<std::mutex> Lock(Mutex);
-  assert(OutstandingSamples == 0 &&
-         "shutdown drained but work remains outstanding");
+  for (auto &TheShard : Shards) {
+    if (TheShard->Batcher.joinable())
+      TheShard->Batcher.join();
+    // The batcher exited with empty queues; wait for the dispatched
+    // batches to finish so every accepted future is completed.
+    TheShard->Workers->wait();
+    std::lock_guard<std::mutex> Lock(TheShard->Mutex);
+    assert(TheShard->OutstandingSamples == 0 &&
+           "shutdown drained but work remains outstanding");
+  }
   ShutdownComplete = true;
 }
 
-ServerStats InferenceServer::getStats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  ServerStats Snapshot = Stats;
-  Snapshot.QueueDepth = OutstandingSamples;
+ServerStats InferenceServer::getShardStats(size_t ShardIndex) const {
+  assert(ShardIndex < Shards.size() && "shard index out of range");
+  const Shard &TheShard = *Shards[ShardIndex];
+  std::lock_guard<std::mutex> Lock(TheShard.Mutex);
+  ServerStats Snapshot = TheShard.Stats;
+  Snapshot.QueueDepth = TheShard.OutstandingSamples;
   Snapshot.ElapsedNs = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           Clock::now() - StartTime)
           .count());
   return Snapshot;
+}
+
+std::vector<ServerStats> InferenceServer::getAllShardStats() const {
+  std::vector<ServerStats> All;
+  All.reserve(Shards.size());
+  for (size_t I = 0; I < Shards.size(); ++I)
+    All.push_back(getShardStats(I));
+  return All;
+}
+
+ServerStats InferenceServer::getStats() const {
+  // Aggregate: counters summed, histograms merged. Shards are snapshot
+  // one at a time, so the aggregate is per-shard-consistent (exact
+  // after quiescence; during traffic each shard's slice is itself
+  // consistent).
+  ServerStats Aggregate;
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    ServerStats S = getShardStats(I);
+    Aggregate.SubmittedRequests += S.SubmittedRequests;
+    Aggregate.SubmittedSamples += S.SubmittedSamples;
+    Aggregate.CompletedRequests += S.CompletedRequests;
+    Aggregate.CompletedSamples += S.CompletedSamples;
+    Aggregate.RejectedRequests += S.RejectedRequests;
+    Aggregate.BlockedSubmits += S.BlockedSubmits;
+    Aggregate.TimedOutRequests += S.TimedOutRequests;
+    Aggregate.BatchesDispatched += S.BatchesDispatched;
+    Aggregate.QueueDepth += S.QueueDepth;
+    Aggregate.PeakQueueDepth += S.PeakQueueDepth;
+    Aggregate.ExecutionNs += S.ExecutionNs;
+    Aggregate.BatchSizes.merge(S.BatchSizes);
+    Aggregate.LatencyNs.merge(S.LatencyNs);
+    for (size_t Class = 0; Class < kNumPriorities; ++Class)
+      Aggregate.LatencyNsByPriority[Class].merge(
+          S.LatencyNsByPriority[Class]);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(RoutingMutex);
+    Aggregate.SubmittedRequests += RoutingSubmittedRequests;
+    Aggregate.SubmittedSamples += RoutingSubmittedSamples;
+    Aggregate.RejectedRequests += RoutingRejectedRequests;
+  }
+  Aggregate.ElapsedNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - StartTime)
+          .count());
+  return Aggregate;
 }

@@ -1,4 +1,4 @@
-//===- InferenceServer.h - In-process serving with dynamic micro-batching -----===//
+//===- InferenceServer.h - Sharded in-process serving with micro-batching -----===//
 //
 // Part of the SPNC-Repro project.
 // SPDX-License-Identifier: Apache-2.0
@@ -15,24 +15,36 @@
 ///
 ///  * clients submit single- or few-sample requests (per registered
 ///    model) from any number of threads and get a `Future` back;
-///  * a batcher thread coalesces queued requests into micro-batches of up
-///    to `MaxBatchSamples` samples, or dispatches earlier once the oldest
-///    request has waited `MaxQueueDelayUs`;
-///  * a worker pool executes the batches on engines obtained through the
-///    shared `runtime::KernelCache` (several models are served
-///    concurrently) and scatters the results back to the right futures;
-///  * admission control bounds the outstanding work: beyond
+///  * the server runs `NumShards` independent shards, each with its own
+///    batcher thread, request queues and worker pool. Models are placed
+///    on shards by consistent hashing over the model hash
+///    (`KernelCache::hashModel`), so placement is deterministic and
+///    stable under shard-count changes; all shards compile through one
+///    shared `runtime::KernelCache`;
+///  * requests carry a `Priority` class (Interactive or Bulk). Each
+///    shard's batcher drains the two classes by weighted fair queueing
+///    (`InteractiveWeight` : `BulkWeight` dispatch credits), so
+///    interactive traffic overtakes a bulk backlog without starving it;
+///    within a class, models round-robin;
+///  * a shard's batcher coalesces queued requests of one (model,
+///    priority) pair into micro-batches of up to `MaxBatchSamples`
+///    samples, or dispatches earlier once the oldest request has waited
+///    `MaxQueueDelayUs`;
+///  * admission control bounds the outstanding work per shard: beyond
 ///    `MaxQueueDepth` samples, submits are rejected or block per policy
-///    (backpressure is counted either way);
-///  * per-request deadlines: a request that expires in the queue
+///    (backpressure is counted either way, on the shard);
+///  * per-request deadlines: a request that expires in a shard's queue
 ///    completes with `RequestStatus::TimedOut` instead of occupying a
 ///    batch slot;
 ///  * `shutdown()` drains in-flight work — every accepted request is
 ///    completed before the server stops.
 ///
-/// `getStats()` snapshots throughput, a batch-size histogram, queue depth
-/// and p50/p95/p99 latency; `writeServerStatsReport` (ServingReports.h)
-/// emits the snapshot through the json::Writer report machinery.
+/// `getStats()` aggregates the per-shard counters (histograms combined
+/// with `Histogram::merge`) into the same `ServerStats` snapshot a
+/// single-shard server produces; `getShardStats(i)` exposes one shard.
+/// `writeServerStatsReport` (ServingReports.h) emits the aggregate
+/// through the json::Writer report machinery, `writeShardedStatsReport`
+/// the aggregate plus the per-shard breakdown.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +55,7 @@
 #include "support/Future.h"
 #include "support/Histogram.h"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -50,6 +63,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -79,6 +93,24 @@ enum class RequestStatus : uint8_t {
 
 /// Human-readable status name ("ok", "rejected", ...).
 const char *requestStatusName(RequestStatus Status);
+
+/// Scheduling class of a request. Interactive traffic overtakes Bulk in
+/// every shard's weighted-fair-queueing batcher; Bulk is the default
+/// (and what priority-less trace lines load as).
+enum class Priority : uint8_t {
+  Interactive = 0,
+  Bulk = 1,
+};
+
+/// Number of priority classes (array extent for per-class state).
+inline constexpr size_t kNumPriorities = 2;
+
+/// Human-readable class name ("interactive" / "bulk").
+const char *priorityName(Priority ThePriority);
+
+/// Parses a class name as written by priorityName (case-sensitive).
+/// Returns false on anything else, leaving \p Out untouched.
+bool parsePriority(const char *Text, Priority &Out);
 
 /// What a submitted request resolves to.
 struct InferenceResult {
@@ -110,7 +142,9 @@ struct ServerConfig {
   /// Longest time the oldest queued request waits for co-batching before
   /// the batcher dispatches what it has.
   uint64_t MaxQueueDelayUs = 1000;
-  /// Bound on outstanding samples (queued + executing); 0 = unbounded.
+  /// Bound on outstanding samples (queued + executing) per shard;
+  /// 0 = unbounded. A server's total admission capacity is therefore
+  /// NumShards * MaxQueueDepth.
   size_t MaxQueueDepth = 4096;
   /// What happens to a submit that would exceed MaxQueueDepth.
   enum class AdmissionPolicy : uint8_t {
@@ -120,8 +154,17 @@ struct ServerConfig {
     Block,
   };
   AdmissionPolicy Admission = AdmissionPolicy::Reject;
-  /// Engines executing dispatched batches concurrently.
+  /// Engines executing dispatched batches concurrently, per shard.
   unsigned NumWorkers = 2;
+  /// Independent shards (batcher + queues + worker pool each). Models
+  /// are placed on shards by consistent hashing over the model hash.
+  unsigned NumShards = 1;
+  /// Weighted-fair-queueing dispatch credits: out of
+  /// InteractiveWeight + BulkWeight consecutive dispatches on a shard
+  /// with both classes backlogged, Interactive gets InteractiveWeight.
+  /// A class without queued work cedes its turn (work conservation).
+  unsigned InteractiveWeight = 4;
+  unsigned BulkWeight = 1;
   /// Deadline applied to submits that pass DeadlineUs = 0; 0 = none.
   uint64_t DefaultDeadlineUs = 0;
   /// Base seed for sampling-query models. Each dispatched batch draws
@@ -131,7 +174,10 @@ struct ServerConfig {
   uint64_t SampleSeed = 0;
 };
 
-/// A consistent snapshot of the server's observability counters.
+/// A consistent snapshot of the observability counters — of one shard
+/// (getShardStats) or aggregated over all shards (getStats; counters
+/// summed, histograms merged, PeakQueueDepth the sum of per-shard
+/// peaks, i.e. an upper bound on the instantaneous total).
 struct ServerStats {
   uint64_t SubmittedRequests = 0;
   uint64_t SubmittedSamples = 0;
@@ -157,6 +203,9 @@ struct ServerStats {
   Histogram BatchSizes;
   /// Submit-to-completion latency of Ok requests, in nanoseconds.
   Histogram LatencyNs;
+  /// The same latency split by priority class (index =
+  /// static_cast<size_t>(Priority)).
+  std::array<Histogram, kNumPriorities> LatencyNsByPriority;
 
   double meanBatchSize() const { return BatchSizes.mean(); }
   double throughputSamplesPerSec() const {
@@ -174,7 +223,8 @@ class InferenceServer {
 public:
   /// Creates the server. \p Cache, when non-null, is the (caller-owned,
   /// shared) kernel cache engines are acquired through — it must outlive
-  /// the server; when null the server owns a private in-memory cache.
+  /// the server and is shared by every shard; when null the server owns
+  /// a private in-memory cache.
   explicit InferenceServer(ServerConfig Config = {},
                            runtime::KernelCache *Cache = nullptr);
 
@@ -185,9 +235,13 @@ public:
   InferenceServer &operator=(const InferenceServer &) = delete;
 
   /// Registers \p Model under \p Name, acquiring its engine through the
-  /// kernel cache (compiling at most once per cache key). Fails on
-  /// duplicate names, invalid options, or compilation failure. The model
-  /// is not retained — only the compiled engine is.
+  /// kernel cache (compiling at most once per cache key) and placing it
+  /// on the shard the consistent-hash ring maps its model hash to.
+  /// GPU-targeted models whose device config leaves NumStreams at 0
+  /// (auto) are compiled with one stream per shard worker, so
+  /// NumWorkers > 1 overlaps on the simulated device. Fails on
+  /// duplicate names, invalid options, or compilation failure. The
+  /// model is not retained — only the compiled engine is.
   std::optional<Error> addModel(const std::string &Name,
                                 const spn::Model &Model,
                                 const spn::QueryConfig &Query,
@@ -199,46 +253,83 @@ public:
   /// Feature count of the registered model, 0 when unknown.
   unsigned getNumFeatures(const std::string &Name) const;
 
-  /// Submits \p NumSamples samples (row-major [sample][feature], copied)
-  /// against model \p Name. \p DeadlineUs bounds the time the request
-  /// may spend queued (0 uses ServerConfig::DefaultDeadlineUs). The
-  /// returned future always completes — with Ok results, or with a
-  /// Rejected/TimedOut/ShutDown status per the policies above.
-  ResultFuture submit(const std::string &Name, const double *Samples,
-                      size_t NumSamples, uint64_t DeadlineUs = 0);
+  /// Shard index the named model was placed on; nullopt when unknown.
+  std::optional<size_t> getModelShard(const std::string &Name) const;
 
-  /// Stops admission, drains every queued and in-flight request (each
-  /// future completes), and joins the batcher and worker threads.
-  /// Idempotent; called by the destructor.
+  /// Submits \p NumSamples samples (row-major [sample][feature], copied)
+  /// against model \p Name, in scheduling class \p ThePriority.
+  /// \p DeadlineUs bounds the time the request may spend queued (0 uses
+  /// ServerConfig::DefaultDeadlineUs). The returned future always
+  /// completes — with Ok results, or with a Rejected/TimedOut/ShutDown
+  /// status per the policies above.
+  ResultFuture submit(const std::string &Name, const double *Samples,
+                      size_t NumSamples, uint64_t DeadlineUs = 0,
+                      Priority ThePriority = Priority::Bulk);
+
+  /// Stops admission, drains every queued and in-flight request on every
+  /// shard (each future completes), and joins the batcher and worker
+  /// threads. Idempotent; called by the destructor.
   void shutdown();
 
-  /// Consistent snapshot of the observability counters.
+  /// Aggregated snapshot over all shards (plus the routing-level
+  /// counters for submits no shard ever saw: unknown models, empty
+  /// requests, shutdown refusals).
   ServerStats getStats() const;
+
+  /// Shards this server runs (>= 1; the clamped configuration value).
+  size_t getNumShards() const { return Shards.size(); }
+
+  /// Snapshot of one shard's counters. \p ShardIndex < getNumShards().
+  ServerStats getShardStats(size_t ShardIndex) const;
+
+  /// Per-shard snapshots, index = shard id.
+  std::vector<ServerStats> getAllShardStats() const;
 
   const ServerConfig &getConfig() const { return Config; }
 
   /// The cache engines are acquired through (shared or owned).
   runtime::KernelCache &getKernelCache() { return *Cache; }
 
+  /// Deterministic consistent-hash placement: the shard (of
+  /// \p NumShards) a model with hash \p ModelHash lands on. Exposed for
+  /// tests and capacity planning.
+  static size_t placeOnShard(uint64_t ModelHash, size_t NumShards);
+
 private:
   using Clock = std::chrono::steady_clock;
 
-  /// One registered model.
+  /// One independent shard: queues + batcher + worker pool.
+  struct Shard;
+  /// One registered model (owned by its shard).
   struct ModelEntry;
   /// One queued request.
   struct Request;
   /// A formed micro-batch on its way to a worker.
   struct Batch;
+  /// Routing-table entry: where a model name lives.
+  struct Route {
+    size_t ShardIndex = 0;
+    ModelEntry *Model = nullptr;
+    unsigned NumFeatures = 0;
+  };
 
-  void batcherLoop();
-  /// Pops a dispatchable micro-batch for \p Model. Caller holds Mutex.
-  Batch formBatch(ModelEntry &Model, Clock::time_point Now);
+  void batcherLoop(Shard &TheShard);
+  /// Picks the next (model, priority) pair to dispatch on \p TheShard
+  /// per the weighted-fair-queueing credits, or returns false. Caller
+  /// holds the shard mutex.
+  bool selectReady(Shard &TheShard, Clock::time_point Now,
+                   ModelEntry *&Model, Priority &ThePriority);
+  /// Pops a dispatchable micro-batch from \p Model's \p ThePriority
+  /// queue. Caller holds the shard mutex.
+  Batch formBatch(Shard &TheShard, ModelEntry &Model,
+                  Priority ThePriority);
   /// Executes \p TheBatch on its model's engine and completes the
   /// futures. Runs on a worker thread, no lock held.
-  void runBatch(Batch TheBatch);
+  void runBatch(Shard &TheShard, Batch TheBatch);
   /// Completes queued requests whose deadline has passed. Caller holds
-  /// Mutex; the promises are completed after the caller releases it.
-  void collectExpired(Clock::time_point Now,
+  /// the shard mutex; the promises are completed after the caller
+  /// releases it.
+  void collectExpired(Shard &TheShard, Clock::time_point Now,
                       std::vector<Request> &Expired);
   /// Completes \p TheRequest with a non-Ok \p Status. No lock required.
   static void failRequest(Request &TheRequest, RequestStatus Status,
@@ -249,32 +340,33 @@ private:
   std::unique_ptr<runtime::KernelCache> OwnedCache;
   runtime::KernelCache *Cache;
 
-  mutable std::mutex Mutex;
-  /// Wakes the batcher on new work or shutdown.
-  std::condition_variable WorkAvailable;
-  /// Wakes blocked submitters when queue space frees up.
-  std::condition_variable SpaceAvailable;
+  /// The shards; fixed at construction. Each owns its mutex, queues,
+  /// batcher thread, worker pool and stats.
+  std::vector<std::unique_ptr<Shard>> Shards;
 
-  std::unordered_map<std::string, std::unique_ptr<ModelEntry>> Models;
-  /// Registration order, for fair round-robin batch formation.
-  std::vector<ModelEntry *> ModelOrder;
+  /// Name -> placement. Guarded by RoutingMutex; the hot submit path
+  /// takes it only for the map lookup, never while touching a shard.
+  mutable std::mutex RoutingMutex;
+  std::unordered_map<std::string, Route> Routing;
+  /// Storage for every registered model (shards reference, this owns).
+  /// Guarded by RoutingMutex; entries are never removed.
+  std::vector<std::unique_ptr<ModelEntry>> OwnedModels;
+  /// Submits that never reached a shard (unknown model, empty request,
+  /// shutdown refusal), counted here so the aggregate stays exact.
+  /// Guarded by RoutingMutex.
+  uint64_t RoutingSubmittedRequests = 0;
+  uint64_t RoutingSubmittedSamples = 0;
+  uint64_t RoutingRejectedRequests = 0;
 
-  /// Admission-counted samples: queued plus executing.
-  size_t OutstandingSamples = 0;
-  /// Server-wide counter decorrelating the sampling seed per batch.
+  /// Server-wide counter decorrelating the sampling seed per batch
+  /// across all shards.
   std::atomic<uint64_t> SampleBatchCounter{0};
-  /// Round-robin cursor into ModelOrder for fair batch formation.
-  size_t NextModel = 0;
-  bool ShuttingDown = false;
+  std::atomic<bool> ShuttingDown{false};
   bool ShutdownComplete = false;
   /// Serializes concurrent shutdown() calls (user thread + destructor).
   std::mutex ShutdownMutex;
 
-  ServerStats Stats;
   Clock::time_point StartTime;
-
-  std::unique_ptr<ThreadPool> Workers;
-  std::thread Batcher;
 };
 
 } // namespace serving

@@ -31,11 +31,10 @@ void emitHistogram(json::Writer &W, const Histogram &H) {
   W.endObject();
 }
 
-} // namespace
-
-void spnc::serving::writeServerStatsReport(const ServerStats &Stats,
-                                           RawOStream &OS) {
-  json::Writer W(OS);
+/// Emits the ServerStats object (the golden-tested schema). Shared by
+/// the flat report and every object of the sharded report, so the two
+/// can never drift apart.
+void emitStatsObject(json::Writer &W, const ServerStats &Stats) {
   W.beginObject();
   W.member("submitted_requests", Stats.SubmittedRequests);
   W.member("submitted_samples", Stats.SubmittedSamples);
@@ -59,6 +58,37 @@ void spnc::serving::writeServerStatsReport(const ServerStats &Stats,
   W.endObject();
 }
 
+} // namespace
+
+void spnc::serving::writeServerStatsReport(const ServerStats &Stats,
+                                           RawOStream &OS) {
+  json::Writer W(OS);
+  emitStatsObject(W, Stats);
+}
+
+void spnc::serving::writeShardedStatsReport(
+    const ServerStats &Aggregate, const std::vector<ServerStats> &PerShard,
+    RawOStream &OS) {
+  json::Writer W(OS);
+  W.beginObject();
+  W.member("num_shards", static_cast<uint64_t>(PerShard.size()));
+  W.key("aggregate");
+  emitStatsObject(W, Aggregate);
+  W.key("latency_ns_by_priority");
+  W.beginObject();
+  for (size_t Class = 0; Class < kNumPriorities; ++Class) {
+    W.key(priorityName(static_cast<Priority>(Class)));
+    emitHistogram(W, Aggregate.LatencyNsByPriority[Class]);
+  }
+  W.endObject();
+  W.key("shards");
+  W.beginArray();
+  for (const ServerStats &Stats : PerShard)
+    emitStatsObject(W, Stats);
+  W.endArray();
+  W.endObject();
+}
+
 LogicalResult spnc::serving::writeServerStatsReport(
     const ServerStats &Stats, const std::string &Path,
     std::string *ErrorMessage) {
@@ -72,6 +102,30 @@ LogicalResult spnc::serving::writeServerStatsReport(
   {
     FileOStream OS(File);
     writeServerStatsReport(Stats, OS);
+    OS << '\n';
+  }
+  if (std::fclose(File) != 0) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot flush '" + Path +
+                      "': " + std::strerror(errno);
+    return failure();
+  }
+  return success();
+}
+
+LogicalResult spnc::serving::writeShardedStatsReport(
+    const ServerStats &Aggregate, const std::vector<ServerStats> &PerShard,
+    const std::string &Path, std::string *ErrorMessage) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot create '" + Path +
+                      "': " + std::strerror(errno);
+    return failure();
+  }
+  {
+    FileOStream OS(File);
+    writeShardedStatsReport(Aggregate, PerShard, OS);
     OS << '\n';
   }
   if (std::fclose(File) != 0) {

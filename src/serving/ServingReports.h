@@ -48,6 +48,31 @@ LogicalResult writeServerStatsReport(const ServerStats &Stats,
                                      const std::string &Path,
                                      std::string *ErrorMessage = nullptr);
 
+/// Writes the sharded serving report: the aggregate snapshot in exactly
+/// the writeServerStatsReport schema, wrapped with the shard count, the
+/// per-priority latency split, and one per-shard stats object (same
+/// schema as the aggregate) per shard:
+///
+///   {
+///     "num_shards": N,
+///     "aggregate": { ...writeServerStatsReport schema... },
+///     "latency_ns_by_priority": {
+///       "interactive": {count,min,max,mean,p50,p95,p99},
+///       "bulk": {same}
+///     },
+///     "shards": [ { ...writeServerStatsReport schema... }, ... ]
+///   }
+void writeShardedStatsReport(const ServerStats &Aggregate,
+                             const std::vector<ServerStats> &PerShard,
+                             RawOStream &OS);
+
+/// Writes the sharded serving report to \p Path (overwritten).
+LogicalResult
+writeShardedStatsReport(const ServerStats &Aggregate,
+                        const std::vector<ServerStats> &PerShard,
+                        const std::string &Path,
+                        std::string *ErrorMessage = nullptr);
+
 } // namespace serving
 } // namespace spnc
 

@@ -47,6 +47,18 @@ inline uint64_t fnv1a64(const void *Data, size_t Size) {
   return Hash;
 }
 
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit value.
+/// Every input bit affects every output bit, which makes it suitable for
+/// turning structured keys (small counters, shard/virtual-node indices)
+/// into uniformly distributed points — the consistent-hash ring of the
+/// serving layer is built from it.
+inline uint64_t splitmix64(uint64_t Value) {
+  Value += 0x9e3779b97f4a7c15ULL;
+  Value = (Value ^ (Value >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Value = (Value ^ (Value >> 27)) * 0x94d049bb133111ebULL;
+  return Value ^ (Value >> 31);
+}
+
 /// Hashes a contiguous range of values.
 template <typename Iterator>
 size_t hashRange(Iterator Begin, Iterator End) {

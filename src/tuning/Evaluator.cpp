@@ -78,14 +78,19 @@ spnc::tuning::loadSubmitTrace(const std::string &Path,
     Event.NumSamples = DefaultSamples;
     unsigned long long Model = 0, Delay = 0;
     unsigned long long Samples = DefaultSamples;
-    int Parsed =
-        std::sscanf(Cursor, "%llu %llu %llu", &Model, &Delay, &Samples);
-    if (Parsed < 2 || Samples == 0) {
+    char PriorityText[16] = {0};
+    int Parsed = std::sscanf(Cursor, "%llu %llu %llu %15s", &Model,
+                             &Delay, &Samples, PriorityText);
+    // The priority field is optional (pre-priority recordings load as
+    // Bulk); a present-but-unparsable one is a malformed line.
+    if (Parsed < 2 || Samples == 0 ||
+        (Parsed >= 4 &&
+         !serving::parsePriority(PriorityText, Event.ThePriority))) {
       std::fclose(File);
       return makeError("bad trace line " + std::to_string(LineNo) +
                        " in '" + Path +
                        "' (expected MODEL_INDEX DELAY_US "
-                       "[NUM_SAMPLES])");
+                       "[NUM_SAMPLES [PRIORITY]])");
     }
     Event.ModelIndex = static_cast<size_t>(Model);
     Event.DelayUs = Delay;
@@ -203,8 +208,10 @@ ServingEvaluator::evaluate(const TunedConfig &Config) {
             std::chrono::microseconds(DelayUs));
       std::vector<double> Rows = makeSyntheticRows(
           NumFeatures, Event.NumSamples, Options.Seed + I);
-      Futures.push_back(
-          Server.submit(Name, Rows.data(), Event.NumSamples));
+      Futures.push_back(Server.submit(Name, Rows.data(),
+                                      Event.NumSamples,
+                                      /*DeadlineUs=*/0,
+                                      Event.ThePriority));
     }
     for (serving::ResultFuture &Future : Futures) {
       serving::InferenceResult Result = Future.take();

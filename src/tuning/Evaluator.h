@@ -95,12 +95,16 @@ public:
 };
 
 /// One request of a recorded submit trace (the `spnc-serve
-/// --record-trace` line format: MODEL_INDEX DELAY_US [NUM_SAMPLES]).
+/// --record-trace` line format:
+/// MODEL_INDEX DELAY_US [NUM_SAMPLES [PRIORITY]]).
 struct TraceEvent {
   size_t ModelIndex = 0;
   /// Inter-arrival sleep before this submit.
   uint64_t DelayUs = 0;
   size_t NumSamples = 0;
+  /// Scheduling class; lines without the optional priority field
+  /// (pre-priority recordings) load as Bulk.
+  serving::Priority ThePriority = serving::Priority::Bulk;
 };
 
 /// Parses a recorded submit trace. \p DefaultSamples fills lines that

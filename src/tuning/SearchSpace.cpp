@@ -70,6 +70,18 @@ bool spnc::tuning::applyKnobByName(TunedConfig &Config,
     Config.Server.NumWorkers = static_cast<unsigned>(Value.getUInt());
     return true;
   }
+  if (Name == "num-shards") {
+    Config.Server.NumShards = static_cast<unsigned>(Value.getUInt());
+    return true;
+  }
+  if (Name == "priority-weight") {
+    // Interactive:bulk dispatch ratio N:1 — one knob steers both
+    // ServerConfig weights.
+    Config.Server.InteractiveWeight =
+        static_cast<unsigned>(Value.getUInt());
+    Config.Server.BulkWeight = 1;
+    return true;
+  }
   return false;
 }
 
@@ -167,6 +179,11 @@ SearchSpace::makeDefault(const DefaultSpaceOptions &Options) {
   Space.addKnob(Knob("max-queue-delay-us",
                      UInts({100, 500, 1000, 5000}), /*Default=*/2));
   Space.addKnob(Knob("num-workers", UInts({1, 2, 4, 8}), /*Default=*/1));
+  Space.addKnob(Knob("num-shards", UInts({1, 2, 4}), /*Default=*/0));
+  // Interactive:bulk dispatch credit ratio N:1; 4 is the ServerConfig
+  // default (InteractiveWeight=4, BulkWeight=1).
+  Space.addKnob(
+      Knob("priority-weight", UInts({1, 2, 4, 8}), /*Default=*/2));
 
   Space.addKnob(
       Knob("vector-width", UInts({1, 4, 8, 16}), /*Default=*/0));

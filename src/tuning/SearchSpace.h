@@ -16,7 +16,8 @@
 ///
 ///   compile:  opt-level, vector-width, partition-size, partition-slack,
 ///             gpu-block-size (GPU target only), backend
-///   serving:  max-batch-samples, max-queue-delay-us, num-workers
+///   serving:  max-batch-samples, max-queue-delay-us, num-workers,
+///             num-shards, priority-weight
 ///
 /// Knob names are a stable contract: `TuningRecord`s store them, and
 /// `applyKnobByName` is the single mapping from a name+value back onto

@@ -321,4 +321,227 @@ TEST_F(ServingTest, StatsReportHasGoldenKeyOrder) {
   EXPECT_EQ(Doc->find("latency_ns")->find("count")->getNumber(), 10.0);
 }
 
+TEST_F(ServingTest, PlacementIsDeterministicAndInRange) {
+  for (uint64_t Hash : {0ull, 1ull, 0x9e3779b97f4a7c15ull, ~0ull}) {
+    EXPECT_EQ(InferenceServer::placeOnShard(Hash, 1), 0u);
+    for (size_t NumShards : {2, 4, 8}) {
+      size_t First = InferenceServer::placeOnShard(Hash, NumShards);
+      EXPECT_LT(First, NumShards);
+      // Pure function of (hash, shard count).
+      EXPECT_EQ(InferenceServer::placeOnShard(Hash, NumShards), First);
+    }
+  }
+}
+
+TEST_F(ServingTest, PriorityNamesRoundTrip) {
+  EXPECT_STREQ(priorityName(Priority::Interactive), "interactive");
+  EXPECT_STREQ(priorityName(Priority::Bulk), "bulk");
+  Priority Parsed = Priority::Bulk;
+  EXPECT_TRUE(parsePriority("interactive", Parsed));
+  EXPECT_EQ(Parsed, Priority::Interactive);
+  EXPECT_TRUE(parsePriority("bulk", Parsed));
+  EXPECT_EQ(Parsed, Priority::Bulk);
+  EXPECT_FALSE(parsePriority("urgent", Parsed));
+  EXPECT_EQ(Parsed, Priority::Bulk); // untouched on failure
+}
+
+TEST_F(ServingTest, ShardedServerIsExactAndAggregatesAcrossShards) {
+  // Several distinct models spread over 4 shards; results must match
+  // direct execution regardless of where placement put each model, and
+  // the aggregate stats must equal the sum of the per-shard snapshots.
+  constexpr size_t kModels = 6;
+  std::vector<spn::Model> Models;
+  std::vector<std::vector<double>> ModelData;
+  std::vector<std::vector<double>> References;
+  KernelCache Cache;
+  for (size_t M = 0; M < kModels; ++M) {
+    workloads::SpeakerModelOptions Options;
+    Options.TargetOperations = 250 + 40 * M;
+    Options.Seed = 100 + M;
+    Models.push_back(workloads::generateSpeakerModel(Options));
+    ModelData.push_back(
+        workloads::generateSpeechData(Options, kNumSamples, M));
+    Expected<CompiledKernel> Kernel =
+        Cache.getOrCompile(Models.back(), Query, Compile);
+    ASSERT_TRUE(static_cast<bool>(Kernel));
+    std::vector<double> Reference(kNumSamples);
+    Kernel->execute(ModelData.back().data(), Reference.data(),
+                    kNumSamples);
+    References.push_back(std::move(Reference));
+  }
+
+  ServerConfig Config;
+  Config.NumShards = 4;
+  Config.MaxQueueDelayUs = 500;
+  InferenceServer Server(Config, &Cache);
+  ASSERT_EQ(Server.getNumShards(), 4u);
+  for (size_t M = 0; M < kModels; ++M)
+    ASSERT_FALSE(Server.addModel("m" + std::to_string(M), Models[M],
+                                 Query, Compile));
+
+  // Placement is the documented consistent hash, observable per model.
+  for (size_t M = 0; M < kModels; ++M) {
+    std::optional<size_t> Placed =
+        Server.getModelShard("m" + std::to_string(M));
+    ASSERT_TRUE(Placed.has_value());
+    EXPECT_EQ(*Placed,
+              InferenceServer::placeOnShard(
+                  KernelCache::hashModel(Models[M]), 4));
+  }
+  EXPECT_FALSE(Server.getModelShard("nope").has_value());
+
+  constexpr size_t kRequests = 24;
+  std::vector<std::vector<ResultFuture>> Futures(kModels);
+  for (size_t R = 0; R < kRequests; ++R)
+    for (size_t M = 0; M < kModels; ++M) {
+      unsigned Features = Models[M].getNumFeatures();
+      Futures[M].push_back(Server.submit(
+          "m" + std::to_string(M),
+          ModelData[M].data() + (R % kNumSamples) * Features, 1));
+    }
+  for (size_t M = 0; M < kModels; ++M)
+    for (size_t R = 0; R < kRequests; ++R) {
+      InferenceResult Result = Futures[M][R].take();
+      ASSERT_EQ(Result.Status, RequestStatus::Ok);
+      ASSERT_EQ(Result.LogLikelihoods.size(), 1u);
+      EXPECT_EQ(Result.LogLikelihoods[0],
+                References[M][R % kNumSamples]);
+    }
+
+  ServerStats Aggregate = Server.getStats();
+  std::vector<ServerStats> PerShard = Server.getAllShardStats();
+  ASSERT_EQ(PerShard.size(), 4u);
+  uint64_t Submitted = 0, Completed = 0, Batches = 0, LatencyCount = 0;
+  for (const ServerStats &S : PerShard) {
+    Submitted += S.SubmittedRequests;
+    Completed += S.CompletedRequests;
+    Batches += S.BatchesDispatched;
+    LatencyCount += S.LatencyNs.getCount();
+  }
+  EXPECT_EQ(Aggregate.SubmittedRequests, Submitted);
+  EXPECT_EQ(Aggregate.SubmittedRequests, kModels * kRequests);
+  EXPECT_EQ(Aggregate.CompletedRequests, Completed);
+  EXPECT_EQ(Aggregate.BatchesDispatched, Batches);
+  EXPECT_EQ(Aggregate.LatencyNs.getCount(), LatencyCount);
+  // The six models cannot all share one shard's queues: at least two
+  // shards saw traffic (placement spreads 6 models over 4 shards).
+  unsigned ActiveShards = 0;
+  for (const ServerStats &S : PerShard)
+    ActiveShards += S.SubmittedRequests > 0;
+  EXPECT_GE(ActiveShards, 2u);
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, InteractiveOvertakesBulkBacklogWithoutStarvingIt) {
+  // One shard, one worker, one-sample batches: the WFQ decision is made
+  // per dispatched request. A bulk backlog goes in first; interactive
+  // requests arriving behind it must overtake most of it (4:1 credits),
+  // while every bulk request still completes.
+  ServerConfig Config;
+  Config.NumShards = 1;
+  Config.NumWorkers = 1;
+  Config.MaxBatchSamples = 1;
+  Config.MaxQueueDelayUs = 0;
+  Config.InteractiveWeight = 4;
+  Config.BulkWeight = 1;
+  InferenceServer Server(Config);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+
+  constexpr unsigned kBulk = 40;
+  constexpr unsigned kInteractive = 10;
+  std::vector<ResultFuture> BulkFutures, InteractiveFutures;
+  for (unsigned I = 0; I < kBulk; ++I)
+    BulkFutures.push_back(Server.submit("speaker", sampleRow(I), 1,
+                                        /*DeadlineUs=*/0,
+                                        Priority::Bulk));
+  for (unsigned I = 0; I < kInteractive; ++I)
+    InteractiveFutures.push_back(
+        Server.submit("speaker", sampleRow(I), 1, /*DeadlineUs=*/0,
+                      Priority::Interactive));
+
+  double InteractiveMeanNs = 0, BulkMeanNs = 0;
+  for (ResultFuture &Future : InteractiveFutures) {
+    InferenceResult Result = Future.take();
+    ASSERT_EQ(Result.Status, RequestStatus::Ok);
+    InteractiveMeanNs += static_cast<double>(Result.LatencyNs);
+  }
+  InteractiveMeanNs /= kInteractive;
+  for (ResultFuture &Future : BulkFutures) {
+    InferenceResult Result = Future.take();
+    ASSERT_EQ(Result.Status, RequestStatus::Ok); // no starvation
+    BulkMeanNs += static_cast<double>(Result.LatencyNs);
+  }
+  BulkMeanNs /= kBulk;
+  // Submitted after the whole bulk backlog, yet faster on average:
+  // only priority scheduling can produce that ordering.
+  EXPECT_LT(InteractiveMeanNs, BulkMeanNs);
+
+  ServerStats Stats = Server.getStats();
+  EXPECT_EQ(Stats.LatencyNsByPriority[static_cast<size_t>(
+                                          Priority::Interactive)]
+                .getCount(),
+            kInteractive);
+  EXPECT_EQ(
+      Stats.LatencyNsByPriority[static_cast<size_t>(Priority::Bulk)]
+          .getCount(),
+      kBulk);
+  EXPECT_EQ(Stats.LatencyNs.getCount(),
+            uint64_t(kBulk) + kInteractive);
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, ShardedStatsReportWrapsGoldenSchema) {
+  ServerConfig Config;
+  Config.NumShards = 2;
+  Config.MaxQueueDelayUs = 500;
+  InferenceServer Server(Config);
+  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
+  for (unsigned I = 0; I < 6; ++I)
+    Server
+        .submit("speaker", sampleRow(I), 1, /*DeadlineUs=*/0,
+                I % 2 ? Priority::Bulk : Priority::Interactive)
+        .wait();
+  ServerStats Aggregate = Server.getStats();
+  std::vector<ServerStats> PerShard = Server.getAllShardStats();
+  Server.shutdown();
+
+  std::string Text;
+  {
+    StringOStream OS(Text);
+    writeShardedStatsReport(Aggregate, PerShard, OS);
+  }
+  Expected<json::Value> Doc = json::parse(Text);
+  ASSERT_TRUE(static_cast<bool>(Doc));
+  const std::vector<std::string> TopGolden = {
+      "num_shards", "aggregate", "latency_ns_by_priority", "shards"};
+  EXPECT_EQ(memberKeys(*Doc), TopGolden);
+  EXPECT_EQ(Doc->find("num_shards")->getNumber(), 2.0);
+
+  // The nested aggregate and every shard object carry exactly the flat
+  // report's golden schema — consumers of the old report keep working
+  // on doc["aggregate"].
+  const std::vector<std::string> StatsGolden = {
+      "submitted_requests", "submitted_samples", "completed_requests",
+      "completed_samples", "rejected_requests", "blocked_submits",
+      "timed_out_requests", "batches_dispatched", "mean_batch_size",
+      "queue_depth", "peak_queue_depth", "execution_ns", "elapsed_ns",
+      "throughput_samples_per_s", "batch_size", "latency_ns"};
+  EXPECT_EQ(memberKeys(*Doc->find("aggregate")), StatsGolden);
+  const json::Value *Shards = Doc->find("shards");
+  ASSERT_NE(Shards, nullptr);
+  ASSERT_EQ(Shards->getArray().size(), 2u);
+  for (const json::Value &ShardDoc : Shards->getArray())
+    EXPECT_EQ(memberKeys(ShardDoc), StatsGolden);
+  EXPECT_EQ(memberKeys(*Doc->find("latency_ns_by_priority")),
+            (std::vector<std::string>{"interactive", "bulk"}));
+  EXPECT_EQ(Doc->find("latency_ns_by_priority")
+                ->find("interactive")
+                ->find("count")
+                ->getNumber(),
+            3.0);
+  EXPECT_EQ(Doc->find("aggregate")->find("completed_requests")
+                ->getNumber(),
+            6.0);
+}
+
 } // namespace

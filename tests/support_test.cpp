@@ -328,6 +328,69 @@ TEST(HistogramTest, MergeCombinesPopulations) {
   EXPECT_EQ(Empty.quantile(0.5), 0u);
 }
 
+TEST(HistogramTest, MergeOfTwoEmptiesStaysEmpty) {
+  Histogram A, B;
+  A.merge(B);
+  EXPECT_EQ(A.getCount(), 0u);
+  EXPECT_EQ(A.getSum(), 0u);
+  EXPECT_EQ(A.getMin(), 0u);
+  EXPECT_EQ(A.getMax(), 0u);
+  EXPECT_EQ(A.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(A.mean(), 0.0);
+  // Still usable after the empty merge.
+  A.record(7);
+  EXPECT_EQ(A.getCount(), 1u);
+  EXPECT_EQ(A.getMin(), 7u);
+}
+
+TEST(HistogramTest, MergeOfDisjointRangesKeepsExactExtremes) {
+  // The serving layer merges per-shard latency histograms whose ranges
+  // need not overlap (a fast shard and a slow shard). Min/max/count/sum
+  // are tracked exactly and must survive the merge in both directions.
+  Histogram Fast, Slow;
+  for (uint64_t V = 100; V < 200; V += 10)
+    Fast.record(V);
+  for (uint64_t V = 1000000; V < 2000000; V += 100000)
+    Slow.record(V);
+
+  Histogram Merged = Fast;
+  Merged.merge(Slow);
+  EXPECT_EQ(Merged.getCount(), Fast.getCount() + Slow.getCount());
+  EXPECT_EQ(Merged.getSum(), Fast.getSum() + Slow.getSum());
+  EXPECT_EQ(Merged.getMin(), 100u);
+  EXPECT_EQ(Merged.getMax(), 1900000u);
+
+  // Merge order does not matter.
+  Histogram Reversed = Slow;
+  Reversed.merge(Fast);
+  EXPECT_EQ(Reversed.getCount(), Merged.getCount());
+  EXPECT_EQ(Reversed.getSum(), Merged.getSum());
+  EXPECT_EQ(Reversed.getMin(), Merged.getMin());
+  EXPECT_EQ(Reversed.getMax(), Merged.getMax());
+  EXPECT_EQ(Reversed.getBuckets(), Merged.getBuckets());
+}
+
+TEST(HistogramTest, QuantilesAfterMergeMatchCombinedPopulation) {
+  // Quantiles of a merged histogram must equal the quantiles of one
+  // histogram fed the union of both populations — the property the
+  // aggregated serving report relies on.
+  Histogram A, B, Union;
+  for (uint64_t V = 1000; V <= 100000; V += 331) {
+    A.record(V);
+    Union.record(V);
+  }
+  for (uint64_t V = 50000; V <= 5000000; V += 4177) {
+    B.record(V);
+    Union.record(V);
+  }
+  Histogram Merged = A;
+  Merged.merge(B);
+  ASSERT_EQ(Merged.getCount(), Union.getCount());
+  for (double Q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99})
+    EXPECT_EQ(Merged.quantile(Q), Union.quantile(Q)) << "Q=" << Q;
+  EXPECT_EQ(Merged.getBuckets(), Union.getBuckets());
+}
+
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer T;
   volatile double Sink = 0;

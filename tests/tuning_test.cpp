@@ -66,6 +66,13 @@ TEST(SearchSpaceTest, ApplyKnobByNameCoversEveryKnob) {
   EXPECT_TRUE(
       applyKnobByName(Config, "num-workers", KnobValue::ofUInt(4)));
   EXPECT_EQ(Config.Server.NumWorkers, 4u);
+  EXPECT_TRUE(
+      applyKnobByName(Config, "num-shards", KnobValue::ofUInt(4)));
+  EXPECT_EQ(Config.Server.NumShards, 4u);
+  EXPECT_TRUE(applyKnobByName(Config, "priority-weight",
+                              KnobValue::ofUInt(8)));
+  EXPECT_EQ(Config.Server.InteractiveWeight, 8u);
+  EXPECT_EQ(Config.Server.BulkWeight, 1u);
   EXPECT_FALSE(applyKnobByName(Config, "warp-drive-factor",
                                KnobValue::ofUInt(9)));
 }
@@ -84,6 +91,10 @@ TEST(SearchSpaceTest, DefaultCandidateMatchesOutOfTheBoxConfig) {
   EXPECT_EQ(Config.Server.MaxQueueDelayUs,
             Fresh.Server.MaxQueueDelayUs);
   EXPECT_EQ(Config.Server.NumWorkers, Fresh.Server.NumWorkers);
+  EXPECT_EQ(Config.Server.NumShards, Fresh.Server.NumShards);
+  EXPECT_EQ(Config.Server.InteractiveWeight,
+            Fresh.Server.InteractiveWeight);
+  EXPECT_EQ(Config.Server.BulkWeight, Fresh.Server.BulkWeight);
   EXPECT_EQ(Config.BackendName, "vm");
 }
 
@@ -501,6 +512,37 @@ TEST_F(TraceFileTest, MalformedLineFailsWithLineNumber) {
   std::string Path = writeFile("bad.trace",
                                "0 0 1\n"
                                "not a trace line\n");
+  Expected<std::vector<TraceEvent>> Trace = loadSubmitTrace(Path, 1);
+  ASSERT_FALSE(static_cast<bool>(Trace));
+  EXPECT_NE(Trace.getError().message().find("bad trace line 2"),
+            std::string::npos);
+}
+
+TEST_F(TraceFileTest, PriorityFieldRoundTripsAndDefaultsToBulk) {
+  // The optional 4th field carries the scheduling class; lines without
+  // it (pre-priority recordings) load as Bulk.
+  std::string Path = writeFile("prio.trace",
+                               "# mixed-priority trace\n"
+                               "0 0 4 interactive\n"
+                               "1 250 2 bulk\n"
+                               "0 125 1\n"
+                               "1 10\n");
+  Expected<std::vector<TraceEvent>> Trace =
+      loadSubmitTrace(Path, /*DefaultSamples=*/8);
+  ASSERT_TRUE(static_cast<bool>(Trace));
+  ASSERT_EQ(Trace->size(), 4u);
+  EXPECT_EQ((*Trace)[0].ThePriority, serving::Priority::Interactive);
+  EXPECT_EQ((*Trace)[0].NumSamples, 4u);
+  EXPECT_EQ((*Trace)[1].ThePriority, serving::Priority::Bulk);
+  EXPECT_EQ((*Trace)[2].ThePriority, serving::Priority::Bulk);
+  EXPECT_EQ((*Trace)[3].ThePriority, serving::Priority::Bulk);
+  EXPECT_EQ((*Trace)[3].NumSamples, 8u); // default filled in
+}
+
+TEST_F(TraceFileTest, UnknownPriorityTokenFails) {
+  std::string Path = writeFile("badprio.trace",
+                               "0 0 1 interactive\n"
+                               "0 0 1 urgent\n");
   Expected<std::vector<TraceEvent>> Trace = loadSubmitTrace(Path, 1);
   ASSERT_FALSE(static_cast<bool>(Trace));
   EXPECT_NE(Trace.getError().message().find("bad trace line 2"),

@@ -515,7 +515,9 @@ int main(int Argc, char **Argv) {
     for (const tuning::AppliedKnob &Knob : Applied) {
       bool ServingOnly = Knob.Name == "max-batch-samples" ||
                          Knob.Name == "max-queue-delay-us" ||
-                         Knob.Name == "num-workers";
+                         Knob.Name == "num-workers" ||
+                         Knob.Name == "num-shards" ||
+                         Knob.Name == "priority-weight";
       if (!Summary.empty())
         Summary += ' ';
       Summary += Knob.Name + "=" + Knob.Value;

@@ -18,10 +18,12 @@
 /// win) and logs every knob it set.
 ///
 /// Trace format: one request per line,
-///   MODEL_INDEX DELAY_US [NUM_SAMPLES]
+///   MODEL_INDEX DELAY_US [NUM_SAMPLES [PRIORITY]]
 /// where MODEL_INDEX selects the Nth positional model (0-based),
-/// DELAY_US is the inter-arrival sleep before submitting, and
-/// NUM_SAMPLES defaults to --samples. '#' starts a comment.
+/// DELAY_US is the inter-arrival sleep before submitting, NUM_SAMPLES
+/// defaults to --samples, and PRIORITY is 'interactive' or 'bulk'
+/// (default bulk — priority-less traces from older recordings load
+/// unchanged). '#' starts a comment.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,10 +65,15 @@ struct ServeOptions {
   uint64_t ThinkUs = 0;
   /// Deadline attached to every request (0 = none).
   uint64_t DeadlineUs = 0;
+  /// Closed-loop clients with index < this submit Interactive; the rest
+  /// submit Bulk.
+  unsigned InteractiveClients = 0;
   std::string TracePath;
   /// Log live submissions here in the --trace line format (empty = off).
   std::string RecordTracePath;
   std::string StatsReportPath;
+  /// Write the sharded (aggregate + per-shard) stats report here.
+  std::string ShardReportPath;
   /// Registered backend compiling the served kernels.
   std::string BackendName = "vm";
   /// Disk tier of the kernel cache (also where bare --tuned looks for
@@ -106,8 +113,18 @@ void printUsage() {
       "(default 4096)\n"
       "  --block              block on a full queue instead of "
       "rejecting\n"
-      "  --workers N          batch-executing worker threads (default "
-      "2)\n"
+      "  --workers N          batch-executing worker threads per shard "
+      "(default 2)\n"
+      "  --shards N           independent server shards (default 1)\n"
+      "  --priority-weight N  interactive:bulk dispatch credit ratio "
+      "N:1\n"
+      "                       (default 4)\n"
+      "  --interactive-clients N\n"
+      "                       closed-loop clients 0..N-1 submit at\n"
+      "                       interactive priority (default 0 = all "
+      "bulk)\n"
+      "  --gpu-streams N      simulated device streams per GPU model\n"
+      "                       (default 0 = one per shard worker)\n"
       "  --backend NAME       execution backend: 'vm' (default) or "
       "'cpp'\n"
       "                       (AOT-compiled native kernels)\n"
@@ -117,12 +134,17 @@ void printUsage() {
       "when\n"
       "                       bare; explicit flags still override\n"
       "  --trace FILE         replay 'MODEL_INDEX DELAY_US "
-      "[NUM_SAMPLES]' lines\n"
-      "                       instead of the synthetic closed loop\n"
+      "[NUM_SAMPLES [PRIORITY]]'\n"
+      "                       lines instead of the synthetic closed "
+      "loop\n"
       "  --record-trace FILE  log live submit timestamps in the --trace\n"
       "                       format (replayable with --trace FILE)\n"
       "  --stats-report FILE.json\n"
-      "                       write the ServerStats snapshot as JSON\n"
+      "                       write the aggregated ServerStats snapshot "
+      "as JSON\n"
+      "  --shard-report FILE.json\n"
+      "                       write the sharded report (aggregate +\n"
+      "                       per-priority latency + per-shard stats)\n"
       "  --help, -h           print this message and exit\n");
 }
 
@@ -153,8 +175,27 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
     if (EqualsValue("--trace", Options.TracePath) ||
         EqualsValue("--record-trace", Options.RecordTracePath) ||
         EqualsValue("--stats-report", Options.StatsReportPath) ||
+        EqualsValue("--shard-report", Options.ShardReportPath) ||
         EqualsValue("--kernel-cache", Options.KernelCacheDir))
       continue;
+    std::string EqualsNumber;
+    if (EqualsValue("--shards", EqualsNumber)) {
+      Options.Server.NumShards = static_cast<unsigned>(
+          std::strtoull(EqualsNumber.c_str(), nullptr, 10));
+      Options.ExplicitKnobs.push_back("num-shards");
+      continue;
+    }
+    if (EqualsValue("--priority-weight", EqualsNumber)) {
+      Options.Server.InteractiveWeight = static_cast<unsigned>(
+          std::strtoull(EqualsNumber.c_str(), nullptr, 10));
+      Options.ExplicitKnobs.push_back("priority-weight");
+      continue;
+    }
+    if (EqualsValue("--clients", EqualsNumber)) {
+      Options.Clients = static_cast<unsigned>(
+          std::strtoull(EqualsNumber.c_str(), nullptr, 10));
+      continue;
+    }
     if (EqualsValue("--backend", Options.BackendName)) {
       Options.ExplicitKnobs.push_back("backend");
       continue;
@@ -225,6 +266,25 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
       if (!NextUnsigned(Options.Server.NumWorkers))
         return false;
       Options.ExplicitKnobs.push_back("num-workers");
+    } else if (Arg == "--shards") {
+      if (!NextUnsigned(Options.Server.NumShards))
+        return false;
+      Options.ExplicitKnobs.push_back("num-shards");
+    } else if (Arg == "--priority-weight") {
+      if (!NextUnsigned(Options.Server.InteractiveWeight))
+        return false;
+      Options.ExplicitKnobs.push_back("priority-weight");
+    } else if (Arg == "--interactive-clients") {
+      if (!NextUnsigned(Options.InteractiveClients))
+        return false;
+    } else if (Arg == "--gpu-streams") {
+      if (!NextUnsigned(Options.Compile.Device.NumStreams))
+        return false;
+    } else if (Arg == "--shard-report") {
+      const char *V = NextValue();
+      if (!V)
+        return false;
+      Options.ShardReportPath = V;
     } else if (Arg == "--trace") {
       const char *V = NextValue();
       if (!V)
@@ -298,6 +358,7 @@ struct TraceRequest {
   size_t ModelIndex = 0;
   uint64_t DelayUs = 0;
   size_t NumSamples = 0;
+  Priority ThePriority = Priority::Bulk;
 };
 
 bool loadTrace(const std::string &Path, size_t NumModels,
@@ -319,12 +380,18 @@ bool loadTrace(const std::string &Path, size_t NumModels,
       continue;
     TraceRequest Request;
     Request.NumSamples = DefaultSamples;
-    int Parsed = std::sscanf(Cursor, "%zu %llu %zu", &Request.ModelIndex,
+    char PriorityText[16] = {0};
+    int Parsed = std::sscanf(Cursor, "%zu %llu %zu %15s",
+                             &Request.ModelIndex,
                              reinterpret_cast<unsigned long long *>(
                                  &Request.DelayUs),
-                             &Request.NumSamples);
+                             &Request.NumSamples, PriorityText);
+    // The priority field is optional (older recordings lack it and load
+    // as Bulk), but a present-and-unparsable one is an error.
     if (Parsed < 2 || Request.ModelIndex >= NumModels ||
-        Request.NumSamples == 0) {
+        Request.NumSamples == 0 ||
+        (Parsed >= 4 &&
+         !parsePriority(PriorityText, Request.ThePriority))) {
       std::fprintf(stderr, "bad trace line %zu in '%s'\n", LineNo,
                    Path.c_str());
       std::fclose(File);
@@ -347,7 +414,7 @@ public:
   explicit TraceRecorder(std::FILE *File) : File(File) {
     std::fprintf(File,
                  "# spnc-serve --record-trace: MODEL_INDEX DELAY_US "
-                 "NUM_SAMPLES\n");
+                 "NUM_SAMPLES PRIORITY\n");
   }
 
   ~TraceRecorder() {
@@ -358,7 +425,8 @@ public:
   TraceRecorder(const TraceRecorder &) = delete;
   TraceRecorder &operator=(const TraceRecorder &) = delete;
 
-  void record(size_t ModelIndex, size_t NumSamples) {
+  void record(size_t ModelIndex, size_t NumSamples,
+              Priority ThePriority) {
     std::lock_guard<std::mutex> Lock(Mutex);
     auto Now = std::chrono::steady_clock::now();
     uint64_t DelayUs = 0;
@@ -369,8 +437,9 @@ public:
               .count());
     HaveLast = true;
     Last = Now;
-    std::fprintf(File, "%zu %llu %zu\n", ModelIndex,
-                 static_cast<unsigned long long>(DelayUs), NumSamples);
+    std::fprintf(File, "%zu %llu %zu %s\n", ModelIndex,
+                 static_cast<unsigned long long>(DelayUs), NumSamples,
+                 priorityName(ThePriority));
   }
 
 private:
@@ -515,10 +584,12 @@ int main(int Argc, char **Argv) {
           Server.getNumFeatures(ModelNames[Request.ModelIndex]),
           Request.NumSamples, /*Seed=*/I);
       if (Recorder)
-        Recorder->record(Request.ModelIndex, Request.NumSamples);
+        Recorder->record(Request.ModelIndex, Request.NumSamples,
+                         Request.ThePriority);
       Futures.push_back(Server.submit(ModelNames[Request.ModelIndex],
                                       Rows.data(), Request.NumSamples,
-                                      Options.DeadlineUs));
+                                      Options.DeadlineUs,
+                                      Request.ThePriority));
     }
     for (ResultFuture &Future : Futures)
       Counts.count(Future.get());
@@ -531,6 +602,9 @@ int main(int Argc, char **Argv) {
     Clients.reserve(Options.Clients);
     for (unsigned C = 0; C < Options.Clients; ++C)
       Clients.emplace_back([&, C] {
+        Priority ClientPriority = C < Options.InteractiveClients
+                                      ? Priority::Interactive
+                                      : Priority::Bulk;
         for (unsigned R = 0; R < Options.Requests; ++R) {
           size_t ModelIndex = (C + R) % ModelNames.size();
           const std::string &Name = ModelNames[ModelIndex];
@@ -538,10 +612,11 @@ int main(int Argc, char **Argv) {
               Server.getNumFeatures(Name), Options.Samples,
               /*Seed=*/uint64_t(C) << 32 | R);
           if (Recorder)
-            Recorder->record(ModelIndex, Options.Samples);
+            Recorder->record(ModelIndex, Options.Samples,
+                             ClientPriority);
           ResultFuture Future =
               Server.submit(Name, Rows.data(), Options.Samples,
-                            Options.DeadlineUs);
+                            Options.DeadlineUs, ClientPriority);
           Counts.count(Future.get());
           if (Options.ThinkUs)
             std::this_thread::sleep_for(
@@ -553,6 +628,7 @@ int main(int Argc, char **Argv) {
   }
 
   ServerStats Stats = Server.getStats();
+  std::vector<ServerStats> PerShard = Server.getAllShardStats();
   Server.shutdown();
   if (Recorder) {
     Recorder.reset();
@@ -580,6 +656,28 @@ int main(int Argc, char **Argv) {
                                       1000),
       static_cast<unsigned long long>(Stats.LatencyNs.quantile(0.99) /
                                       1000));
+  if (Server.getNumShards() > 1)
+    for (size_t S = 0; S < PerShard.size(); ++S)
+      std::fprintf(
+          stderr,
+          "  shard %zu: %llu request(s) in %llu batch(es), peak queue "
+          "%zu\n",
+          S,
+          static_cast<unsigned long long>(PerShard[S].CompletedRequests),
+          static_cast<unsigned long long>(
+              PerShard[S].BatchesDispatched),
+          PerShard[S].PeakQueueDepth);
+  for (size_t Class = 0; Class < kNumPriorities; ++Class) {
+    const Histogram &H = Stats.LatencyNsByPriority[Class];
+    if (!H.getCount())
+      continue;
+    std::fprintf(
+        stderr, "  %s: %llu request(s), latency p50/p99 = %llu/%llu us\n",
+        priorityName(static_cast<Priority>(Class)),
+        static_cast<unsigned long long>(H.getCount()),
+        static_cast<unsigned long long>(H.quantile(0.50) / 1000),
+        static_cast<unsigned long long>(H.quantile(0.99) / 1000));
+  }
 
   if (!Options.StatsReportPath.empty()) {
     std::string ReportError;
@@ -591,6 +689,18 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr, "wrote stats report to '%s'\n",
                  Options.StatsReportPath.c_str());
+  }
+  if (!Options.ShardReportPath.empty()) {
+    std::string ReportError;
+    if (failed(writeShardedStatsReport(Stats, PerShard,
+                                       Options.ShardReportPath,
+                                       &ReportError))) {
+      std::fprintf(stderr, "failed to write shard report: %s\n",
+                   ReportError.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote shard report to '%s'\n",
+                 Options.ShardReportPath.c_str());
   }
   return 0;
 }
