@@ -365,6 +365,122 @@ void BM_ShardScaling(benchmark::State &State) {
   Server.shutdown();
 }
 
+struct TenantInstance {
+  spn::Model Model;
+  std::string Name;
+};
+
+/// Ten structurally-isomorphic RAT-SPN class models (shared random
+/// structure, per-class weights) — the multi-tenant fleet merged-model
+/// compilation exists for (docs/merging.md).
+const std::vector<TenantInstance> &tenantModels() {
+  static std::vector<TenantInstance> Models = [] {
+    workloads::RatSpnOptions Rat;
+    Rat.NumFeatures = 32;
+    Rat.Depth = 3;
+    Rat.Replicas = 2;
+    Rat.SumsPerRegion = 4;
+    Rat.LeafDistributions = 6;
+    Rat.Seed = 77;
+    std::vector<TenantInstance> Instances;
+    for (unsigned Class = 0; Class < 10; ++Class)
+      Instances.push_back({workloads::generateRatSpn(Rat, Class),
+                           "tenant" + std::to_string(Class)});
+    return Instances;
+  }();
+  return Models;
+}
+
+/// Multi-tenant serving over ten isomorphic models with mixed traffic
+/// (every client interleaves tenants round-robin). range(0) selects
+/// the mode — 0 registers each tenant unmerged (ten compiled kernels,
+/// ten per-model queues), 1 registers the fleet with
+/// `ServerConfig::MergeModels` (ONE parameterized kernel, requests of
+/// different tenants coalescing into shared batches). range(1) selects
+/// the load shape — 0 is thin closed-loop traffic (one request in
+/// flight per client, the regime where per-tenant queues cannot batch
+/// and cross-tenant coalescing is the only batching there is), 1 is a
+/// saturated open loop (32 requests in flight per client, where
+/// per-tenant backlogs batch fine on their own). Merging shrinks the
+/// kernel-cache footprint 10x by construction; the measurement is what
+/// cross-tenant coalescing does to throughput and batch sizes in each
+/// regime.
+void BM_MergedMultiTenant(benchmark::State &State) {
+  const std::vector<TenantInstance> &Tenants = tenantModels();
+  bool Merged = State.range(0) != 0;
+  bool Saturated = State.range(1) != 0;
+  unsigned NumFeatures = Tenants.front().Model.getNumFeatures();
+  static const std::vector<double> Data = workloads::generateImageData(
+      NumFeatures, static_cast<unsigned>(Tenants.size()), 512, 19,
+      nullptr);
+
+  KernelCache Cache;
+  ServerConfig Config;
+  Config.MergeModels = Merged;
+  Config.MaxBatchSamples = 32;
+  // Zero batching window: coalescing must come from natural queue
+  // backlog, not from stalling requests — the fairest comparison, since
+  // the merged leg's shared queue backs up while the unmerged leg's
+  // per-tenant queues each see only a thin trickle.
+  Config.MaxQueueDelayUs = 0;
+  Config.MaxQueueDepth = 0; // open loop; no admission pressure
+  Config.NumWorkers = 1;
+  InferenceServer Server(Config, &Cache);
+  for (const TenantInstance &Tenant : Tenants) {
+    if (std::optional<Error> Err =
+            Server.addModel(Tenant.Name, Tenant.Model,
+                            spn::QueryConfig(),
+                            servingCompilerOptions())) {
+      State.SkipWithError(Err->message().c_str());
+      return;
+    }
+  }
+
+  const unsigned Clients = 8;
+  const size_t Depth = Saturated ? 32 : 1; // in-flight per client
+  size_t PerClient = std::max(requestsPerClient(), Depth);
+  std::atomic<uint64_t> Failures{0};
+  for (auto _ : State) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        for (size_t R = 0; R < PerClient; R += Depth) {
+          std::vector<ResultFuture> Inflight;
+          Inflight.reserve(Depth);
+          for (size_t D = 0; D < Depth && R + D < PerClient; ++D) {
+            // Round-robin with a per-client offset: every dispatch
+            // window sees arrivals for several tenants at once.
+            size_t Seq = C * PerClient + R + D;
+            const TenantInstance &Tenant =
+                Tenants[(C + Seq) % Tenants.size()];
+            Inflight.push_back(Server.submit(
+                Tenant.Name, Data.data() + (Seq % 512) * NumFeatures,
+                1));
+          }
+          for (ResultFuture &F : Inflight)
+            if (F.take().Status != RequestStatus::Ok)
+              ++Failures;
+        }
+      });
+    for (std::thread &Thread : Threads)
+      Thread.join();
+  }
+  if (Failures.load() > 0)
+    State.SkipWithError("serving requests failed");
+  ServerStats Stats = Server.getStats();
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Clients) *
+                          static_cast<int64_t>(PerClient));
+  State.counters["tenants"] =
+      static_cast<double>(Tenants.size());
+  State.counters["kernels"] = static_cast<double>(Cache.size());
+  State.counters["mean_batch"] = Stats.meanBatchSize();
+  State.counters["cross_model_batches"] =
+      static_cast<double>(Stats.CrossModelBatches);
+  Server.shutdown();
+}
+
 /// Mixed-priority scheduling: bulk clients keep a deep backlog of
 /// 64-sample requests queued while latency-sensitive probe clients
 /// submit single samples closed-loop and time each round trip.
@@ -505,6 +621,13 @@ BENCHMARK(BM_ShardScaling)
     ->Args({2, 32})
     ->Args({4, 8})
     ->Args({4, 32})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_MergedMultiTenant)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(BM_PrioritySchedulingP99)

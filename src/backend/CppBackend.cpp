@@ -10,12 +10,16 @@
 #include "backend/CppEmitter.h"
 #include "support/Hashing.h"
 #include "support/Timer.h"
+#include "vm/ParamTable.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <shared_mutex>
+#include <span>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -60,6 +64,8 @@ using KernelFn = void (*)(const double *, double *, size_t);
 using MpeFn = void (*)(const double *, double *, double *, size_t);
 using SampleFn = void (*)(const double *, double *, size_t,
                           unsigned long long);
+using ParamsFn = void (*)(const double *, double *, size_t,
+                          const double *);
 
 /// ExecutionEngine over a dlopen'ed native kernel. Retains the portable
 /// program so `getProgram`-based consumers (saveCompiledKernel, work
@@ -69,12 +75,28 @@ using SampleFn = void (*)(const double *, double *, size_t,
 class NativeEngine : public runtime::ExecutionEngine {
 public:
   NativeEngine(vm::KernelProgram TheProgram, void *Handle, KernelFn Fn,
-               MpeFn Mpe, SampleFn Sample, std::string ArtifactDir,
-               bool KeepArtifacts, std::string Description)
+               MpeFn Mpe, SampleFn Sample, ParamsFn Params,
+               std::string ArtifactDir, bool KeepArtifacts,
+               std::string Description)
       : Program(std::move(TheProgram)), Handle(Handle), Fn(Fn), Mpe(Mpe),
-        Sample(Sample), ArtifactDir(std::move(ArtifactDir)),
+        Sample(Sample), Params(Params),
+        ArtifactDir(std::move(ArtifactDir)),
         KeepArtifacts(KeepArtifacts),
-        Description(std::move(Description)) {}
+        Description(std::move(Description)) {
+    // executeIndexed offsets the external buffers per run, which is only
+    // valid when the input is row-major and the output carries one value
+    // per sample (the shape of every joint/marginal kernel).
+    for (const vm::BufferInfo &Info : Program.Buffers) {
+      if (Info.Role == vm::BufferInfo::Kind::Input) {
+        NumFeatures = Info.Columns;
+        if (Info.Transposed && Info.Columns > 1)
+          SubBatchable = false;
+      } else if (Info.Role == vm::BufferInfo::Kind::Output) {
+        if (Info.Columns > 1)
+          SubBatchable = false;
+      }
+    }
+  }
 
   ~NativeEngine() override {
     if (Handle)
@@ -129,6 +151,69 @@ public:
     return true;
   }
 
+  bool supportsParamTables() const override {
+    return Program.Parameterized && Params && SubBatchable;
+  }
+
+  int32_t addParamTable(const double *Raw, size_t NumParams) override {
+    if (!supportsParamTables() || NumParams != Program.NumParams)
+      return -1;
+    std::unique_lock<std::shared_mutex> Lock(TablesMutex);
+    for (size_t I = 0; I < TableParams.size(); ++I)
+      if (TableParams[I].size() == NumParams &&
+          std::equal(TableParams[I].begin(), TableParams[I].end(), Raw))
+        return static_cast<int32_t>(I);
+    // Bind the raw parameters into a copy of the portable program, then
+    // flatten its side tables into the block layout the emitted kernel
+    // reads (vm::flattenTaskTables per task, tasks concatenated).
+    vm::KernelProgram Bound =
+        vm::bindParams(Program, std::span<const double>(Raw, NumParams));
+    std::vector<double> Block;
+    for (const vm::TaskProgram &Task : Bound.Tasks) {
+      std::vector<double> Flat = vm::flattenTaskTables(Task);
+      Block.insert(Block.end(), Flat.begin(), Flat.end());
+    }
+    TableBlocks.push_back(std::move(Block));
+    TableParams.emplace_back(Raw, Raw + NumParams);
+    return static_cast<int32_t>(TableParams.size() - 1);
+  }
+
+  bool executeIndexed(const double *Input, const uint32_t *TableIndices,
+                      double *Output, size_t NumSamples,
+                      runtime::ExecutionStats *Stats) const override {
+    if (!supportsParamTables())
+      return false;
+    Timer WallTimer;
+    std::vector<const double *> Blocks;
+    {
+      std::shared_lock<std::shared_mutex> Lock(TablesMutex);
+      Blocks.reserve(TableBlocks.size());
+      for (const std::vector<double> &Block : TableBlocks)
+        Blocks.push_back(Block.data());
+    }
+    for (size_t I = 0; I < NumSamples; ++I)
+      if (TableIndices[I] >= Blocks.size())
+        return false;
+    // Maximal equal-index runs execute as ordinary sub-batches of the
+    // row-major input / one-value-per-sample output.
+    size_t RunBegin = 0;
+    while (RunBegin < NumSamples) {
+      size_t RunEnd = RunBegin + 1;
+      while (RunEnd < NumSamples &&
+             TableIndices[RunEnd] == TableIndices[RunBegin])
+        ++RunEnd;
+      Params(Input + RunBegin * NumFeatures, Output + RunBegin,
+             RunEnd - RunBegin, Blocks[TableIndices[RunBegin]]);
+      RunBegin = RunEnd;
+    }
+    if (Stats) {
+      *Stats = runtime::ExecutionStats();
+      Stats->WallNs = WallTimer.elapsedNs();
+      Stats->NumSamples = NumSamples;
+    }
+    return true;
+  }
+
   const vm::KernelProgram *getProgram() const override { return &Program; }
 
   runtime::Target getTarget() const override {
@@ -145,9 +230,23 @@ private:
   /// for the matching query kind.
   MpeFn Mpe;
   SampleFn Sample;
+  /// Parameterized entry point; null unless the program was compiled
+  /// with Parameterize (merged-model kernels).
+  ParamsFn Params;
+  uint32_t NumFeatures = 1;
+  bool SubBatchable = true;
   std::string ArtifactDir;
   bool KeepArtifacts;
   std::string Description;
+
+  /// Registered weight tables: raw parameters (for idempotent
+  /// re-registration) and the flattened per-model blocks the emitted
+  /// kernel consumes. Guarded by TablesMutex; inner vectors never move
+  /// once registered, so executeIndexed snapshots data pointers under a
+  /// shared lock.
+  mutable std::shared_mutex TablesMutex;
+  std::vector<std::vector<double>> TableParams;
+  std::vector<std::vector<double>> TableBlocks;
 };
 
 #endif // SPNC_CPP_BACKEND_POSIX
@@ -302,9 +401,11 @@ CppBackend::materialize(vm::KernelProgram Program,
     return FailAndCleanup("cpp backend: '" + SoPath + "' has no '" +
                           std::string(kCppKernelSymbol) + "' symbol");
   }
-  // Query entry points are emitted only for MPE/sampling programs.
+  // Query entry points are emitted only for MPE/sampling programs; the
+  // params entry point only for parameterized (merged-model) programs.
   auto Mpe = reinterpret_cast<MpeFn>(dlsym(Handle, kCppMpeSymbol));
   auto Sample = reinterpret_cast<SampleFn>(dlsym(Handle, kCppSampleSymbol));
+  auto Params = reinterpret_cast<ParamsFn>(dlsym(Handle, kCppParamsSymbol));
 
   std::string Description = "cpp native (" + Compiler;
   for (const std::string &Flag : Options.ExtraFlags)
@@ -313,7 +414,7 @@ CppBackend::materialize(vm::KernelProgram Program,
 
   CompiledArtifact Artifact;
   Artifact.Engine = std::make_shared<NativeEngine>(
-      std::move(Program), Handle, Fn, Mpe, Sample, Dir, Keep,
+      std::move(Program), Handle, Fn, Mpe, Sample, Params, Dir, Keep,
       std::move(Description));
   Artifact.BackendName = getName();
   Artifact.Fingerprint = artifactFingerprint();

@@ -122,16 +122,61 @@ std::string reg(uint32_t Index) {
   return "r[" + std::to_string(Index) + "]";
 }
 
+/// Offsets of each task's side tables inside the concatenated per-model
+/// parameter block of a parameterized program. The layout per task —
+/// const pool, (Mean, InvStdDev, Coefficient) per Gaussian, each table's
+/// values, one value per select, tasks concatenated in order — is
+/// exactly what vm::flattenTaskTables produces, so the runtime can bind
+/// a weight table with vm::bindParams and flatten the result into a
+/// block the emitted kernel consumes directly.
+struct ParamLayout {
+  std::vector<size_t> CpBase;
+  std::vector<size_t> GaussBase;
+  std::vector<std::vector<size_t>> TableBase;
+  std::vector<size_t> SelectBase;
+  size_t Total = 0;
+};
+
+ParamLayout buildParamLayout(const KernelProgram &Program) {
+  ParamLayout Layout;
+  size_t Off = 0;
+  for (const TaskProgram &Task : Program.Tasks) {
+    Layout.CpBase.push_back(Off);
+    Off += Task.ConstPool.size();
+    Layout.GaussBase.push_back(Off);
+    Off += Task.Gaussians.size() * 3;
+    Layout.TableBase.emplace_back();
+    for (const LookupTable &Table : Task.Tables) {
+      Layout.TableBase.back().push_back(Off);
+      Off += Table.Values.size();
+    }
+    Layout.SelectBase.push_back(Off);
+    Off += Task.Selects.size();
+  }
+  Layout.Total = Off;
+  return Layout;
+}
+
+/// Expression reading parameter-block slot \p Idx as value_t.
+std::string paramExpr(size_t Idx) {
+  return "(value_t)p[" + std::to_string(Idx) + "]";
+}
+
 /// Emits the body of one instruction at indentation \p Indent. The
 /// arithmetic mirrors vm::executeSample cast for cast; see that
-/// function for the semantics being reproduced.
+/// function for the semantics being reproduced. With \p PL non-null
+/// (parameterized programs) every side-table read goes through the
+/// parameter block "p" instead of a baked literal; the values are the
+/// same doubles, so the two forms stay bit-identical.
 void emitInstruction(std::string &Out, const KernelProgram &Program,
                      const TaskProgram &Task, size_t TaskIdx,
-                     const Instruction &I, const char *Indent) {
+                     const Instruction &I, const char *Indent,
+                     const ParamLayout *PL = nullptr) {
   switch (I.Op) {
   case OpCode::Const:
     appendf(Out, "%s%s = %s;\n", Indent, reg(I.Dst).c_str(),
-            formatValue(Task.ConstPool[I.A]).c_str());
+            PL ? paramExpr(PL->CpBase[TaskIdx] + I.A).c_str()
+               : formatValue(Task.ConstPool[I.A]).c_str());
     break;
   case OpCode::Load: {
     const BufferAccess &Access = Task.Loads[I.A];
@@ -185,16 +230,23 @@ void emitInstruction(std::string &Out, const KernelProgram &Program,
     } else {
       Body = Deeper.c_str();
     }
-    appendf(Out, "%svalue_t norm = (x - %s) * %s;\n", Body,
-            formatValue(P.Mean).c_str(), formatValue(P.InvStdDev).c_str());
+    size_t GaussSlot =
+        PL ? PL->GaussBase[TaskIdx] + 3 * static_cast<size_t>(I.B) : 0;
+    std::string Mean = PL ? paramExpr(GaussSlot) : formatValue(P.Mean);
+    std::string InvStdDev =
+        PL ? paramExpr(GaussSlot + 1) : formatValue(P.InvStdDev);
+    std::string Coefficient =
+        PL ? paramExpr(GaussSlot + 2) : formatValue(P.Coefficient);
+    appendf(Out, "%svalue_t norm = (x - %s) * %s;\n", Body, Mean.c_str(),
+            InvStdDev.c_str());
     if (I.Op == OpCode::Gaussian)
       appendf(Out,
               "%s%s = %s * "
               "(value_t)std::exp((double)((value_t)-0.5 * norm * norm));\n",
-              Body, reg(I.Dst).c_str(), formatValue(P.Coefficient).c_str());
+              Body, reg(I.Dst).c_str(), Coefficient.c_str());
     else
       appendf(Out, "%s%s = %s - (value_t)0.5 * norm * norm;\n", Body,
-              reg(I.Dst).c_str(), formatValue(P.Coefficient).c_str());
+              reg(I.Dst).c_str(), Coefficient.c_str());
     if (P.SupportMarginal)
       appendf(Out, "%s  }\n", Indent);
     appendf(Out, "%s}\n", Indent);
@@ -203,7 +255,9 @@ void emitInstruction(std::string &Out, const KernelProgram &Program,
   case OpCode::TableLookup: {
     const LookupTable &Table = Task.Tables[I.B];
     std::string TableName =
-        "kTable_t" + std::to_string(TaskIdx) + "_" + std::to_string(I.B);
+        PL ? "(p + " + std::to_string(PL->TableBase[TaskIdx][I.B]) + ")"
+           : "kTable_t" + std::to_string(TaskIdx) + "_" +
+                 std::to_string(I.B);
     appendf(Out, "%s{\n%s  value_t x = %s;\n", Indent, Indent,
             reg(I.A).c_str());
     std::string Deeper = std::string(Indent) + "  ";
@@ -232,16 +286,19 @@ void emitInstruction(std::string &Out, const KernelProgram &Program,
     const SelectRange &Range = Task.Selects[I.B];
     // NaN compares false, so marginalized evidence keeps the previous
     // register value — same as the interpreter.
+    std::string Value = PL ? paramExpr(PL->SelectBase[TaskIdx] + I.B)
+                           : formatValue(Range.Value);
     appendf(Out, "%sif (%s >= %s && %s < %s) %s = %s;\n", Indent,
             reg(I.A).c_str(), formatValue(Range.Lo).c_str(),
             reg(I.A).c_str(), formatValue(Range.Hi).c_str(),
-            reg(I.Dst).c_str(), formatValue(Range.Value).c_str());
+            reg(I.Dst).c_str(), Value.c_str());
     break;
   }
   case OpCode::NanBlend:
     appendf(Out, "%sif (std::isnan(%s)) %s = %s;\n", Indent,
             reg(I.A).c_str(), reg(I.Dst).c_str(),
-            formatValue(Task.ConstPool[I.B]).c_str());
+            PL ? paramExpr(PL->CpBase[TaskIdx] + I.B).c_str()
+               : formatValue(Task.ConstPool[I.B]).c_str());
     break;
   case OpCode::AddN:
   case OpCode::MulN: {
@@ -516,6 +573,9 @@ spnc::backend::emitCppKernel(const KernelProgram &Program) {
         std::to_string(Program.NumOutputs) + " outputs)");
   bool NeedsPlan = Program.Query == QueryKind::Mpe ||
                    Program.Query == QueryKind::Sample;
+  if (Program.Parameterized && NeedsPlan)
+    return makeError("cpp emitter: parameterized programs support "
+                     "joint/marginal queries only (docs/merging.md)");
   if (NeedsPlan) {
     if (Program.Plan.empty())
       return makeError(
@@ -559,33 +619,72 @@ spnc::backend::emitCppKernel(const KernelProgram &Program) {
          "  return max + (value_t)std::log1p(std::exp((double)diff));\n"
          "}\n";
 
-  // Dense lookup tables, one static array per (task, table).
-  for (size_t T = 0; T < Program.Tasks.size(); ++T) {
-    const TaskProgram &Task = Program.Tasks[T];
-    for (size_t J = 0; J < Task.Tables.size(); ++J) {
-      const LookupTable &Table = Task.Tables[J];
-      // A zero-length array is ill-formed; an empty table (never
-      // indexed: the bounds check rejects everything) gets one dummy
-      // element.
-      appendf(Out, "\nstatic const double kTable_t%zu_%zu[%zu] = {\n", T,
-              J, Table.Values.empty() ? size_t(1) : Table.Values.size());
-      if (Table.Values.empty())
-        Out += "  0.0,\n";
-      for (size_t V = 0; V < Table.Values.size(); ++V) {
-        appendf(Out, "  %s,", formatDouble(Table.Values[V]).c_str());
-        Out += (V % 4 == 3 || V + 1 == Table.Values.size()) ? "\n" : "";
+  ParamLayout Layout;
+  const ParamLayout *PL = nullptr;
+  if (Program.Parameterized) {
+    Layout = buildParamLayout(Program);
+    PL = &Layout;
+    // Default parameter block: the generating model's own baked side
+    // tables in the vm::flattenTaskTables layout, so the classic entry
+    // point stays bit-identical to a non-parameterized build.
+    appendf(Out, "\nstatic const double kParamsDefault[%zu] = {\n",
+            Layout.Total ? Layout.Total : size_t(1));
+    size_t Count = 0;
+    auto Push = [&](double Value) {
+      appendf(Out, "  %s,", formatDouble(Value).c_str());
+      Out += (++Count % 4 == 0) ? "\n" : "";
+    };
+    for (const TaskProgram &Task : Program.Tasks) {
+      for (double Value : Task.ConstPool)
+        Push(Value);
+      for (const GaussianParams &G : Task.Gaussians) {
+        Push(G.Mean);
+        Push(G.InvStdDev);
+        Push(G.Coefficient);
       }
-      Out += "};\n";
+      for (const LookupTable &Table : Task.Tables)
+        for (double Value : Table.Values)
+          Push(Value);
+      for (const SelectRange &Select : Task.Selects)
+        Push(Select.Value);
+    }
+    if (Layout.Total == 0)
+      Out += "  0.0,";
+    Out += "\n};\n";
+  } else {
+    // Dense lookup tables, one static array per (task, table).
+    for (size_t T = 0; T < Program.Tasks.size(); ++T) {
+      const TaskProgram &Task = Program.Tasks[T];
+      for (size_t J = 0; J < Task.Tables.size(); ++J) {
+        const LookupTable &Table = Task.Tables[J];
+        // A zero-length array is ill-formed; an empty table (never
+        // indexed: the bounds check rejects everything) gets one dummy
+        // element.
+        appendf(Out, "\nstatic const double kTable_t%zu_%zu[%zu] = {\n", T,
+                J, Table.Values.empty() ? size_t(1) : Table.Values.size());
+        if (Table.Values.empty())
+          Out += "  0.0,\n";
+        for (size_t V = 0; V < Table.Values.size(); ++V) {
+          appendf(Out, "  %s,", formatDouble(Table.Values[V]).c_str());
+          Out += (V % 4 == 3 || V + 1 == Table.Values.size()) ? "\n" : "";
+        }
+        Out += "};\n";
+      }
     }
   }
   if (NeedsPlan)
     emitTracebackSupport(Out, Program);
   Out += "\n} // namespace\n\n";
 
-  appendf(Out,
-          "extern \"C\" void %s(const double *__restrict in, "
-          "double *__restrict out, size_t n) {\n",
-          kCppKernelSymbol);
+  if (PL)
+    Out += "static void spnc_kernel_impl(const double *__restrict in, "
+           "double *__restrict out, size_t n,\n"
+           "                             const double *__restrict p) {\n";
+  else
+    appendf(Out,
+            "extern \"C\" void %s(const double *__restrict in, "
+            "double *__restrict out, size_t n) {\n",
+            kCppKernelSymbol);
 
   // Intermediate buffers, [slot][sample] like the executor's scratch.
   for (size_t B = 0; B < Program.Buffers.size(); ++B)
@@ -616,10 +715,26 @@ spnc::backend::emitCppKernel(const KernelProgram &Program) {
             Task.NumRegisters ? Task.NumRegisters : 1u);
     for (const Instruction &I : Task.Code)
       emitInstruction(Out, Program, Task, static_cast<size_t>(Step.Task),
-                      I, "    ");
+                      I, "    ", PL);
     Out += "  }\n";
   }
   Out += "}\n";
+  if (PL) {
+    appendf(Out,
+            "\nextern \"C\" void %s(const double *__restrict in, "
+            "double *__restrict out, size_t n) {\n"
+            "  spnc_kernel_impl(in, out, n, kParamsDefault);\n"
+            "}\n",
+            kCppKernelSymbol);
+    appendf(Out,
+            "\nextern \"C\" void %s(const double *__restrict in, "
+            "double *__restrict out, size_t n,\n"
+            "                                        "
+            "const double *params) {\n"
+            "  spnc_kernel_impl(in, out, n, params);\n"
+            "}\n",
+            kCppParamsSymbol);
+  }
   if (NeedsPlan)
     emitQueryEntry(Out, Program);
   return Out;

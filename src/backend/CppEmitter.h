@@ -32,14 +32,26 @@ namespace backend {
 /// Bumped whenever the emitted code's semantics or ABI change; folded
 /// into the CppBackend's artifact fingerprint so cached native kernels
 /// from older emitters are never reused. v2 added the Max opcode and
-/// the MPE / ancestral-sampling entry points.
-inline constexpr unsigned kCppEmitterVersion = 2;
+/// the MPE / ancestral-sampling entry points; v3 added the per-model
+/// parameter-block indirection and the spnc_kernel_run_params entry
+/// point of parameterized (merged-model) programs.
+inline constexpr unsigned kCppEmitterVersion = 3;
 
 /// Name of the emitted `extern "C"` entry point:
 ///   void spnc_kernel_run(const double *in, double *out, size_t n);
 /// `in` is row-major [sample][feature]; `out` receives one value per
 /// sample and output slot.
 inline constexpr const char *kCppKernelSymbol = "spnc_kernel_run";
+
+/// Parameterized entry point, emitted only for programs compiled with
+/// Parameterize (merged-model kernels, docs/merging.md):
+///   void spnc_kernel_run_params(const double *in, double *out,
+///                               size_t n, const double *params);
+/// `params` points at one concatenated per-task side-table block in the
+/// vm::flattenTaskTables layout (const pool, Gaussian triples, table
+/// values, select values — tasks in order). `spnc_kernel_run` remains
+/// emitted and runs the generating model's own baked block.
+inline constexpr const char *kCppParamsSymbol = "spnc_kernel_run_params";
 
 /// MPE entry point, emitted only for QueryKind::Mpe programs:
 ///   void spnc_kernel_mpe(const double *in, double *assign,

@@ -24,8 +24,10 @@ using namespace spnc::vm;
 
 namespace {
 
-constexpr double kLogSqrt2Pi = 0.91893853320467274178;
-constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+// Shared with the weight-table binder (vm/ParamTable.cpp), which must
+// reproduce this arithmetic bit-for-bit.
+constexpr double kLogSqrt2Pi = vm::kLogSqrt2Pi;
+constexpr double kInvSqrt2Pi = vm::kInvSqrt2Pi;
 
 /// True if all histogram bucket bounds are integral (dense-table
 /// eligible).
@@ -127,7 +129,21 @@ private:
       }
       if (ConstantOp Const = dyn_cast_op<ConstantOp>(Op)) {
         uint32_t Reg = newReg();
-        push(OpCode::Const, Reg, poolConstant(Const.getValue()));
+        int64_t Param = paramIndexOf(Op);
+        uint32_t Slot;
+        if (Param >= 0) {
+          // A tunable sum-weight constant: its own (never-pooled) slot,
+          // rebindable from a weight table. The baked value is already
+          // the log-weight in log space, so the binder applies the same
+          // transform to the raw weight.
+          Slot = paramPoolSlot(Const.getValue());
+          addSite(ParamSlotKind::ConstPool,
+                  Log ? ParamTransform::Log : ParamTransform::Identity,
+                  Slot, Param);
+        } else {
+          Slot = poolConstant(Const.getValue());
+        }
+        push(OpCode::Const, Reg, Slot);
         RegOf[Op->getResult(0).getImpl()] = Reg;
         continue;
       }
@@ -197,10 +213,24 @@ private:
                 ? Params.Coefficient
                 : (Log ? 0.0 : 1.0);
         Program.Gaussians.push_back(Params);
+        uint32_t GaussIndex =
+            static_cast<uint32_t>(Program.Gaussians.size() - 1);
+        if (int64_t Param = paramIndexOf(Op); Param >= 0) {
+          // Canonical order: mean, then stddev. The stddev feeds two
+          // derived slots. MarginalValue is 0/1 for joint/marginal
+          // queries — structural, stays baked.
+          addSite(ParamSlotKind::GaussianMean, ParamTransform::Identity,
+                  GaussIndex, Param);
+          addSite(ParamSlotKind::GaussianInvStdDev,
+                  ParamTransform::Reciprocal, GaussIndex, Param + 1);
+          addSite(ParamSlotKind::GaussianCoefficient,
+                  Log ? ParamTransform::LogGaussCoefficient
+                      : ParamTransform::LinearGaussCoefficient,
+                  GaussIndex, Param + 1);
+        }
         uint32_t Reg = newReg();
         push(Log ? OpCode::GaussianLog : OpCode::Gaussian, Reg,
-             regOfOperand(Op, 0),
-             static_cast<uint32_t>(Program.Gaussians.size() - 1));
+             regOfOperand(Op, 0), GaussIndex);
         RegOf[Op->getResult(0).getImpl()] = Reg;
         if (Plan) {
           PlanNode Node;
@@ -293,8 +323,27 @@ private:
             Table.Values[static_cast<size_t>(X - Lo)] = P;
         }
         Program.Tables.push_back(std::move(Table));
-        push(OpCode::TableLookup, Reg, Evidence,
-             static_cast<uint32_t>(Program.Tables.size() - 1));
+        uint32_t TableIndex =
+            static_cast<uint32_t>(Program.Tables.size() - 1);
+        if (int64_t ParamBase = paramIndexOf(Op); ParamBase >= 0) {
+          // One tunable mass per bucket; a wide bucket spans several
+          // dense slots. Bounds, Lo, DefaultValue, MarginalValue are
+          // structural and stay baked.
+          const LookupTable &Placed = Program.Tables[TableIndex];
+          for (size_t I = 0; I < Flat.size(); I += 3) {
+            ParamSite Site;
+            Site.Kind = ParamSlotKind::TableValue;
+            Site.Transform =
+                Log ? ParamTransform::Log : ParamTransform::Identity;
+            Site.Index = TableIndex;
+            Site.Slot = static_cast<uint32_t>(Flat[I] - Placed.Lo);
+            Site.Count = static_cast<uint32_t>(Flat[I + 1] - Flat[I]);
+            Site.Param =
+                static_cast<uint32_t>(ParamBase + static_cast<int64_t>(I / 3));
+            Program.ParamSites.push_back(Site);
+          }
+        }
+        push(OpCode::TableLookup, Reg, Evidence, TableIndex);
         RegOf[Op->getResult(0).getImpl()] = Reg;
         return;
       }
@@ -302,13 +351,19 @@ private:
 
     // Select cascade: initialize with the default, one range select per
     // bucket, NaN blend for marginalization.
+    int64_t ParamBase = paramIndexOf(Op);
     push(OpCode::Const, Reg, poolConstant(Default));
     for (size_t I = 0; I < Flat.size(); I += 3) {
       Program.Selects.push_back(SelectRange{
           Flat[I], Flat[I + 1],
           Log ? std::log(Flat[I + 2]) : Flat[I + 2]});
-      push(OpCode::SelectInRange, Reg, Evidence,
-           static_cast<uint32_t>(Program.Selects.size() - 1));
+      uint32_t SelectIndex =
+          static_cast<uint32_t>(Program.Selects.size() - 1);
+      if (ParamBase >= 0)
+        addSite(ParamSlotKind::SelectValue,
+                Log ? ParamTransform::Log : ParamTransform::Identity,
+                SelectIndex, ParamBase + static_cast<int64_t>(I / 3));
+      push(OpCode::SelectInRange, Reg, Evidence, SelectIndex);
     }
     if (Marginal) {
       Instruction Inst;
@@ -332,14 +387,43 @@ private:
     return static_cast<int32_t>(Plan->Nodes.size() - 1);
   }
 
+  /// Canonical parameter index of a `param`-tagged op under
+  /// parameterized emission, -1 otherwise.
+  int64_t paramIndexOf(Operation *Op) const {
+    return Options.Parameterize ? Op->getIntAttr("param", -1) : -1;
+  }
+
+  void addSite(ParamSlotKind Kind, ParamTransform Transform,
+               uint32_t Index, int64_t Param) {
+    ParamSite Site;
+    Site.Kind = Kind;
+    Site.Transform = Transform;
+    Site.Index = Index;
+    Site.Param = static_cast<uint32_t>(Param);
+    Program.ParamSites.push_back(Site);
+  }
+
   uint32_t poolConstant(double Value) {
     for (size_t I = 0; I < Program.ConstPool.size(); ++I) {
+      // Never pool into a tunable slot: a structural constant that
+      // happens to equal the generating model's weight would change
+      // under rebinding.
+      if (I < PoolSlotIsParam.size() && PoolSlotIsParam[I])
+        continue;
       double Existing = Program.ConstPool[I];
       if (Existing == Value ||
           (std::isnan(Existing) && std::isnan(Value)))
         return static_cast<uint32_t>(I);
     }
     Program.ConstPool.push_back(Value);
+    PoolSlotIsParam.push_back(false);
+    return static_cast<uint32_t>(Program.ConstPool.size() - 1);
+  }
+
+  /// A fresh, never-deduplicated constant-pool slot for a tunable value.
+  uint32_t paramPoolSlot(double Value) {
+    Program.ConstPool.push_back(Value);
+    PoolSlotIsParam.push_back(true);
     return static_cast<uint32_t>(Program.ConstPool.size() - 1);
   }
 
@@ -361,6 +445,9 @@ private:
   /// Traceback plan under construction (null for joint/marginal).
   TracebackPlan *Plan;
   TaskProgram Program;
+  /// Parallel to Program.ConstPool: slots holding a tunable parameter
+  /// (excluded from constant pooling).
+  std::vector<uint8_t> PoolSlotIsParam;
   std::unordered_map<ValueImpl *, uint32_t> RegOf;
   /// Input feature index a value carries (plan building only).
   std::unordered_map<ValueImpl *, uint32_t> FeatureOf;
@@ -927,6 +1014,11 @@ spnc::codegen::emitKernelProgram(KernelOp Kernel,
   bool NeedsPlan = Options.Query == QueryKind::Mpe ||
                    Options.Query == QueryKind::Sample;
   unsigned OptLevel = NeedsPlan ? 0 : Options.OptLevel;
+  if (Options.Parameterize && NeedsPlan)
+    return makeError("parameterized codegen supports joint/marginal "
+                     "queries only (the traceback plan bakes "
+                     "parameter-dependent values)");
+  Program.Parameterized = Options.Parameterize;
 
   // Buffer plan from the kernel signature and allocs.
   std::unordered_map<ValueImpl *, uint32_t> BufferIds;
@@ -1013,7 +1105,14 @@ spnc::codegen::emitKernelProgram(KernelOp Kernel,
 
     if (OptLevel >= 2) {
       Timer PeepholeTimer;
-      runPeephole(*TaskProg, Program.LogSpace);
+      // The peephole folds weight constants into leaf tables and fuses
+      // FMAs — both rewrites whose firing (or numeric effect) depends on
+      // which values are single-use constants. Parameterized programs
+      // skip it so the program shape (and the merged/unmerged numerics)
+      // stay independent of the parameter values. Chain collapse is
+      // purely structural and stays on.
+      if (!Options.Parameterize)
+        runPeephole(*TaskProg, Program.LogSpace);
       runChainCollapse(*TaskProg);
       T.PeepholeNs += PeepholeTimer.elapsedNs();
     }
@@ -1033,5 +1132,9 @@ spnc::codegen::emitKernelProgram(KernelOp Kernel,
     Program.Steps.push_back(Step);
     Program.Tasks.push_back(TaskProg.takeValue());
   }
+  if (Program.Parameterized)
+    for (const TaskProgram &Task : Program.Tasks)
+      for (const ParamSite &Site : Task.ParamSites)
+        Program.NumParams = std::max(Program.NumParams, Site.Param + 1);
   return Program;
 }

@@ -49,6 +49,13 @@ struct CodegenOptions {
   /// optimization passes would reallocate registers and dissolve the
   /// sum-combine chains the plan references.
   vm::QueryKind Query = vm::QueryKind::Joint;
+  /// Merged-model compilation (docs/merging.md): record a `ParamSite`
+  /// for every `param`-tagged constant / leaf op, give each such site
+  /// its own side-table slot (no constant pooling across sites), and
+  /// disable the value-dependent peephole rewrites (leaf-weight folding,
+  /// FMA fusion) so structurally-isomorphic models compile to the same
+  /// program shape.
+  bool Parameterize = false;
 };
 
 /// Wall-clock time of the codegen stages (nanoseconds); the analog of the

@@ -223,12 +223,17 @@ struct CollapseSingleInputProduct : public RewritePattern {
   }
 };
 
-/// sum(x) with weight 1.0 -> x.
+/// sum(x) with weight 1.0 -> x. Skipped for parameter-tagged sums
+/// (merged-model compilation): whether the pattern fires depends on the
+/// weight *value*, and erasing the sum would drop its parameter site —
+/// structurally-isomorphic models must keep identical program shapes.
 struct CollapseSingleInputSum : public RewritePattern {
   CollapseSingleInputSum() : RewritePattern(SumOp::getOperationName()) {}
   LogicalResult matchAndRewrite(Operation *Op,
                                 PatternRewriter &Rewriter) const override {
     if (Op->getNumOperands() != 1)
+      return failure();
+    if (Op->hasAttr("param"))
       return failure();
     SumOp Sum(Op);
     if (Sum.getWeights()[0] != 1.0)

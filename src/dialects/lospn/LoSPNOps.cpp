@@ -383,9 +383,14 @@ Attribute AddOp::fold(std::span<const Attribute> Operands) {
 namespace {
 
 /// Returns the constant value of \p V if defined by lo_spn.constant.
+/// Parameter-tagged constants (merged-model compilation) never match:
+/// the identity rewrites below depend on the constant's *value*, and a
+/// shared kernel must keep the same shape for every weight assignment.
 static bool matchConstant(Value V, double &Out) {
   Operation *Def = V.getDefiningOp();
   if (!Def || !isa_op<ConstantOp>(Def))
+    return false;
+  if (Def->hasAttr("param"))
     return false;
   Out = cast_op<ConstantOp>(Def).getValue();
   return true;

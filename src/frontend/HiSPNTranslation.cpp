@@ -18,7 +18,7 @@ using namespace spnc::spn;
 
 OwningOpRef<ModuleOp>
 spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
-                            const QueryConfig &Config) {
+                            const QueryConfig &Config, bool Parameterize) {
   hispn::registerHiSPNDialect(Ctx);
 
   std::string Message;
@@ -76,7 +76,18 @@ spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
   Builder.setInsertionPointToEnd(&GraphBlock);
 
   // Children-first translation; shared nodes map to one op result.
+  // NextParam tracks the canonical parameter index of merged-model
+  // compilation; since this loop walks the same topological order as
+  // merge::extractParams, assigning bases here and advancing by each
+  // node's parameter count reproduces the extraction order exactly.
   std::unordered_map<const Node *, Value> Translated;
+  int64_t NextParam = 0;
+  auto TagParams = [&](Operation *Op, int64_t Count) {
+    if (!Parameterize)
+      return;
+    Op->setAttr("param", IntAttr::get(Ctx, NextParam));
+    NextParam += Count;
+  };
   for (Node *Current : TheModel.topologicalOrder()) {
     Value Result;
     switch (Current->getKind()) {
@@ -90,6 +101,8 @@ spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
                    .create<hispn::SumOp>(
                        std::span<const Value>(Operands), Sum->getWeights())
                    ->getResult(0);
+      TagParams(Result.getDefiningOp(),
+                static_cast<int64_t>(Sum->getNumChildren()));
       break;
     }
     case NodeKind::Product: {
@@ -111,6 +124,8 @@ spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
                        GraphBlock.getArgument(Leaf->getFeatureIndex()),
                        Leaf->getFlatBuckets())
                    ->getResult(0);
+      TagParams(Result.getDefiningOp(),
+                static_cast<int64_t>(Leaf->getBuckets().size()));
       break;
     }
     case NodeKind::Categorical: {
@@ -120,6 +135,8 @@ spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
                        GraphBlock.getArgument(Leaf->getFeatureIndex()),
                        Leaf->getProbabilities())
                    ->getResult(0);
+      TagParams(Result.getDefiningOp(),
+                static_cast<int64_t>(Leaf->getProbabilities().size()));
       break;
     }
     case NodeKind::Gaussian: {
@@ -129,6 +146,7 @@ spnc::spn::translateToHiSPN(Context &Ctx, const Model &TheModel,
                        GraphBlock.getArgument(Leaf->getFeatureIndex()),
                        Leaf->getMean(), Leaf->getStdDev())
                    ->getResult(0);
+      TagParams(Result.getDefiningOp(), 2);
       break;
     }
     }

@@ -69,6 +69,21 @@ public:
                                  Stats);
   }
 
+  /// Weight-table support of merged-model kernels; forwards to the
+  /// ExecutionEngine trio (docs/merging.md).
+  bool supportsParamTables() const {
+    return Engine->supportsParamTables();
+  }
+  int32_t addParamTable(const double *Params, size_t NumParams) const {
+    return Engine->addParamTable(Params, NumParams);
+  }
+  bool executeIndexed(const double *Input, const uint32_t *TableIndices,
+                      double *Output, size_t NumSamples,
+                      ExecutionStats *Stats = nullptr) const {
+    return Engine->executeIndexed(Input, TableIndices, Output, NumSamples,
+                                  Stats);
+  }
+
   Target getTarget() const { return Engine->getTarget(); }
 
   /// The compiled program; only valid for kernels backed by a compiled

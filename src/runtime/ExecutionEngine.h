@@ -136,6 +136,42 @@ public:
     return false;
   }
 
+  /// Weight-table support (merged-model serving, docs/merging.md): true
+  /// when this engine runs a parameterized program and can rebind its
+  /// tunable slots per model via addParamTable / executeIndexed.
+  virtual bool supportsParamTables() const { return false; }
+
+  /// Registers a per-model weight table: \p Params is the raw canonical
+  /// parameter vector (merge::extractParams order, length must match the
+  /// program's NumParams). Returns the table index for executeIndexed,
+  /// or -1 when this engine has no table support or the length is wrong.
+  /// Idempotent: registering identical content returns the existing
+  /// index. The one sanctioned mutation after construction — safe to
+  /// call concurrently with execute()/executeIndexed().
+  virtual int32_t addParamTable(const double *Params, size_t NumParams) {
+    (void)Params;
+    (void)NumParams;
+    return -1;
+  }
+
+  /// Cross-model batch execution: like execute(), but row I is evaluated
+  /// under the weight table \p TableIndices[I] (indices from
+  /// addParamTable). Rows should arrive grouped by table index — the
+  /// engine splits the batch into maximal equal-index runs. Returns
+  /// false (writing nothing) when tables are unsupported or an index is
+  /// unknown. Thread-safe like execute().
+  virtual bool executeIndexed(const double *Input,
+                              const uint32_t *TableIndices, double *Output,
+                              size_t NumSamples,
+                              ExecutionStats *Stats = nullptr) const {
+    (void)Input;
+    (void)TableIndices;
+    (void)Output;
+    (void)NumSamples;
+    (void)Stats;
+    return false;
+  }
+
   /// The compiled program backing this engine, or null for engines that
   /// evaluate a model directly (the baseline adapters). The returned
   /// pointer is owned by the engine and valid for its lifetime.

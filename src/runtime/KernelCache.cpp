@@ -8,8 +8,10 @@
 #include "runtime/KernelCache.h"
 
 #include "backend/VmBackend.h"
+#include "merge/Merge.h"
 #include "support/Casting.h"
 #include "support/Hashing.h"
+#include "vm/ParamTable.h"
 #include "vm/ProgramBinary.h"
 
 #include <algorithm>
@@ -35,7 +37,7 @@ const backend::Backend &defaultBackend() {
 
 } // namespace
 
-uint64_t KernelCache::hashModel(const spn::Model &Model) {
+uint64_t KernelCache::contentHash(const spn::Model &Model) {
   size_t Seed = hashCombine(Model.getNumFeatures());
   for (const spn::Node *N : Model.topologicalOrder()) {
     hashCombineSeed(Seed, hashCombine(static_cast<unsigned>(N->getKind()),
@@ -64,6 +66,10 @@ uint64_t KernelCache::hashModel(const spn::Model &Model) {
   return Seed;
 }
 
+uint64_t KernelCache::structuralHash(const spn::Model &Model) {
+  return merge::structuralHash(Model);
+}
+
 uint64_t KernelCache::stageFingerprint(
     const CompilationPipeline &Pipeline) {
   size_t Seed = hashCombine(Pipeline.getStages().size());
@@ -90,12 +96,16 @@ uint64_t KernelCache::makeKey(const spn::Model &Model,
                  defaultBackend());
 }
 
-uint64_t KernelCache::makeKey(const spn::Model &Model,
-                              const spn::QueryConfig &Query,
-                              const PipelineConfig &Config,
-                              uint64_t StageFingerprint,
-                              const backend::Backend &TheBackend) {
-  size_t Seed = hashModel(Model);
+namespace {
+
+/// Folds the non-model key components onto \p ModelHash — shared by the
+/// classic (contentHash-seeded) and merged (structuralHash-seeded) key
+/// paths.
+uint64_t combineKey(uint64_t ModelHash, const spn::QueryConfig &Query,
+                    const PipelineConfig &Config,
+                    uint64_t StageFingerprint,
+                    const backend::Backend &TheBackend) {
+  size_t Seed = ModelHash;
   // Query.Kind participates in the key, so a cache populated with
   // joint/marginal kernels (or old query-less keys) never serves an MPE
   // or sampling request — it misses and recompiles transparently.
@@ -110,6 +120,17 @@ uint64_t KernelCache::makeKey(const spn::Model &Model,
   hashCombineSeed(Seed, fnv1a64(Name.data(), Name.size()));
   hashCombineSeed(Seed, TheBackend.artifactFingerprint());
   return Seed;
+}
+
+} // namespace
+
+uint64_t KernelCache::makeKey(const spn::Model &Model,
+                              const spn::QueryConfig &Query,
+                              const PipelineConfig &Config,
+                              uint64_t StageFingerprint,
+                              const backend::Backend &TheBackend) {
+  return combineKey(contentHash(Model), Query, Config, StageFingerprint,
+                    TheBackend);
 }
 
 std::string KernelCache::entryPath(uint64_t Key) const {
@@ -252,6 +273,59 @@ KernelCache::getOrCompile(const spn::Model &Model,
                           const spn::QueryConfig &Query,
                           const CompilerOptions &Options,
                           CompileStats *CompStats) {
+  return getOrCompileImpl(contentHash(Model), Model, Query, Options,
+                          CompStats, /*ExpectParameterized=*/false,
+                          /*FreshlyCompiled=*/nullptr);
+}
+
+Expected<KernelCache::MergedKernel>
+KernelCache::getOrCompileMerged(const spn::Model &Model,
+                                const spn::QueryConfig &Query,
+                                const CompilerOptions &Options,
+                                CompileStats *CompStats) {
+  CompilerOptions MergedOptions = Options;
+  MergedOptions.Lowering.Parameterize = true;
+  std::vector<double> Params = merge::extractParams(Model);
+  bool Fresh = false;
+  Expected<CompiledKernel> Kernel = getOrCompileImpl(
+      structuralHash(Model), Model, Query, MergedOptions, CompStats,
+      /*ExpectParameterized=*/true, &Fresh);
+  if (!Kernel)
+    return Kernel.getError();
+  const std::shared_ptr<ExecutionEngine> &Engine =
+      Kernel->getEngineShared();
+  if (Fresh) {
+    // Trust-but-verify on every fresh compile: binding the generating
+    // model's own canonical parameters must reproduce the program's
+    // baked side tables bit-for-bit. A divergence means the param-site
+    // bookkeeping and the extraction order disagree — serving would
+    // silently evaluate the wrong model, so fail loudly instead.
+    const vm::KernelProgram *Program = Engine->getProgram();
+    std::string Why = "engine exposes no compiled program";
+    if (!Program || !vm::verifySelfBinding(*Program, Params, &Why))
+      return makeError(
+          "merged compilation failed its self-binding check: " + Why);
+  }
+  int32_t TableIndex = Engine->addParamTable(Params.data(), Params.size());
+  if (TableIndex < 0)
+    return makeError("merged compilation: engine '" + Engine->describe() +
+                     "' rejected the weight table (no param-table "
+                     "support, or parameter count mismatch)");
+  MergedKernel Result;
+  Result.Kernel = std::move(*Kernel);
+  Result.TableIndex = TableIndex;
+  return Result;
+}
+
+Expected<CompiledKernel>
+KernelCache::getOrCompileImpl(uint64_t ModelHash, const spn::Model &Model,
+                              const spn::QueryConfig &Query,
+                              const CompilerOptions &Options,
+                              CompileStats *CompStats,
+                              bool ExpectParameterized,
+                              bool *FreshlyCompiled) {
+  if (FreshlyCompiled)
+    *FreshlyCompiled = false;
   Expected<CompilationPipeline> Pipeline =
       CompilationPipeline::create(Options);
   if (!Pipeline)
@@ -261,8 +335,8 @@ KernelCache::getOrCompile(const spn::Model &Model,
       return *Err;
   const backend::Backend &TheBackend =
       TheConfig.TheBackend ? *TheConfig.TheBackend : defaultBackend();
-  uint64_t Key = makeKey(Model, Query, Pipeline->getConfig(),
-                         stageFingerprint(*Pipeline), TheBackend);
+  uint64_t Key = combineKey(ModelHash, Query, Pipeline->getConfig(),
+                            stageFingerprint(*Pipeline), TheBackend);
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -297,6 +371,15 @@ KernelCache::getOrCompile(const spn::Model &Model,
           ", requested " +
           std::to_string(static_cast<unsigned>(Query.Kind)));
     }
+    if (Cached && Cached->Parameterized != ExpectParameterized) {
+      // Same defense for the merged path: a non-parameterized blob in a
+      // merged slot (or vice versa) cannot serve the request.
+      Cached = makeError(ExpectParameterized
+                             ? "entry is not parameterized; the merged "
+                               "path requires a weight-table kernel"
+                             : "entry is parameterized; the classic "
+                               "path requires a baked kernel");
+    }
     if (Cached) {
       // A `.spnk` stores only the portable program; the backend turns
       // it back into a live engine (for the native backend that means
@@ -328,6 +411,8 @@ KernelCache::getOrCompile(const spn::Model &Model,
     if (!Artifact)
       return Artifact.getError();
     Engine = std::move(Artifact->Engine);
+    if (FreshlyCompiled)
+      *FreshlyCompiled = true;
     if (!Path.empty() && Engine->getProgram()) {
       // Persist for future processes; failures (e.g. unwritable
       // directory) only cost the next process a recompile.

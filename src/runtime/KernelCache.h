@@ -149,12 +149,26 @@ public:
   KernelCache(const KernelCache &) = delete;
   KernelCache &operator=(const KernelCache &) = delete;
 
-  /// Structural+parametric hash of \p Model: node kinds, wiring, weights
-  /// and leaf parameters of the graph reachable from the root, plus the
-  /// feature count. Two models with identical structure and parameters
-  /// collide (desired: they compile to identical kernels). Thread-safe;
-  /// the model must not be mutated concurrently.
-  static uint64_t hashModel(const spn::Model &Model);
+  /// Content hash of \p Model: node kinds, wiring, weights and leaf
+  /// parameters of the graph reachable from the root, plus the feature
+  /// count. Two models with identical structure and parameters collide
+  /// (desired: they compile to identical kernels); a weight-only edit
+  /// changes it. Thread-safe; the model must not be mutated
+  /// concurrently.
+  static uint64_t contentHash(const spn::Model &Model);
+
+  /// Legacy spelling of contentHash() (the pre-merging name).
+  static uint64_t hashModel(const spn::Model &Model) {
+    return contentHash(Model);
+  }
+
+  /// Structural hash of \p Model: node kinds, wiring, leaf families and
+  /// scopes — tunable parameters (sum weights, bucket masses, category
+  /// probabilities, Gaussian mean/stddev) excluded, so a weight-only
+  /// edit does NOT change it. Every member of a merge group shares this
+  /// value; it keys the merged compilation path (getOrCompileMerged).
+  /// Delegates to merge::structuralHash. Thread-safe.
+  static uint64_t structuralHash(const spn::Model &Model);
 
   /// Order-sensitive hash of \p Pipeline's registered stage names — the
   /// cache-key component that distinguishes pipelines carrying custom
@@ -203,6 +217,31 @@ public:
                                         const CompilerOptions &Options,
                                         CompileStats *Stats = nullptr);
 
+  /// A merged-path result: the group's shared kernel plus the index of
+  /// this model's weight table inside the kernel's engine (the row tag
+  /// ExecutionEngine::executeIndexed consumes).
+  struct MergedKernel {
+    CompiledKernel Kernel;
+    int32_t TableIndex = -1;
+  };
+
+  /// Merged-model variant of getOrCompile (docs/merging.md): the cache
+  /// key uses structuralHash(\p Model) instead of contentHash, and the
+  /// kernel is compiled with `Lowering.Parameterize` forced on, so every
+  /// structurally-isomorphic model maps to ONE cache entry — the first
+  /// member compiles, later members only register their weight table
+  /// (merge::extractParams) with the shared engine. A fresh compile is
+  /// checked with vm::verifySelfBinding before being trusted: binding
+  /// the generating model's own parameters must reproduce the baked
+  /// side tables bit-for-bit. Joint/marginal queries on CPU targets
+  /// only (the parameterized pipeline rejects the rest). Thread-safe
+  /// like getOrCompile.
+  Expected<MergedKernel>
+  getOrCompileMerged(const spn::Model &Model,
+                     const spn::QueryConfig &Query,
+                     const CompilerOptions &Options,
+                     CompileStats *Stats = nullptr);
+
   /// Number of resident engines. Thread-safe.
   size_t size() const;
 
@@ -240,6 +279,20 @@ private:
     /// Position in LruOrder (for O(1) touch on hit).
     std::list<uint64_t>::iterator LruIt;
   };
+
+  /// The shared miss/hit machinery behind getOrCompile and
+  /// getOrCompileMerged: memory lookup, disk probe, compile, insert.
+  /// \p ModelHash seeds the key (contentHash for the classic path,
+  /// structuralHash for the merged path); \p ExpectParameterized
+  /// rejects disk entries whose Parameterized flag does not match;
+  /// \p FreshlyCompiled (optional) reports whether the pipeline
+  /// actually ran (false on memory/disk hits).
+  Expected<CompiledKernel>
+  getOrCompileImpl(uint64_t ModelHash, const spn::Model &Model,
+                   const spn::QueryConfig &Query,
+                   const CompilerOptions &Options,
+                   CompileStats *CompStats, bool ExpectParameterized,
+                   bool *FreshlyCompiled);
 
   /// Moves \p It to the front of the recency list. Caller holds Mutex.
   void touch(std::unordered_map<uint64_t, Entry>::iterator It);

@@ -53,6 +53,9 @@ Expected<PipelineConfig> PipelineConfig::create(CompilerOptions Options) {
                      " exceeds the device limit of " +
                      std::to_string(Options.Device.MaxThreadsPerBlock) +
                      " threads per block");
+  if (Options.Lowering.Parameterize && Options.TheTarget == Target::GPU)
+    return makeError("parameterized (merged-model) compilation targets "
+                     "the CPU; the GPU path does not take weight tables");
   return PipelineConfig(std::move(Options));
 }
 
@@ -67,7 +70,8 @@ uint64_t PipelineConfig::hash() const {
   hashCombineSeed(Seed,
                   hashCombine(O.Lowering.ComputeWidth,
                               O.Lowering.F32MinLogThreshold,
-                              O.Lowering.GaussianEvidenceSigmas));
+                              O.Lowering.GaussianEvidenceSigmas,
+                              O.Lowering.Parameterize));
   hashCombineSeed(
       Seed, hashCombine(O.Partitioning.MaxPartitionSize,
                         O.Partitioning.Slack,
@@ -306,10 +310,15 @@ void CompilationPipeline::buildStages() {
     assert(!Err && "default stage registration failed");
   };
 
-  // Stage 1: translation into the HiSPN dialect (paper §IV-A2).
-  MustRegister({"translate", "model -> HiSPN dialect"},
+  // Stage 1: translation into the HiSPN dialect (paper §IV-A2). Under
+  // merged-model compilation the translation tags every sum/leaf op with
+  // its canonical parameter base index (docs/merging.md).
+  MustRegister({"translate", O.Lowering.Parameterize
+                                 ? "model -> HiSPN dialect (parameterized)"
+                                 : "model -> HiSPN dialect"},
                [](StageContext &C) -> std::optional<Error> {
-    C.Module = spn::translateToHiSPN(C.Ctx, C.Model, C.Query);
+    C.Module = spn::translateToHiSPN(C.Ctx, C.Model, C.Query,
+                                     C.Options.Lowering.Parameterize);
     if (!C.Module)
       return makeError("translation to HiSPN failed (invalid model?)");
     return std::nullopt;
@@ -367,6 +376,7 @@ void CompilationPipeline::buildStages() {
     codegen::CodegenOptions CGOptions;
     CGOptions.OptLevel = O.OptLevel;
     CGOptions.EmitSelectCascades = O.TheTarget == Target::GPU;
+    CGOptions.Parameterize = O.Lowering.Parameterize;
     // spn::QueryKind and vm::QueryKind share numeric values by contract.
     CGOptions.Query = static_cast<vm::QueryKind>(C.Query.Kind);
     Expected<vm::KernelProgram> Program =

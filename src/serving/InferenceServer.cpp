@@ -68,6 +68,9 @@ struct InferenceServer::Request {
   std::vector<double> Input;
   size_t NumSamples = 0;
   Priority ThePriority = Priority::Bulk;
+  /// Weight-table index of the request's model inside a merged kernel;
+  /// -1 on unmerged entries (docs/merging.md).
+  int32_t TableIndex = -1;
   Promise<InferenceResult> ResultPromise;
   Clock::time_point Enqueued;
   /// time_point::max() when the request carries no deadline.
@@ -84,6 +87,12 @@ struct InferenceServer::ModelEntry {
   /// Kind (likelihood vs MPE vs sampling entry point).
   spn::QueryConfig Query;
   unsigned NumFeatures = 0;
+  /// True for the shared entry of a merge group: requests carry a
+  /// weight-table index and batches execute through executeIndexed.
+  bool Merged = false;
+  /// Model names routed to this entry (1 unless Merged); Name is the
+  /// first. Guarded by RoutingMutex, read only for error messages.
+  size_t NumMembers = 1;
   std::array<std::deque<Request>, kNumPriorities> Queues;
   /// Samples queued (not yet formed into a batch), per class.
   std::array<size_t, kNumPriorities> QueuedSamples{};
@@ -265,6 +274,15 @@ InferenceServer::addModel(const std::string &Name,
       Effective.Device.NumStreams == 0)
     Effective.Device.NumStreams = Config.NumWorkers;
 
+  // Merged serving, where the parameterized path supports it (CPU
+  // targets, likelihood queries — docs/merging.md). Everything else
+  // falls through to the per-model path below, merging or not.
+  if (Config.MergeModels &&
+      Effective.TheTarget != runtime::Target::GPU &&
+      (Query.Kind == spn::QueryKind::Joint ||
+       Query.Kind == spn::QueryKind::Marginal))
+    return addMergedModel(Name, Model, Query, Effective);
+
   // Compile (or fetch) outside the locks: compilation is slow and the
   // cache serializes same-key work internally. The cache is shared by
   // every shard, so two models with the same cache key compile once no
@@ -307,6 +325,71 @@ InferenceServer::addModel(const std::string &Name,
   return std::nullopt;
 }
 
+std::optional<Error>
+InferenceServer::addMergedModel(const std::string &Name,
+                                const spn::Model &Model,
+                                const spn::QueryConfig &Query,
+                                const runtime::CompilerOptions &Options) {
+  // One parameterized kernel per merge group: the cache keys on the
+  // structural hash, so every isomorphic model returns the same engine
+  // with its own weight-table index (docs/merging.md).
+  Expected<runtime::KernelCache::MergedKernel> Merged =
+      Cache->getOrCompileMerged(Model, Query, Options);
+  if (!Merged)
+    return Merged.getError();
+
+  // Placement hashes the structural hash, not the content hash: every
+  // member of a merge group must land on the shard that owns the
+  // group's shared queue.
+  size_t ShardIndex = placeOnShard(
+      runtime::KernelCache::structuralHash(Model), Shards.size());
+  Shard &TheShard = *Shards[ShardIndex];
+  const void *EngineKey = Merged->Kernel.getEngineShared().get();
+
+  std::unique_ptr<ModelEntry> Fresh;
+  ModelEntry *Raw = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(RoutingMutex);
+    if (ShuttingDown.load())
+      return makeError("cannot register model '" + Name +
+                       "': server is shutting down");
+    auto GroupIt = MergedGroups.find(EngineKey);
+    if (GroupIt != MergedGroups.end()) {
+      // An isomorphic sibling already serves this group; the new name
+      // joins its entry (and therefore its queues and batches).
+      Raw = GroupIt->second;
+      assert(Raw->NumFeatures == Model.getNumFeatures() &&
+             "isomorphic models disagree on feature count");
+    } else {
+      Fresh = std::make_unique<ModelEntry>();
+      Fresh->Name = Name;
+      Fresh->Kernel = Merged->Kernel;
+      Fresh->Query = Query;
+      Fresh->NumFeatures = Model.getNumFeatures();
+      Fresh->Merged = true;
+      Raw = Fresh.get();
+    }
+    auto [It, Inserted] = Routing.emplace(
+        Name,
+        Route{ShardIndex, Raw, Raw->NumFeatures, Merged->TableIndex});
+    (void)It;
+    if (!Inserted)
+      return makeError("model '" + Name + "' is already registered");
+    if (Fresh)
+      MergedGroups.emplace(EngineKey, Raw);
+    else
+      ++Raw->NumMembers;
+  }
+  if (Fresh) {
+    {
+      std::lock_guard<std::mutex> Lock(TheShard.Mutex);
+      TheShard.Models.push_back(Raw);
+    }
+    OwnedModels.push_back(std::move(Fresh));
+  }
+  return std::nullopt;
+}
+
 bool InferenceServer::hasModel(const std::string &Name) const {
   std::lock_guard<std::mutex> Lock(RoutingMutex);
   return Routing.count(Name) != 0;
@@ -325,6 +408,15 @@ InferenceServer::getModelShard(const std::string &Name) const {
   if (It == Routing.end())
     return std::nullopt;
   return It->second.ShardIndex;
+}
+
+std::optional<int32_t>
+InferenceServer::getModelTableIndex(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(RoutingMutex);
+  auto It = Routing.find(Name);
+  if (It == Routing.end() || It->second.TableIndex < 0)
+    return std::nullopt;
+  return It->second.TableIndex;
 }
 
 //===----------------------------------------------------------------------===//
@@ -419,6 +511,7 @@ ResultFuture InferenceServer::submit(const std::string &Name,
                           Samples + NumSamples * Model.NumFeatures);
   TheRequest.NumSamples = NumSamples;
   TheRequest.ThePriority = ThePriority;
+  TheRequest.TableIndex = TheRoute.TableIndex;
   TheRequest.Enqueued = Clock::now();
   uint64_t EffectiveDeadlineUs =
       DeadlineUs ? DeadlineUs : Config.DefaultDeadlineUs;
@@ -638,14 +731,38 @@ void InferenceServer::runBatch(Shard &TheShard, Batch TheBatch) {
   ModelEntry &Model = *TheBatch.Model;
   size_t NumFeatures = Model.NumFeatures;
 
-  // Gather the request rows into one contiguous batch buffer.
+  // Merged batches mix requests for different models of one merge
+  // group. Grouping same-model rows together (stable within a model,
+  // so FIFO order inside each model holds) lets executeIndexed run
+  // maximal per-table spans; the output scatter below walks the same
+  // sorted order, so each rider still gets its own rows back.
+  if (Model.Merged)
+    std::stable_sort(TheBatch.Requests.begin(), TheBatch.Requests.end(),
+                     [](const Request &A, const Request &B) {
+                       return A.TableIndex < B.TableIndex;
+                     });
+
+  // Gather the request rows into one contiguous batch buffer (plus the
+  // per-row weight-table indices when merged).
   std::vector<double> Input(TheBatch.TotalSamples * NumFeatures);
   std::vector<double> Output(TheBatch.TotalSamples);
+  std::vector<uint32_t> TableIndices;
+  if (Model.Merged)
+    TableIndices.reserve(TheBatch.TotalSamples);
+  size_t DistinctTables = 0;
   size_t Offset = 0;
   for (const Request &TheRequest : TheBatch.Requests) {
     std::copy(TheRequest.Input.begin(), TheRequest.Input.end(),
               Input.begin() +
                   static_cast<ptrdiff_t>(Offset * NumFeatures));
+    if (Model.Merged) {
+      if (TableIndices.empty() ||
+          TableIndices.back() !=
+              static_cast<uint32_t>(TheRequest.TableIndex))
+        ++DistinctTables;
+      TableIndices.insert(TableIndices.end(), TheRequest.NumSamples,
+                          static_cast<uint32_t>(TheRequest.TableIndex));
+    }
     Offset += TheRequest.NumSamples;
   }
 
@@ -660,8 +777,13 @@ void InferenceServer::runBatch(Shard &TheShard, Batch TheBatch) {
   switch (Model.Query.Kind) {
   case spn::QueryKind::Joint:
   case spn::QueryKind::Marginal:
-    Model.Kernel.execute(Input.data(), Output.data(),
-                         TheBatch.TotalSamples, &ExecStats);
+    if (Model.Merged)
+      Executed = Model.Kernel.executeIndexed(
+          Input.data(), TableIndices.data(), Output.data(),
+          TheBatch.TotalSamples, &ExecStats);
+    else
+      Model.Kernel.execute(Input.data(), Output.data(),
+                           TheBatch.TotalSamples, &ExecStats);
     break;
   case spn::QueryKind::Mpe:
     Rows.resize(TheBatch.TotalSamples * NumFeatures);
@@ -697,6 +819,8 @@ void InferenceServer::runBatch(Shard &TheShard, Batch TheBatch) {
       TheShard.Stats.CompletedRequests += TheBatch.Requests.size();
       TheShard.Stats.CompletedSamples += TheBatch.TotalSamples;
       TheShard.Stats.ExecutionNs += ExecStats.WallNs;
+      if (DistinctTables >= 2)
+        ++TheShard.Stats.CrossModelBatches;
       size_t Class = static_cast<size_t>(TheBatch.ThePriority);
       for (uint64_t Latency : Latencies) {
         TheShard.Stats.LatencyNs.record(Latency);
@@ -818,6 +942,7 @@ ServerStats InferenceServer::getStats() const {
     Aggregate.BlockedSubmits += S.BlockedSubmits;
     Aggregate.TimedOutRequests += S.TimedOutRequests;
     Aggregate.BatchesDispatched += S.BatchesDispatched;
+    Aggregate.CrossModelBatches += S.CrossModelBatches;
     Aggregate.QueueDepth += S.QueueDepth;
     Aggregate.PeakQueueDepth += S.PeakQueueDepth;
     Aggregate.ExecutionNs += S.ExecutionNs;

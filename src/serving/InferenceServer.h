@@ -36,6 +36,13 @@
 ///  * per-request deadlines: a request that expires in a shard's queue
 ///    completes with `RequestStatus::TimedOut` instead of occupying a
 ///    batch slot;
+///  * with `ServerConfig::MergeModels`, structurally-isomorphic models
+///    (same DAG shape, different weights) compile into one
+///    parameterized kernel via `KernelCache::getOrCompileMerged` and
+///    share one request queue, so traffic for different models of a
+///    merge group coalesces into the same micro-batch — each row
+///    executes against its own model's weight table
+///    (`ExecutionEngine::executeIndexed`; docs/merging.md);
 ///  * `shutdown()` drains in-flight work — every accepted request is
 ///    completed before the server stops.
 ///
@@ -172,6 +179,15 @@ struct ServerConfig {
   /// a server run is reproducible given the same arrival order but no
   /// two batches reuse a stream.
   uint64_t SampleSeed = 0;
+  /// Merged-model serving (docs/merging.md): structurally-isomorphic
+  /// CPU joint/marginal models compile through
+  /// KernelCache::getOrCompileMerged into one parameterized kernel and
+  /// share one request queue, so requests for different models of a
+  /// merge group coalesce into the same micro-batch (each row tagged
+  /// with its model's weight-table index). Models the merged path
+  /// cannot serve (GPU targets, MPE/sampling queries) fall back to
+  /// their own per-model kernel as if merging were off.
+  bool MergeModels = false;
 };
 
 /// A consistent snapshot of the observability counters — of one shard
@@ -192,6 +208,9 @@ struct ServerStats {
   uint64_t TimedOutRequests = 0;
   /// Micro-batches dispatched to the worker pool.
   uint64_t BatchesDispatched = 0;
+  /// Dispatched micro-batches that carried rows of two or more distinct
+  /// models of a merge group (always 0 unless MergeModels is on).
+  uint64_t CrossModelBatches = 0;
   /// Outstanding samples (queued + executing) at snapshot time.
   size_t QueueDepth = 0;
   size_t PeakQueueDepth = 0;
@@ -256,6 +275,13 @@ public:
   /// Shard index the named model was placed on; nullopt when unknown.
   std::optional<size_t> getModelShard(const std::string &Name) const;
 
+  /// Weight-table index of the named model inside its merged kernel;
+  /// nullopt when the model is unknown or serves through an unmerged
+  /// per-model kernel. Two models with the same shard and the same
+  /// merged entry (distinct table indices) share one compiled kernel.
+  std::optional<int32_t>
+  getModelTableIndex(const std::string &Name) const;
+
   /// Submits \p NumSamples samples (row-major [sample][feature], copied)
   /// against model \p Name, in scheduling class \p ThePriority.
   /// \p DeadlineUs bounds the time the request may spend queued (0 uses
@@ -306,12 +332,23 @@ private:
   struct Request;
   /// A formed micro-batch on its way to a worker.
   struct Batch;
-  /// Routing-table entry: where a model name lives.
+  /// Routing-table entry: where a model name lives. Under merged
+  /// serving several names route to one shared ModelEntry, each with
+  /// its own weight-table index; -1 marks an unmerged route.
   struct Route {
     size_t ShardIndex = 0;
     ModelEntry *Model = nullptr;
     unsigned NumFeatures = 0;
+    int32_t TableIndex = -1;
   };
+
+  /// addModel's merged-serving path: compiles (or joins) the merge
+  /// group's parameterized kernel and routes \p Name to the group's
+  /// shared ModelEntry with its own weight-table index.
+  std::optional<Error>
+  addMergedModel(const std::string &Name, const spn::Model &Model,
+                 const spn::QueryConfig &Query,
+                 const runtime::CompilerOptions &Options);
 
   void batcherLoop(Shard &TheShard);
   /// Picks the next (model, priority) pair to dispatch on \p TheShard
@@ -351,6 +388,12 @@ private:
   /// Storage for every registered model (shards reference, this owns).
   /// Guarded by RoutingMutex; entries are never removed.
   std::vector<std::unique_ptr<ModelEntry>> OwnedModels;
+  /// Merged serving: engine identity -> the shared ModelEntry serving
+  /// that merge group. Two addModel calls whose merged compilation
+  /// lands on the same engine (same structural hash, query and options)
+  /// share the entry — and therefore its queues and batches. Guarded by
+  /// RoutingMutex.
+  std::unordered_map<const void *, ModelEntry *> MergedGroups;
   /// Submits that never reached a shard (unknown model, empty request,
   /// shutdown refusal), counted here so the aggregate stays exact.
   /// Guarded by RoutingMutex.

@@ -44,6 +44,7 @@ void emitStatsObject(json::Writer &W, const ServerStats &Stats) {
   W.member("blocked_submits", Stats.BlockedSubmits);
   W.member("timed_out_requests", Stats.TimedOutRequests);
   W.member("batches_dispatched", Stats.BatchesDispatched);
+  W.member("cross_model_batches", Stats.CrossModelBatches);
   W.member("mean_batch_size", Stats.meanBatchSize());
   W.member("queue_depth", static_cast<uint64_t>(Stats.QueueDepth));
   W.member("peak_queue_depth",

@@ -95,11 +95,21 @@ public:
   LogicalResult run(Operation *Module, Context &Ctx) override {
     lospn::registerLoSPNDialect(Ctx);
     std::vector<Operation *> Queries;
-    for (Operation *Op : cast_op<ModuleOp>(Module).getBody())
-      if (isa_op<hispn::JointQueryOp>(Op) ||
-          isa_op<hispn::MpeQueryOp>(Op) ||
-          isa_op<hispn::SampleQueryOp>(Op))
+    for (Operation *Op : cast_op<ModuleOp>(Module).getBody()) {
+      if (isa_op<hispn::MpeQueryOp>(Op) || isa_op<hispn::SampleQueryOp>(Op)) {
+        if (Options.Parameterize) {
+          // The MPE/sampling traceback plan bakes parameter-dependent
+          // values (mode masses, CDF buckets) that no weight table can
+          // override; merged-model compilation is evidence-only.
+          Ctx.emitError("parameterized lowering supports joint/marginal "
+                        "queries only (docs/merging.md)");
+          return failure();
+        }
         Queries.push_back(Op);
+      } else if (isa_op<hispn::JointQueryOp>(Op)) {
+        Queries.push_back(Op);
+      }
+    }
     for (Operation *Query : Queries)
       if (failed(lowerQuery(makeQueryInfo(Query), Ctx)))
         return failure();
@@ -151,9 +161,14 @@ private:
     unsigned Width = Options.ComputeWidth;
     if (Width == 0) {
       Width = 32;
+      // The linear-space underflow analysis reads the parameter values,
+      // so its f32/f64 verdict could differ between members of a merge
+      // group; parameterized lowering widens unconditionally instead.
+      // (Log space always picks the narrow type — value-independent.)
       if (!Query.LogSpace &&
-          estimateMinLogProbability(Query.Graph, Options) <
-              Options.F32MinLogThreshold)
+          (Options.Parameterize ||
+           estimateMinLogProbability(Query.Graph, Options) <
+               Options.F32MinLogThreshold))
         Width = 64;
     }
     Type Storage = Width == 64 ? Type(FloatType::getF64(Ctx))
@@ -241,6 +256,12 @@ private:
         RootValue = Lowered.at(Root.getRootValue().getDefiningOp());
         continue;
       }
+      // Merged-model compilation: leaf ops inherit their `param` base
+      // attribute, each sum-weight constant gets `base + child index`.
+      // The unique per-site attributes double as a CSE barrier — no two
+      // tagged ops can be deduplicated, keeping the program shape
+      // independent of the parameter values (docs/merging.md).
+      Attribute ParamAttr = Op->getAttr("param");
       Value Result;
       if (auto Leaf = dyn_cast_op<hispn::HistogramOp>(Op)) {
         Result = Builder
@@ -248,12 +269,16 @@ private:
                          FeatureArgs.at(Op->getOperand(0).getIndex()),
                          Leaf.getFlatBuckets(), Marginal, ComputeTy)
                      ->getResult(0);
+        if (ParamAttr)
+          Result.getDefiningOp()->setAttr("param", ParamAttr);
       } else if (auto Leaf = dyn_cast_op<hispn::CategoricalOp>(Op)) {
         Result = Builder
                      .create<lospn::CategoricalOp>(
                          FeatureArgs.at(Op->getOperand(0).getIndex()),
                          Leaf.getProbabilities(), Marginal, ComputeTy)
                      ->getResult(0);
+        if (ParamAttr)
+          Result.getDefiningOp()->setAttr("param", ParamAttr);
       } else if (auto Leaf = dyn_cast_op<hispn::GaussianOp>(Op)) {
         Result = Builder
                      .create<lospn::GaussianOp>(
@@ -261,6 +286,8 @@ private:
                          Leaf.getMean(), Leaf.getStdDev(), Marginal,
                          ComputeTy)
                      ->getResult(0);
+        if (ParamAttr)
+          Result.getDefiningOp()->setAttr("param", ParamAttr);
       } else if (isa_op<hispn::ProductOp>(Op)) {
         Result = Lowered.at(Op->getOperand(0).getDefiningOp());
         for (unsigned I = 1; I < Op->getNumOperands(); ++I) {
@@ -275,6 +302,8 @@ private:
         // left-associative chain is what makes argmax ties resolve to
         // the lowest child index during traceback.
         std::vector<double> Weights = Sum.getWeights();
+        int64_t ParamBase =
+            ParamAttr ? ParamAttr.cast<IntAttr>().getValue() : -1;
         Value Acc;
         for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
           double Weight = Log ? std::log(Weights[I]) : Weights[I];
@@ -282,6 +311,9 @@ private:
           Value WeightConst =
               Builder.create<lospn::ConstantOp>(Weight, ComputeTy)
                   ->getResult(0);
+          if (ParamBase >= 0)
+            WeightConst.getDefiningOp()->setAttr(
+                "param", IntAttr::get(Ctx, ParamBase + I));
           Value Term =
               Builder.create<lospn::MulOp>(Child, WeightConst)
                   ->getResult(0);

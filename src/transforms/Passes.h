@@ -40,6 +40,16 @@ struct LoweringOptions {
   /// Evidence range assumed for Gaussian leaves in the underflow
   /// analysis, in standard deviations from the mean.
   double GaussianEvidenceSigmas = 4.0;
+  /// Merged-model compilation (docs/merging.md): tag every tunable
+  /// parameter site (sum-weight constants, leaf distribution ops) with a
+  /// unique `param` index attribute so downstream passes keep the
+  /// program shape independent of the parameter *values*: CSE keys on
+  /// the distinct attributes, the identity canonicalization patterns
+  /// skip tagged constants, and codegen gives every tagged site its own
+  /// weight-table slot. The indices follow the canonical order of
+  /// `merge::extractParams`. Joint/marginal queries only — the
+  /// MPE/sampling traceback bakes parameter-dependent mode values.
+  bool Parameterize = false;
 };
 
 /// Conservative lower bound on the log-probability any single evaluation

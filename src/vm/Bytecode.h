@@ -112,6 +112,64 @@ struct SelectRange {
   double Value = 0.0;
 };
 
+/// Constants shared between code generation and weight-table binding:
+/// log(sqrt(2*pi)) and 1/sqrt(2*pi) of the Gaussian pdf. Binding must
+/// reproduce the code generator's arithmetic bit-for-bit, so both sides
+/// use these exact literals.
+inline constexpr double kLogSqrt2Pi = 0.91893853320467274178;
+inline constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+
+/// Which side-table slot of a task a tunable parameter lands in
+/// (parameterized programs, docs/merging.md).
+enum class ParamSlotKind : uint8_t {
+  /// ConstPool[Index] (a sum-weight constant).
+  ConstPool = 0,
+  /// Gaussians[Index].Mean.
+  GaussianMean = 1,
+  /// Gaussians[Index].InvStdDev.
+  GaussianInvStdDev = 2,
+  /// Gaussians[Index].Coefficient.
+  GaussianCoefficient = 3,
+  /// Tables[Index].Values[Slot .. Slot + Count) (one histogram bucket
+  /// may span several dense-table slots).
+  TableValue = 4,
+  /// Selects[Index].Value (select-cascade lowering).
+  SelectValue = 5,
+};
+
+/// How a raw model parameter is transformed before it is written into
+/// the slot. Mirrors the code generator's constant folding exactly.
+enum class ParamTransform : uint8_t {
+  /// slot = p.
+  Identity = 0,
+  /// slot = log(p) (log-space weights, table masses).
+  Log = 1,
+  /// slot = 1 / p (Gaussian InvStdDev from the stddev).
+  Reciprocal = 2,
+  /// slot = -log(p) - log(sqrt(2 pi)) (log-space Gaussian coefficient
+  /// from the stddev).
+  LogGaussCoefficient = 3,
+  /// slot = (1 / sqrt(2 pi)) / p (linear-space Gaussian coefficient).
+  LinearGaussCoefficient = 4,
+};
+
+/// One tunable slot of a parameterized task: binding a weight table
+/// writes Transform(Raw[Param]) into the slot the site describes. The
+/// sites of structurally-isomorphic models are identical; only the raw
+/// parameter vectors differ.
+struct ParamSite {
+  ParamSlotKind Kind = ParamSlotKind::ConstPool;
+  ParamTransform Transform = ParamTransform::Identity;
+  /// Index into the task's ConstPool / Gaussians / Tables / Selects.
+  uint32_t Index = 0;
+  /// First affected Values slot (TableValue only).
+  uint32_t Slot = 0;
+  /// Number of affected Values slots (TableValue; 1 otherwise).
+  uint32_t Count = 1;
+  /// Index into the canonical parameter vector (merge::extractParams).
+  uint32_t Param = 0;
+};
+
 /// How a bytecode load/store addresses a buffer.
 struct BufferAccess {
   /// Index into the kernel's buffer plan.
@@ -133,6 +191,10 @@ struct TaskProgram {
   std::vector<BufferAccess> Stores;
   /// Register operand lists of the n-ary instructions.
   std::vector<uint32_t> Args;
+  /// Tunable slots of a parameterized program (empty otherwise). The
+  /// baked side tables above double as the generating model's own
+  /// binding, so a parameterized program still runs stand-alone.
+  std::vector<ParamSite> ParamSites;
 };
 
 /// Role and layout of one kernel-level buffer.
@@ -261,6 +323,12 @@ struct KernelProgram {
   QueryKind Query = QueryKind::Joint;
   /// Downward traceback plan (MPE / sampling programs only).
   TracebackPlan Plan;
+  /// Merged-model compilation (docs/merging.md): the program was
+  /// generated with parameter sites, so engines may rebind its sum
+  /// weights and leaf parameters from a per-model weight table.
+  bool Parameterized = false;
+  /// Length of the canonical parameter vector the sites index into.
+  uint32_t NumParams = 0;
 
   /// Total number of instructions across all tasks.
   size_t totalInstructions() const {

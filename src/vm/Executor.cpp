@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "vm/ParamTable.h"
 #include "vm/Traceback.h"
 #include "vm/VecMath.h"
 
@@ -18,6 +19,8 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <mutex>
+#include <span>
 #include <vector>
 
 using namespace spnc;
@@ -583,7 +586,7 @@ void CpuExecutor::execute(const double *Input, double *Output,
                           runtime::ExecutionStats *Stats) const {
   Timer WallTimer;
   if (!Pool) {
-    executeChunk(Input, Output, NumSamples, 0, NumSamples);
+    executeChunk(Program, Input, Output, NumSamples, 0, NumSamples);
   } else {
     size_t Chunk =
         Config.ChunkSize ? Config.ChunkSize : Program.BatchSize;
@@ -594,7 +597,7 @@ void CpuExecutor::execute(const double *Input, double *Output,
       size_t Begin = C * Chunk;
       size_t End = std::min(NumSamples, Begin + Chunk);
       Pool->submit([this, Input, Output, NumSamples, Begin, End] {
-        executeChunk(Input, Output, NumSamples, Begin, End);
+        executeChunk(Program, Input, Output, NumSamples, Begin, End);
       });
     }
     Pool->wait();
@@ -737,15 +740,93 @@ void runChunkTyped(const KernelProgram &Program,
 
 } // namespace
 
-void CpuExecutor::executeChunk(const double *Input, double *Output,
+void CpuExecutor::executeChunk(const KernelProgram &TheProgram,
+                               const double *Input, double *Output,
                                size_t TotalSamples, size_t Begin,
                                size_t End) const {
-  if (Program.UseF32)
-    runChunkTyped<float>(Program, Config, Input, Output, TotalSamples,
+  if (TheProgram.UseF32)
+    runChunkTyped<float>(TheProgram, Config, Input, Output, TotalSamples,
                          Begin, End);
   else
-    runChunkTyped<double>(Program, Config, Input, Output, TotalSamples,
+    runChunkTyped<double>(TheProgram, Config, Input, Output, TotalSamples,
                           Begin, End);
+}
+
+//===----------------------------------------------------------------------===//
+// Weight tables (parameterized / merged-model programs, docs/merging.md)
+//===----------------------------------------------------------------------===//
+
+int32_t CpuExecutor::addParamTable(const double *Params,
+                                   size_t NumParams) {
+  if (!Program.Parameterized || NumParams != Program.NumParams)
+    return -1;
+  std::unique_lock<std::shared_mutex> Lock(TablesMutex);
+  // Idempotent by exact content: a model re-registered after a cache hit
+  // gets its old index back.
+  for (size_t I = 0; I < TableParams.size(); ++I)
+    if (TableParams[I].size() == NumParams &&
+        std::equal(TableParams[I].begin(), TableParams[I].end(), Params))
+      return static_cast<int32_t>(I);
+  BoundPrograms.push_back(std::make_unique<KernelProgram>(
+      bindParams(Program, std::span<const double>(Params, NumParams))));
+  TableParams.emplace_back(Params, Params + NumParams);
+  return static_cast<int32_t>(TableParams.size() - 1);
+}
+
+bool CpuExecutor::executeIndexed(const double *Input,
+                                 const uint32_t *TableIndices,
+                                 double *Output, size_t NumSamples,
+                                 runtime::ExecutionStats *Stats) const {
+  if (!Program.Parameterized)
+    return false;
+  Timer WallTimer;
+  std::vector<const KernelProgram *> Bound;
+  {
+    std::shared_lock<std::shared_mutex> Lock(TablesMutex);
+    Bound.reserve(BoundPrograms.size());
+    for (const std::unique_ptr<KernelProgram> &P : BoundPrograms)
+      Bound.push_back(P.get());
+  }
+  for (size_t I = 0; I < NumSamples; ++I)
+    if (TableIndices[I] >= Bound.size())
+      return false;
+
+  size_t Chunk = Config.ChunkSize ? Config.ChunkSize : Program.BatchSize;
+  if (Chunk == 0)
+    Chunk = NumSamples;
+  auto Dispatch = [&](const KernelProgram *Table, size_t Begin,
+                      size_t End) {
+    if (!Pool) {
+      executeChunk(*Table, Input, Output, NumSamples, Begin, End);
+      return;
+    }
+    for (size_t B = Begin; B < End; B += Chunk) {
+      size_t E = std::min(End, B + Chunk);
+      Pool->submit([this, Table, Input, Output, NumSamples, B, E] {
+        executeChunk(*Table, Input, Output, NumSamples, B, E);
+      });
+    }
+  };
+  // Maximal runs of equal table index execute as ordinary sub-batches:
+  // the buffer bindings address [Begin, End) of the full batch, so every
+  // run reads and writes its own rows in place.
+  size_t RunBegin = 0;
+  while (RunBegin < NumSamples) {
+    size_t RunEnd = RunBegin + 1;
+    while (RunEnd < NumSamples &&
+           TableIndices[RunEnd] == TableIndices[RunBegin])
+      ++RunEnd;
+    Dispatch(Bound[TableIndices[RunBegin]], RunBegin, RunEnd);
+    RunBegin = RunEnd;
+  }
+  if (Pool)
+    Pool->wait();
+  if (Stats) {
+    *Stats = runtime::ExecutionStats();
+    Stats->WallNs = WallTimer.elapsedNs();
+    Stats->NumSamples = NumSamples;
+  }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

@@ -29,6 +29,8 @@
 
 #include <cstddef>
 #include <memory>
+#include <shared_mutex>
+#include <vector>
 
 namespace spnc {
 
@@ -91,13 +93,35 @@ public:
                      size_t NumSamples, uint64_t Seed,
                      runtime::ExecutionStats *Stats = nullptr) const override;
 
+  /// Weight-table support for parameterized (merged-model) programs:
+  /// each registered table is bound into a private copy of the program
+  /// once, so executeIndexed runs at the same per-sample cost as
+  /// execute().
+  bool supportsParamTables() const override {
+    return Program.Parameterized;
+  }
+  int32_t addParamTable(const double *Params, size_t NumParams) override;
+  bool executeIndexed(const double *Input, const uint32_t *TableIndices,
+                      double *Output, size_t NumSamples,
+                      runtime::ExecutionStats *Stats = nullptr) const override;
+
 private:
-  void executeChunk(const double *Input, double *Output,
-                    size_t TotalSamples, size_t Begin, size_t End) const;
+  void executeChunk(const KernelProgram &TheProgram, const double *Input,
+                    double *Output, size_t TotalSamples, size_t Begin,
+                    size_t End) const;
 
   KernelProgram Program;
   ExecutionConfig Config;
   std::unique_ptr<ThreadPool> Pool;
+
+  /// Registered weight tables (raw canonical parameters, for idempotent
+  /// re-registration) and the per-table bound program copies. Guarded by
+  /// TablesMutex; the unique_ptr pointees are stable across vector
+  /// growth, so executeIndexed snapshots plain pointers under a shared
+  /// lock and runs lock-free afterwards.
+  mutable std::shared_mutex TablesMutex;
+  std::vector<std::vector<double>> TableParams;
+  std::vector<std::unique_ptr<KernelProgram>> BoundPrograms;
 };
 
 //===----------------------------------------------------------------------===//

@@ -143,6 +143,9 @@ std::vector<uint8_t> spnc::vm::encodeProgram(const KernelProgram &P) {
   }
   W.f64Vec(P.Plan.Buckets);
   W.u32(static_cast<uint32_t>(P.Plan.Root));
+  // v5: parameterization header (docs/merging.md).
+  W.u8(P.Parameterized);
+  W.u32(P.NumParams);
   W.u32(P.BatchSize);
   W.u32(P.NumInputs);
   W.u32(P.NumOutputs);
@@ -209,6 +212,16 @@ std::vector<uint8_t> spnc::vm::encodeProgram(const KernelProgram &P) {
     W.u32(static_cast<uint32_t>(T.Args.size()));
     for (uint32_t Arg : T.Args)
       W.u32(Arg);
+    // v5: parameter sites.
+    W.u32(static_cast<uint32_t>(T.ParamSites.size()));
+    for (const ParamSite &S : T.ParamSites) {
+      W.u8(static_cast<uint8_t>(S.Kind));
+      W.u8(static_cast<uint8_t>(S.Transform));
+      W.u32(S.Index);
+      W.u32(S.Slot);
+      W.u32(S.Count);
+      W.u32(S.Param);
+    }
   }
   std::vector<uint8_t> Bytes = W.take();
   uint64_t Checksum =
@@ -277,12 +290,16 @@ spnc::vm::decodeProgram(std::span<const uint8_t> Blob, BinaryInfo *Info) {
     P.Plan.Buckets = R.f64Vec();
     P.Plan.Root = static_cast<int32_t>(R.u32());
   }
+  if (Version >= 5) {
+    P.Parameterized = R.u8() != 0;
+    P.NumParams = R.u32();
+  }
   P.BatchSize = R.u32();
   P.NumInputs = R.u32();
   P.NumOutputs = R.u32();
 
   uint32_t NumBuffers = R.u32();
-  if (R.bad())
+  if (R.bad() || NumBuffers > Blob.size())
     return makeError("truncated program header");
   P.Buffers.resize(NumBuffers);
   for (BufferInfo &B : P.Buffers) {
@@ -293,7 +310,7 @@ spnc::vm::decodeProgram(std::span<const uint8_t> Blob, BinaryInfo *Info) {
   }
 
   uint32_t NumSteps = R.u32();
-  if (R.bad())
+  if (R.bad() || NumSteps > Blob.size())
     return makeError("truncated step table");
   P.Steps.resize(NumSteps);
   for (KernelStep &S : P.Steps) {
@@ -303,7 +320,7 @@ spnc::vm::decodeProgram(std::span<const uint8_t> Blob, BinaryInfo *Info) {
   }
 
   uint32_t NumTasks = R.u32();
-  if (R.bad())
+  if (R.bad() || NumTasks > Blob.size())
     return makeError("truncated task table");
   P.Tasks.resize(NumTasks);
   for (TaskProgram &T : P.Tasks) {
@@ -373,6 +390,27 @@ spnc::vm::decodeProgram(std::span<const uint8_t> Blob, BinaryInfo *Info) {
     T.Args.resize(NumArgs);
     for (uint32_t &Arg : T.Args)
       Arg = R.u32();
+    if (Version >= 5) {
+      uint32_t NumSites = R.u32();
+      if (R.bad() || NumSites > Blob.size())
+        return makeError("invalid parameter-site count");
+      T.ParamSites.resize(NumSites);
+      for (ParamSite &S : T.ParamSites) {
+        uint8_t Kind = R.u8();
+        if (Kind > static_cast<uint8_t>(ParamSlotKind::SelectValue))
+          return makeError("invalid parameter-site kind");
+        S.Kind = static_cast<ParamSlotKind>(Kind);
+        uint8_t Transform = R.u8();
+        if (Transform >
+            static_cast<uint8_t>(ParamTransform::LinearGaussCoefficient))
+          return makeError("invalid parameter transform");
+        S.Transform = static_cast<ParamTransform>(Transform);
+        S.Index = R.u32();
+        S.Slot = R.u32();
+        S.Count = R.u32();
+        S.Param = R.u32();
+      }
+    }
   }
   if (R.bad() || !R.atEnd())
     return makeError("malformed kernel program blob");

@@ -37,9 +37,12 @@ namespace vm {
 /// docs/spnk-format.md): v1 initial format, v2 added the
 /// lowering-strategy byte, v3 added the FNV-1a payload checksum, v4
 /// added the query-kind byte and the traceback plan (MPE / sampling
-/// kernels). `decodeProgram` accepts every version from 1 to this
-/// value; pre-v4 blobs decode as QueryKind::Joint with an empty plan.
-inline constexpr uint32_t kProgramBinaryVersion = 4;
+/// kernels), v5 added the parameterization header (Parameterized flag,
+/// NumParams) and the per-task parameter-site tables of merged-model
+/// programs (docs/merging.md). `decodeProgram` accepts every version
+/// from 1 to this value; pre-v4 blobs decode as QueryKind::Joint with an
+/// empty plan, pre-v5 blobs as non-parameterized programs.
+inline constexpr uint32_t kProgramBinaryVersion = 5;
 
 /// Metadata about a decoded blob, reported alongside the program so
 /// callers can warn about (and eventually refuse) legacy entries.

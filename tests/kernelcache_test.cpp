@@ -472,23 +472,31 @@ TEST_F(KernelCacheTest, LegacyV2DiskEntryLoadsWithWarning) {
   CompilerOptions Options;
   {
     KernelCache Cache(TempDir.string());
-    ASSERT_TRUE(static_cast<bool>(
-        Cache.getOrCompile(*Model, spn::QueryConfig(), Options)));
+    Expected<CompiledKernel> Fresh =
+        Cache.getOrCompile(*Model, spn::QueryConfig(), Options);
+    ASSERT_TRUE(static_cast<bool>(Fresh));
+    // The downgrade below strips the per-task v5 parameter-site count
+    // from the end of the blob, which only lands there for a
+    // single-task program.
+    ASSERT_EQ(Fresh->getProgram().Tasks.size(), 1u);
   }
   std::string Path =
       KernelCache(TempDir.string())
           .entryPath(keyFor(*Model, spn::QueryConfig(), Options));
   // Downgrade the entry to the pre-checksum v2 layout: drop the v4
   // query/plan section (13 bytes for a Joint program with an empty
-  // plan) and the 8-byte checksum field, then patch the header version
-  // word.
+  // plan) plus the v5 parameterization header (5 bytes:
+  // non-parameterized flag + zero param count), the trailing per-task
+  // parameter-site count (4 bytes), and the 8-byte checksum field,
+  // then patch the header version word.
   std::vector<uint8_t> Bytes = readFile(Path);
   ASSERT_GT(Bytes.size(), 16u);
   uint32_t NameLen = 0;
   std::memcpy(&NameLen, Bytes.data() + 16, sizeof(NameLen));
   size_t QueryOffset = 16 + 4 + NameLen + 3;
   Bytes.erase(Bytes.begin() + QueryOffset,
-              Bytes.begin() + QueryOffset + 13);
+              Bytes.begin() + QueryOffset + 18);
+  Bytes.erase(Bytes.end() - 4, Bytes.end());
   Bytes.erase(Bytes.begin() + 8, Bytes.begin() + 16);
   const uint32_t Version = 2;
   std::memcpy(Bytes.data() + 4, &Version, sizeof(Version));

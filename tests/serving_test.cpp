@@ -14,6 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -309,7 +312,8 @@ TEST_F(ServingTest, StatsReportHasGoldenKeyOrder) {
   const std::vector<std::string> Golden = {
       "submitted_requests", "submitted_samples", "completed_requests",
       "completed_samples", "rejected_requests", "blocked_submits",
-      "timed_out_requests", "batches_dispatched", "mean_batch_size",
+      "timed_out_requests", "batches_dispatched", "cross_model_batches",
+      "mean_batch_size",
       "queue_depth", "peak_queue_depth", "execution_ns", "elapsed_ns",
       "throughput_samples_per_s", "batch_size", "latency_ns"};
   EXPECT_EQ(memberKeys(*Doc), Golden);
@@ -445,19 +449,34 @@ TEST_F(ServingTest, InteractiveOvertakesBulkBacklogWithoutStarvingIt) {
   Config.InteractiveWeight = 4;
   Config.BulkWeight = 1;
   InferenceServer Server(Config);
-  ASSERT_FALSE(Server.addModel("speaker", *Model, Query, Compile));
 
-  constexpr unsigned kBulk = 40;
+  // The backlog must comfortably outlast the submission loop: the
+  // worker drains it concurrently, and if too few bulk requests remain
+  // by the time the interactive ones arrive, the mean-latency gap the
+  // assertion below relies on collapses into scheduling noise. The
+  // fixture model evaluates in well under a microsecond — on par with
+  // the cost of submitting — so this test uses a much heavier model to
+  // keep dispatches slower than submissions.
+  workloads::SpeakerModelOptions HeavyOptions;
+  HeavyOptions.TargetOperations = 60000;
+  HeavyOptions.Seed = 91;
+  spn::Model HeavyModel = workloads::generateSpeakerModel(HeavyOptions);
+  std::vector<double> HeavyData =
+      workloads::generateSpeechData(HeavyOptions, kNumSamples, 7);
+  const size_t HeavyFeatures = HeavyModel.getNumFeatures();
+  ASSERT_FALSE(Server.addModel("speaker", HeavyModel, Query, Compile));
+
+  constexpr unsigned kBulk = 200;
   constexpr unsigned kInteractive = 10;
   std::vector<ResultFuture> BulkFutures, InteractiveFutures;
   for (unsigned I = 0; I < kBulk; ++I)
-    BulkFutures.push_back(Server.submit("speaker", sampleRow(I), 1,
-                                        /*DeadlineUs=*/0,
-                                        Priority::Bulk));
+    BulkFutures.push_back(Server.submit(
+        "speaker", HeavyData.data() + (I % kNumSamples) * HeavyFeatures,
+        1, /*DeadlineUs=*/0, Priority::Bulk));
   for (unsigned I = 0; I < kInteractive; ++I)
-    InteractiveFutures.push_back(
-        Server.submit("speaker", sampleRow(I), 1, /*DeadlineUs=*/0,
-                      Priority::Interactive));
+    InteractiveFutures.push_back(Server.submit(
+        "speaker", HeavyData.data() + (I % kNumSamples) * HeavyFeatures,
+        1, /*DeadlineUs=*/0, Priority::Interactive));
 
   double InteractiveMeanNs = 0, BulkMeanNs = 0;
   for (ResultFuture &Future : InteractiveFutures) {
@@ -523,7 +542,8 @@ TEST_F(ServingTest, ShardedStatsReportWrapsGoldenSchema) {
   const std::vector<std::string> StatsGolden = {
       "submitted_requests", "submitted_samples", "completed_requests",
       "completed_samples", "rejected_requests", "blocked_submits",
-      "timed_out_requests", "batches_dispatched", "mean_batch_size",
+      "timed_out_requests", "batches_dispatched", "cross_model_batches",
+      "mean_batch_size",
       "queue_depth", "peak_queue_depth", "execution_ns", "elapsed_ns",
       "throughput_samples_per_s", "batch_size", "latency_ns"};
   EXPECT_EQ(memberKeys(*Doc->find("aggregate")), StatsGolden);
@@ -542,6 +562,128 @@ TEST_F(ServingTest, ShardedStatsReportWrapsGoldenSchema) {
   EXPECT_EQ(Doc->find("aggregate")->find("completed_requests")
                 ->getNumber(),
             6.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Merged-model serving (docs/merging.md)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServingTest, MergedModelsShareOneKernelAndBatchAcrossModels) {
+  // Ten same-structure, different-weight RAT-SPN class models — the
+  // multi-tenant scenario merging exists for.
+  constexpr unsigned kTenants = 10;
+  workloads::RatSpnOptions Rat;
+  Rat.NumFeatures = 16;
+  Rat.Depth = 2;
+  Rat.Replicas = 2;
+  Rat.SumsPerRegion = 3;
+  Rat.LeafDistributions = 4;
+  Rat.Seed = 23;
+  std::vector<spn::Model> Tenants;
+  for (unsigned Class = 0; Class < kTenants; ++Class)
+    Tenants.push_back(workloads::generateRatSpn(Rat, Class));
+  std::vector<double> Inputs = workloads::generateImageData(
+      Rat.NumFeatures, kTenants, kNumSamples, 11, nullptr);
+
+  // Unmerged reference: each tenant's own kernel.
+  std::vector<std::vector<double>> Reference(kTenants);
+  {
+    KernelCache Plain;
+    for (unsigned T = 0; T < kTenants; ++T) {
+      Expected<CompiledKernel> Kernel =
+          Plain.getOrCompile(Tenants[T], Query, Compile);
+      ASSERT_TRUE(static_cast<bool>(Kernel));
+      Reference[T].resize(kNumSamples);
+      Kernel->execute(Inputs.data(), Reference[T].data(), kNumSamples);
+    }
+  }
+
+  KernelCache Cache;
+  ServerConfig Config;
+  Config.MergeModels = true;
+  Config.NumShards = 2; // group members must still land on ONE shard
+  Config.MaxBatchSamples = 64;
+  Config.MaxQueueDelayUs = 10000; // wide window so tenants co-batch
+  Config.NumWorkers = 2;
+  InferenceServer Server(Config, &Cache);
+  for (unsigned T = 0; T < kTenants; ++T)
+    ASSERT_FALSE(Server.addModel("tenant" + std::to_string(T),
+                                 Tenants[T], Query, Compile))
+        << "tenant " << T;
+
+  // One compile for the whole fleet; every tenant got its own weight
+  // table.
+  EXPECT_EQ(Cache.getStats().Misses, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+  std::vector<bool> SeenTable(kTenants, false);
+  for (unsigned T = 0; T < kTenants; ++T) {
+    std::optional<int32_t> Table =
+        Server.getModelTableIndex("tenant" + std::to_string(T));
+    ASSERT_TRUE(Table.has_value()) << "tenant " << T;
+    ASSERT_GE(*Table, 0);
+    ASSERT_LT(static_cast<unsigned>(*Table), kTenants);
+    EXPECT_FALSE(SeenTable[*Table]) << "duplicate table " << *Table;
+    SeenTable[*Table] = true;
+  }
+
+  // Mixed traffic: every client interleaves tenants, so batches carry
+  // rows for several models.
+  constexpr unsigned kClients = 6;
+  constexpr unsigned kPerClient = 30;
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C < kClients; ++C)
+    Clients.emplace_back([&, C] {
+      for (unsigned R = 0; R < kPerClient; ++R) {
+        unsigned T = (C + R) % kTenants;
+        size_t Index = (C * kPerClient + R) % kNumSamples;
+        ResultFuture Future =
+            Server.submit("tenant" + std::to_string(T),
+                          Inputs.data() + Index * Rat.NumFeatures, 1);
+        InferenceResult Result = Future.take();
+        if (Result.Status != RequestStatus::Ok ||
+            Result.LogLikelihoods.size() != 1 ||
+            std::abs(Result.LogLikelihoods[0] -
+                     Reference[T][Index]) > 1e-9)
+          ++Mismatches;
+      }
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+
+  ServerStats Stats = Server.getStats();
+  EXPECT_EQ(Stats.CompletedRequests, uint64_t(kClients) * kPerClient);
+  EXPECT_EQ(Stats.RejectedRequests, 0u);
+  EXPECT_EQ(Stats.TimedOutRequests, 0u);
+  // The headline behavior: at least one dispatched batch carried rows
+  // for two or more tenants.
+  EXPECT_GE(Stats.CrossModelBatches, 1u);
+  EXPECT_GT(Stats.meanBatchSize(), 1.0);
+  Server.shutdown();
+}
+
+TEST_F(ServingTest, MergeModelsFallsBackForUnsupportedQueries) {
+  // MPE cannot run parameterized: the server must silently fall back
+  // to per-model compilation, not fail registration.
+  KernelCache Cache;
+  ServerConfig Config;
+  Config.MergeModels = true;
+  Config.MaxQueueDelayUs = 500;
+  InferenceServer Server(Config, &Cache);
+  spn::QueryConfig Mpe;
+  Mpe.Kind = spn::QueryKind::Mpe;
+  ASSERT_FALSE(Server.addModel("speaker-mpe", *Model, Mpe, Compile));
+  EXPECT_TRUE(Server.hasModel("speaker-mpe"));
+  // Unmerged registrations expose no weight-table index.
+  EXPECT_FALSE(Server.getModelTableIndex("speaker-mpe").has_value());
+
+  std::vector<double> Evidence(NumFeatures,
+                               std::numeric_limits<double>::quiet_NaN());
+  ResultFuture Future = Server.submit("speaker-mpe", Evidence.data(), 1);
+  InferenceResult Result = Future.take();
+  EXPECT_EQ(Result.Status, RequestStatus::Ok);
+  Server.shutdown();
 }
 
 } // namespace

@@ -27,6 +27,7 @@
 #include "frontend/HiSPNTranslation.h"
 #include "frontend/Serializer.h"
 #include "ir/Printer.h"
+#include "merge/Merge.h"
 #include "runtime/Compiler.h"
 #include "runtime/KernelCache.h"
 #include "runtime/Reports.h"
@@ -80,6 +81,12 @@ struct CliOptions {
   bool Stats = false;
   bool KernelCacheStats = false;
   bool DumpIr = false;
+  /// Print content/structural hashes and structure counts (plus merge
+  /// groups with several models) and exit.
+  bool ModelInfo = false;
+  /// Compile through KernelCache::getOrCompileMerged: isomorphic models
+  /// share one parameterized kernel (docs/merging.md).
+  bool MergeModels = false;
   /// Insert an IR verification stage after every pipeline stage.
   bool VerifyEachStage = false;
   /// Dump the module after this named pipeline stage (empty = off).
@@ -153,6 +160,18 @@ void printUsage() {
       "  --kernel-cache-stats\n"
       "                     print cache hit/miss/eviction/corruption "
       "counters\n"
+      "  --model-info       print each model's content hash, "
+      "structural\n"
+      "                     hash and node/edge/leaf counts (and, with\n"
+      "                     several models, the merge groups), then "
+      "exit\n"
+      "  --merge-models     compile through the merged-kernel cache "
+      "path:\n"
+      "                     structurally-isomorphic models share one\n"
+      "                     parameterized kernel, each bound to its "
+      "own\n"
+      "                     weight table (CPU joint/marginal only;\n"
+      "                     see docs/merging.md)\n"
       "  --stats            print per-stage compile statistics and "
       "exit\n"
       "  --dump-ir          print the HiSPN module and exit\n"
@@ -307,6 +326,10 @@ bool parseArguments(int Argc, char **Argv, CliOptions &Options) {
       Options.Query.DataType = spn::ComputeType::F64;
     } else if (Arg == "--stats") {
       Options.Stats = true;
+    } else if (Arg == "--model-info") {
+      Options.ModelInfo = true;
+    } else if (Arg == "--merge-models") {
+      Options.MergeModels = true;
     } else if (Arg == "--dump-ir") {
       Options.DumpIr = true;
     } else if (Arg == "--verify-each-stage") {
@@ -387,7 +410,8 @@ bool readSamples(const std::string &Path, unsigned NumFeatures,
 /// the completed assignment followed by its log-probability for MPE,
 /// the drawn feature row for sampling. Returns the process exit code.
 int runQuery(CompiledKernel &Kernel, spn::QueryKind Kind,
-             unsigned NumFeatures, const CliOptions &Options) {
+             unsigned NumFeatures, const CliOptions &Options,
+             int32_t MergedTable = -1) {
   std::vector<double> Data;
   size_t NumSamples = 0;
   if (!Options.InputPath.empty()) {
@@ -407,7 +431,21 @@ int runQuery(CompiledKernel &Kernel, spn::QueryKind Kind,
   case spn::QueryKind::Joint:
   case spn::QueryKind::Marginal: {
     std::vector<double> Output(NumSamples);
-    Kernel.execute(Data.data(), Output.data(), NumSamples);
+    if (MergedTable >= 0) {
+      // Merged kernel: every row of this invocation binds to the
+      // model's own weight table.
+      std::vector<uint32_t> Tables(
+          NumSamples, static_cast<uint32_t>(MergedTable));
+      if (!Kernel.executeIndexed(Data.data(), Tables.data(),
+                                 Output.data(), NumSamples)) {
+        std::fprintf(stderr,
+                     "engine cannot execute against weight table %d\n",
+                     MergedTable);
+        return 1;
+      }
+    } else {
+      Kernel.execute(Data.data(), Output.data(), NumSamples);
+    }
     for (size_t S = 0; S < NumSamples; ++S)
       std::printf("%.10g\n", Output[S]);
     return 0;
@@ -467,6 +505,56 @@ int main(int Argc, char **Argv) {
   }
 
   const std::string &ModelPath = Options.ModelPaths.front();
+
+  // --model-info: model identity and structure, no compilation. The
+  // content hash keys the ordinary kernel cache (any edit changes it);
+  // the structural hash keys the merged path (weight-only edits do
+  // not). Models with equal structural hashes land in one merge group.
+  if (Options.ModelInfo) {
+    std::vector<spn::Model> Models;
+    Models.reserve(Options.ModelPaths.size());
+    for (const std::string &Path : Options.ModelPaths) {
+      Expected<spn::Model> Model = spn::loadModel(Path);
+      if (!Model) {
+        std::fprintf(stderr, "failed to load model '%s': %s\n",
+                     Path.c_str(), Model.getError().message().c_str());
+        return 1;
+      }
+      Models.push_back(Model.takeValue());
+    }
+    for (size_t I = 0; I < Models.size(); ++I) {
+      const spn::Model &Model = Models[I];
+      merge::ModelCounts Counts = merge::countModel(Model);
+      std::printf("%s: content-hash %016llx structural-hash %016llx\n"
+                  "  features %u, nodes %zu, edges %zu, sums %zu, "
+                  "products %zu, leaves %zu, params %zu\n",
+                  Options.ModelPaths[I].c_str(),
+                  static_cast<unsigned long long>(
+                      KernelCache::contentHash(Model)),
+                  static_cast<unsigned long long>(
+                      KernelCache::structuralHash(Model)),
+                  Model.getNumFeatures(), Counts.NumNodes,
+                  Counts.NumEdges, Counts.NumSums, Counts.NumProducts,
+                  Counts.NumLeaves, Counts.NumParams);
+    }
+    if (Models.size() > 1) {
+      std::vector<const spn::Model *> Pointers;
+      Pointers.reserve(Models.size());
+      for (const spn::Model &Model : Models)
+        Pointers.push_back(&Model);
+      std::vector<merge::MergeGroup> Groups =
+          merge::discoverMergeGroups(Pointers);
+      std::printf("merge groups: %zu\n", Groups.size());
+      for (size_t G = 0; G < Groups.size(); ++G) {
+        std::printf("  group %zu (structural-hash %016llx):", G,
+                    static_cast<unsigned long long>(Groups[G].Hash));
+        for (size_t Member : Groups[G].Members)
+          std::printf(" %s", Options.ModelPaths[Member].c_str());
+        std::printf("\n");
+      }
+    }
+    return 0;
+  }
 
   if (Options.Tuned) {
     std::string RecordPath = Options.TunedPath;
@@ -654,6 +742,19 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     std::vector<ModelPipelineReport> Reports;
+    // Merged batch compile: isomorphic models resolve to one cached
+    // parameterized kernel, so the second member of a group is a cache
+    // hit, not a compile.
+    std::unique_ptr<KernelCache> MergeCache;
+    if (Options.MergeModels) {
+      KernelCache::Config CacheConfig;
+      CacheConfig.Directory = Options.KernelCacheDir;
+      CacheConfig.MaxEntries = Options.KernelCacheCapacity;
+      CacheConfig.DiskBudgetBytes = Options.KernelCacheDiskBudget;
+      CacheConfig.ConfigurePipeline = ConfigureDiagnostics;
+      CacheConfig.TheBackend = TheBackend;
+      MergeCache = std::make_unique<KernelCache>(CacheConfig);
+    }
     for (const std::string &Path : Options.ModelPaths) {
       Expected<spn::Model> Model = spn::loadModel(Path);
       if (!Model) {
@@ -664,6 +765,27 @@ int main(int Argc, char **Argv) {
       ModelPipelineReport Report;
       Report.Model = Path;
       Report.Stages = &Pipeline->getStages();
+      if (Options.MergeModels) {
+        Expected<KernelCache::MergedKernel> Merged =
+            MergeCache->getOrCompileMerged(*Model, Options.Query,
+                                           Options.Compile,
+                                           &Report.Stats);
+        if (!Merged) {
+          std::fprintf(stderr, "merged compilation of '%s' failed: %s\n",
+                       Path.c_str(),
+                       Merged.getError().message().c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "merged '%s': structural hash %016llx, weight "
+                     "table %d\n",
+                     Path.c_str(),
+                     static_cast<unsigned long long>(
+                         KernelCache::structuralHash(*Model)),
+                     Merged->TableIndex);
+        Reports.push_back(std::move(Report));
+        continue;
+      }
       Expected<vm::KernelProgram> Program =
           Pipeline->compile(*Model, Options.Query, &Report.Stats);
       if (!Program) {
@@ -679,6 +801,16 @@ int main(int Argc, char **Argv) {
                    static_cast<double>(Report.Stats.TotalNs) * 1e-6,
                    Report.Stats.NumTasks, Report.Stats.NumInstructions);
       Reports.push_back(std::move(Report));
+    }
+    if (MergeCache) {
+      KernelCache::Stats CacheStats = MergeCache->getStats();
+      std::fprintf(
+          stderr,
+          "merged batch compile: %zu model(s) -> %llu compiled "
+          "kernel(s) (%llu cache hit(s))\n",
+          Options.ModelPaths.size(),
+          static_cast<unsigned long long>(CacheStats.Misses),
+          static_cast<unsigned long long>(CacheStats.Hits));
     }
     if (!Options.PipelineReportPath.empty()) {
       std::string ReportError;
@@ -721,11 +853,15 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // The merged path always compiles through a cache — that is where
+  // the structural-hash sharing lives.
   bool UseCache = !Options.KernelCacheDir.empty() ||
                   Options.KernelCacheStats ||
-                  !Options.KernelCacheReportPath.empty();
+                  !Options.KernelCacheReportPath.empty() ||
+                  Options.MergeModels;
   CompileStats CStats;
   CompiledKernel Kernel;
+  int32_t MergedTable = -1;
   std::unique_ptr<KernelCache> Cache;
   if (UseCache) {
     KernelCache::Config CacheConfig;
@@ -735,14 +871,33 @@ int main(int Argc, char **Argv) {
     CacheConfig.ConfigurePipeline = ConfigureDiagnostics;
     CacheConfig.TheBackend = TheBackend;
     Cache = std::make_unique<KernelCache>(CacheConfig);
-    Expected<CompiledKernel> Cached = Cache->getOrCompile(
-        *Model, Options.Query, Options.Compile, &CStats);
-    if (!Cached) {
-      std::fprintf(stderr, "compilation failed: %s\n",
-                   Cached.getError().message().c_str());
-      return 1;
+    if (Options.MergeModels) {
+      Expected<KernelCache::MergedKernel> Merged =
+          Cache->getOrCompileMerged(*Model, Options.Query,
+                                    Options.Compile, &CStats);
+      if (!Merged) {
+        std::fprintf(stderr, "merged compilation failed: %s\n",
+                     Merged.getError().message().c_str());
+        return 1;
+      }
+      Kernel = std::move(Merged->Kernel);
+      MergedTable = Merged->TableIndex;
+      std::fprintf(stderr,
+                   "merged kernel: structural hash %016llx, weight "
+                   "table %d\n",
+                   static_cast<unsigned long long>(
+                       KernelCache::structuralHash(*Model)),
+                   MergedTable);
+    } else {
+      Expected<CompiledKernel> Cached = Cache->getOrCompile(
+          *Model, Options.Query, Options.Compile, &CStats);
+      if (!Cached) {
+        std::fprintf(stderr, "compilation failed: %s\n",
+                     Cached.getError().message().c_str());
+        return 1;
+      }
+      Kernel = Cached.takeValue();
     }
-    Kernel = Cached.takeValue();
     KernelCache::Stats CacheStats = Cache->getStats();
     if (CacheStats.DiskHits > 0)
       std::fprintf(stderr, "kernel cache: reused entry from '%s'\n",
@@ -838,5 +993,5 @@ int main(int Argc, char **Argv) {
   }
 
   return runQuery(Kernel, Options.Query.Kind, Model->getNumFeatures(),
-                  Options);
+                  Options, MergedTable);
 }

@@ -125,6 +125,12 @@ void printUsage() {
       "bulk)\n"
       "  --gpu-streams N      simulated device streams per GPU model\n"
       "                       (default 0 = one per shard worker)\n"
+      "  --merge-models       compile structurally-isomorphic models "
+      "into\n"
+      "                       one parameterized kernel and batch their\n"
+      "                       traffic together (CPU joint/marginal "
+      "only;\n"
+      "                       see docs/merging.md)\n"
       "  --backend NAME       execution backend: 'vm' (default) or "
       "'cpp'\n"
       "                       (AOT-compiled native kernels)\n"
@@ -262,6 +268,8 @@ bool parseArguments(int Argc, char **Argv, ServeOptions &Options) {
         return false;
     } else if (Arg == "--block") {
       Options.Server.Admission = ServerConfig::AdmissionPolicy::Block;
+    } else if (Arg == "--merge-models") {
+      Options.Server.MergeModels = true;
     } else if (Arg == "--workers") {
       if (!NextUnsigned(Options.Server.NumWorkers))
         return false;
@@ -560,8 +568,14 @@ int main(int Argc, char **Argv) {
                    Path.c_str(), Err->message().c_str());
       return 1;
     }
-    std::fprintf(stderr, "registered '%s': %u features\n", Path.c_str(),
-                 Model.getNumFeatures());
+    if (std::optional<int32_t> Table = Server.getModelTableIndex(Path))
+      std::fprintf(stderr,
+                   "registered '%s': %u features (merged, weight table "
+                   "%d)\n",
+                   Path.c_str(), Model.getNumFeatures(), *Table);
+    else
+      std::fprintf(stderr, "registered '%s': %u features\n",
+                   Path.c_str(), Model.getNumFeatures());
     ModelNames.push_back(Path);
   }
 
@@ -656,6 +670,13 @@ int main(int Argc, char **Argv) {
                                       1000),
       static_cast<unsigned long long>(Stats.LatencyNs.quantile(0.99) /
                                       1000));
+  if (Options.Server.MergeModels)
+    std::fprintf(
+        stderr,
+        "  merged serving: %llu of %llu batch(es) carried rows for 2+ "
+        "models\n",
+        static_cast<unsigned long long>(Stats.CrossModelBatches),
+        static_cast<unsigned long long>(Stats.BatchesDispatched));
   if (Server.getNumShards() > 1)
     for (size_t S = 0; S < PerShard.size(); ++S)
       std::fprintf(
